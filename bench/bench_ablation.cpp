@@ -1,0 +1,149 @@
+// E7 / Table 7 -- ablations of the implementation choices DESIGN.md calls
+// out. The paper leaves these "implementation freedoms"; each ablation
+// shows why the shipped default is the right one.
+//
+//  (a) canonical write-lock order: writers of one item acquire its copies'
+//      X-locks in ascending site order. Disabled => parallel acquisition,
+//      which deadlocks ACROSS sites where no local wait-for graph can see
+//      it; only lock timeouts clean up.
+//  (b) read-only one-phase commit: read-only transactions skip the vote
+//      phase.
+//  (c) detector jitter: without it, every site's failure detector fires in
+//      lockstep and their type-2 declarations keep colliding.
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "workload/runner.h"
+#include "workload/stats.h"
+
+using namespace ddbs;
+
+namespace {
+
+RunnerStats contended_run(bool canonical, uint64_t seed, Metrics** metrics,
+                          std::unique_ptr<Cluster>& keep) {
+  Config cfg;
+  cfg.n_sites = 4;
+  cfg.n_items = 12; // tiny & hot: write conflicts guaranteed
+  cfg.replication_degree = 3;
+  cfg.canonical_write_order = canonical;
+  keep = std::make_unique<Cluster>(cfg, seed);
+  keep->bootstrap();
+  RunnerParams rp;
+  rp.clients_per_site = 3;
+  rp.think_time = 1'000;
+  rp.duration = 3'000'000;
+  rp.workload.ops_per_txn = 2;
+  rp.workload.read_fraction = 0.1; // write-heavy
+  rp.workload.zipf_theta = 0.9;
+  Runner runner(*keep, rp, seed);
+  RunnerStats stats = runner.run();
+  *metrics = &keep->metrics();
+  return stats;
+}
+
+} // namespace
+
+int main() {
+  std::printf("E7: ablations of implementation choices.\n");
+
+  {
+    TablePrinter t("Table 7a: write-lock acquisition order "
+                   "(write-heavy, 12 hot items, 12 clients)");
+    t.set_header({"order", "txn/s", "commit ratio", "lock timeouts",
+                  "deadlock victims", "p99 latency"});
+    for (bool canonical : {true, false}) {
+      Metrics* m = nullptr;
+      std::unique_ptr<Cluster> cluster;
+      const RunnerStats stats =
+          contended_run(canonical, 900, &m, cluster);
+      t.add_row({canonical ? "canonical (default)" : "parallel (ablated)",
+                 TablePrinter::num(stats.throughput_per_sec(3'000'000), 0),
+                 TablePrinter::pct(stats.commit_ratio()),
+                 TablePrinter::integer(m->get("dm.lock_timeout")),
+                 TablePrinter::integer(m->get("dm.deadlock_victim")),
+                 TablePrinter::ms(stats.commit_latency_us.percentile(99))});
+    }
+    t.print();
+  }
+
+  {
+    TablePrinter t("Table 7b: read-only one-phase commit "
+                   "(read-only workload, 4 sites)");
+    t.set_header({"mode", "txn/s", "p50 latency", "p99 latency"});
+    for (bool one_phase : {true, false}) {
+      Config cfg;
+      cfg.n_sites = 4;
+      cfg.n_items = 100;
+      cfg.replication_degree = 3;
+      cfg.read_only_one_phase = one_phase;
+      Cluster cluster(cfg, 901);
+      cluster.bootstrap();
+      RunnerParams rp;
+      rp.clients_per_site = 2;
+      rp.think_time = 2'000;
+      rp.duration = 2'000'000;
+      rp.workload.ops_per_txn = 2;
+      rp.workload.read_fraction = 1.0;
+      Runner runner(cluster, rp, 901);
+      const RunnerStats stats = runner.run();
+      t.add_row({one_phase ? "one-phase (default)" : "full 2PC (ablated)",
+                 TablePrinter::num(stats.throughput_per_sec(2'000'000), 0),
+                 TablePrinter::ms(stats.commit_latency_us.percentile(50)),
+                 TablePrinter::ms(stats.commit_latency_us.percentile(99))});
+    }
+    t.print();
+  }
+
+  {
+    TablePrinter t("Table 7c: failure-detector jitter "
+                   "(two simultaneous crashes, 5 sites)");
+    t.set_header({"jitter", "type-2 attempts", "type-2 committed",
+                  "both excluded within"});
+    for (bool jitter : {true, false}) {
+      Config cfg;
+      cfg.n_sites = 5;
+      cfg.n_items = 30;
+      cfg.replication_degree = 3;
+      cfg.detector_jitter = jitter;
+      Cluster cluster(cfg, 902);
+      cluster.bootstrap();
+      cluster.crash_site(1);
+      cluster.crash_site(2);
+      // Run until both are nominally down everywhere or 5s elapse.
+      SimTime excluded_at = 0;
+      for (SimTime t2 = 100'000; t2 <= 5'000'000; t2 += 100'000) {
+        cluster.run_until(t2);
+        bool all_zero = true;
+        for (SiteId s : {0, 3, 4}) {
+          const auto ns = peek_ns_vector(cluster.site(s).stable().kv(), 5);
+          if (ns[1] != 0 || ns[2] != 0) all_zero = false;
+        }
+        if (all_zero) {
+          excluded_at = t2;
+          break;
+        }
+      }
+      t.add_row({jitter ? "on (default)" : "off (ablated)",
+                 TablePrinter::integer(
+                     cluster.metrics().get("control_down.attempts")),
+                 TablePrinter::integer(
+                     cluster.metrics().get("control_down.committed")),
+                 excluded_at == 0
+                     ? "(not within 5s)"
+                     : TablePrinter::ms(static_cast<double>(excluded_at))});
+    }
+    t.print();
+  }
+
+  std::printf("\nExpected shape: (a) the parallel ablation turns hot-item\n"
+              "contention into cross-site deadlocks resolved only by "
+              "200 ms\ntimeouts -- throughput and commit ratio collapse; "
+              "(b) one-phase\ncommit removes a full round trip from every "
+              "read-only transaction\n(~25%% more read throughput here); "
+              "(c) jitter alone used to be the\nonly defense against "
+              "lockstep type-2 collisions -- with the batched,\n"
+              "one-in-flight declarations now in place both rows converge\n"
+              "promptly, and jitter remains as cheap insurance.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E1 / Table 1 -- availability under site failures: strict ROWA vs ROWAA.
+//
+// Paper claims (Sections 1-2): strict read-one/write-all makes writes
+// unavailable as soon as any resident copy is down; ROWAA with the nominal
+// session vector keeps a logical operation available "as long as one of
+// its copies is in an operational site".
+//
+// Sweep: replication degree x number of crashed sites; measure the fraction
+// of logical reads/writes that commit, one attempt per item, issued at an
+// operational site after the failure detectors have settled.
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "workload/stats.h"
+
+using namespace ddbs;
+
+namespace {
+
+struct Cell {
+  double read_ok = 0;
+  double write_ok = 0;
+};
+
+Cell measure(WriteScheme scheme, int degree, int down_count, uint64_t seed) {
+  Config cfg;
+  cfg.n_sites = 8;
+  cfg.n_items = 64;
+  cfg.replication_degree = degree;
+  cfg.write_scheme = scheme;
+  Cluster cluster(cfg, seed);
+  cluster.bootstrap();
+  for (SiteId s = 1; s <= down_count; ++s) cluster.crash_site(s);
+  cluster.run_until(cluster.now() + 800'000); // detectors declare
+
+  int reads = 0, writes = 0;
+  for (ItemId x = 0; x < cfg.n_items; ++x) {
+    reads += cluster.run_txn(0, {{OpKind::kRead, x, 0}}).committed;
+    writes += cluster.run_txn(0, {{OpKind::kWrite, x, 1}}).committed;
+  }
+  Cell c;
+  c.read_ok = static_cast<double>(reads) / static_cast<double>(cfg.n_items);
+  c.write_ok = static_cast<double>(writes) / static_cast<double>(cfg.n_items);
+  return c;
+}
+
+} // namespace
+
+int main() {
+  std::printf("E1: availability of logical operations, 8 sites, 64 items,\n"
+              "one attempt per item from an operational site.\n");
+  TablePrinter table(
+      "Table 1: operation availability vs crashed sites (read% / write%)");
+  table.set_header({"degree", "down", "ROWA-strict R", "ROWA-strict W",
+                    "ROWAA R", "ROWAA W"});
+  for (int degree : {1, 2, 3, 5}) {
+    for (int down : {0, 1, 2, 4, 6}) {
+      if (down >= 8) continue;
+      const Cell rowa =
+          measure(WriteScheme::kRowaStrict, degree, down, 1000 + down);
+      const Cell rowaa =
+          measure(WriteScheme::kRowaa, degree, down, 1000 + down);
+      table.add_row({TablePrinter::integer(degree),
+                     TablePrinter::integer(down),
+                     TablePrinter::pct(rowa.read_ok),
+                     TablePrinter::pct(rowa.write_ok),
+                     TablePrinter::pct(rowaa.read_ok),
+                     TablePrinter::pct(rowaa.write_ok)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: ROWAA writes track ROWAA reads (any live copy\n"
+      "suffices); strict-ROWA writes collapse as soon as one copy is down\n"
+      "and degrade faster at higher replication degrees.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Substrate microbenchmarks (google-benchmark): the hot paths underneath
+// the protocol -- lock manager, event queue, missing list, Zipf sampling,
+// history checking -- plus an end-to-end simulated-transaction benchmark
+// that reports how fast the whole DES executes on the host.
+#include <benchmark/benchmark.h>
+
+#include "core/cluster.h"
+#include "recovery/status_tables.h"
+#include "sim/event_queue.h"
+#include "txn/lock_manager.h"
+#include "verify/one_sr_checker.h"
+#include "workload/workload_gen.h"
+
+namespace ddbs {
+namespace {
+
+void BM_LockManager_UncontendedAcquireRelease(benchmark::State& state) {
+  LockManager lm;
+  TxnId txn = 1;
+  for (auto _ : state) {
+    for (ItemId i = 0; i < 16; ++i) {
+      lm.acquire(txn, i, LockMode::kExclusive, []() {});
+    }
+    lm.release_all(txn);
+    ++txn;
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_LockManager_UncontendedAcquireRelease);
+
+void BM_LockManager_SharedFanIn(benchmark::State& state) {
+  const int readers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    LockManager lm;
+    for (int r = 0; r < readers; ++r) {
+      lm.acquire(static_cast<TxnId>(r + 1), 7, LockMode::kShared, []() {});
+    }
+    for (int r = 0; r < readers; ++r) {
+      lm.release_all(static_cast<TxnId>(r + 1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * readers);
+}
+BENCHMARK(BM_LockManager_SharedFanIn)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_EventQueue_PushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.push((i * 37) % 1000, []() {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueue_PushPop)->Arg(64)->Arg(1024);
+
+void BM_MissingList_AddRemove(benchmark::State& state) {
+  StatusTable t;
+  int64_t i = 0;
+  for (auto _ : state) {
+    t.ml_add(i % 500, static_cast<SiteId>(i % 7));
+    t.ml_remove((i + 250) % 500, static_cast<SiteId>(i % 7));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MissingList_AddRemove);
+
+void BM_Zipf_Sample(benchmark::State& state) {
+  Rng rng(1);
+  ZipfGen zipf(100'000, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Zipf_Sample);
+
+History synthetic_history(size_t txns) {
+  History h;
+  Rng rng(9);
+  for (size_t i = 1; i <= txns; ++i) {
+    TxnRecord t;
+    t.txn = i;
+    t.kind = TxnKind::kUser;
+    t.commit_time = static_cast<SimTime>(i);
+    const ItemId item = static_cast<ItemId>(rng.uniform(0, 63));
+    if (i > 1) {
+      t.reads.push_back(ReadEvent{0, item, 0, 0});
+    }
+    t.writes.push_back(WriteEvent{0, item, i, static_cast<Value>(i), false});
+    t.writes.push_back(WriteEvent{1, item, i, static_cast<Value>(i), false});
+    h.txns.push_back(std::move(t));
+  }
+  return h;
+}
+
+void BM_OneSrGraphCheck(benchmark::State& state) {
+  const History h = synthetic_history(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_one_sr_graph(h));
+  }
+}
+BENCHMARK(BM_OneSrGraphCheck)->Arg(100)->Arg(1000);
+
+void BM_EndToEnd_SimulatedTxn(benchmark::State& state) {
+  Config cfg;
+  cfg.n_sites = 4;
+  cfg.n_items = 100;
+  cfg.replication_degree = 3;
+  cfg.record_history = false;
+  Cluster cluster(cfg, 5);
+  cluster.bootstrap();
+  WorkloadParams wp;
+  wp.ops_per_txn = 3;
+  WorkloadGen gen(cfg, wp, 5);
+  SiteId origin = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.run_txn(origin, gen.next()));
+    origin = static_cast<SiteId>((origin + 1) % 4);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("simulated distributed txns per wall-clock second");
+}
+BENCHMARK(BM_EndToEnd_SimulatedTxn);
+
+} // namespace
+} // namespace ddbs
+
+BENCHMARK_MAIN();

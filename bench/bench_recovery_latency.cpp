@@ -1,0 +1,89 @@
+// E2 / Table 2 + Figure 1 -- time to resume operation: the paper's
+// session-vector recovery vs the spooled-redo baseline (Hammer & Shipman
+// style, the paper's Section-1 "first approach").
+//
+// Paper claim: "The recovery procedure allows the recovering site to resume
+// its normal operations as soon as possible" -- the site is operational the
+// moment its type-1 control transaction commits, and the database refresh
+// proceeds concurrently; the redo baseline must replay its whole spool
+// first, so its time-to-operational grows with the outage's update volume.
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "workload/stats.h"
+
+using namespace ddbs;
+
+namespace {
+
+struct Point {
+  SimTime to_operational = 0;
+  SimTime to_current = 0; // == to_operational for the spooler
+  size_t work_items = 0;  // replayed records / refreshed copies
+};
+
+Point run_case(RecoveryScheme scheme, int64_t updates, uint64_t seed) {
+  Config cfg;
+  cfg.n_sites = 5;
+  cfg.n_items = 400;
+  cfg.replication_degree = 3;
+  cfg.recovery_scheme = scheme;
+  cfg.outdated_strategy = OutdatedStrategy::kMissingList;
+  Cluster cluster(cfg, seed);
+  cluster.bootstrap();
+  cluster.crash_site(2);
+  cluster.run_until(cluster.now() + 500'000);
+  for (int64_t i = 0; i < updates; ++i) {
+    auto r = cluster.run_txn(static_cast<SiteId>(i % 2 == 0 ? 0 : 1),
+                             {{OpKind::kWrite, i % cfg.n_items, i}});
+    if (!r.committed) --i; // retry: this bench needs exactly `updates`
+  }
+  const SimTime t0 = cluster.now();
+  cluster.recover_site(2);
+  cluster.settle();
+  const auto& ms = cluster.site(2).rm().milestones();
+  Point p;
+  p.to_operational = ms.nominally_up - t0;
+  p.to_current = (scheme == RecoveryScheme::kSpooler ? ms.nominally_up
+                                                     : ms.fully_current) -
+                 t0;
+  p.work_items = scheme == RecoveryScheme::kSpooler ? ms.spool_replayed
+                                                    : ms.marked_unreadable;
+  return p;
+}
+
+} // namespace
+
+int main() {
+  std::printf("E2: recovery latency vs outage update volume, 5 sites,\n"
+              "400 items, degree 3, missing-list identification.\n");
+  TablePrinter table("Table 2: time to resume operation after recovery");
+  table.set_header({"updates missed", "scheme", "work items",
+                    "t operational", "t fully current"});
+  SeriesPrinter fig("Figure 1: time-to-operational (us) vs missed updates",
+                    {"updates", "session_vector_us", "spooler_us"});
+  for (int64_t updates : {25, 100, 400, 1000, 2000}) {
+    const Point sv =
+        run_case(RecoveryScheme::kSessionVector, updates, 42);
+    const Point sp = run_case(RecoveryScheme::kSpooler, updates, 42);
+    table.add_row({TablePrinter::integer(updates), "session-vector",
+                   TablePrinter::integer(static_cast<int64_t>(sv.work_items)),
+                   TablePrinter::ms(static_cast<double>(sv.to_operational)),
+                   TablePrinter::ms(static_cast<double>(sv.to_current))});
+    table.add_row({TablePrinter::integer(updates), "spooler-redo",
+                   TablePrinter::integer(static_cast<int64_t>(sp.work_items)),
+                   TablePrinter::ms(static_cast<double>(sp.to_operational)),
+                   TablePrinter::ms(static_cast<double>(sp.to_current))});
+    fig.add_point({static_cast<double>(updates),
+                   static_cast<double>(sv.to_operational),
+                   static_cast<double>(sp.to_operational)});
+  }
+  table.print();
+  fig.print();
+  std::printf(
+      "\nExpected shape: the session-vector site is operational after a\n"
+      "near-constant control-transaction latency regardless of outage\n"
+      "volume (the refresh runs concurrently afterwards); the spooler's\n"
+      "time-to-operational grows with the number of missed updates.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E3 / Table 3 -- identifying out-of-date copies (paper Section 5):
+// mark-all vs mark-all+version-compare vs fail-locks vs missing lists.
+//
+// Paper claim: "in order to eliminate unnecessary work, it is important to
+// identify precisely the data items that have missed updates"; the missing
+// list is precise, the fail-lock set is item-granular (over-marks under
+// interleaved multi-site failures), mark-all is maximally pessimistic, and
+// version comparison lets pessimistic copiers skip the data transfer.
+//
+// Scenario: site 3 is down while a sweep updates the first K distinct
+// items; a SECOND site is down for part of the window (so fail-locks
+// accumulate entries the recovering site never missed). Measured: copies
+// marked unreadable, copier runs, payload transfers, refresh completion.
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "workload/stats.h"
+
+using namespace ddbs;
+
+namespace {
+
+struct Row {
+  size_t marked = 0;
+  int64_t copier_runs = 0;
+  int64_t payloads = 0;
+  SimTime refresh_time = 0;
+};
+
+Row run_case(OutdatedStrategy strategy, int64_t updated_items,
+             uint64_t seed) {
+  Config cfg;
+  cfg.n_sites = 5;
+  cfg.n_items = 200;
+  cfg.replication_degree = 3;
+  cfg.outdated_strategy = strategy;
+  Cluster cluster(cfg, seed);
+  cluster.bootstrap();
+
+  // Phase A: site 4 briefly down while a DISJOINT range of items (the top
+  // half of the key space) is written -- its fail-locks stick around: it
+  // recovers while site 3's outage is in progress, so the item-granular
+  // set cannot be cleared, and it cannot tell whose copies missed what.
+  cluster.crash_site(4);
+  cluster.run_until(cluster.now() + 400'000);
+  for (int64_t i = 0; i < updated_items / 2; ++i) {
+    const ItemId top = cfg.n_items / 2 + i % (cfg.n_items / 2);
+    auto r = cluster.run_txn(0, {{OpKind::kWrite, top, 10'000 + i}});
+    if (!r.committed) --i;
+  }
+  // Phase B: site 3 goes down; a prefix of the LOWER half is updated.
+  cluster.crash_site(3);
+  cluster.run_until(cluster.now() + 400'000);
+  cluster.recover_site(4);
+  cluster.settle();
+  for (int64_t i = 0; i < updated_items; ++i) {
+    auto r = cluster.run_txn(
+        0, {{OpKind::kWrite, i % (cfg.n_items / 2), 20'000 + i}});
+    if (!r.committed) --i;
+  }
+  const int64_t payload_before =
+      cluster.metrics().get("copier.payload_copies");
+  const int64_t runs_before = cluster.metrics().get("copier.started");
+  const SimTime t0 = cluster.now();
+  cluster.recover_site(3);
+  cluster.settle();
+  const auto& ms = cluster.site(3).rm().milestones();
+  Row row;
+  row.marked = ms.marked_unreadable;
+  row.copier_runs = cluster.metrics().get("copier.started") - runs_before;
+  row.payloads =
+      cluster.metrics().get("copier.payload_copies") - payload_before;
+  row.refresh_time =
+      (ms.fully_current == kNoTime ? cluster.now() : ms.fully_current) - t0;
+  return row;
+}
+
+} // namespace
+
+int main() {
+  std::printf(
+      "E3: out-of-date identification strategies, 5 sites, 200 items,\n"
+      "degree 3; overlapping outage of a second site makes the\n"
+      "item-granular fail-lock set over-approximate.\n");
+  TablePrinter table(
+      "Table 3: recovery work by identification strategy");
+  table.set_header({"updated", "strategy", "copies marked", "copier runs",
+                    "payload copies", "refresh time"});
+  for (int64_t updated : {10, 30, 60, 100}) {
+    for (OutdatedStrategy strategy :
+         {OutdatedStrategy::kMarkAll, OutdatedStrategy::kMarkAllVersionCmp,
+          OutdatedStrategy::kFailLock, OutdatedStrategy::kMissingList}) {
+      const Row row = run_case(strategy, updated, 77);
+      table.add_row(
+          {TablePrinter::integer(updated), to_string(strategy),
+           TablePrinter::integer(static_cast<int64_t>(row.marked)),
+           TablePrinter::integer(row.copier_runs),
+           TablePrinter::integer(row.payloads),
+           TablePrinter::ms(static_cast<double>(row.refresh_time))});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: mark-all marks every hosted copy regardless of the\n"
+      "update volume; +version-compare still runs every copier but ships\n"
+      "payloads only for genuinely stale copies; fail-lock marks every\n"
+      "fail-locked item it hosts (over-approximating when another site's\n"
+      "outage overlapped); missing-list marks exactly the copies that\n"
+      "missed updates and does the least refresh work.\n");
+  return 0;
+}

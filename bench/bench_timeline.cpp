@@ -1,0 +1,91 @@
+// F2 -- availability timeline around one crash + recovery: committed and
+// aborted transactions per interval, plus the recovering site's count of
+// still-unreadable copies. This is the figure-style view of the system
+// behaviour the paper narrates in Sections 1 and 3.4.
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "workload/runner.h"
+#include "workload/stats.h"
+
+using namespace ddbs;
+
+int main() {
+  Config cfg;
+  cfg.n_sites = 5;
+  cfg.n_items = 150;
+  cfg.replication_degree = 3;
+  cfg.outdated_strategy = OutdatedStrategy::kMissingList;
+  Cluster cluster(cfg, 8080);
+  cluster.bootstrap();
+
+  constexpr SimTime kBucket = 100'000;   // 100 ms
+  constexpr SimTime kDuration = 5'000'000;
+  constexpr SimTime kCrashAt = 1'000'000;
+  constexpr SimTime kRecoverAt = 2'500'000;
+
+  // Sample the recovering site's unreadable count each bucket.
+  std::vector<size_t> unreadable(kDuration / kBucket + 1, 0);
+  for (size_t b = 0; b < unreadable.size(); ++b) {
+    cluster.scheduler().at(
+        static_cast<SimTime>(b) * kBucket + 1, [&cluster, &unreadable, b]() {
+          unreadable[b] = cluster.site(2).stable().kv().unreadable_count();
+        });
+  }
+
+  RunnerParams rp;
+  rp.clients_per_site = 2;
+  rp.think_time = 4'000;
+  rp.duration = kDuration;
+  rp.bucket = kBucket;
+  rp.workload.ops_per_txn = 3;
+  rp.workload.read_fraction = 0.5;
+  rp.schedule = {{kCrashAt, FailureEvent::What::kCrash, 2},
+                 {kRecoverAt, FailureEvent::What::kRecover, 2}};
+  Runner runner(cluster, rp, 8080);
+  const RunnerStats stats = runner.run();
+
+  std::printf("F2: crash at t=%.1fs, recovery starts t=%.1fs; 10 clients,\n"
+              "100ms buckets.\n",
+              kCrashAt / 1e6, kRecoverAt / 1e6);
+  SeriesPrinter fig("Figure 2: throughput and refresh progress over time",
+                    {"t_seconds", "committed_per_100ms",
+                     "aborted_per_100ms", "unreadable_copies_site2"});
+  const size_t buckets = static_cast<size_t>(kDuration / kBucket);
+  for (size_t b = 0; b < buckets; ++b) {
+    const double committed =
+        b < stats.committed_per_bucket.size()
+            ? static_cast<double>(stats.committed_per_bucket[b])
+            : 0.0;
+    const double aborted =
+        b < stats.aborted_per_bucket.size()
+            ? static_cast<double>(stats.aborted_per_bucket[b])
+            : 0.0;
+    fig.add_point({static_cast<double>(b) * kBucket / 1e6, committed,
+                   aborted, static_cast<double>(unreadable[b])});
+  }
+  fig.print();
+
+  const auto& ms = cluster.site(2).rm().milestones();
+  std::printf("\nmilestones: crash=%.2fs, operational=%.2fs, "
+              "fully current=%.2fs\n",
+              kCrashAt / 1e6, ms.nominally_up / 1e6, ms.fully_current / 1e6);
+  std::printf("totals: %lld committed, %lld aborted (%s)\n",
+              static_cast<long long>(stats.committed),
+              static_cast<long long>(stats.aborted),
+              [&]() {
+                std::string s;
+                for (const auto& [k, v] : stats.abort_reasons) {
+                  s += k + "=" + std::to_string(v) + " ";
+                }
+                return s;
+              }()
+                  .c_str());
+  std::printf(
+      "\nExpected shape: a short abort blip at the crash (in-flight\n"
+      "transactions with stale views), full throughput while the site is\n"
+      "down (ROWAA), a brief dip when the type-1 control transaction\n"
+      "drains in-flight transactions, and the unreadable count stepping\n"
+      "down to zero as copiers drain -- all while user work continues.\n");
+  return 0;
+}

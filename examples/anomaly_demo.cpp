@@ -1,0 +1,129 @@
+// The paper's Section-1 example, both ways.
+//
+//   build/examples/anomaly_demo
+//
+// Part 1 -- the anomaly, verbatim from the paper: transactions Ta (reads X,
+// writes Y) and Tb (reads Y, writes X); X and Y each have copies at sites 1
+// and 2. Site 1 crashes after both reads; each transaction then writes "all
+// currently available copies" -- without any consistent view of site
+// status -- and commits. We hand the resulting history to the Section-4
+// checkers: it is NOT one-serializable, and no scheduling of copier
+// transactions can repair it ("the database cannot be brought up to a
+// consistent state").
+//
+// Part 2 -- the same workload against the real protocol: the nominal
+// session vector gives both transactions a consistent view, the session
+// check rejects stale requests, and the recorded history stays 1-SR.
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "verify/one_sr_checker.h"
+
+using namespace ddbs;
+
+namespace {
+
+void part1_naive() {
+  std::printf("== Part 1: naive write-all-available (no conventions) ==\n");
+  // Build the paper's history directly:
+  //   Ra[x1] Rb[y1] (site 1 crashes) Wa[y2] Wb[x2], both commit.
+  const ItemId X = 0, Y = 1;
+  History h;
+
+  TxnRecord ta;
+  ta.txn = 1;
+  ta.kind = TxnKind::kUser;
+  ta.commit_time = 100;
+  ta.reads = {ReadEvent{1, X, 0, 0}};       // Ra[x1] from initial state
+  ta.writes = {WriteEvent{2, Y, 1, 42, false}}; // Wa[y2] only: site 1 down
+
+  TxnRecord tb;
+  tb.txn = 2;
+  tb.kind = TxnKind::kUser;
+  tb.commit_time = 101;
+  tb.reads = {ReadEvent{1, Y, 0, 0}};       // Rb[y1] from initial state
+  tb.writes = {WriteEvent{2, X, 1, 43, false}}; // Wb[x2] only
+
+  h.txns = {ta, tb};
+
+  const auto graph = check_one_sr_graph(h);
+  std::printf("revised 1-STG: %s\n",
+              graph.ok ? "acyclic (?!)" : graph.detail.c_str());
+  const auto oracle = check_one_sr_bruteforce(h);
+  std::printf("exact oracle over all serial orders: %s\n",
+              oracle.one_sr ? "one-serializable (?!)"
+                            : "NOT one-serializable");
+  std::printf("-> Ta read X before Tb's write and Tb read Y before Ta's "
+              "write;\n   any serial order contradicts one of the "
+              "READ-FROMs. Copiers that\n   refresh x1/y1 after site 1 "
+              "recovers can only copy the inconsistent\n   state around "
+              "-- exactly the unrecoverable mess of Section 1.\n\n");
+}
+
+void part2_protocol() {
+  std::printf("== Part 2: the same workload under the ROWAA convention ==\n");
+  Config cfg;
+  cfg.n_sites = 3; // sites 0 and 1 hold the data; site 2 keeps quorum alive
+  cfg.n_items = 2;
+  cfg.replication_degree = 3;
+  Cluster cluster(cfg, 3);
+  cluster.bootstrap();
+  const ItemId X = 0, Y = 1;
+
+  // Concurrent Ta and Tb, with site 1 crashing in between their reads and
+  // their writes -- the schedule from the paper.
+  TxnResult res_a, res_b;
+  bool done_a = false, done_b = false;
+  cluster.submit(0, {{OpKind::kRead, X, 0}, {OpKind::kWrite, Y, 42}},
+                 [&](const TxnResult& r) {
+                   res_a = r;
+                   done_a = true;
+                 });
+  cluster.submit(2, {{OpKind::kRead, Y, 0}, {OpKind::kWrite, X, 43}},
+                 [&](const TxnResult& r) {
+                   res_b = r;
+                   done_b = true;
+                 });
+  cluster.scheduler().after(700, [&]() { cluster.crash_site(1); });
+  cluster.run_until(cluster.now() + 3'000'000);
+  cluster.settle();
+
+  auto explain = [](const char* name, const TxnResult& r) {
+    if (r.committed) {
+      std::printf("%s: committed\n", name);
+    } else {
+      std::printf("%s: aborted (%s)\n", name, to_string(r.reason));
+    }
+  };
+  if (done_a) explain("Ta", res_a);
+  if (done_b) explain("Tb", res_b);
+
+  // Whatever interleaving the crash produced, the recorded history must be
+  // one-serializable: stale-view transactions were aborted by the session
+  // check / write-all failure rather than committed half-written.
+  const History h = cluster.history().snapshot();
+  const auto graph = check_one_sr_graph(h);
+  std::printf("revised 1-STG over the real execution: %s\n",
+              graph.ok ? "acyclic (one-serializable)" : graph.detail.c_str());
+  const auto oracle = check_one_sr_bruteforce(h);
+  if (oracle.applicable) {
+    std::printf("exact oracle agrees: %s\n",
+                oracle.one_sr ? "one-serializable" : "NOT one-serializable");
+  }
+
+  // And after recovery the database converges again.
+  cluster.run_until(cluster.now() + 500'000);
+  cluster.recover_site(1);
+  cluster.settle();
+  std::string why;
+  std::printf("site 1 recovered; replicas converged: %s\n",
+              cluster.replicas_converged(&why) ? "yes" : why.c_str());
+}
+
+} // namespace
+
+int main() {
+  part1_naive();
+  part2_protocol();
+  return 0;
+}

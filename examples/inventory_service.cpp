@@ -1,0 +1,105 @@
+// An inventory/order service that stays read-available through a site
+// recovery, using ON-DEMAND copiers with the READ-REDIRECT policy
+// (Section 3.2 gives implementors exactly this freedom: a read hitting an
+// unreadable copy "can either be blocked until the copier finishes, or may
+// read some other copy instead").
+//
+//   build/examples/inventory_service
+//
+// The service keeps per-SKU stock counts. While the warehouse site is
+// refreshing, reads against it are transparently served from other
+// replicas, and each touched SKU is refreshed in the background.
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "workload/workload_gen.h"
+
+using namespace ddbs;
+
+namespace {
+constexpr int64_t kSkus = 80;
+constexpr Value kInitialStock = 500;
+} // namespace
+
+int main() {
+  Config cfg;
+  cfg.n_sites = 4;
+  cfg.n_items = kSkus;
+  cfg.replication_degree = 2;
+  cfg.copier_mode = CopierMode::kOnDemand;
+  cfg.unreadable_policy = UnreadablePolicy::kRedirect;
+  cfg.outdated_strategy = OutdatedStrategy::kMissingList;
+
+  Cluster cluster(cfg, 11);
+  cluster.bootstrap(kInitialStock);
+  std::printf("inventory service: %lld SKUs, stock %lld each\n",
+              static_cast<long long>(kSkus),
+              static_cast<long long>(kInitialStock));
+
+  Rng rng(5);
+  auto order = [&](SiteId at, ItemId sku, Value qty) -> bool {
+    auto r = cluster.run_txn(at, {{OpKind::kRead, sku, 0}});
+    if (!r.committed || r.reads[0] < qty) return false;
+    auto w = cluster.run_txn(at, {{OpKind::kRead, sku, 0},
+                                  {OpKind::kWrite, sku, r.reads[0] - qty}});
+    return w.committed;
+  };
+
+  int placed = 0;
+  for (int i = 0; i < 100; ++i) {
+    placed += order(static_cast<SiteId>(rng.uniform(0, 3)),
+                    rng.uniform(0, kSkus - 1), rng.uniform(1, 5));
+  }
+  std::printf("healthy: %d/100 orders placed\n", placed);
+
+  // The "warehouse" site goes down; orders continue on the other replicas.
+  std::printf("\n-- warehouse site 3 crashes --\n");
+  cluster.crash_site(3);
+  cluster.run_until(cluster.now() + 400'000);
+  placed = 0;
+  for (int i = 0; i < 100; ++i) {
+    placed += order(static_cast<SiteId>(rng.uniform(0, 2)),
+                    rng.uniform(0, kSkus - 1), rng.uniform(1, 5));
+  }
+  std::printf("site 3 down: %d/100 orders placed\n", placed);
+
+  // Site 3 comes back. It is operational as soon as the type-1 control
+  // transaction commits; its stale SKUs are marked unreadable and only
+  // refreshed when touched (on-demand), with reads redirected meanwhile.
+  std::printf("\n-- warehouse site 3 recovers --\n");
+  cluster.recover_site(3);
+  cluster.run_until(cluster.now() + 200'000);
+  std::printf("site 3 state: %s, %zu SKUs still to refresh\n",
+              to_string(cluster.site(3).state().mode),
+              cluster.site(3).stable().kv().unreadable_count());
+
+  // Serve orders THROUGH the recovering site immediately.
+  placed = 0;
+  for (int i = 0; i < 100; ++i) {
+    placed += order(3, rng.uniform(0, kSkus - 1), rng.uniform(1, 5));
+  }
+  cluster.settle();
+  std::printf("orders at the recovered site during refresh: %d/100\n",
+              placed);
+  std::printf("redirected reads: %lld, on-demand copier runs: %lld\n",
+              static_cast<long long>(
+                  cluster.metrics().get("dm.read_hit_unreadable")),
+              static_cast<long long>(cluster.metrics().get("copier.started")));
+  std::printf("SKUs still unreadable at site 3 (never touched): %zu\n",
+              cluster.site(3).stable().kv().unreadable_count());
+
+  // Total stock = initial - everything ordered; cross-check from site 3.
+  int64_t total = 0;
+  for (ItemId x = 0; x < kSkus; ++x) {
+    auto r = cluster.run_txn(3, {{OpKind::kRead, x, 0}});
+    if (r.committed) total += r.reads[0];
+  }
+  std::printf("\ntotal stock seen from site 3: %lld\n",
+              static_cast<long long>(total));
+  cluster.settle();
+  std::printf("all SKUs readable at site 3 after the scan: %s\n",
+              cluster.site(3).stable().kv().unreadable_count() == 0
+                  ? "yes"
+                  : "no");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "baselines/spooler.h"
+
+namespace ddbs {
+
+void SpoolTable::add(SiteId for_site, const SpoolRecord& rec) {
+  auto& per_item = spool_[for_site];
+  auto it = per_item.find(rec.item);
+  if (it == per_item.end() || it->second.version < rec.version) {
+    per_item[rec.item] = rec;
+  }
+}
+
+std::vector<SpoolRecord> SpoolTable::records_for(SiteId site) const {
+  std::vector<SpoolRecord> out;
+  auto it = spool_.find(site);
+  if (it == spool_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [item, rec] : it->second) out.push_back(rec);
+  return out;
+}
+
+void SpoolTable::trim(SiteId site) { spool_.erase(site); }
+
+size_t SpoolTable::total_records() const {
+  size_t n = 0;
+  for (const auto& [site, m] : spool_) n += m.size();
+  return n;
+}
+
+size_t SpoolTable::records_count_for(SiteId site) const {
+  auto it = spool_.find(site);
+  return it == spool_.end() ? 0 : it->second.size();
+}
+
+} // namespace ddbs

@@ -1,0 +1,37 @@
+// Spool table for the redo baseline (paper Section 1, citing Hammer &
+// Shipman's SDD-1 reliability mechanism): updates addressed to a nominally
+// down site are saved at the writing sites ("multiple spoolers") and the
+// recovering site replays them before resuming normal operation.
+//
+// The spool keeps one record per (down site, item) -- the highest version
+// wins, since items are whole-value and a later write supersedes earlier
+// ones. The table is modeled as durable (the paper's spoolers save updates
+// "reliably"); concurrency follows the same per-down-site lock items as the
+// missing list (see DataManager).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace ddbs {
+
+class SpoolTable {
+ public:
+  // Keep rec if it is newer than what is already spooled for (site, item).
+  void add(SiteId for_site, const SpoolRecord& rec);
+
+  std::vector<SpoolRecord> records_for(SiteId site) const;
+
+  void trim(SiteId site);
+
+  size_t total_records() const;
+  size_t records_count_for(SiteId site) const;
+
+ private:
+  std::map<SiteId, std::map<ItemId, SpoolRecord>> spool_;
+};
+
+} // namespace ddbs

@@ -1,0 +1,47 @@
+#include "common/config.h"
+
+namespace ddbs {
+
+const char* to_string(WriteScheme s) {
+  switch (s) {
+    case WriteScheme::kRowaStrict: return "ROWA-strict";
+    case WriteScheme::kRowaa: return "ROWAA";
+  }
+  return "?";
+}
+
+const char* to_string(RecoveryScheme s) {
+  switch (s) {
+    case RecoveryScheme::kSessionVector: return "session-vector";
+    case RecoveryScheme::kSpooler: return "spooler-redo";
+  }
+  return "?";
+}
+
+const char* to_string(OutdatedStrategy s) {
+  switch (s) {
+    case OutdatedStrategy::kMarkAll: return "mark-all";
+    case OutdatedStrategy::kMarkAllVersionCmp: return "mark-all+vcmp";
+    case OutdatedStrategy::kFailLock: return "fail-lock";
+    case OutdatedStrategy::kMissingList: return "missing-list";
+  }
+  return "?";
+}
+
+const char* to_string(CopierMode m) {
+  switch (m) {
+    case CopierMode::kEager: return "eager";
+    case CopierMode::kOnDemand: return "on-demand";
+  }
+  return "?";
+}
+
+const char* to_string(UnreadablePolicy p) {
+  switch (p) {
+    case UnreadablePolicy::kBlock: return "block";
+    case UnreadablePolicy::kRedirect: return "redirect";
+  }
+  return "?";
+}
+
+} // namespace ddbs

@@ -1,0 +1,115 @@
+// Cluster-wide configuration knobs. One struct so benches can sweep any
+// dimension; every field has a sensible default matching the paper's basic
+// algorithm (ROWAA + session vectors + mark-all).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ddbs {
+
+// How logical operations are interpreted (paper Section 2).
+enum class WriteScheme : uint8_t {
+  kRowaStrict, // read-one / write-ALL: any down copy fails the write
+  kRowaa,      // read-one / write-all-available under the NS convention
+};
+
+// How a recovering site is brought up to date (paper Section 1 survey).
+enum class RecoveryScheme : uint8_t {
+  kSessionVector, // the paper's algorithm (Section 3)
+  kSpooler,       // redo baseline: replay spooled updates before going up
+};
+
+// How out-of-date copies are identified at recovery (paper Section 5).
+enum class OutdatedStrategy : uint8_t {
+  kMarkAll,            // pessimistic: every local copy marked unreadable
+  kMarkAllVersionCmp,  // mark-all, but copiers skip when versions match
+  kFailLock,           // per-down-site sets of fail-locked items
+  kMissingList,        // precise (item, site) missing-list matrix
+};
+
+// When copier transactions run (paper Section 3.2: "may be initiated by the
+// recovery procedure one by one ... or on a demand basis").
+enum class CopierMode : uint8_t {
+  kEager,    // background copiers launched right after the site goes up
+  kOnDemand, // launched when a read request touches an unreadable copy
+};
+
+// What a read does when it touches an unreadable copy (paper Section 3.2:
+// blocked until the copier finishes, or read some other copy instead).
+enum class UnreadablePolicy : uint8_t {
+  kBlock,    // DM queues the read behind the triggered copier
+  kRedirect, // DM rejects; the TM retries at another readable copy
+};
+
+const char* to_string(WriteScheme s);
+const char* to_string(RecoveryScheme s);
+const char* to_string(OutdatedStrategy s);
+const char* to_string(CopierMode m);
+const char* to_string(UnreadablePolicy p);
+
+struct Config {
+  // Topology.
+  int n_sites = 5;
+  int64_t n_items = 200;
+  int replication_degree = 3; // copies per logical item (capped at n_sites)
+  uint64_t placement_seed = 42;
+
+  // Protocol selection.
+  WriteScheme write_scheme = WriteScheme::kRowaa;
+  RecoveryScheme recovery_scheme = RecoveryScheme::kSessionVector;
+  OutdatedStrategy outdated_strategy = OutdatedStrategy::kMarkAll;
+  CopierMode copier_mode = CopierMode::kEager;
+  UnreadablePolicy unreadable_policy = UnreadablePolicy::kBlock;
+  int spooler_copies = 2; // spooler baseline: spoolers per missed update
+
+  // Network model (microseconds).
+  SimTime net_latency_min = 500;
+  SimTime net_latency_max = 1'500;
+  double msg_loss_prob = 0.0; // loss between live sites (retries mask it)
+
+  // Timeouts (microseconds).
+  SimTime rpc_timeout = 20'000;       // per-request timeout => suspect site
+  SimTime lock_timeout = 200'000;     // backstop for distributed deadlocks
+  SimTime txn_timeout = 1'000'000;    // overall transaction deadline
+  SimTime detector_interval = 50'000; // failure-detector ping period
+
+  // Recovery behaviour.
+  int copier_concurrency = 4;     // eager copiers in flight per site
+  int control_retry_limit = 16;   // type-1 retries before giving up
+  bool user_txn_retry = false;    // auto-resubmit aborted user txns (runner)
+
+  // Optimizations / ablation knobs (see bench_ablation).
+  // Read-only transactions skip the vote phase: one commit round releases
+  // the shared locks (the classic 2PC read-only optimization).
+  bool read_only_one_phase = true;
+  // Acquire the X-locks of one logical write in ascending site order
+  // (canonical global order). Disabling restores parallel acquisition,
+  // which deadlocks across sites invisibly to local wait-for graphs.
+  bool canonical_write_order = true;
+  // Jitter the failure detector's period so concurrent type-2 control
+  // transactions from different sites do not collide in lockstep.
+  bool detector_jitter = true;
+  // Periodically probe NOMINALLY-DOWN sites; one that answers
+  // "operational" has been falsely declared (fail-stop violated, e.g. a
+  // healed partition) and is told to restart and re-integrate. This is the
+  // one-directional integration the paper sketches in Section 6.
+  bool reconcile_probes = true;
+
+  // WAL checkpointing: truncate resolved records when the log exceeds
+  // this many records (0 disables).
+  size_t wal_checkpoint_threshold = 256;
+
+  // Local processing cost per physical operation (microseconds).
+  SimTime local_op_cost = 50;
+
+  // Verification.
+  bool record_history = true; // feed the 1-SR checker (tests/examples)
+
+  int effective_replication() const {
+    return replication_degree > n_sites ? n_sites : replication_degree;
+  }
+};
+
+} // namespace ddbs

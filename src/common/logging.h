@@ -1,0 +1,39 @@
+// Tiny leveled logger. Disabled (kWarn) by default so tests and benches run
+// quietly; examples turn it up to narrate protocol steps.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace ddbs {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+void log_line(LogLevel lvl, const std::string& msg);
+
+namespace detail {
+struct LogMessage {
+  LogLevel lvl;
+  std::ostringstream os;
+  explicit LogMessage(LogLevel l) : lvl(l) {}
+  ~LogMessage() { log_line(lvl, os.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+};
+} // namespace detail
+
+} // namespace ddbs
+
+#define DDBS_LOG(level)                         \
+  if (::ddbs::log_level() > (level)) {          \
+  } else                                        \
+    ::ddbs::detail::LogMessage(level).os
+
+#define DDBS_TRACE DDBS_LOG(::ddbs::LogLevel::kTrace)
+#define DDBS_DEBUG DDBS_LOG(::ddbs::LogLevel::kDebug)
+#define DDBS_INFO DDBS_LOG(::ddbs::LogLevel::kInfo)
+#define DDBS_WARN DDBS_LOG(::ddbs::LogLevel::kWarn)
+#define DDBS_ERROR DDBS_LOG(::ddbs::LogLevel::kError)

@@ -1,0 +1,59 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ddbs {
+
+void Histogram::sort_once() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Histogram::sum() const {
+  double s = 0;
+  for (double v : samples_) s += v;
+  return s;
+}
+
+double Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  sort_once();
+  sorted_ = false; // adds after this call must re-sort
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+double Histogram::max() const {
+  double m = 0;
+  for (double v : samples_) m = std::max(m, v);
+  return m;
+}
+
+int64_t Metrics::get(const std::string& counter) const {
+  auto it = counters_.find(counter);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Metrics::clear() {
+  counters_.clear();
+  hists_.clear();
+}
+
+std::string Metrics::summary() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : counters_) os << k << "=" << v << " ";
+  return os.str();
+}
+
+} // namespace ddbs

@@ -1,0 +1,45 @@
+// Counters and sample histograms collected by the cluster and reported by
+// benches. Intentionally simple: benches are modest-sized, so histograms
+// keep raw samples and compute exact percentiles on demand.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ddbs {
+
+class Histogram {
+ public:
+  void add(double v) { samples_.push_back(v); }
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  double percentile(double p) const; // p in [0, 100]
+  double max() const;
+  double sum() const;
+  void clear() { samples_.clear(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void sort_once() const;
+};
+
+class Metrics {
+ public:
+  void inc(const std::string& counter, int64_t by = 1) { counters_[counter] += by; }
+  int64_t get(const std::string& counter) const;
+  Histogram& hist(const std::string& name) { return hists_[name]; }
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  void clear();
+
+  std::string summary() const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, Histogram> hists_;
+};
+
+} // namespace ddbs

@@ -1,0 +1,63 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ddbs {
+
+uint64_t Rng::next_u64() {
+  // SplitMix64 (public-domain constants).
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int64_t Rng::uniform(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(next_u64()); // full range
+  return lo + static_cast<int64_t>(next_u64() % span);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+double Rng::exponential(double mean) {
+  assert(mean > 0);
+  double u = uniform01();
+  if (u >= 1.0) u = 0.9999999999999999;
+  return -mean * std::log1p(-u);
+}
+
+int64_t Rng::zipf_slow(int64_t n, double theta) {
+  ZipfGen gen(n, theta);
+  return gen.sample(*this);
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+ZipfGen::ZipfGen(int64_t n, double theta) {
+  assert(n > 0);
+  cdf_.resize(static_cast<size_t>(n));
+  double acc = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[static_cast<size_t>(i)] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+int64_t ZipfGen::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+} // namespace ddbs

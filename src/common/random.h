@@ -1,0 +1,52 @@
+// Deterministic PRNG (SplitMix64 core) plus the distributions the
+// workload generator and latency models need. Seeded explicitly everywhere
+// so every simulation run is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ddbs {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t next_u64();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t uniform(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform01();
+
+  bool bernoulli(double p);
+
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  // Zipf-distributed index in [0, n) with exponent theta >= 0
+  // (theta == 0 degenerates to uniform). Uses the standard rejection-free
+  // inverse-CDF over precomputed weights; callers should reuse a ZipfGen
+  // for hot paths -- this convenience method is O(n) per call.
+  int64_t zipf_slow(int64_t n, double theta);
+
+  // Fork an independent stream (for per-site / per-client rngs).
+  Rng fork();
+
+ private:
+  uint64_t state_;
+};
+
+// Precomputed Zipf sampler: O(log n) per sample.
+class ZipfGen {
+ public:
+  ZipfGen(int64_t n, double theta);
+  int64_t sample(Rng& rng) const;
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+} // namespace ddbs

@@ -1,0 +1,28 @@
+#include "common/types.h"
+
+#include <sstream>
+
+namespace ddbs {
+
+const char* to_string(TxnKind k) {
+  switch (k) {
+    case TxnKind::kUser: return "user";
+    case TxnKind::kCopier: return "copier";
+    case TxnKind::kControlUp: return "control-up";
+    case TxnKind::kControlDown: return "control-down";
+  }
+  return "?";
+}
+
+std::string to_string(const SessionVector& v) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ",";
+    os << v[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+} // namespace ddbs

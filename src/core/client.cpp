@@ -1,0 +1,42 @@
+#include "core/client.h"
+
+namespace ddbs {
+
+Client::Client(Cluster& cluster, SiteId home, uint64_t seed)
+    : cluster_(cluster), home_(home), rng_(seed) {}
+
+SiteId Client::pick_site() {
+  if (cluster_.site(home_).state().operational()) return home_;
+  // Home is down: pick a random operational site (clients in real systems
+  // reconnect elsewhere).
+  std::vector<SiteId> ups;
+  for (SiteId s = 0; s < cluster_.n_sites(); ++s) {
+    if (cluster_.site(s).state().operational()) ups.push_back(s);
+  }
+  if (ups.empty()) return home_;
+  return ups[static_cast<size_t>(
+      rng_.uniform(0, static_cast<int64_t>(ups.size()) - 1))];
+}
+
+void Client::submit(std::vector<LogicalOp> ops, Options opts, DoneFn done) {
+  attempt(std::move(ops), opts, 1, std::move(done));
+}
+
+void Client::attempt(std::vector<LogicalOp> ops, Options opts,
+                     int attempt_no, DoneFn done) {
+  const SiteId origin = opts.failover ? pick_site() : home_;
+  cluster_.submit(
+      origin, ops,
+      [this, ops, opts, attempt_no, done](const TxnResult& res) {
+        if (res.committed || attempt_no > opts.max_retries) {
+          done(res, attempt_no);
+          return;
+        }
+        cluster_.scheduler().after(
+            opts.retry_backoff, [this, ops, opts, attempt_no, done]() {
+              attempt(ops, opts, attempt_no + 1, done);
+            });
+      });
+}
+
+} // namespace ddbs

@@ -1,0 +1,41 @@
+// A small client bound to one home site. Adds what real applications put
+// on top of the TM: automatic resubmission of aborted transactions (each
+// retry is a NEW transaction with a fresh NS snapshot, which is how stale
+// views heal) and failover to another operational site when the home site
+// is down.
+#pragma once
+
+#include <functional>
+
+#include "common/random.h"
+#include "core/cluster.h"
+
+namespace ddbs {
+
+class Client {
+ public:
+  Client(Cluster& cluster, SiteId home, uint64_t seed);
+
+  struct Options {
+    int max_retries = 5;
+    SimTime retry_backoff = 10'000; // between attempts
+    bool failover = true;           // try other sites if home rejects
+  };
+
+  using DoneFn = std::function<void(const TxnResult&, int attempts)>;
+
+  void submit(std::vector<LogicalOp> ops, Options opts, DoneFn done);
+
+  SiteId home() const { return home_; }
+
+ private:
+  void attempt(std::vector<LogicalOp> ops, Options opts, int attempt_no,
+               DoneFn done);
+  SiteId pick_site();
+
+  Cluster& cluster_;
+  SiteId home_;
+  Rng rng_;
+};
+
+} // namespace ddbs

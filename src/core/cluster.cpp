@@ -1,0 +1,126 @@
+#include "core/cluster.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ddbs {
+
+Cluster::Cluster(Config cfg, uint64_t seed)
+    : cfg_(std::move(cfg)),
+      net_(sched_, cfg_, seed),
+      cat_(Catalog::make(cfg_)) {
+  recorder_.set_enabled(cfg_.record_history);
+  sites_.reserve(static_cast<size_t>(cfg_.n_sites));
+  for (SiteId s = 0; s < cfg_.n_sites; ++s) {
+    sites_.push_back(std::make_unique<Site>(
+        s, cfg_, sched_, net_, cat_, metrics_,
+        cfg_.record_history ? &recorder_ : nullptr));
+  }
+}
+
+void Cluster::bootstrap(Value initial_value) {
+  for (auto& site : sites_) site->bootstrap_up(initial_value);
+}
+
+void Cluster::submit(SiteId origin, std::vector<LogicalOp> ops,
+                     CoordinatorBase::DoneFn done) {
+  TxnSpec spec;
+  spec.origin = origin;
+  spec.ops = std::move(ops);
+  sites_[static_cast<size_t>(origin)]->tm().submit_user(std::move(spec),
+                                                        std::move(done));
+}
+
+TxnResult Cluster::run_txn(SiteId origin, std::vector<LogicalOp> ops) {
+  TxnResult result;
+  bool finished = false;
+  submit(origin, std::move(ops), [&](const TxnResult& r) {
+    result = r;
+    finished = true;
+  });
+  // Drive the simulation until the callback fires (bounded).
+  const SimTime deadline = sched_.now() + 2 * cfg_.txn_timeout;
+  while (!finished && !sched_.idle() && sched_.now() < deadline) {
+    sched_.run_until(sched_.next_event_time());
+  }
+  assert(finished && "run_txn: transaction never completed");
+  return result;
+}
+
+void Cluster::crash_site_at(SimTime t, SiteId s) {
+  sched_.at(t, [this, s]() { crash_site(s); });
+}
+
+void Cluster::recover_site_at(SimTime t, SiteId s) {
+  sched_.at(t, [this, s]() { recover_site(s); });
+}
+
+void Cluster::settle(SimTime max_time) {
+  // Heuristic quiescence: advance in detector-interval slices until no
+  // transaction coordinators or DM contexts remain in flight anywhere and
+  // every recovering site has finished its refresh.
+  const SimTime deadline = sched_.now() + max_time;
+  while (sched_.now() < deadline) {
+    sched_.run_until(sched_.now() + cfg_.detector_interval);
+    bool busy = false;
+    for (const auto& site : sites_) {
+      if (site->tm().active_coordinators() > 0 ||
+          site->dm().active_txn_count() > 0 ||
+          site->dm().parked_read_count() > 0) {
+        busy = true;
+        break;
+      }
+      if (site->state().mode == SiteMode::kUp && !site->rm().refresh_idle()) {
+        busy = true;
+        break;
+      }
+      if (site->state().mode == SiteMode::kRecovering) {
+        busy = true;
+        break;
+      }
+    }
+    if (!busy) return;
+  }
+  DDBS_WARN << "settle() hit its time bound";
+}
+
+bool Cluster::replicas_converged(std::string* why) const {
+  for (ItemId x = 0; x < cfg_.n_items; ++x) {
+    bool have_ref = false;
+    Value ref_value = 0;
+    Version ref_version;
+    for (SiteId s : cat_.sites_of(x)) {
+      const Site& site = *sites_[static_cast<size_t>(s)];
+      if (site.state().mode != SiteMode::kUp) continue;
+      const Copy* c = site.stable().kv().find(x);
+      if (c == nullptr) continue;
+      if (c->unreadable) {
+        if (why != nullptr) {
+          std::ostringstream os;
+          os << "item " << x << " copy at up site " << s
+             << " still unreadable";
+          *why = os.str();
+        }
+        return false;
+      }
+      if (!have_ref) {
+        have_ref = true;
+        ref_value = c->value;
+        ref_version = c->version;
+      } else if (c->value != ref_value || !(c->version == ref_version)) {
+        if (why != nullptr) {
+          std::ostringstream os;
+          os << "item " << x << " diverges at site " << s << " (value "
+             << c->value << " vs " << ref_value << ")";
+          *why = os.str();
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace ddbs

@@ -1,0 +1,89 @@
+// The whole replicated DDBS under one deterministic simulation: sites,
+// network, catalog, metrics, history recorder, plus failure-injection and
+// convenience drivers for tests, examples and benches.
+//
+// This is the library's main public entry point:
+//
+//   Config cfg;               // pick protocol knobs
+//   Cluster cluster(cfg, 42); // seed => fully reproducible run
+//   cluster.bootstrap();
+//   auto r = cluster.run_txn(0, {{OpKind::kWrite, 7, 100}});
+//   cluster.crash_site(2);
+//   ...
+//   cluster.recover_site(2);
+//   cluster.settle();         // drain in-flight work
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "core/site.h"
+#include "net/network.h"
+#include "replication/catalog.h"
+#include "sim/scheduler.h"
+#include "verify/history.h"
+
+namespace ddbs {
+
+class Cluster {
+ public:
+  Cluster(Config cfg, uint64_t seed);
+
+  // Bring every site up at t=0 with all data items holding initial_value.
+  void bootstrap(Value initial_value = 0);
+
+  // ---- workload ----
+
+  // Submit asynchronously; `done` fires when the transaction finishes.
+  void submit(SiteId origin, std::vector<LogicalOp> ops,
+              CoordinatorBase::DoneFn done);
+
+  // Submit and drive the simulation until this transaction finishes
+  // (other scheduled activity advances too). Tests & examples.
+  TxnResult run_txn(SiteId origin, std::vector<LogicalOp> ops);
+
+  // ---- failure injection ----
+
+  void crash_site(SiteId s) { sites_[static_cast<size_t>(s)]->crash(); }
+  void recover_site(SiteId s) { sites_[static_cast<size_t>(s)]->recover(); }
+  void crash_site_at(SimTime t, SiteId s);
+  void recover_site_at(SimTime t, SiteId s);
+
+  // ---- time control ----
+
+  SimTime now() const { return sched_.now(); }
+  void run_until(SimTime t) { sched_.run_until(t); }
+  // Run until the event queue only contains periodic detector noise or is
+  // empty; bounded by max_time.
+  void settle(SimTime max_time = 60'000'000);
+
+  // ---- introspection ----
+
+  Site& site(SiteId s) { return *sites_[static_cast<size_t>(s)]; }
+  int n_sites() const { return cfg_.n_sites; }
+  const Config& config() const { return cfg_; }
+  const Catalog& catalog() const { return cat_; }
+  Scheduler& scheduler() { return sched_; }
+  Network& network() { return net_; }
+  Metrics& metrics() { return metrics_; }
+  HistoryRecorder& history() { return recorder_; }
+
+  // True when every copy of every item is identical across its readable
+  // (non-marked, up-site) replicas AND no unreadable copy remains at
+  // operational sites. Quiescence check for tests.
+  bool replicas_converged(std::string* why = nullptr) const;
+
+ private:
+  Config cfg_;
+  Metrics metrics_;
+  HistoryRecorder recorder_;
+  Scheduler sched_;
+  Network net_;
+  Catalog cat_;
+  std::vector<std::unique_ptr<Site>> sites_;
+};
+
+} // namespace ddbs

@@ -1,0 +1,219 @@
+// Wire messages exchanged between sites. Everything the protocol does --
+// physical reads/writes, status-table access, two-phase commit, cooperative
+// termination, failure-detector pings and the spooler baseline -- is one of
+// these payloads inside an Envelope.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace ddbs {
+
+// ---- physical data operations -------------------------------------------
+
+// Request to read physical copy `item` at the destination site. Carries the
+// session number of the destination as perceived by the requesting
+// transaction (ns_i[k]); the DM rejects on mismatch with as[k]
+// (paper Section 3.2). Control transactions set `bypass_session_check`:
+// they are processable by recovering sites (Section 3.3).
+struct ReadReq {
+  TxnId txn = 0;
+  TxnKind kind = TxnKind::kUser;
+  SiteId coordinator = kInvalidSite;
+  ItemId item = 0;
+  SessionNum expected_session = 0;
+  bool bypass_session_check = false;
+  // Copier resolution pass only: serve the copy even if it is marked
+  // unreadable (under the normal shared lock). Used when EVERY resident
+  // copy of an item is marked -- the max-version copy among them is the
+  // latest committed state (see CopierCoordinator::resolve_all_marked).
+  bool allow_unreadable = false;
+};
+
+struct ReadResp {
+  TxnId txn = 0;
+  ItemId item = 0;
+  Code code = Code::kOk;
+  Value value = 0;
+  Version version;
+};
+
+// Request to X-lock and stage a write of `item`. `missed_sites` lists the
+// resident sites skipped because they are nominally down -- the DM records
+// them in its fail-lock table / missing list at commit (paper Section 5).
+struct WriteReq {
+  TxnId txn = 0;
+  TxnKind kind = TxnKind::kUser;
+  SiteId coordinator = kInvalidSite;
+  ItemId item = 0;
+  SessionNum expected_session = 0;
+  bool bypass_session_check = false;
+  Value value = 0;
+  // Copier writes install the source copy's version instead of bumping the
+  // per-item counter, so copies converge on identical tags.
+  bool is_copier_write = false;
+  Version copier_version;
+  std::vector<SiteId> missed_sites;
+  // Every site this logical write targets (this one included); at commit
+  // each participant drops missing-list entries (item, j) for j in here,
+  // since a whole-item write makes every written copy current.
+  std::vector<SiteId> written_sites;
+};
+
+struct WriteResp {
+  TxnId txn = 0;
+  ItemId item = 0;
+  Code code = Code::kOk;
+};
+
+// One spooled update held for a down site (spooler baseline, Hammer &
+// Shipman style redo). Declared here because the status-table protocol
+// doubles as the locked spool handoff in spooler mode.
+struct SpoolRecord {
+  ItemId item = 0;
+  Value value = 0;
+  Version version;
+};
+
+// ---- status tables (fail-lock / missing-list), paper Section 5 ----------
+
+struct StatusEntry {
+  ItemId item = 0;
+  SiteId site = kInvalidSite; // the site whose copy missed the update
+  friend bool operator==(const StatusEntry&, const StatusEntry&) = default;
+};
+
+// S-lock the destination's status table and return its entries. Issued by
+// the type-1 control transaction of `recovering_site`.
+struct StatusReadReq {
+  TxnId txn = 0;
+  SiteId coordinator = kInvalidSite;
+  SiteId recovering_site = kInvalidSite;
+};
+
+struct StatusReadResp {
+  TxnId txn = 0;
+  Code code = Code::kOk;
+  std::vector<StatusEntry> entries;    // session-vector modes
+  std::vector<SpoolRecord> spool;      // spooler mode: records for the
+                                       // recovering site, read under lock
+};
+
+// X-lock the destination's status table and stage removal of every entry
+// (*, recovering_site); applied at commit of the control transaction.
+struct StatusClearReq {
+  TxnId txn = 0;
+  SiteId coordinator = kInvalidSite;
+  SiteId recovering_site = kInvalidSite;
+  // True when, after this recovery, no site remains nominally down: the
+  // item-granular fail-lock set has no one left to cover and is dropped.
+  bool clear_fail_locks = false;
+};
+
+struct StatusClearResp {
+  TxnId txn = 0;
+  Code code = Code::kOk;
+};
+
+// ---- two-phase commit -----------------------------------------------------
+
+struct PrepareReq {
+  TxnId txn = 0;
+  SiteId coordinator = kInvalidSite;
+  // All participants, so an in-doubt site can run cooperative termination
+  // against the others when the coordinator is unreachable.
+  std::vector<SiteId> participants;
+};
+
+// A yes-vote returns the current version counter of every copy this
+// participant has staged writes for; the coordinator takes the max over all
+// participants, adds one, and ships the result in CommitReq so every copy of
+// an item gets an identical, strictly-increasing tag.
+struct PrepareResp {
+  TxnId txn = 0;
+  bool vote_yes = false;
+  std::vector<std::pair<ItemId, uint64_t>> version_counters;
+};
+
+struct CommitReq {
+  TxnId txn = 0;
+  std::vector<std::pair<ItemId, uint64_t>> new_counters;
+};
+
+struct AbortReq {
+  TxnId txn = 0;
+};
+
+struct AckResp {
+  TxnId txn = 0;
+  Code code = Code::kOk;
+};
+
+// ---- cooperative termination (recovering participant asks around) --------
+
+struct OutcomeQuery {
+  TxnId txn = 0;
+};
+
+enum class Outcome : uint8_t { kCommitted, kAborted, kUnknown };
+
+struct OutcomeResp {
+  TxnId txn = 0;
+  Outcome outcome = Outcome::kUnknown;
+  std::vector<std::pair<ItemId, uint64_t>> new_counters; // when committed
+};
+
+// ---- failure detector -----------------------------------------------------
+
+struct Ping {};
+
+struct Pong {
+  bool operational = false;
+  SessionNum session = 0;
+};
+
+// Best-effort notice sent by a committed type-2 control transaction to
+// the site(s) it declared down. A LIVE recipient has been falsely declared
+// (possible only when the fail-stop assumption is violated, e.g. a lossy
+// transport starving pings); its only safe reaction is to crash and
+// re-integrate through the normal recovery procedure.
+struct DeclaredDown {};
+
+// ---- spooler baseline (Hammer & Shipman style redo) -----------------------
+
+struct SpoolFetchReq {
+  SiteId for_site = kInvalidSite;
+};
+
+struct SpoolFetchResp {
+  Code code = Code::kOk;
+  std::vector<SpoolRecord> records;
+};
+
+struct SpoolTrimReq { // recovering site tells spoolers to drop its records
+  SiteId for_site = kInvalidSite;
+};
+
+// ---------------------------------------------------------------------------
+
+using Payload =
+    std::variant<ReadReq, ReadResp, WriteReq, WriteResp, StatusReadReq,
+                 StatusReadResp, StatusClearReq, StatusClearResp, PrepareReq,
+                 PrepareResp, CommitReq, AbortReq, AckResp, OutcomeQuery,
+                 OutcomeResp, Ping, Pong, SpoolFetchReq, SpoolFetchResp,
+                 SpoolTrimReq, DeclaredDown>;
+
+struct Envelope {
+  uint64_t rpc_id = 0;
+  bool is_response = false;
+  SiteId from = kInvalidSite;
+  SiteId to = kInvalidSite;
+  Payload payload;
+};
+
+} // namespace ddbs

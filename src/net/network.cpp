@@ -1,0 +1,88 @@
+#include "net/network.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace ddbs {
+
+Network::Network(Scheduler& sched, const Config& cfg, uint64_t seed)
+    : sched_(sched),
+      latency_(cfg.net_latency_min, cfg.net_latency_max, seed ^ 0xabcdef),
+      loss_rng_(seed ^ 0x1234567),
+      loss_prob_(cfg.msg_loss_prob) {
+  sites_.resize(static_cast<size_t>(cfg.n_sites));
+}
+
+void Network::register_site(SiteId id, Handler handler) {
+  assert(id >= 0 && static_cast<size_t>(id) < sites_.size());
+  sites_[static_cast<size_t>(id)].handler = std::move(handler);
+}
+
+void Network::set_alive(SiteId id, bool alive) {
+  auto& slot = sites_[static_cast<size_t>(id)];
+  if (alive && !slot.alive) ++slot.incarnation;
+  slot.alive = alive;
+}
+
+bool Network::alive(SiteId id) const {
+  return sites_[static_cast<size_t>(id)].alive;
+}
+
+uint64_t Network::incarnation(SiteId id) const {
+  return sites_[static_cast<size_t>(id)].incarnation;
+}
+
+void Network::set_partition(const std::vector<std::vector<SiteId>>& groups) {
+  // Unmentioned sites land in unique negative-free groups after the named
+  // ones.
+  int next = 1;
+  for (auto& slot : sites_) slot.group = 0;
+  std::vector<bool> assigned(sites_.size(), false);
+  for (const auto& group : groups) {
+    for (SiteId s : group) {
+      sites_[static_cast<size_t>(s)].group = next;
+      assigned[static_cast<size_t>(s)] = true;
+    }
+    ++next;
+  }
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    if (!assigned[i]) sites_[i].group = next++;
+  }
+}
+
+void Network::clear_partition() {
+  for (auto& slot : sites_) slot.group = 0;
+}
+
+bool Network::reachable(SiteId a, SiteId b) const {
+  return sites_[static_cast<size_t>(a)].group ==
+         sites_[static_cast<size_t>(b)].group;
+}
+
+void Network::send(Envelope env) {
+  assert(env.to >= 0 && static_cast<size_t>(env.to) < sites_.size());
+  ++sent_;
+  if (!alive(env.from) || !reachable(env.from, env.to)) {
+    ++dropped_;
+    return;
+  }
+  if (env.from != env.to && loss_prob_ > 0 && loss_rng_.bernoulli(loss_prob_)) {
+    ++dropped_;
+    return;
+  }
+  const uint64_t dest_inc = incarnation(env.to);
+  const SimTime delay = latency_.sample(env.from, env.to);
+  sched_.after(delay, [this, env = std::move(env), dest_inc]() {
+    auto& slot = sites_[static_cast<size_t>(env.to)];
+    if (!slot.alive || slot.incarnation != dest_inc ||
+        !reachable(env.from, env.to)) {
+      ++dropped_;
+      return;
+    }
+    assert(slot.handler && "site registered no handler");
+    slot.handler(env);
+  });
+}
+
+} // namespace ddbs

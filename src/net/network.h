@@ -1,0 +1,67 @@
+// Simulated network: delivers envelopes between sites with sampled latency,
+// drops anything addressed to (or queued for delivery at) a crashed site,
+// and never partitions -- the paper's failure model is fail-stop sites only.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/config.h"
+#include "common/random.h"
+#include "net/message.h"
+#include "sim/latency_model.h"
+#include "sim/scheduler.h"
+
+namespace ddbs {
+
+class Network {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  Network(Scheduler& sched, const Config& cfg, uint64_t seed);
+
+  void register_site(SiteId id, Handler handler);
+
+  // Queue `env` for delivery after a sampled latency. If the sender is dead
+  // the message is discarded immediately; if the destination is dead at
+  // delivery time it is discarded then. Each site carries an incarnation
+  // number so a message sent before a crash is never delivered into the
+  // site's next life (the transport connection would have been reset).
+  void send(Envelope env);
+
+  void set_alive(SiteId id, bool alive);
+  bool alive(SiteId id) const;
+  uint64_t incarnation(SiteId id) const;
+
+  // Network partitions (paper Section 6 scope boundary): sites in
+  // different groups cannot exchange messages; in-flight messages crossing
+  // the cut at delivery time are dropped. Sites not mentioned in any group
+  // form their own singleton group.
+  void set_partition(const std::vector<std::vector<SiteId>>& groups);
+  void clear_partition();
+  bool reachable(SiteId a, SiteId b) const;
+
+  LatencyModel& latency() { return latency_; }
+
+  // Counters for benches.
+  uint64_t messages_sent() const { return sent_; }
+  uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  struct SiteSlot {
+    Handler handler;
+    bool alive = false;
+    uint64_t incarnation = 0;
+    int group = 0; // partition group; same group <=> reachable
+  };
+
+  Scheduler& sched_;
+  LatencyModel latency_;
+  Rng loss_rng_;
+  double loss_prob_;
+  std::vector<SiteSlot> sites_;
+  uint64_t sent_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+} // namespace ddbs

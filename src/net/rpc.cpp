@@ -1,0 +1,67 @@
+#include "net/rpc.h"
+
+#include <cassert>
+
+namespace ddbs {
+
+RpcEndpoint::RpcEndpoint(SiteId self, Network& net, Scheduler& sched)
+    : self_(self), net_(net), sched_(sched) {}
+
+void RpcEndpoint::start(RequestHandler handler) {
+  handler_ = std::move(handler);
+  net_.register_site(self_, [this](const Envelope& env) { on_envelope(env); });
+}
+
+uint64_t RpcEndpoint::send_request(SiteId to, Payload payload, SimTime timeout,
+                                   ResponseCb cb) {
+  const uint64_t id = next_rpc_++;
+  Pending p;
+  p.cb = std::move(cb);
+  p.timeout_ev = sched_.after(timeout, [this, id]() {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    ResponseCb cb = std::move(it->second.cb);
+    pending_.erase(it);
+    cb(Code::kTimeout, nullptr);
+  });
+  pending_.emplace(id, std::move(p));
+  net_.send(Envelope{id, /*is_response=*/false, self_, to, std::move(payload)});
+  return id;
+}
+
+void RpcEndpoint::send_oneway(SiteId to, Payload payload) {
+  net_.send(Envelope{0, false, self_, to, std::move(payload)});
+}
+
+void RpcEndpoint::respond(const Envelope& request, Payload payload) {
+  assert(!request.is_response);
+  net_.send(Envelope{request.rpc_id, /*is_response=*/true, self_,
+                     request.from, std::move(payload)});
+}
+
+void RpcEndpoint::cancel_request(uint64_t rpc_id) {
+  auto it = pending_.find(rpc_id);
+  if (it == pending_.end()) return;
+  sched_.cancel(it->second.timeout_ev);
+  pending_.erase(it);
+}
+
+void RpcEndpoint::reset() {
+  for (auto& [id, p] : pending_) sched_.cancel(p.timeout_ev);
+  pending_.clear();
+}
+
+void RpcEndpoint::on_envelope(const Envelope& env) {
+  if (!env.is_response) {
+    if (handler_) handler_(env);
+    return;
+  }
+  auto it = pending_.find(env.rpc_id);
+  if (it == pending_.end()) return; // late response; requester moved on
+  sched_.cancel(it->second.timeout_ev);
+  ResponseCb cb = std::move(it->second.cb);
+  pending_.erase(it);
+  cb(Code::kOk, &env.payload);
+}
+
+} // namespace ddbs

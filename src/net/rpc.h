@@ -1,0 +1,59 @@
+// Per-site RPC endpoint: request/response correlation plus per-request
+// timeouts. A timeout is how the protocol *suspects* a site failure -- the
+// transport never says "down" explicitly (fail-stop, no failure oracle).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/network.h"
+#include "sim/scheduler.h"
+
+namespace ddbs {
+
+class RpcEndpoint {
+ public:
+  // Called for every incoming request envelope.
+  using RequestHandler = std::function<void(const Envelope&)>;
+  // Called exactly once per send_request: with kOk and the response payload,
+  // or with kTimeout and nullptr.
+  using ResponseCb = std::function<void(Code, const Payload*)>;
+
+  RpcEndpoint(SiteId self, Network& net, Scheduler& sched);
+
+  void start(RequestHandler handler);
+
+  uint64_t send_request(SiteId to, Payload payload, SimTime timeout,
+                        ResponseCb cb);
+  // Fire-and-forget (no response expected, no timeout tracked).
+  void send_oneway(SiteId to, Payload payload);
+  // Reply to a received request.
+  void respond(const Envelope& request, Payload payload);
+
+  // Forget an outstanding request; its callback will never run.
+  void cancel_request(uint64_t rpc_id);
+
+  // Crash: drop every pending request without invoking callbacks (the
+  // caller's state is being wiped too) and cancel their timeout events.
+  void reset();
+
+  SiteId self() const { return self_; }
+  size_t pending_count() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    ResponseCb cb;
+    EventId timeout_ev = 0;
+  };
+
+  void on_envelope(const Envelope& env);
+
+  SiteId self_;
+  Network& net_;
+  Scheduler& sched_;
+  RequestHandler handler_;
+  uint64_t next_rpc_ = 1;
+  std::unordered_map<uint64_t, Pending> pending_;
+};
+
+} // namespace ddbs

@@ -1,0 +1,195 @@
+#include "recovery/copier.h"
+
+#include "common/logging.h"
+#include "replication/interpreter.h"
+
+namespace ddbs {
+
+CopierCoordinator::CopierCoordinator(TxnId txn, const CoordinatorEnv& env,
+                                     ItemId item)
+    : CoordinatorBase(txn, TxnKind::kCopier, env), item_(item) {}
+
+void CopierCoordinator::start() {
+  schedule(cfg_.txn_timeout, [this]() {
+    if (!decided_) abort_txn(Code::kTimeout);
+  });
+  metrics_.inc("copier.started");
+  // Copiers follow the same convention: read the local NS vector first,
+  // then locate a readable source among nominally-up resident sites.
+  read_ns_vector(self_, /*bypass=*/false, state_.session, [this](bool ok) {
+    if (decided_) return;
+    if (!ok) {
+      abort_txn(Code::kAborted);
+      return;
+    }
+    sources_.clear();
+    for (SiteId s : cat_.sites_of(item_)) {
+      if (s != self_ && view_[static_cast<size_t>(s)] != 0) {
+        sources_.push_back(s);
+      }
+    }
+    try_source(0);
+  });
+}
+
+void CopierCoordinator::try_source(size_t idx) {
+  if (decided_) return;
+  if (idx >= sources_.size()) {
+    // "If the copier cannot find a readable copy ... among the currently
+    // operational sites, this item is considered totally failed" (S. 3.2).
+    // Resolution (the paper's deferred "separate protocol"): when every
+    // resident site is nominally up and every copy is merely MARKED, the
+    // max-version copy is the latest committed state -- resolve from it.
+    bool all_resident_up = true;
+    for (SiteId s : cat_.sites_of(item_)) {
+      if (view_[static_cast<size_t>(s)] == 0) all_resident_up = false;
+    }
+    if (all_resident_up && unreadable_sources_ == sources_.size() &&
+        !sources_.empty()) {
+      metrics_.inc("copier.resolutions");
+      resolve_all_marked(0);
+      return;
+    }
+    metrics_.inc("copier.totally_failed");
+    abort_txn(Code::kTotallyFailed);
+    return;
+  }
+  const SiteId src = sources_[idx];
+  touch(src);
+  ReadReq req;
+  req.txn = txn_;
+  req.kind = kind_;
+  req.coordinator = self_;
+  req.item = item_;
+  req.expected_session = view_[static_cast<size_t>(src)];
+  rpc_.send_request(
+      src, req, cfg_.lock_timeout + cfg_.rpc_timeout,
+      [this, idx, src](Code code, const Payload* payload) {
+        if (decided_) return;
+        Code rc = code;
+        const ReadResp* resp = nullptr;
+        if (code == Code::kOk && payload != nullptr) {
+          resp = &std::get<ReadResp>(*payload);
+          rc = resp->code;
+        }
+        switch (rc) {
+          case Code::kOk:
+            write_local(resp->value, resp->version);
+            return;
+          case Code::kUnreadable: // source itself is still refreshing
+            ++unreadable_sources_;
+            try_source(idx + 1);
+            return;
+          case Code::kSessionMismatch:  // stale view for this source
+          case Code::kSiteNotOperational:
+            try_source(idx + 1);
+            return;
+          case Code::kTimeout:
+            suspect(src);
+            try_source(idx + 1);
+            return;
+          default:
+            abort_txn(rc);
+            return;
+        }
+      });
+}
+
+void CopierCoordinator::resolve_all_marked(size_t idx) {
+  if (decided_) return;
+  if (idx >= sources_.size()) {
+    if (!have_best_) {
+      // Everything raced away beneath us; give up this round.
+      metrics_.inc("copier.totally_failed");
+      abort_txn(Code::kTotallyFailed);
+      return;
+    }
+    // The local copier write's apply-time guard keeps the local copy if
+    // it is already the newest; either way the mark is cleared.
+    write_local(best_value_, best_version_);
+    return;
+  }
+  const SiteId src = sources_[idx];
+  touch(src);
+  ReadReq req;
+  req.txn = txn_;
+  req.kind = kind_;
+  req.coordinator = self_;
+  req.item = item_;
+  req.expected_session = view_[static_cast<size_t>(src)];
+  req.allow_unreadable = true;
+  rpc_.send_request(
+      src, req, cfg_.lock_timeout + cfg_.rpc_timeout,
+      [this, idx, src](Code code, const Payload* payload) {
+        if (decided_) return;
+        Code rc = code;
+        const ReadResp* resp = nullptr;
+        if (code == Code::kOk && payload != nullptr) {
+          resp = &std::get<ReadResp>(*payload);
+          rc = resp->code;
+        }
+        if (rc == Code::kOk) {
+          if (!have_best_ || best_version_ < resp->version) {
+            have_best_ = true;
+            best_value_ = resp->value;
+            best_version_ = resp->version;
+          }
+        } else if (rc == Code::kTimeout) {
+          suspect(src);
+          // A resident site died mid-resolution: the soundness argument
+          // needs every resident copy visible; abort and retry later.
+          abort_txn(Code::kTotallyFailed);
+          return;
+        }
+        resolve_all_marked(idx + 1);
+      });
+}
+
+void CopierCoordinator::write_local(Value value, Version version) {
+  // Version-compare refinement (Section 5): when the local tag already
+  // matches the source, no payload needs to move -- the commit merely
+  // clears the unreadable mark. We count avoided transfers for E3.
+  if (cfg_.outdated_strategy == OutdatedStrategy::kMarkAllVersionCmp) {
+    const Copy* local = stable_.kv().find(item_);
+    if (local != nullptr && local->version == version) {
+      metrics_.inc("copier.payload_avoided_vcmp");
+    } else {
+      metrics_.inc("copier.payload_copies");
+    }
+  } else {
+    metrics_.inc("copier.payload_copies");
+  }
+  touch(self_);
+  WriteReq req;
+  req.txn = txn_;
+  req.kind = kind_;
+  req.coordinator = self_;
+  req.item = item_;
+  req.expected_session = view_[static_cast<size_t>(self_)];
+  req.value = value;
+  req.is_copier_write = true;
+  req.copier_version = version;
+  rpc_.send_request(
+      self_, req, cfg_.lock_timeout + cfg_.rpc_timeout,
+      [this](Code code, const Payload* payload) {
+        if (decided_) return;
+        Code rc = code;
+        if (code == Code::kOk && payload != nullptr) {
+          rc = std::get<WriteResp>(*payload).code;
+        }
+        if (rc != Code::kOk) {
+          abort_txn(rc);
+          return;
+        }
+        run_2pc([this](bool committed) {
+          if (committed) {
+            metrics_.inc("copier.committed");
+            report_committed({});
+          } else {
+            report_aborted(Code::kAborted);
+          }
+        });
+      });
+}
+
+} // namespace ddbs

@@ -1,0 +1,253 @@
+#include "recovery/failure_detector.h"
+
+#include "common/logging.h"
+#include <algorithm>
+#include <sstream>
+
+#include "replication/session.h"
+
+namespace ddbs {
+
+namespace {
+constexpr int kMissesToDeclare = 2;
+} // namespace
+
+FailureDetector::FailureDetector(const CoordinatorEnv& env,
+                                 TransactionManager& tm)
+    : env_(env),
+      tm_(tm),
+      rng_(0x9d5f00d + static_cast<uint64_t>(env.self) * 7919) {}
+
+void FailureDetector::metrics_inc_reconcile() {
+  env_.metrics->inc("fd.reconcile_restarts");
+}
+
+SimTime FailureDetector::jittered_interval() {
+  // Desynchronize the fleet: without jitter every site's detector fires in
+  // lockstep and their type-2 declarations collide forever. (The knob
+  // exists for the ablation bench.)
+  const SimTime base = env_.cfg->detector_interval;
+  if (!env_.cfg->detector_jitter) return base;
+  return base + rng_.uniform(0, base / 2);
+}
+
+void FailureDetector::start() {
+  if (running_) return;
+  running_ = true;
+  ++epoch_;
+  misses_.clear();
+  declaring_.clear();
+  declare_inflight_ = false;
+  const uint64_t epoch = epoch_;
+  env_.sched->after(jittered_interval(), [this, epoch]() {
+    if (epoch != epoch_ || !running_) return;
+    tick();
+  });
+}
+
+void FailureDetector::stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+void FailureDetector::tick() {
+  // Ping every site our local NS copy says is nominally up. The peek is a
+  // hint only; the declaration itself is a locked control transaction.
+  const SessionVector ns = peek_ns_vector(env_.stable->kv(), env_.cfg->n_sites);
+  const uint64_t epoch = epoch_;
+  ++tick_count_;
+  for (SiteId s = 0; s < env_.cfg->n_sites; ++s) {
+    if (s == env_.self) continue;
+    if (ns[static_cast<size_t>(s)] == 0) {
+      // Reconciliation probe (every 4th tick): a nominally-down site that
+      // answers "operational" was falsely declared -- tell it to restart
+      // and re-integrate through normal recovery (Section 6's
+      // one-directional integration, and the heal path after the
+      // fail-stop assumption was violated).
+      if (env_.cfg->reconcile_probes && tick_count_ % 4 == 0) {
+        env_.rpc->send_request(
+            s, Ping{}, env_.cfg->rpc_timeout,
+            [this, s, epoch](Code code, const Payload* payload) {
+              if (epoch != epoch_ || !running_) return;
+              if (code == Code::kOk && payload != nullptr &&
+                  std::get<Pong>(*payload).operational) {
+                metrics_inc_reconcile();
+                env_.rpc->send_oneway(s, DeclaredDown{});
+              }
+            });
+      }
+      continue;
+    }
+    if (declaring_.count(s)) continue;
+    env_.rpc->send_request(
+        s, Ping{}, env_.cfg->rpc_timeout,
+        [this, s, epoch](Code code, const Payload*) {
+          if (epoch != epoch_ || !running_) return;
+          if (code == Code::kOk) {
+            misses_[s] = 0;
+            return;
+          }
+          // Two missed periodic pings arouse suspicion; certainty (the
+          // paper's precondition for a type-2) takes a burst of
+          // consecutive timeouts -- on a lossy transport two lost pings
+          // do not prove death.
+          if (++misses_[s] >= kMissesToDeclare) verify(s, 3);
+        });
+  }
+  env_.sched->after(jittered_interval(), [this, epoch]() {
+    if (epoch != epoch_ || !running_) return;
+    tick();
+  });
+}
+
+void FailureDetector::verify_dead(const CoordinatorEnv& env,
+                                  std::vector<SiteId> candidates,
+                                  std::function<void(std::vector<SiteId>)> k) {
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  if (candidates.empty()) {
+    k({});
+    return;
+  }
+  struct State {
+    size_t remaining = 0;
+    std::vector<SiteId> dead;
+    std::function<void(std::vector<SiteId>)> k;
+  };
+  auto st = std::make_shared<State>();
+  st->remaining = candidates.size();
+  st->k = std::move(k);
+  // A candidate is confirmed dead only after `kPingBurst` CONSECUTIVE
+  // unanswered pings: a single timeout can be message loss.
+  constexpr int kPingBurst = 3;
+  struct Prober {
+    static void probe(const CoordinatorEnv& env, SiteId s, int left,
+                      std::shared_ptr<State> st) {
+      env.rpc->send_request(
+          s, Ping{}, env.cfg->rpc_timeout,
+          [env, s, left, st](Code code, const Payload*) {
+            if (code == Code::kOk) {
+              if (--st->remaining == 0) st->k(std::move(st->dead));
+              return;
+            }
+            if (left > 1) {
+              probe(env, s, left - 1, st);  // consecutive-timeout chain
+              return;
+            }
+            st->dead.push_back(s);
+            if (--st->remaining == 0) st->k(std::move(st->dead));
+          });
+    }
+  };
+  for (SiteId s : candidates) {
+    Prober::probe(env, s, kPingBurst, st);
+  }
+}
+
+void FailureDetector::suspect(SiteId s) {
+  if (!running_ || s == env_.self) return;
+  if (declaring_.count(s)) return;
+  const SessionVector ns = peek_ns_vector(env_.stable->kv(), env_.cfg->n_sites);
+  if (ns[static_cast<size_t>(s)] == 0) return; // already nominally down
+  verify(s, 2);
+}
+
+void FailureDetector::verify(SiteId s, int attempts_left) {
+  const uint64_t epoch = epoch_;
+  env_.rpc->send_request(
+      s, Ping{}, env_.cfg->rpc_timeout,
+      [this, s, attempts_left, epoch](Code code, const Payload*) {
+        if (epoch != epoch_ || !running_) return;
+        if (code == Code::kOk) {
+          misses_[s] = 0;
+          return; // alive after all
+        }
+        if (attempts_left > 1) {
+          verify(s, attempts_left - 1);
+        } else {
+          declare(s);
+        }
+      });
+}
+
+void FailureDetector::declare(SiteId s) {
+  if (declaring_.count(s) || declare_inflight_) return;
+  // Batch every other site that has already accumulated misses: with two
+  // dead sites a single-site declaration would keep timing out on the
+  // other one (it is still in the local NS view and thus a write target).
+  std::vector<SiteId> down{s};
+  for (const auto& [other, misses] : misses_) {
+    if (other != s && misses >= kMissesToDeclare && !declaring_.count(other)) {
+      down.push_back(other);
+    }
+  }
+  run_declare(std::move(down), /*attempt=*/1);
+}
+
+void FailureDetector::run_declare(std::vector<SiteId> down, int attempt) {
+  declare_inflight_ = true;
+  for (SiteId d : down) {
+    declaring_.insert(d);
+    misses_[d] = 0;
+  }
+  env_.metrics->inc("fd.declared_down");
+  if (log_level() <= LogLevel::kInfo) {
+    std::ostringstream os;
+    os << "site " << env_.self << " declares down:";
+    for (SiteId d : down) os << " " << d;
+    log_line(LogLevel::kInfo, os.str());
+  }
+  const uint64_t epoch = epoch_;
+  tm_.run_control_down(
+      down, {},
+      [this, down, attempt, epoch](const ControlDownResult& res) {
+        if (epoch != epoch_ || !running_) return;
+        if (res.ok) {
+          declare_inflight_ = false;
+          for (SiteId d : down) declaring_.erase(d);
+          return;
+        }
+        // A participant of the declaration may itself be dead: ping-verify
+        // the new suspects (a timeout on a locked write is ambiguous),
+        // widen the set with the confirmed ones and retry right away
+        // (recovery-procedure step 4, detector side).
+        if (!res.additional_suspects.empty() &&
+            attempt <= env_.cfg->n_sites) {
+          verify_dead(
+              env_, res.additional_suspects,
+              [this, down, attempt, epoch](std::vector<SiteId> confirmed) {
+                if (epoch != epoch_ || !running_) return;
+                if (confirmed.empty()) {
+                  env_.sched->after(jittered_interval(),
+                                    [this, down, epoch]() {
+                                      if (epoch != epoch_ || !running_) return;
+                                      declare_inflight_ = false;
+                                      for (SiteId d : down) declaring_.erase(d);
+                                    });
+                  return;
+                }
+                std::vector<SiteId> wider = down;
+                for (SiteId d : confirmed) {
+                  if (std::find(wider.begin(), wider.end(), d) ==
+                      wider.end()) {
+                    wider.push_back(d);
+                  }
+                }
+                run_declare(std::move(wider), attempt + 1);
+              });
+          return;
+        }
+        // Conflicting declaration (another site beat us, or a lock clash):
+        // back off with jitter before allowing a re-declaration; if someone
+        // else's type-2 committed meanwhile, the local NS peek in tick()
+        // skips these sites entirely.
+        env_.sched->after(jittered_interval(), [this, down, epoch]() {
+          if (epoch != epoch_ || !running_) return;
+          declare_inflight_ = false;
+          for (SiteId d : down) declaring_.erase(d);
+        });
+      });
+}
+
+} // namespace ddbs

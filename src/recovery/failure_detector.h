@@ -1,0 +1,64 @@
+// Timeout-based failure detector. The paper requires that a type-2 control
+// transaction is initiated only when the initiator "is sure that the sites
+// being claimed down are actually down", which is satisfiable because site
+// failures are the only failures (fail-stop, no partitions): a site whose
+// transport times out repeatedly is dead.
+//
+// A Pong with operational=false (site alive but recovering) is NOT grounds
+// for declaration -- the site's own type-1 control transaction will fix the
+// nominal state.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "txn/transaction_manager.h"
+
+namespace ddbs {
+
+class FailureDetector {
+ public:
+  FailureDetector(const CoordinatorEnv& env, TransactionManager& tm);
+
+  void start(); // site became operational
+  void stop();  // site crashed / left operational state
+
+  // External hint from a coordinator whose request to `s` timed out:
+  // verify immediately instead of waiting for the next tick.
+  void suspect(SiteId s);
+
+  // Ping every candidate once and call k with the subset that did not
+  // answer. Timeouts on data/lock traffic are ambiguous (lock waits look
+  // like death), but pings are served outside the lock manager, so in the
+  // fail-stop model an unanswered ping IS death. Every type-2 initiation
+  // funnels its suspects through this check -- the paper requires the
+  // initiator to be *sure* the claimed sites are down (Section 3.3).
+  static void verify_dead(const CoordinatorEnv& env,
+                          std::vector<SiteId> candidates,
+                          std::function<void(std::vector<SiteId>)> k);
+
+ private:
+  void tick();
+  void verify(SiteId s, int attempts_left);
+  void declare(SiteId s);
+  void run_declare(std::vector<SiteId> down, int attempt);
+
+  SimTime jittered_interval();
+  void metrics_inc_reconcile();
+
+  CoordinatorEnv env_;
+  TransactionManager& tm_;
+  bool running_ = false;
+  uint64_t epoch_ = 0;
+  std::map<SiteId, int> misses_;
+  std::set<SiteId> declaring_;
+  // At most one type-2 in flight per initiator: concurrent declarations
+  // from one site deadlock with each other on the NS locks; suspects that
+  // accumulate meanwhile are batched into the next declaration.
+  bool declare_inflight_ = false;
+  uint64_t tick_count_ = 0;
+  Rng rng_;
+};
+
+} // namespace ddbs

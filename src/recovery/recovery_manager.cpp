@@ -1,0 +1,339 @@
+#include "recovery/recovery_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "recovery/failure_detector.h"
+
+namespace ddbs {
+
+namespace {
+constexpr SimTime kRetryBackoff = 30'000; // between type-1 attempts
+constexpr int kMaxCopierAttempts = 25;
+} // namespace
+
+RecoveryManager::RecoveryManager(const CoordinatorEnv& env, DataManager& dm,
+                                 TransactionManager& tm)
+    : env_(env), dm_(dm), tm_(tm) {}
+
+void RecoveryManager::on_crash() {
+  ++epoch_;
+  copier_queue_.clear();
+  copier_queued_.clear();
+  copier_inflight_.clear();
+  copier_attempts_.clear();
+  delayed_retries_ = 0;
+  ms_ = Milestones{};
+}
+
+void RecoveryManager::begin_recovery() {
+  ++epoch_;
+  ms_ = Milestones{};
+  ms_.started = env_.sched->now();
+  env_.metrics->inc("rm.recoveries_started");
+  resolve_in_doubt(); // background; does not gate the procedure
+  if (env_.cfg->recovery_scheme == RecoveryScheme::kSpooler) {
+    spooler_prefetch();
+    return;
+  }
+  // Step 2 (mark-all only): purely local marking before the control txn;
+  // the other strategies collect their marks inside the control txn.
+  // Items whose only copy lives here cannot have missed updates and are
+  // skipped (they would otherwise strand as "totally failed").
+  if (env_.cfg->outdated_strategy == OutdatedStrategy::kMarkAll ||
+      env_.cfg->outdated_strategy == OutdatedStrategy::kMarkAllVersionCmp) {
+    std::vector<ItemId> to_mark;
+    for (ItemId x : env_.cat->items_at(env_.self)) {
+      if (env_.cat->sites_of(x).size() > 1) to_mark.push_back(x);
+    }
+    dm_.mark_items(to_mark);
+  }
+  attempt_up(1);
+}
+
+// ---------------------------------------------------------------------------
+// transaction resolution (the paper's "first problem", assumed solved --
+// we solve it with cooperative termination against coordinator/participants)
+
+void RecoveryManager::resolve_in_doubt() {
+  for (const WalRecord& rec : dm_.in_doubt()) {
+    resolve_one(rec, 0);
+  }
+}
+
+void RecoveryManager::resolve_one(const WalRecord& rec, size_t target_idx) {
+  const SiteId coord = txn_coordinator_site(rec.txn);
+  // Ask the coordinator first; it answers from its durable decision log or
+  // by presumed abort. If unreachable, retry later (participants would be
+  // asked too, but the coordinator answer is always definitive).
+  (void)target_idx;
+  const uint64_t epoch = epoch_;
+  env_.metrics->inc("rm.indoubt_queries");
+  env_.rpc->send_request(
+      coord, OutcomeQuery{rec.txn}, env_.cfg->rpc_timeout,
+      [this, rec, epoch](Code code, const Payload* payload) {
+        if (epoch != epoch_) return;
+        if (code == Code::kOk && payload != nullptr) {
+          const auto& resp = std::get<OutcomeResp>(*payload);
+          if (resp.outcome == Outcome::kCommitted) {
+            dm_.resolve_in_doubt(rec, true, resp.new_counters);
+            return;
+          }
+          if (resp.outcome == Outcome::kAborted) {
+            dm_.resolve_in_doubt(rec, false, {});
+            return;
+          }
+        }
+        // Coordinator silent or unsure: retry after a while.
+        env_.sched->after(5 * env_.cfg->rpc_timeout, [this, rec, epoch]() {
+          if (epoch != epoch_) return;
+          resolve_one(rec, 0);
+        });
+      });
+}
+
+// ---------------------------------------------------------------------------
+// steps 3 & 4
+
+void RecoveryManager::attempt_up(int attempt) {
+  if (attempt > env_.cfg->control_retry_limit) {
+    env_.metrics->inc("rm.gave_up");
+    DDBS_WARN << "site " << env_.self << " recovery gave up after "
+              << attempt << " attempts";
+    return;
+  }
+  ++ms_.type1_attempts;
+  const uint64_t epoch = epoch_;
+  tm_.run_control_up([this, attempt, epoch](const ControlUpResult& res) {
+    if (epoch != epoch_) return;
+    if (res.ok) {
+      become_up(res.session, res.replayed_records);
+      return;
+    }
+    if (!res.suspected_down.empty()) {
+      // Step 4: another site died mid-recovery; exclude it, then retry.
+      exclude_then_retry(res.suspected_down, attempt);
+      return;
+    }
+    // Conflict with another control transaction, or no operational site
+    // yet: back off and retry.
+    env_.sched->after(kRetryBackoff * (res.no_operational_site ? 4 : 1),
+                      [this, attempt, epoch]() {
+                        if (epoch != epoch_) return;
+                        attempt_up(attempt + 1);
+                      });
+  });
+}
+
+void RecoveryManager::exclude_then_retry(std::vector<SiteId> dead,
+                                         int attempt) {
+  const uint64_t epoch = epoch_;
+  // A timeout seen by the control transaction may be lock contention, not
+  // death; a type-2 initiator must be SURE its claim is true (Section
+  // 3.3), so ping-verify every suspect before declaring it.
+  FailureDetector::verify_dead(
+      env_, std::move(dead),
+      [this, attempt, epoch](std::vector<SiteId> confirmed) {
+        if (epoch != epoch_) return;
+        if (confirmed.empty()) {
+          // False suspicion (contention): just retry the type-1 later.
+          env_.metrics->inc("rm.false_suspicion");
+          env_.sched->after(kRetryBackoff, [this, attempt, epoch]() {
+            if (epoch != epoch_) return;
+            attempt_up(attempt + 1);
+          });
+          return;
+        }
+        ++ms_.type2_rounds;
+        // The recovering site's own NS copy is stale, so pass no view: the
+        // coordinator reads it bypass-locked; targets that are themselves
+        // dead surface as additional suspects and widen the next round.
+        tm_.run_control_down(
+            confirmed, {},
+            [this, confirmed, attempt,
+             epoch](const ControlDownResult& res) {
+              if (epoch != epoch_) return;
+              if (!res.ok && !res.additional_suspects.empty() &&
+                  attempt <= env_.cfg->control_retry_limit) {
+                std::vector<SiteId> wider = confirmed;
+                wider.insert(wider.end(), res.additional_suspects.begin(),
+                             res.additional_suspects.end());
+                exclude_then_retry(std::move(wider), attempt);
+                return;
+              }
+              env_.sched->after(kRetryBackoff, [this, attempt, epoch]() {
+                if (epoch != epoch_) return;
+                attempt_up(attempt + 1);
+              });
+            });
+      });
+}
+
+void RecoveryManager::become_up(SessionNum session, size_t replayed) {
+  ms_.nominally_up = env_.sched->now();
+  ms_.spool_replayed = replayed;
+  ms_.marked_unreadable = dm_.kv().unreadable_count();
+  env_.state->mode = SiteMode::kUp;
+  env_.state->session = session;
+  env_.metrics->inc("rm.recovered");
+  DDBS_INFO << "site " << env_.self << " operational, session " << session
+            << ", " << ms_.marked_unreadable << " copies to refresh";
+  if (on_operational_) on_operational_(session);
+  if (env_.cfg->recovery_scheme == RecoveryScheme::kSessionVector &&
+      env_.cfg->copier_mode == CopierMode::kEager) {
+    for (ItemId item : dm_.kv().unreadable_items()) {
+      enqueue_copier(item, /*front=*/false);
+    }
+  }
+  maybe_fully_current();
+  pump_copiers();
+}
+
+// ---------------------------------------------------------------------------
+// spooler baseline: fetch + replay BEFORE claiming nominally up
+
+void RecoveryManager::spooler_prefetch() {
+  // Probe for live sites, bulk-fetch their spools for us, apply after a
+  // modeled replay delay, then run the type-1 control transaction (which
+  // picks up only the delta records under lock).
+  const uint64_t epoch = epoch_;
+  auto remaining = std::make_shared<size_t>(
+      static_cast<size_t>(env_.cfg->n_sites) - 1);
+  auto merged = std::make_shared<std::map<ItemId, SpoolRecord>>();
+  if (*remaining == 0) {
+    attempt_up(1);
+    return;
+  }
+  for (SiteId s = 0; s < env_.cfg->n_sites; ++s) {
+    if (s == env_.self) continue;
+    env_.rpc->send_request(
+        s, SpoolFetchReq{env_.self}, env_.cfg->rpc_timeout,
+        [this, epoch, remaining, merged](Code code, const Payload* payload) {
+          if (epoch != epoch_) return;
+          if (code == Code::kOk && payload != nullptr) {
+            const auto& resp = std::get<SpoolFetchResp>(*payload);
+            for (const SpoolRecord& r : resp.records) {
+              auto it = merged->find(r.item);
+              if (it == merged->end() || it->second.version < r.version) {
+                (*merged)[r.item] = r;
+              }
+            }
+          }
+          if (--*remaining > 0) return;
+          std::vector<SpoolRecord> recs;
+          recs.reserve(merged->size());
+          for (const auto& [item, r] : *merged) recs.push_back(r);
+          // Replay cost: the recovering site must process every missed
+          // update before resuming (this is the latency the paper's
+          // approach avoids).
+          const SimTime replay_cost =
+              static_cast<SimTime>(recs.size()) * env_.cfg->local_op_cost;
+          env_.metrics->inc("rm.spool_prefetched",
+                            static_cast<int64_t>(recs.size()));
+          env_.sched->after(replay_cost,
+                            [this, epoch, recs = std::move(recs)]() {
+                              if (epoch != epoch_) return;
+                              dm_.apply_spool_records(recs);
+                              ms_.spool_replayed += recs.size();
+                              attempt_up(1);
+                            });
+        });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// copier scheduling (Section 3.2: eager "one by one" or on a demand basis)
+
+void RecoveryManager::on_demand_copier(ItemId item) {
+  if (env_.state->mode != SiteMode::kUp) return;
+  if (env_.cfg->recovery_scheme != RecoveryScheme::kSessionVector) return;
+  enqueue_copier(item, /*front=*/true);
+  pump_copiers();
+}
+
+void RecoveryManager::enqueue_copier(ItemId item, bool front) {
+  if (copier_inflight_.count(item) || copier_queued_.count(item)) return;
+  copier_queued_.insert(item);
+  if (front) {
+    copier_queue_.push_front(item);
+  } else {
+    copier_queue_.push_back(item);
+  }
+}
+
+void RecoveryManager::pump_copiers() {
+  const uint64_t epoch = epoch_;
+  while (!copier_queue_.empty() &&
+         copier_inflight_.size() <
+             static_cast<size_t>(env_.cfg->copier_concurrency)) {
+    const ItemId item = copier_queue_.front();
+    copier_queue_.pop_front();
+    copier_queued_.erase(item);
+    const Copy* c = dm_.kv().find(item);
+    if (c == nullptr || !c->unreadable) continue; // refreshed meanwhile
+    copier_inflight_.insert(item);
+    ++ms_.copiers_run;
+    tm_.run_copier(item, [this, item, epoch](const TxnResult& res) {
+      if (epoch != epoch_) return;
+      copier_inflight_.erase(item);
+      if (!res.committed) {
+        if (res.reason == Code::kTotallyFailed) {
+          ++ms_.totally_failed_items;
+          env_.metrics->inc("rm.totally_failed");
+          // "Totally failed" is transient when the source sites are merely
+          // down: retry after they had a chance to come back. (A permanent
+          // resolution protocol is out of the paper's scope.)
+          if (++copier_attempts_[item] < kMaxCopierAttempts) {
+            ++delayed_retries_;
+            env_.sched->after(
+                8 * env_.cfg->detector_interval, [this, item, epoch]() {
+                  if (epoch != epoch_) return;
+                  --delayed_retries_;
+                  const Copy* c2 = dm_.kv().find(item);
+                  if (c2 != nullptr && c2->unreadable &&
+                      env_.state->mode == SiteMode::kUp) {
+                    enqueue_copier(item, /*front=*/false);
+                    pump_copiers();
+                  }
+                });
+          }
+        } else if (++copier_attempts_[item] % kMaxCopierAttempts != 0) {
+          // Conflict/deadlock/lock-timeout abort: try again right away.
+          ++ms_.copier_retries;
+          enqueue_copier(item, /*front=*/false);
+        } else {
+          // Something (e.g. an in-doubt transaction awaiting termination)
+          // has blocked this copy for many rounds: back off, then keep
+          // trying -- an unreadable copy must eventually be refreshed.
+          env_.metrics->inc("rm.copier_backoff");
+          ++delayed_retries_;
+          env_.sched->after(
+              8 * env_.cfg->detector_interval, [this, item, epoch]() {
+                if (epoch != epoch_) return;
+                --delayed_retries_;
+                const Copy* c2 = dm_.kv().find(item);
+                if (c2 != nullptr && c2->unreadable &&
+                    env_.state->mode == SiteMode::kUp) {
+                  enqueue_copier(item, /*front=*/false);
+                  pump_copiers();
+                }
+              });
+        }
+      }
+      maybe_fully_current();
+      pump_copiers();
+    });
+  }
+  maybe_fully_current();
+}
+
+void RecoveryManager::maybe_fully_current() {
+  if (ms_.fully_current != kNoTime) return;
+  if (ms_.nominally_up == kNoTime) return;
+  if (!copier_queue_.empty() || !copier_inflight_.empty()) return;
+  if (dm_.kv().unreadable_count() != 0) return; // on-demand leftovers
+  ms_.fully_current = env_.sched->now();
+  env_.metrics->inc("rm.fully_current");
+}
+
+} // namespace ddbs

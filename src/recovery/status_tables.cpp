@@ -1,0 +1,55 @@
+#include "recovery/status_tables.h"
+
+namespace ddbs {
+
+void StatusTable::ml_add(ItemId item, SiteId missed_site) {
+  ml_[missed_site].insert(item);
+}
+
+void StatusTable::ml_remove(ItemId item, SiteId written_site) {
+  auto it = ml_.find(written_site);
+  if (it == ml_.end()) return;
+  it->second.erase(item);
+  if (it->second.empty()) ml_.erase(it);
+}
+
+void StatusTable::ml_remove_all_for(SiteId site) { ml_.erase(site); }
+
+std::vector<StatusEntry> StatusTable::ml_entries() const {
+  std::vector<StatusEntry> out;
+  for (const auto& [site, items] : ml_) {
+    for (ItemId item : items) out.push_back(StatusEntry{item, site});
+  }
+  return out;
+}
+
+std::vector<ItemId> StatusTable::ml_items_for(SiteId site) const {
+  auto it = ml_.find(site);
+  if (it == ml_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void StatusTable::ml_insert_bulk(const std::vector<StatusEntry>& entries) {
+  for (const auto& e : entries) ml_[e.site].insert(e.item);
+}
+
+size_t StatusTable::ml_size() const {
+  size_t n = 0;
+  for (const auto& [site, items] : ml_) n += items.size();
+  return n;
+}
+
+void StatusTable::fl_add(ItemId item) { fail_locked_.insert(item); }
+
+std::vector<ItemId> StatusTable::fl_items() const {
+  return {fail_locked_.begin(), fail_locked_.end()};
+}
+
+void StatusTable::fl_clear() { fail_locked_.clear(); }
+
+void StatusTable::clear() {
+  ml_.clear();
+  fail_locked_.clear();
+}
+
+} // namespace ddbs

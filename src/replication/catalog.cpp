@@ -1,0 +1,59 @@
+#include "replication/catalog.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/random.h"
+
+namespace ddbs {
+
+Catalog Catalog::make(const Config& cfg) {
+  Catalog c;
+  c.n_sites_ = cfg.n_sites;
+  const int r = cfg.effective_replication();
+  assert(r >= 1);
+  Rng rng(cfg.placement_seed);
+  c.placement_.resize(static_cast<size_t>(cfg.n_items));
+  c.by_site_.resize(static_cast<size_t>(cfg.n_sites));
+  for (int64_t x = 0; x < cfg.n_items; ++x) {
+    // Distinct random sites via partial Fisher-Yates over site indices.
+    std::vector<SiteId> all(static_cast<size_t>(cfg.n_sites));
+    for (int i = 0; i < cfg.n_sites; ++i) all[static_cast<size_t>(i)] = i;
+    for (int i = 0; i < r; ++i) {
+      const auto j =
+          static_cast<size_t>(rng.uniform(i, cfg.n_sites - 1));
+      std::swap(all[static_cast<size_t>(i)], all[j]);
+    }
+    std::vector<SiteId> chosen(all.begin(), all.begin() + r);
+    std::sort(chosen.begin(), chosen.end());
+    for (SiteId s : chosen) {
+      c.by_site_[static_cast<size_t>(s)].push_back(x);
+    }
+    c.placement_[static_cast<size_t>(x)] = std::move(chosen);
+  }
+  return c;
+}
+
+std::vector<SiteId> Catalog::sites_of(ItemId item) const {
+  if (is_ns_item(item)) {
+    std::vector<SiteId> all(static_cast<size_t>(n_sites_));
+    for (int i = 0; i < n_sites_; ++i) all[static_cast<size_t>(i)] = i;
+    return all;
+  }
+  if (is_status_item(item)) return {status_site(item)};
+  assert(item >= 0 && static_cast<size_t>(item) < placement_.size());
+  return placement_[static_cast<size_t>(item)];
+}
+
+bool Catalog::has_copy(SiteId site, ItemId item) const {
+  if (is_ns_item(item)) return true;
+  if (is_status_item(item)) return status_site(item) == site;
+  const auto& v = placement_[static_cast<size_t>(item)];
+  return std::binary_search(v.begin(), v.end(), site);
+}
+
+std::vector<ItemId> Catalog::items_at(SiteId site) const {
+  return by_site_[static_cast<size_t>(site)];
+}
+
+} // namespace ddbs

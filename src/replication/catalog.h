@@ -1,0 +1,42 @@
+// Replica catalog: where the copies of each logical item live. The paper
+// assumes "the information regarding where the copies of data item X are
+// located is available at least at the resident sites of X" -- we make the
+// catalog globally known and immutable for a run (no data migration), which
+// is the common reading.
+//
+// Nominal session numbers NS[k] are fully replicated at all n sites
+// (Section 3.1), and each site's status table is resident only at that site.
+#pragma once
+
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace ddbs {
+
+class Catalog {
+ public:
+  // Seeded placement: each regular item gets `replication_degree` distinct
+  // sites (round-robin start + stride chosen per item by the seed).
+  static Catalog make(const Config& cfg);
+
+  // Resident sites of an item, ascending. NS items resolve to all sites;
+  // a status item resolves to its owning site only.
+  std::vector<SiteId> sites_of(ItemId item) const;
+
+  bool has_copy(SiteId site, ItemId item) const;
+
+  // All regular items hosted by `site`, ascending.
+  std::vector<ItemId> items_at(SiteId site) const;
+
+  int n_sites() const { return n_sites_; }
+  int64_t n_items() const { return static_cast<int64_t>(placement_.size()); }
+
+ private:
+  int n_sites_ = 0;
+  std::vector<std::vector<SiteId>> placement_; // item -> sorted sites
+  std::vector<std::vector<ItemId>> by_site_;   // site -> sorted items
+};
+
+} // namespace ddbs

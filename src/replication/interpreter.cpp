@@ -1,0 +1,53 @@
+#include "replication/interpreter.h"
+
+#include <algorithm>
+
+namespace ddbs {
+
+namespace {
+bool nominally_up(const SessionVector& view, SiteId k) {
+  return view[static_cast<size_t>(k)] != 0;
+}
+} // namespace
+
+std::vector<SiteId> read_candidates(const Catalog& cat,
+                                    [[maybe_unused]] WriteScheme scheme,
+                                    const SessionVector& view, ItemId item,
+                                    SiteId origin) {
+  std::vector<SiteId> out;
+  for (SiteId k : cat.sites_of(item)) {
+    // Under both schemes a read needs an *operational* copy; strict ROWA
+    // without recovery machinery never marks copies, so any nominally-up
+    // copy is current there too.
+    if (nominally_up(view, k)) out.push_back(k);
+  }
+  auto it = std::find(out.begin(), out.end(), origin);
+  if (it != out.end() && it != out.begin()) std::rotate(out.begin(), it, it + 1);
+  return out;
+}
+
+WritePlan write_plan(const Catalog& cat, WriteScheme scheme,
+                     const SessionVector& view, ItemId item) {
+  WritePlan plan;
+  for (SiteId k : cat.sites_of(item)) {
+    if (nominally_up(view, k)) {
+      plan.targets.push_back(k);
+    } else {
+      plan.missed.push_back(k);
+    }
+  }
+  switch (scheme) {
+    case WriteScheme::kRowaStrict:
+      // write-ALL: every resident copy must be written.
+      plan.feasible = plan.missed.empty() && !plan.targets.empty();
+      break;
+    case WriteScheme::kRowaa:
+      // write-all-available: at least one copy must be written (an empty
+      // target set would silently lose the update -- treat as failure).
+      plan.feasible = !plan.targets.empty();
+      break;
+  }
+  return plan;
+}
+
+} // namespace ddbs

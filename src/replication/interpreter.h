@@ -1,0 +1,36 @@
+// Interpretation of logical operations under the frozen nominal view
+// (paper Section 2 and 3.2):
+//
+//   ROWA-strict:  READ(X)  = one copy, any resident site
+//                 WRITE(X) = every resident site (fails if any is down)
+//   ROWAA:        READ(X)  = one copy among sites with ns[k] != 0
+//                 WRITE(X) = every copy whose site has ns[k] != 0
+//
+// Pure functions over the catalog + view: trivially unit-testable, and the
+// single place where the two schemes differ.
+#pragma once
+
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "replication/catalog.h"
+
+namespace ddbs {
+
+struct WritePlan {
+  std::vector<SiteId> targets; // copies that must all be written
+  std::vector<SiteId> missed;  // resident copies skipped (nominally down)
+  bool feasible = false;       // false => the logical WRITE must fail
+};
+
+// Read candidates in preference order: origin first if it holds a copy,
+// then the remaining eligible sites ascending. Empty => logical READ fails.
+std::vector<SiteId> read_candidates(const Catalog& cat, WriteScheme scheme,
+                                    const SessionVector& view, ItemId item,
+                                    SiteId origin);
+
+WritePlan write_plan(const Catalog& cat, WriteScheme scheme,
+                     const SessionVector& view, ItemId item);
+
+} // namespace ddbs

@@ -1,0 +1,38 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace ddbs {
+
+EventId EventQueue::push(SimTime at, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  fns_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return fns_.erase(id) > 0; }
+
+void EventQueue::drop_tombstones() const {
+  while (!heap_.empty() && fns_.find(heap_.top().id) == fns_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_tombstones();
+  return heap_.empty() ? kNoTime : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_tombstones();
+  assert(!heap_.empty());
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = fns_.find(e.id);
+  Fired f{e.time, e.id, std::move(it->second)};
+  fns_.erase(it);
+  return f;
+}
+
+} // namespace ddbs

@@ -1,0 +1,55 @@
+// Priority queue of timestamped events with stable FIFO ordering for equal
+// timestamps and cheap cancellation via tombstones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ddbs {
+
+using EventId = uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  EventId push(SimTime at, EventFn fn);
+  bool cancel(EventId id); // true if the event existed and had not yet run
+
+  bool empty() const { return fns_.empty(); }
+  size_t size() const { return fns_.size(); }
+  SimTime next_time() const; // kNoTime when empty
+
+  struct Fired {
+    SimTime time = 0;
+    EventId id = 0;
+    EventFn fn;
+  };
+  // Pops the earliest live event; requires !empty().
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, EventFn> fns_;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+
+  void drop_tombstones() const;
+};
+
+} // namespace ddbs

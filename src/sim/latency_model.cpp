@@ -1,0 +1,28 @@
+#include "sim/latency_model.h"
+
+#include <cassert>
+
+namespace ddbs {
+
+LatencyModel::LatencyModel(SimTime min_us, SimTime max_us, uint64_t seed)
+    : min_(min_us), max_(max_us), rng_(seed) {
+  assert(min_us >= 0 && max_us >= min_us);
+}
+
+SimTime LatencyModel::sample(SiteId from, SiteId to) {
+  if (from == to) return 5; // loopback
+  SimTime lo = min_, hi = max_;
+  if (auto it = overrides_.find({from, to}); it != overrides_.end()) {
+    lo = it->second.first;
+    hi = it->second.second;
+  }
+  return rng_.uniform(lo, hi);
+}
+
+void LatencyModel::set_pair(SiteId from, SiteId to, SimTime min_us,
+                            SimTime max_us) {
+  assert(min_us >= 0 && max_us >= min_us);
+  overrides_[{from, to}] = {min_us, max_us};
+}
+
+} // namespace ddbs

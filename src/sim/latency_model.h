@@ -1,0 +1,31 @@
+// Message-latency model for the simulated network. Uniform by default;
+// per-site-pair overrides let benches model a slow WAN link.
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace ddbs {
+
+class LatencyModel {
+ public:
+  LatencyModel(SimTime min_us, SimTime max_us, uint64_t seed);
+
+  // Latency sample for a message from -> to. Local delivery (from == to)
+  // costs a fixed small constant.
+  SimTime sample(SiteId from, SiteId to);
+
+  // Override the [min, max] band for one ordered pair.
+  void set_pair(SiteId from, SiteId to, SimTime min_us, SimTime max_us);
+
+ private:
+  SimTime min_;
+  SimTime max_;
+  Rng rng_;
+  std::map<std::pair<SiteId, SiteId>, std::pair<SimTime, SimTime>> overrides_;
+};
+
+} // namespace ddbs

@@ -1,0 +1,42 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+
+namespace ddbs {
+
+EventId Scheduler::at(SimTime when, EventFn fn) {
+  assert(when >= now_);
+  return queue_.push(when, std::move(fn));
+}
+
+EventId Scheduler::after(SimTime delay, EventFn fn) {
+  assert(delay >= 0);
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+size_t Scheduler::run_until(SimTime until) {
+  size_t n = 0;
+  while (!queue_.empty() && queue_.next_time() != kNoTime &&
+         queue_.next_time() <= until) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    fired.fn();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+size_t Scheduler::run_all(size_t max_events) {
+  size_t n = 0;
+  while (!queue_.empty() && n < max_events) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    fired.fn();
+    ++n;
+  }
+  assert(n < max_events && "event budget exhausted -- livelock?");
+  return n;
+}
+
+} // namespace ddbs

@@ -1,0 +1,38 @@
+// Deterministic discrete-event scheduler. Single-threaded: "concurrency"
+// in the DDBS is the interleaving of message-delivery and timer events,
+// which is exactly the granularity the paper's protocol reasons about.
+//
+// Protocol code must never read now() to make decisions -- the simulated
+// clock exists for measurement and for timers only (the paper's algorithm
+// assumes no global clock).
+#pragma once
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace ddbs {
+
+class Scheduler {
+ public:
+  SimTime now() const { return now_; }
+
+  // Schedule fn at absolute time `at` (>= now) or after a delay.
+  EventId at(SimTime when, EventFn fn);
+  EventId after(SimTime delay, EventFn fn);
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Run until the queue drains or the clock passes `until` (inclusive).
+  // Returns the number of events executed.
+  size_t run_until(SimTime until);
+  size_t run_all(size_t max_events = 50'000'000);
+
+  bool idle() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+  SimTime next_event_time() const { return queue_.next_time(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+};
+
+} // namespace ddbs

@@ -1,0 +1,60 @@
+#include "storage/kv_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ddbs {
+
+void KvStore::create(ItemId item, Value initial) {
+  assert(!exists(item));
+  copies_.emplace(item, Copy{initial, Version{}, false});
+}
+
+const Copy* KvStore::find(ItemId item) const {
+  auto it = copies_.find(item);
+  return it == copies_.end() ? nullptr : &it->second;
+}
+
+void KvStore::install(ItemId item, Value value, Version version) {
+  auto& c = copies_[item];
+  c.value = value;
+  c.version = version;
+  c.unreadable = false;
+}
+
+void KvStore::mark_unreadable(ItemId item) {
+  auto it = copies_.find(item);
+  assert(it != copies_.end());
+  it->second.unreadable = true;
+}
+
+void KvStore::clear_mark(ItemId item) {
+  auto it = copies_.find(item);
+  assert(it != copies_.end());
+  it->second.unreadable = false;
+}
+
+std::vector<ItemId> KvStore::items() const {
+  std::vector<ItemId> out;
+  out.reserve(copies_.size());
+  for (const auto& [id, c] : copies_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ItemId> KvStore::unreadable_items() const {
+  std::vector<ItemId> out;
+  for (const auto& [id, c] : copies_) {
+    if (c.unreadable) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t KvStore::unreadable_count() const {
+  size_t n = 0;
+  for (const auto& [id, c] : copies_) n += c.unreadable ? 1 : 0;
+  return n;
+}
+
+} // namespace ddbs

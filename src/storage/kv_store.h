@@ -1,0 +1,48 @@
+// Per-site store of committed physical copies. This object models the
+// site's *stable* database image: it survives crashes (only the DM's
+// volatile state -- locks, staged writes, status tables in volatile mode --
+// is lost). The unreadable mark of paper Section 3.2 lives here too, so a
+// crash during refresh can only leave copies pessimistically marked.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace ddbs {
+
+struct Copy {
+  Value value = 0;
+  Version version;         // tag of the writing transaction
+  bool unreadable = false; // missed updates; refresh before serving reads
+};
+
+class KvStore {
+ public:
+  // Create a copy with the initial database state (writer txn 0).
+  void create(ItemId item, Value initial);
+
+  bool exists(ItemId item) const { return copies_.count(item) > 0; }
+
+  const Copy* find(ItemId item) const;
+
+  // Install a committed write. Creates the copy if absent (a copier can
+  // materialize a copy the site hosts but never initialized).
+  void install(ItemId item, Value value, Version version);
+
+  void mark_unreadable(ItemId item);
+  void clear_mark(ItemId item);
+
+  std::vector<ItemId> items() const;
+  std::vector<ItemId> unreadable_items() const;
+  size_t unreadable_count() const;
+  size_t size() const { return copies_.size(); }
+
+ private:
+  std::unordered_map<ItemId, Copy> copies_;
+};
+
+} // namespace ddbs

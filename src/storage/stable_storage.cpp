@@ -1,0 +1,4 @@
+#include "storage/stable_storage.h"
+
+// Header-only today; this TU anchors the target and keeps room for a real
+// durable backend (mmap/file) without touching users.

@@ -1,0 +1,60 @@
+// The non-database stable state of a site: the session-number counter the
+// paper requires ("the current session number must also be saved in a
+// stable storage so that the next time the site recovers, a new session
+// number can be assigned correctly", Section 3.1), plus ownership of the
+// WAL and the stable KV image.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "baselines/spooler.h"
+#include "common/types.h"
+#include "storage/kv_store.h"
+#include "storage/wal.h"
+
+namespace ddbs {
+
+// Durable record of a two-phase-commit decision. A coordinator logs its
+// decision here before telling any participant (presumed abort: an absent
+// record at the coordinator means "aborted"); participants log outcomes
+// they applied so cooperative termination can be answered after a crash.
+struct OutcomeRec {
+  bool committed = false;
+  std::vector<std::pair<ItemId, uint64_t>> new_counters; // committed only
+};
+
+class StableStorage {
+ public:
+  // Allocates the next session number (monotonic within this site's
+  // history) and durably advances the counter.
+  SessionNum next_session_number() { return ++session_counter_; }
+  SessionNum last_session_number() const { return session_counter_; }
+
+  KvStore& kv() { return kv_; }
+  const KvStore& kv() const { return kv_; }
+  Wal& wal() { return wal_; }
+  const Wal& wal() const { return wal_; }
+  SpoolTable& spool() { return spool_; }
+
+  void record_outcome(TxnId txn, OutcomeRec rec) {
+    outcomes_[txn] = std::move(rec);
+  }
+  const OutcomeRec* find_outcome(TxnId txn) const {
+    auto it = outcomes_.find(txn);
+    return it == outcomes_.end() ? nullptr : &it->second;
+  }
+  void forget_outcome(TxnId txn) { outcomes_.erase(txn); }
+  size_t outcome_count() const { return outcomes_.size(); }
+
+ private:
+  SessionNum session_counter_ = 0;
+  KvStore kv_;
+  Wal wal_;
+  SpoolTable spool_;
+  std::unordered_map<TxnId, OutcomeRec> outcomes_;
+};
+
+} // namespace ddbs

@@ -1,0 +1,37 @@
+#include "storage/wal.h"
+
+#include <unordered_set>
+
+namespace ddbs {
+
+void Wal::append(WalRecord rec) { records_.push_back(std::move(rec)); }
+
+std::vector<WalRecord> Wal::in_doubt() const {
+  std::unordered_set<TxnId> resolved;
+  for (const auto& r : records_) {
+    if (r.kind != WalRecord::Kind::kPrepare) resolved.insert(r.txn);
+  }
+  std::vector<WalRecord> out;
+  for (const auto& r : records_) {
+    if (r.kind == WalRecord::Kind::kPrepare && !resolved.count(r.txn)) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void Wal::truncate_resolved() {
+  std::unordered_set<TxnId> resolved;
+  for (const auto& r : records_) {
+    if (r.kind != WalRecord::Kind::kPrepare) resolved.insert(r.txn);
+  }
+  std::vector<WalRecord> keep;
+  for (auto& r : records_) {
+    if (r.kind == WalRecord::Kind::kPrepare && !resolved.count(r.txn)) {
+      keep.push_back(std::move(r));
+    }
+  }
+  records_ = std::move(keep);
+}
+
+} // namespace ddbs

@@ -1,0 +1,55 @@
+// Write-ahead log for a participant's part in two-phase commit. The log is
+// the stable record that lets a recovering site resolve *in-doubt*
+// transactions (prepared, outcome unknown) via the cooperative termination
+// protocol -- the paper assumes this "transaction resolution" layer exists
+// (Section 1); we build it.
+//
+// The log is an in-memory vector standing in for a durable device: it
+// survives crash() (the DM's volatile state does not). Commit/abort records
+// for resolved transactions let it be checkpointed down to just the live
+// prefix.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ddbs {
+
+struct WalWrite {
+  ItemId item = 0;
+  Value value = 0;
+  bool is_copier_write = false;
+  Version copier_version;
+  std::vector<SiteId> missed_sites; // fail-lock/ML bookkeeping to redo
+};
+
+struct WalRecord {
+  enum class Kind : uint8_t { kPrepare, kCommit, kAbort } kind;
+  TxnId txn = 0;
+  TxnKind txn_kind = TxnKind::kUser;
+  SiteId coordinator = kInvalidSite;
+  std::vector<WalWrite> writes;                          // kPrepare only
+  std::vector<std::pair<ItemId, uint64_t>> new_counters; // kCommit only
+};
+
+class Wal {
+ public:
+  void append(WalRecord rec);
+
+  // Prepared transactions with no commit/abort record yet, in log order.
+  std::vector<WalRecord> in_doubt() const;
+
+  // Drop records of resolved transactions (checkpoint).
+  void truncate_resolved();
+
+  size_t size() const { return records_.size(); }
+  const std::vector<WalRecord>& records() const { return records_; }
+
+ private:
+  std::vector<WalRecord> records_;
+};
+
+} // namespace ddbs

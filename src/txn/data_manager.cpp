@@ -1,0 +1,974 @@
+#include "txn/data_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "txn/deadlock.h"
+#include "txn/txn.h"
+
+namespace ddbs {
+
+namespace {
+constexpr SimTime kDeadlockCheckDelay = 1'000;   // after a wait begins
+constexpr SimTime kDeadlockRecheck = 10'000;     // while waiters exist
+} // namespace
+
+// Debug aid: set to a txn id to trace its lifecycle at every DM.
+TxnId g_trace_txn = 0;
+void set_dm_trace_txn(TxnId t) { g_trace_txn = t; }
+#define DM_TRACE(txn, what)                                               \
+  if ((txn) == g_trace_txn && g_trace_txn != 0) {                         \
+    std::fprintf(stderr, "[DMTRACE] t=%lld site=%d txn=%llu %s\n",       \
+                 static_cast<long long>(sched_.now()), self_,             \
+                 static_cast<unsigned long long>(txn), (what));           \
+  }
+
+DataManager::DataManager(SiteId self, const Config& cfg, Scheduler& sched,
+                         RpcEndpoint& rpc, StableStorage& stable,
+                         SiteState& state, Metrics& metrics,
+                         HistoryRecorder* recorder)
+    : self_(self),
+      cfg_(cfg),
+      sched_(sched),
+      rpc_(rpc),
+      stable_(stable),
+      state_(state),
+      metrics_(metrics),
+      recorder_(recorder) {}
+
+// ---------------------------------------------------------------------------
+// dispatch
+
+void DataManager::handle_request(const Envelope& env) {
+  std::visit(
+      [&](const auto& payload) {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, ReadReq>) {
+          on_read(env);
+        } else if constexpr (std::is_same_v<T, WriteReq>) {
+          on_write(env);
+        } else if constexpr (std::is_same_v<T, StatusReadReq>) {
+          on_status_read(env);
+        } else if constexpr (std::is_same_v<T, StatusClearReq>) {
+          on_status_clear(env);
+        } else if constexpr (std::is_same_v<T, PrepareReq>) {
+          on_prepare(env);
+        } else if constexpr (std::is_same_v<T, CommitReq>) {
+          on_commit(env);
+        } else if constexpr (std::is_same_v<T, AbortReq>) {
+          on_abort(env);
+        } else if constexpr (std::is_same_v<T, OutcomeQuery>) {
+          on_outcome_query(env);
+        } else if constexpr (std::is_same_v<T, Ping>) {
+          on_ping(env);
+        } else if constexpr (std::is_same_v<T, SpoolFetchReq>) {
+          on_spool_fetch(env);
+        } else if constexpr (std::is_same_v<T, SpoolTrimReq>) {
+          on_spool_trim(env);
+        }
+        // Response payload types never reach handle_request (RpcEndpoint
+        // routes them to the pending-request callback).
+      },
+      env.payload);
+}
+
+// ---------------------------------------------------------------------------
+// admission
+
+Code DataManager::admit(TxnKind kind, SessionNum expected, bool bypass) const {
+  if (bypass) {
+    // Control transactions "can be processed by recovering sites as well"
+    // (Section 3.3); if this handler runs at all, the process is booted.
+    return state_.mode == SiteMode::kDown ? Code::kSiteNotOperational
+                                          : Code::kOk;
+  }
+  (void)kind;
+  if (state_.mode != SiteMode::kUp) return Code::kSiteNotOperational;
+  if (expected != state_.session) return Code::kSessionMismatch;
+  return Code::kOk;
+}
+
+DataManager::TxnCtx& DataManager::ctx_of(TxnId txn, TxnKind kind,
+                                         SiteId coordinator) {
+  auto [it, inserted] = ctxs_.try_emplace(txn);
+  TxnCtx& ctx = it->second;
+  if (inserted) {
+    DM_TRACE(txn, "ctx created");
+    ctx.txn = txn;
+    ctx.kind = kind;
+    ctx.coordinator = coordinator;
+    // A context whose coordinator dies before 2PC would hold locks forever;
+    // the activity timer unilaterally aborts never-prepared contexts.
+    const uint64_t epoch = boot_epoch_;
+    ctx.activity_timer =
+        sched_.after(cfg_.txn_timeout, [this, txn, epoch]() {
+          if (epoch != boot_epoch_) return;
+          TxnCtx* c = find_ctx(txn);
+          if (c && !c->prepared) {
+            metrics_.inc("dm.activity_timeout_abort");
+            fail_chains_of(txn, Code::kAborted);
+            finish_abort(txn, /*log_abort=*/false);
+          }
+        });
+  }
+  return ctx;
+}
+
+DataManager::TxnCtx* DataManager::find_ctx(TxnId txn) {
+  auto it = ctxs_.find(txn);
+  return it == ctxs_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// lock chains
+
+void DataManager::start_chain(TxnId txn, const Envelope& env,
+                              std::vector<std::pair<ItemId, LockMode>> locks,
+                              std::function<void()> on_done) {
+  auto chain = std::make_shared<Chain>();
+  chain->id = next_chain_++;
+  chain->txn = txn;
+  chain->env = env;
+  chain->locks = std::move(locks);
+  chain->on_done = std::move(on_done);
+  chains_[txn].push_back(chain);
+  advance_chain(chain);
+}
+
+void DataManager::advance_chain(const std::shared_ptr<Chain>& chain) {
+  while (!chain->locks.empty()) {
+    const auto [item, mode] = chain->locks.front();
+    chain->in_acquire = true;
+    chain->sync_granted = false;
+    std::weak_ptr<Chain> weak = chain;
+    const auto rid = lm_.acquire(
+        chain->txn, item, mode, [this, weak]() {
+          auto c = weak.lock();
+          if (!c) return;
+          if (c->in_acquire) {
+            c->sync_granted = true;
+            return;
+          }
+          // Granted later, from a release: continue the chain.
+          c->rid = 0;
+          c->locks.erase(c->locks.begin());
+          advance_chain(c);
+        });
+    chain->in_acquire = false;
+    if (chain->sync_granted) {
+      chain->sync_granted = false;
+      chain->locks.erase(chain->locks.begin());
+      continue;
+    }
+    // Must wait.
+    chain->rid = rid;
+    if (chain->timer == 0) {
+      const uint64_t epoch = boot_epoch_;
+      chain->timer = sched_.after(cfg_.lock_timeout, [this, weak, epoch]() {
+        if (epoch != boot_epoch_) return;
+        auto c = weak.lock();
+        if (!c) return;
+        c->timer = 0;
+        if (c->rid != 0) lm_.cancel(c->rid);
+        metrics_.inc("dm.lock_timeout");
+        if (c->txn == g_trace_txn && g_trace_txn != 0) {
+          std::fprintf(stderr,
+                       "[DMTRACE] t=%lld site=%d txn=%llu chain TIMEOUT on "
+                       "item %lld (locks left %zu)\n",
+                       static_cast<long long>(sched_.now()), self_,
+                       static_cast<unsigned long long>(c->txn),
+                       c->locks.empty() ? -1
+                                        : static_cast<long long>(
+                                              c->locks.front().first),
+                       c->locks.size());
+        }
+        reply_code(c->env, Code::kLockTimeout);
+        auto& vec = chains_[c->txn];
+        vec.erase(std::remove(vec.begin(), vec.end(), c), vec.end());
+        if (vec.empty()) chains_.erase(c->txn);
+      });
+    }
+    schedule_deadlock_check();
+    return;
+  }
+  // All locks held.
+  if (chain->timer != 0) {
+    sched_.cancel(chain->timer);
+    chain->timer = 0;
+  }
+  auto& vec = chains_[chain->txn];
+  vec.erase(std::remove(vec.begin(), vec.end(), chain), vec.end());
+  if (vec.empty()) chains_.erase(chain->txn);
+  chain->on_done();
+}
+
+void DataManager::fail_chains_of(TxnId txn, Code code) {
+  auto it = chains_.find(txn);
+  if (it == chains_.end()) return;
+  auto chains = std::move(it->second);
+  chains_.erase(it);
+  for (auto& c : chains) {
+    if (c->rid != 0) lm_.cancel(c->rid);
+    if (c->timer != 0) sched_.cancel(c->timer);
+    reply_code(c->env, code);
+  }
+}
+
+void DataManager::schedule_deadlock_check() {
+  if (deadlock_check_scheduled_) return;
+  deadlock_check_scheduled_ = true;
+  const uint64_t epoch = boot_epoch_;
+  sched_.after(kDeadlockCheckDelay, [this, epoch]() {
+    if (epoch != boot_epoch_) return;
+    deadlock_check_scheduled_ = false;
+    run_deadlock_check();
+  });
+}
+
+void DataManager::run_deadlock_check() {
+  const auto edges = lm_.wait_edges();
+  if (edges.empty()) return;
+  std::vector<DeadlockCandidate> candidates;
+  for (const auto& [txn, chains] : chains_) {
+    TxnKind kind = TxnKind::kUser;
+    if (const TxnCtx* c = find_ctx(txn)) {
+      kind = c->kind;
+    } else if (!chains.empty()) {
+      // Kind travels in the request payload for first-op transactions.
+      const Envelope& env = chains.front()->env;
+      if (const auto* r = std::get_if<ReadReq>(&env.payload)) {
+        kind = r->kind;
+      } else if (const auto* w = std::get_if<WriteReq>(&env.payload)) {
+        kind = w->kind;
+      } else {
+        kind = TxnKind::kControlUp; // status ops come from control txns
+      }
+    }
+    candidates.push_back(DeadlockCandidate{txn, kind});
+  }
+  if (auto victim = DeadlockDetector::find_victim(edges, candidates)) {
+    metrics_.inc("dm.deadlock_victim");
+    DDBS_DEBUG << "site " << self_ << " deadlock victim txn " << *victim;
+    fail_chains_of(*victim, Code::kDeadlockVictim);
+  }
+  // Keep checking while anyone is still waiting (cross-release cycles).
+  if (!chains_.empty()) {
+    deadlock_check_scheduled_ = true;
+    const uint64_t epoch = boot_epoch_;
+    sched_.after(kDeadlockRecheck, [this, epoch]() {
+      if (epoch != boot_epoch_) return;
+      deadlock_check_scheduled_ = false;
+      run_deadlock_check();
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// reads
+
+void DataManager::on_read(const Envelope& env) {
+  const auto& req = std::get<ReadReq>(env.payload);
+  if (locally_aborted_.count(req.txn)) {
+    reply_code(env, Code::kAborted);
+    return;
+  }
+  const Code c = admit(req.kind, req.expected_session,
+                       req.bypass_session_check);
+  if (c != Code::kOk) {
+    metrics_.inc(std::string("dm.read_reject.") + to_string(c));
+    reply_code(env, c);
+    return;
+  }
+  // Create the participant context up front: every lock this transaction
+  // acquires here -- including a partially acquired chain whose later lock
+  // times out -- is then covered by the context's activity timer, even if
+  // the coordinator dies before 2PC starts.
+  TxnCtx& rctx = ctx_of(req.txn, req.kind, req.coordinator);
+  // Read-own-write: return the staged value (it is what the transaction
+  // would see; not a database read, so nothing is recorded).
+  {
+    auto wit = rctx.writes.find(req.item);
+    if (wit != rctx.writes.end()) {
+      rpc_.respond(env, ReadResp{req.txn, req.item, Code::kOk,
+                                 wit->second.value, Version{0, req.txn}});
+      return;
+    }
+  }
+  const Copy* copy = kv().find(req.item);
+  if (copy == nullptr) {
+    reply_code(env, Code::kNotFound);
+    return;
+  }
+  if (is_data_item(req.item) && copy->unreadable &&
+      !req.bypass_session_check &&
+      !(req.allow_unreadable && req.kind == TxnKind::kCopier)) {
+    metrics_.inc("dm.read_hit_unreadable");
+    // "a request for reading it triggers a copier transaction" (S. 3.2)
+    if (unreadable_hook_) unreadable_hook_(req.item);
+    if (cfg_.unreadable_policy == UnreadablePolicy::kBlock &&
+        req.kind == TxnKind::kUser) {
+      parked_[req.item].push_back(env);
+      return;
+    }
+    reply_code(env, Code::kUnreadable);
+    return;
+  }
+  start_chain(req.txn, env, {{req.item, LockMode::kShared}},
+              [this, env]() { serve_read(env); });
+}
+
+void DataManager::serve_read(const Envelope& env) {
+  const auto& req = std::get<ReadReq>(env.payload);
+  const Copy* copy = kv().find(req.item);
+  assert(copy != nullptr);
+  if (recorder_ && !is_status_item(req.item)) {
+    recorder_->add_read(req.txn, self_, req.item, copy->version.writer,
+                        copy->version.counter);
+  }
+  metrics_.inc("dm.reads");
+  rpc_.respond(env, ReadResp{req.txn, req.item, Code::kOk, copy->value,
+                             copy->version});
+}
+
+// ---------------------------------------------------------------------------
+// writes
+
+void DataManager::on_write(const Envelope& env) {
+  const auto& req = std::get<WriteReq>(env.payload);
+  DM_TRACE(req.txn, "write arrives");
+  if (locally_aborted_.count(req.txn)) {
+    reply_code(env, Code::kAborted);
+    return;
+  }
+  const Code c = admit(req.kind, req.expected_session,
+                       req.bypass_session_check);
+  if (c != Code::kOk) {
+    metrics_.inc(std::string("dm.write_reject.") + to_string(c));
+    reply_code(env, c);
+    return;
+  }
+  std::vector<std::pair<ItemId, LockMode>> locks{
+      {req.item, LockMode::kExclusive}};
+  // Skipping a nominally-down copy touches the per-down-site status lock in
+  // shared mode: additions commute with each other but must serialize
+  // against the type-1 control transaction's exclusive read-and-clear --
+  // this is what makes the missing list "under concurrency control" (S. 5)
+  // and closes the stale-readable race discussed in DESIGN.md.
+  const bool tracks_status =
+      cfg_.recovery_scheme == RecoveryScheme::kSpooler ||
+      cfg_.outdated_strategy == OutdatedStrategy::kFailLock ||
+      cfg_.outdated_strategy == OutdatedStrategy::kMissingList;
+  if (tracks_status && is_data_item(req.item)) {
+    for (SiteId d : req.missed_sites) {
+      locks.emplace_back(status_item(d), LockMode::kShared);
+    }
+  }
+  ctx_of(req.txn, req.kind, req.coordinator); // see on_read: covers chains
+  start_chain(req.txn, env, std::move(locks), [this, env]() {
+    const auto& r = std::get<WriteReq>(env.payload);
+    TxnCtx& ctx = ctx_of(r.txn, r.kind, r.coordinator);
+    StagedWrite w;
+    w.value = r.value;
+    w.is_copier = r.is_copier_write;
+    w.copier_version = r.copier_version;
+    w.missed = r.missed_sites;
+    w.written = r.written_sites;
+    ctx.writes[r.item] = std::move(w);
+    metrics_.inc("dm.writes_staged");
+    rpc_.respond(env, WriteResp{r.txn, r.item, Code::kOk});
+  });
+}
+
+// ---------------------------------------------------------------------------
+// status table ops (type-1 control transaction, Section 5 bookkeeping)
+
+void DataManager::on_status_read(const Envelope& env) {
+  const auto& req = std::get<StatusReadReq>(env.payload);
+  if (locally_aborted_.count(req.txn)) {
+    reply_code(env, Code::kAborted);
+    return;
+  }
+  const Code c = admit(TxnKind::kControlUp, 0, /*bypass=*/true);
+  if (c != Code::kOk) {
+    reply_code(env, c);
+    return;
+  }
+  ctx_of(req.txn, TxnKind::kControlUp, req.coordinator);
+  // Exclusive: the control transaction will clear right after reading, and
+  // X here blocks concurrent writers from adding entries we would miss.
+  start_chain(req.txn, env,
+              {{status_item(req.recovering_site), LockMode::kExclusive}},
+              [this, env]() {
+                const auto& r = std::get<StatusReadReq>(env.payload);
+                ctx_of(r.txn, TxnKind::kControlUp, r.coordinator);
+                StatusReadResp resp;
+                resp.txn = r.txn;
+                if (cfg_.recovery_scheme == RecoveryScheme::kSpooler) {
+                  resp.spool = stable_.spool().records_for(r.recovering_site);
+                } else if (cfg_.outdated_strategy ==
+                           OutdatedStrategy::kFailLock) {
+                  for (ItemId x : status_.fl_items()) {
+                    resp.entries.push_back(StatusEntry{x, kInvalidSite});
+                  }
+                } else if (cfg_.outdated_strategy ==
+                           OutdatedStrategy::kMissingList) {
+                  resp.entries = status_.ml_entries();
+                }
+                rpc_.respond(env, std::move(resp));
+              });
+}
+
+void DataManager::on_status_clear(const Envelope& env) {
+  const auto& req = std::get<StatusClearReq>(env.payload);
+  if (locally_aborted_.count(req.txn)) {
+    reply_code(env, Code::kAborted);
+    return;
+  }
+  const Code c = admit(TxnKind::kControlUp, 0, /*bypass=*/true);
+  if (c != Code::kOk) {
+    reply_code(env, c);
+    return;
+  }
+  ctx_of(req.txn, TxnKind::kControlUp, req.coordinator);
+  start_chain(req.txn, env,
+              {{status_item(req.recovering_site), LockMode::kExclusive}},
+              [this, env]() {
+                const auto& r = std::get<StatusClearReq>(env.payload);
+                TxnCtx& ctx =
+                    ctx_of(r.txn, TxnKind::kControlUp, r.coordinator);
+                ctx.status_clear = true;
+                ctx.clear_for = r.recovering_site;
+                ctx.clear_fail_locks = r.clear_fail_locks;
+                rpc_.respond(env, StatusClearResp{r.txn, Code::kOk});
+              });
+}
+
+// ---------------------------------------------------------------------------
+// two-phase commit, participant side
+
+void DataManager::on_prepare(const Envelope& env) {
+  const auto& req = std::get<PrepareReq>(env.payload);
+  DM_TRACE(req.txn, "prepare arrives");
+  TxnCtx* ctx = find_ctx(req.txn);
+  if (ctx == nullptr || locally_aborted_.count(req.txn)) {
+    // Unknown transaction: either we crashed since serving it (all its
+    // locks and context are gone -- committing would be unsound, cf. the
+    // vanished-S-lock hazard) or we unilaterally aborted it. Vote no.
+    metrics_.inc("dm.vote_no_unknown");
+    rpc_.respond(env, PrepareResp{req.txn, false, {}});
+    return;
+  }
+  ctx->participants = req.participants;
+  if (!ctx->prepared) {
+    ctx->prepared = true;
+    if (ctx->activity_timer != 0) {
+      sched_.cancel(ctx->activity_timer);
+      ctx->activity_timer = 0;
+    }
+    if (!ctx->writes.empty()) {
+      WalRecord rec;
+      rec.kind = WalRecord::Kind::kPrepare;
+      rec.txn = req.txn;
+      rec.txn_kind = ctx->kind;
+      rec.coordinator = ctx->coordinator;
+      for (const auto& [item, w] : ctx->writes) {
+        rec.writes.push_back(
+            WalWrite{item, w.value, w.is_copier, w.copier_version, w.missed});
+      }
+      stable_.wal().append(std::move(rec));
+      ctx->logged_prepare = true;
+    }
+    arm_termination_timer(req.txn);
+  }
+  PrepareResp resp;
+  resp.txn = req.txn;
+  resp.vote_yes = true;
+  for (const auto& [item, w] : ctx->writes) {
+    const Copy* copy = kv().find(item);
+    resp.version_counters.emplace_back(item,
+                                       copy ? copy->version.counter : 0);
+  }
+  rpc_.respond(env, std::move(resp));
+}
+
+void DataManager::on_commit(const Envelope& env) {
+  const auto& req = std::get<CommitReq>(env.payload);
+  TxnCtx* ctx = find_ctx(req.txn);
+  if (ctx == nullptr) {
+    // Crashed since voting (in-doubt resolution will redo from the WAL) or
+    // duplicate delivery after apply. Ack positively only if we know we
+    // applied it; otherwise refuse so the coordinator keeps its outcome
+    // record for our eventual query.
+    const OutcomeRec* known = stable_.find_outcome(req.txn);
+    rpc_.respond(env, AckResp{req.txn, known && known->committed
+                                           ? Code::kOk
+                                           : Code::kRejected});
+    return;
+  }
+  apply_commit(*ctx, req.new_counters);
+  rpc_.respond(env, AckResp{req.txn, Code::kOk});
+}
+
+void DataManager::apply_commit(
+    TxnCtx& ctx, const std::vector<std::pair<ItemId, uint64_t>>& counters) {
+  const TxnId txn = ctx.txn;
+  DM_TRACE(txn, "apply_commit");
+  if (ctx.termination_timer != 0) sched_.cancel(ctx.termination_timer);
+  if (ctx.activity_timer != 0) sched_.cancel(ctx.activity_timer);
+  if (ctx.logged_prepare) {
+    stable_.wal().append(
+        WalRecord{WalRecord::Kind::kCommit, txn, ctx.kind, ctx.coordinator,
+                  {}, counters});
+  }
+  auto counter_of = [&counters](ItemId item) -> uint64_t {
+    for (const auto& [i, c] : counters) {
+      if (i == item) return c;
+    }
+    assert(false && "commit lacks a counter for a staged item");
+    return 0;
+  };
+  for (const auto& [item, w] : ctx.writes) {
+    install_write(txn, item, w, w.is_copier ? 0 : counter_of(item));
+  }
+  if (ctx.status_clear) {
+    status_.ml_remove_all_for(ctx.clear_for);
+    stable_.spool().trim(ctx.clear_for);
+    if (ctx.clear_fail_locks) status_.fl_clear();
+  }
+  if (ctx.recovery_actions) {
+    for (ItemId item : ctx.marks) {
+      if (kv().exists(item)) kv().mark_unreadable(item);
+    }
+    for (const StatusEntry& e : ctx.ml_rebuild) {
+      if (e.site == kInvalidSite) {
+        status_.fl_add(e.item); // fail-lock rebuild entry
+      } else {
+        status_.ml_add(e.item, e.site);
+      }
+    }
+    apply_spool_records(ctx.replay);
+    metrics_.inc("dm.recovery_marks", static_cast<int64_t>(ctx.marks.size()));
+  }
+  // Outcome records exist to answer redo/termination queries; only
+  // participants that logged a prepare (i.e. can be in doubt) need them.
+  // Recording for read-only participants would grow stable storage by one
+  // entry per read transaction with nobody ever asking.
+  if (ctx.logged_prepare) {
+    OutcomeRec rec;
+    rec.committed = true;
+    rec.new_counters = counters;
+    stable_.record_outcome(txn, std::move(rec));
+  }
+  ctxs_.erase(txn);
+  lm_.release_all(txn);
+  metrics_.inc("dm.commits_applied");
+  maybe_checkpoint_wal();
+}
+
+void DataManager::install_write(TxnId writer, ItemId item,
+                                const StagedWrite& w, uint64_t counter) {
+  if (w.is_copier) {
+    const Copy* c = kv().find(item);
+    // Apply-time guard: a whole-item write that slipped in between the
+    // copier's source read and its commit has already made the copy
+    // current (and carries a higher counter); never regress.
+    if (c == nullptr || c->version < w.copier_version) {
+      kv().install(item, w.value, w.copier_version);
+      if (recorder_) {
+        recorder_->add_write(writer, self_, item, w.copier_version.counter,
+                             w.value, /*copier_install=*/true);
+      }
+      metrics_.inc("dm.copier_installs");
+    } else {
+      if (kv().exists(item)) kv().clear_mark(item);
+      metrics_.inc("dm.copier_skipped_current");
+    }
+    unpark_reads(item);
+    return;
+  }
+  // Protocol invariant: writers of one item are serialized by strict 2PL
+  // and the coordinator assigns max(counters)+1, so a non-copier install
+  // strictly advances the copy's version. A violation here means the lock
+  // or counter machinery broke -- fail loudly in debug builds.
+  assert(!kv().exists(item) || kv().find(item)->version.counter < counter);
+  kv().install(item, w.value, Version{counter, writer});
+  if (recorder_ && !is_status_item(item)) {
+    recorder_->add_write(writer, self_, item, counter, w.value, false);
+  }
+  if (is_data_item(item)) {
+    switch (cfg_.recovery_scheme) {
+      case RecoveryScheme::kSpooler:
+        for (SiteId d : w.missed) {
+          stable_.spool().add(d,
+                              SpoolRecord{item, w.value, Version{counter,
+                                                                 writer}});
+        }
+        break;
+      case RecoveryScheme::kSessionVector:
+        switch (cfg_.outdated_strategy) {
+          case OutdatedStrategy::kMissingList:
+            for (SiteId d : w.missed) status_.ml_add(item, d);
+            for (SiteId j : w.written) status_.ml_remove(item, j);
+            break;
+          case OutdatedStrategy::kFailLock:
+            if (!w.missed.empty()) status_.fl_add(item);
+            break;
+          case OutdatedStrategy::kMarkAll:
+          case OutdatedStrategy::kMarkAllVersionCmp:
+            break;
+        }
+        break;
+    }
+    if (!w.missed.empty()) {
+      metrics_.inc("dm.writes_with_missed_copies");
+    }
+  }
+  unpark_reads(item);
+}
+
+void DataManager::on_abort(const Envelope& env) {
+  const auto& req = std::get<AbortReq>(env.payload);
+  fail_chains_of(req.txn, Code::kAborted);
+  finish_abort(req.txn, /*log_abort=*/true);
+  rpc_.respond(env, AckResp{req.txn, Code::kOk});
+}
+
+void DataManager::finish_abort(TxnId txn, bool log_abort) {
+  DM_TRACE(txn, "finish_abort");
+  drop_parked(txn);
+  locally_aborted_.insert(txn);
+  auto it = ctxs_.find(txn);
+  if (it == ctxs_.end()) {
+    lm_.release_all(txn); // read locks may exist without staged writes
+    return;
+  }
+  TxnCtx& ctx = it->second;
+  if (ctx.termination_timer != 0) sched_.cancel(ctx.termination_timer);
+  if (ctx.activity_timer != 0) sched_.cancel(ctx.activity_timer);
+  if (ctx.logged_prepare) {
+    if (log_abort) {
+      stable_.wal().append(WalRecord{WalRecord::Kind::kAbort, txn, ctx.kind,
+                                     ctx.coordinator, {}, {}});
+    }
+    stable_.record_outcome(txn, OutcomeRec{false, {}});
+  }
+  ctxs_.erase(it);
+  lm_.release_all(txn);
+  metrics_.inc("dm.aborts_applied");
+  maybe_checkpoint_wal();
+}
+
+// ---------------------------------------------------------------------------
+// cooperative termination (participant side of "transaction resolution")
+
+void DataManager::arm_termination_timer(TxnId txn) {
+  TxnCtx* ctx = find_ctx(txn);
+  assert(ctx != nullptr);
+  const uint64_t epoch = boot_epoch_;
+  ctx->termination_timer =
+      sched_.after(3 * cfg_.rpc_timeout, [this, txn, epoch]() {
+        if (epoch != boot_epoch_) return;
+        run_termination(txn, 0);
+      });
+}
+
+void DataManager::run_termination(TxnId txn, size_t participant_idx) {
+  DM_TRACE(txn, "run_termination");
+  TxnCtx* ctx = find_ctx(txn);
+  if (ctx == nullptr || !ctx->prepared) return; // resolved meanwhile
+  // Target 0 is the coordinator; then the other participants in turn.
+  SiteId target = kInvalidSite;
+  size_t idx = participant_idx;
+  if (idx == 0) {
+    target = ctx->coordinator;
+  } else {
+    size_t seen = 0;
+    for (SiteId p : ctx->participants) {
+      if (p == self_ || p == ctx->coordinator) continue;
+      if (++seen == idx) {
+        target = p;
+        break;
+      }
+    }
+  }
+  if (target == kInvalidSite) {
+    // Exhausted everyone without an answer: blocked (inherent to 2PC);
+    // retry the whole round later.
+    const uint64_t epoch = boot_epoch_;
+    ctx->termination_timer =
+        sched_.after(5 * cfg_.rpc_timeout, [this, txn, epoch]() {
+          if (epoch != boot_epoch_) return;
+          run_termination(txn, 0);
+        });
+    metrics_.inc("dm.termination_blocked_round");
+    return;
+  }
+  const uint64_t epoch = boot_epoch_;
+  metrics_.inc("dm.termination_queries");
+  rpc_.send_request(
+      target, OutcomeQuery{txn}, cfg_.rpc_timeout,
+      [this, txn, idx, epoch](Code code, const Payload* payload) {
+        if (epoch != boot_epoch_) return;
+        TxnCtx* c = find_ctx(txn);
+        if (c == nullptr || !c->prepared) return;
+        if (code == Code::kOk && payload != nullptr) {
+          const auto& resp = std::get<OutcomeResp>(*payload);
+          if (resp.outcome == Outcome::kCommitted) {
+            apply_commit(*c, resp.new_counters);
+            metrics_.inc("dm.termination_committed");
+            return;
+          }
+          if (resp.outcome == Outcome::kAborted) {
+            finish_abort(txn, /*log_abort=*/true);
+            metrics_.inc("dm.termination_aborted");
+            return;
+          }
+        }
+        run_termination(txn, idx + 1);
+      });
+}
+
+void DataManager::on_outcome_query(const Envelope& env) {
+  const auto& req = std::get<OutcomeQuery>(env.payload);
+  OutcomeResp resp;
+  resp.txn = req.txn;
+  if (const OutcomeRec* rec = stable_.find_outcome(req.txn)) {
+    resp.outcome = rec->committed ? Outcome::kCommitted : Outcome::kAborted;
+    resp.new_counters = rec->new_counters;
+  } else if (txn_coordinator_site(req.txn) == self_) {
+    // Presumed abort: we coordinated it and have no stable commit record.
+    resp.outcome = Outcome::kAborted;
+  } else {
+    resp.outcome = Outcome::kUnknown;
+  }
+  rpc_.respond(env, std::move(resp));
+}
+
+// ---------------------------------------------------------------------------
+// ping / spool
+
+void DataManager::on_ping(const Envelope& env) {
+  rpc_.respond(env, Pong{state_.mode == SiteMode::kUp, state_.session});
+}
+
+void DataManager::on_spool_fetch(const Envelope& env) {
+  const auto& req = std::get<SpoolFetchReq>(env.payload);
+  SpoolFetchResp resp;
+  resp.code = Code::kOk;
+  resp.records = stable_.spool().records_for(req.for_site);
+  rpc_.respond(env, std::move(resp));
+}
+
+void DataManager::on_spool_trim(const Envelope& env) {
+  const auto& req = std::get<SpoolTrimReq>(env.payload);
+  stable_.spool().trim(req.for_site);
+  rpc_.respond(env, AckResp{0, Code::kOk});
+}
+
+// ---------------------------------------------------------------------------
+// recovery-time local operations
+
+void DataManager::stage_recovery_actions(TxnId txn, std::vector<ItemId> marks,
+                                         std::vector<StatusEntry> ml_rebuild,
+                                         std::vector<SpoolRecord> replay) {
+  TxnCtx& ctx = ctx_of(txn, TxnKind::kControlUp, self_);
+  ctx.recovery_actions = true;
+  ctx.marks = std::move(marks);
+  ctx.ml_rebuild = std::move(ml_rebuild);
+  ctx.replay = std::move(replay);
+}
+
+void DataManager::mark_items(const std::vector<ItemId>& items) {
+  size_t n = 0;
+  for (ItemId item : items) {
+    if (is_data_item(item) && kv().exists(item)) {
+      kv().mark_unreadable(item);
+      ++n;
+    }
+  }
+  metrics_.inc("dm.mark_all_items", static_cast<int64_t>(n));
+}
+
+size_t DataManager::apply_spool_records(
+    const std::vector<SpoolRecord>& recs) {
+  size_t applied = 0;
+  for (const auto& r : recs) {
+    const Copy* c = kv().find(r.item);
+    if (c == nullptr) continue; // not hosted here
+    if (c->version < r.version) {
+      const bool was_marked = c->unreadable;
+      kv().install(r.item, r.value, r.version);
+      if (was_marked) kv().mark_unreadable(r.item); // replay is not refresh
+      if (recorder_) {
+        recorder_->add_write(r.version.writer, self_, r.item,
+                             r.version.counter, r.value,
+                             /*copier_install=*/true);
+      }
+      ++applied;
+    }
+  }
+  metrics_.inc("dm.spool_applied", static_cast<int64_t>(applied));
+  return applied;
+}
+
+// ---------------------------------------------------------------------------
+// crash / boot / in-doubt resolution
+
+void DataManager::crash() {
+  ++boot_epoch_;
+  lm_.clear();
+  status_.clear();
+  ctxs_.clear();
+  chains_.clear();
+  parked_.clear();
+  locally_aborted_.clear();
+  deadlock_check_scheduled_ = false;
+}
+
+void DataManager::boot() {
+  ++boot_epoch_;
+  deadlock_check_scheduled_ = false;
+  // Rebuild the stable outcome log from the WAL (defensive; outcomes are
+  // themselves recorded durably at apply time).
+  for (const auto& rec : stable_.wal().records()) {
+    if (rec.kind == WalRecord::Kind::kCommit &&
+        stable_.find_outcome(rec.txn) == nullptr) {
+      stable_.record_outcome(rec.txn, OutcomeRec{true, rec.new_counters});
+    } else if (rec.kind == WalRecord::Kind::kAbort &&
+               stable_.find_outcome(rec.txn) == nullptr) {
+      stable_.record_outcome(rec.txn, OutcomeRec{false, {}});
+    }
+  }
+}
+
+void DataManager::resolve_in_doubt(
+    const WalRecord& rec, bool committed,
+    const std::vector<std::pair<ItemId, uint64_t>>& new_counters) {
+  if (!committed) {
+    stable_.wal().append(WalRecord{WalRecord::Kind::kAbort, rec.txn,
+                                   rec.txn_kind, rec.coordinator, {}, {}});
+    stable_.record_outcome(rec.txn, OutcomeRec{false, {}});
+    metrics_.inc("dm.indoubt_aborted");
+    return;
+  }
+  auto counter_of = [&new_counters](ItemId item) -> uint64_t {
+    for (const auto& [i, c] : new_counters) {
+      if (i == item) return c;
+    }
+    return 0;
+  };
+  for (const auto& w : rec.writes) {
+    const Copy* c = kv().find(w.item);
+    const Version v = w.is_copier_write
+                          ? w.copier_version
+                          : Version{counter_of(w.item), rec.txn};
+    if (c != nullptr && c->version >= v) continue; // superseded while down
+    // Redo installs the value but must preserve an unreadable mark: this
+    // copy may still be missing *later* updates that recovery marking is
+    // about to (or already did) flag.
+    const bool was_marked = c != nullptr && c->unreadable;
+    kv().install(w.item, w.value, v);
+    if (was_marked) kv().mark_unreadable(w.item);
+    if (recorder_) {
+      recorder_->add_write(rec.txn, self_, w.item, v.counter, w.value,
+                           w.is_copier_write);
+    }
+    // Re-create the Section-5 bookkeeping this write implied.
+    if (is_data_item(w.item) &&
+        cfg_.recovery_scheme == RecoveryScheme::kSessionVector) {
+      if (cfg_.outdated_strategy == OutdatedStrategy::kMissingList) {
+        for (SiteId d : w.missed_sites) status_.ml_add(w.item, d);
+      } else if (cfg_.outdated_strategy == OutdatedStrategy::kFailLock &&
+                 !w.missed_sites.empty()) {
+        status_.fl_add(w.item);
+      }
+    }
+  }
+  stable_.wal().append(WalRecord{WalRecord::Kind::kCommit, rec.txn,
+                                 rec.txn_kind, rec.coordinator, {},
+                                 new_counters});
+  stable_.record_outcome(rec.txn, OutcomeRec{true, new_counters});
+  metrics_.inc("dm.indoubt_committed");
+}
+
+// ---------------------------------------------------------------------------
+// misc helpers
+
+void DataManager::maybe_checkpoint_wal() {
+  if (cfg_.wal_checkpoint_threshold == 0) return;
+  if (stable_.wal().size() < cfg_.wal_checkpoint_threshold) return;
+  // Participant-side outcome records duplicate the WAL's resolution facts
+  // and exist only to answer other participants' termination queries
+  // faster than waiting for the coordinator; they can be garbage-collected
+  // with the checkpoint. Coordinator decision records are authoritative
+  // under presumed abort and are only dropped by ack collection.
+  for (const WalRecord& rec : stable_.wal().records()) {
+    if (rec.kind != WalRecord::Kind::kPrepare &&
+        txn_coordinator_site(rec.txn) != self_) {
+      stable_.forget_outcome(rec.txn);
+    }
+  }
+  stable_.wal().truncate_resolved();
+  metrics_.inc("dm.wal_checkpoints");
+}
+
+void DataManager::reply_code(const Envelope& env, Code code) {
+  std::visit(
+      [&](const auto& payload) {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, ReadReq>) {
+          rpc_.respond(env, ReadResp{payload.txn, payload.item, code, 0, {}});
+        } else if constexpr (std::is_same_v<T, WriteReq>) {
+          rpc_.respond(env, WriteResp{payload.txn, payload.item, code});
+        } else if constexpr (std::is_same_v<T, StatusReadReq>) {
+          StatusReadResp resp;
+          resp.txn = payload.txn;
+          resp.code = code;
+          rpc_.respond(env, std::move(resp));
+        } else if constexpr (std::is_same_v<T, StatusClearReq>) {
+          rpc_.respond(env, StatusClearResp{payload.txn, code});
+        } else if constexpr (std::is_same_v<T, PrepareReq>) {
+          rpc_.respond(env, PrepareResp{payload.txn, false, {}});
+        } else if constexpr (std::is_same_v<T, CommitReq> ||
+                             std::is_same_v<T, AbortReq>) {
+          rpc_.respond(env, AckResp{payload.txn, code});
+        }
+      },
+      env.payload);
+}
+
+void DataManager::unpark_reads(ItemId item) {
+  auto it = parked_.find(item);
+  if (it == parked_.end()) return;
+  std::vector<Envelope> envs = std::move(it->second);
+  parked_.erase(it);
+  const uint64_t epoch = boot_epoch_;
+  for (auto& env : envs) {
+    sched_.after(1, [this, env = std::move(env), epoch]() {
+      if (epoch != boot_epoch_) return;
+      handle_request(env);
+    });
+  }
+}
+
+void DataManager::drop_parked(TxnId txn) {
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    auto& vec = it->second;
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [txn](const Envelope& e) {
+                               const auto* r = std::get_if<ReadReq>(&e.payload);
+                               return r != nullptr && r->txn == txn;
+                             }),
+              vec.end());
+    it = vec.empty() ? parked_.erase(it) : std::next(it);
+  }
+}
+
+size_t DataManager::parked_read_count() const {
+  size_t n = 0;
+  for (const auto& [item, vec] : parked_) n += vec.size();
+  return n;
+}
+
+} // namespace ddbs

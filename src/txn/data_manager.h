@@ -1,0 +1,210 @@
+// The data manager (DM) of one site: "carries out the physical operations
+// on the copies stored at the site" (paper Section 2). Concretely it
+//
+//   * enforces the session check: every non-control request carries the
+//     sender's perceived session number ns_i[k] and is rejected unless it
+//     equals as[k] (Section 3.2);
+//   * runs strict two-phase locking over physical copies, NS copies and
+//     the per-down-site status-table lock items;
+//   * is a two-phase-commit participant (WAL prepare/commit/abort records,
+//     yes-votes carry per-item version counters, cooperative termination
+//     when the coordinator goes silent);
+//   * maintains the Section-5 bookkeeping at commit time: missing-list /
+//     fail-lock additions for skipped copies, removals for written copies,
+//     spool records in spooler mode, and unreadable-mark transitions;
+//   * answers pings, outcome queries and spool fetches;
+//   * parks reads that hit an unreadable copy (kBlock) or rejects them so
+//     the TM can redirect (kRedirect), triggering an on-demand copier
+//     either way.
+//
+// Volatile state (locks, transaction contexts, parked reads, status tables)
+// is wiped by crash(); the KV image, WAL, spool and outcome log live in
+// StableStorage and survive.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "net/rpc.h"
+#include "recovery/status_tables.h"
+#include "replication/session.h"
+#include "sim/scheduler.h"
+#include "storage/stable_storage.h"
+#include "txn/lock_manager.h"
+#include "verify/history.h"
+
+namespace ddbs {
+
+class DataManager {
+ public:
+  using UnreadableHook = std::function<void(ItemId)>;
+
+  DataManager(SiteId self, const Config& cfg, Scheduler& sched,
+              RpcEndpoint& rpc, StableStorage& stable, SiteState& state,
+              Metrics& metrics, HistoryRecorder* recorder);
+
+  // Entry point for every request envelope addressed to this site.
+  void handle_request(const Envelope& env);
+
+  // ---- local coupling with the recovery manager (same site) -------------
+
+  // Stage recovery-time effects inside the type-1 control transaction
+  // `txn`: marks to set, missing-list entries to rebuild, spool records to
+  // replay. Applied atomically when the control transaction commits.
+  void stage_recovery_actions(TxnId txn, std::vector<ItemId> marks,
+                              std::vector<StatusEntry> ml_rebuild,
+                              std::vector<SpoolRecord> replay);
+
+  // Mark-all strategy, step 2 of the recovery procedure: purely local,
+  // runs before the control transaction while no user activity exists.
+  // The recovery manager passes the hosted items that have at least one
+  // remote copy; a single-copy item cannot have missed an update (a
+  // ROWAA write with zero available targets fails), so marking it would
+  // only strand it as "totally failed".
+  void mark_items(const std::vector<ItemId>& items);
+
+  // Bulk-apply spooled records outside any transaction (version-guarded;
+  // used for the unlocked prefetch in spooler mode and for redo).
+  size_t apply_spool_records(const std::vector<SpoolRecord>& recs);
+
+  // ---- crash / boot ------------------------------------------------------
+
+  void crash();
+  void boot(); // after power-on: rebuild volatile outcome cache from WAL
+
+  std::vector<WalRecord> in_doubt() const { return stable_.wal().in_doubt(); }
+
+  // Apply/discard one in-doubt WAL record after learning its outcome.
+  void resolve_in_doubt(const WalRecord& rec, bool committed,
+                        const std::vector<std::pair<ItemId, uint64_t>>&
+                            new_counters);
+
+  // ---- wiring / introspection -------------------------------------------
+
+  void set_unreadable_hook(UnreadableHook h) { unreadable_hook_ = std::move(h); }
+
+  KvStore& kv() { return stable_.kv(); }
+  const KvStore& kv() const { return stable_.kv(); }
+  StatusTable& status_table() { return status_; }
+  LockManager& locks() { return lm_; }
+  size_t active_txn_count() const { return ctxs_.size(); }
+  size_t parked_read_count() const;
+
+ private:
+  struct StagedWrite {
+    Value value = 0;
+    bool is_copier = false;
+    Version copier_version;
+    std::vector<SiteId> missed;
+    std::vector<SiteId> written;
+  };
+
+  struct TxnCtx {
+    TxnId txn = 0;
+    TxnKind kind = TxnKind::kUser;
+    SiteId coordinator = kInvalidSite;
+    bool prepared = false;
+    bool logged_prepare = false;
+    std::map<ItemId, StagedWrite> writes;
+    bool status_clear = false;
+    SiteId clear_for = kInvalidSite;
+    bool clear_fail_locks = false;
+    bool recovery_actions = false;
+    std::vector<ItemId> marks;
+    std::vector<StatusEntry> ml_rebuild;
+    std::vector<SpoolRecord> replay;
+    std::vector<SiteId> participants;
+    EventId termination_timer = 0;
+    EventId activity_timer = 0; // unilateral abort of orphaned contexts
+  };
+
+  // One in-flight request waiting on a chain of locks.
+  struct Chain {
+    uint64_t id = 0;
+    TxnId txn = 0;
+    Envelope env;
+    std::vector<std::pair<ItemId, LockMode>> locks; // remaining
+    LockManager::RequestId rid = 0;                 // current wait, 0 if none
+    EventId timer = 0;
+    std::function<void()> on_done;
+    // Grant-callback handshake. These live in the chain (NOT on the
+    // acquiring stack frame): the callback may run long after
+    // advance_chain() returned, when a conflicting holder releases.
+    bool in_acquire = false;
+    bool sync_granted = false;
+  };
+
+  // ---- handlers ----
+  void on_read(const Envelope& env);
+  void on_write(const Envelope& env);
+  void on_status_read(const Envelope& env);
+  void on_status_clear(const Envelope& env);
+  void on_prepare(const Envelope& env);
+  void on_commit(const Envelope& env);
+  void on_abort(const Envelope& env);
+  void on_outcome_query(const Envelope& env);
+  void on_ping(const Envelope& env);
+  void on_spool_fetch(const Envelope& env);
+  void on_spool_trim(const Envelope& env);
+
+  // ---- helpers ----
+  TxnCtx& ctx_of(TxnId txn, TxnKind kind, SiteId coordinator);
+  TxnCtx* find_ctx(TxnId txn);
+  // Admission: mode + session checks shared by read/write/status ops.
+  // Returns kOk or the rejection code.
+  Code admit(TxnKind kind, SessionNum expected, bool bypass) const;
+
+  void start_chain(TxnId txn, const Envelope& env,
+                   std::vector<std::pair<ItemId, LockMode>> locks,
+                   std::function<void()> on_done);
+  void advance_chain(const std::shared_ptr<Chain>& chain);
+  void fail_chains_of(TxnId txn, Code code);
+  void schedule_deadlock_check();
+  void run_deadlock_check();
+
+  void serve_read(const Envelope& env);
+  void finish_abort(TxnId txn, bool log_abort);
+  void apply_commit(TxnCtx& ctx,
+                    const std::vector<std::pair<ItemId, uint64_t>>& counters);
+  void install_write(TxnId writer, ItemId item, const StagedWrite& w,
+                     uint64_t counter);
+  void reply_code(const Envelope& env, Code code); // typed error response
+  void unpark_reads(ItemId item);
+  void drop_parked(TxnId txn);
+  void arm_termination_timer(TxnId txn);
+  void run_termination(TxnId txn, size_t participant_idx);
+  void maybe_checkpoint_wal();
+
+  SiteId self_;
+  const Config& cfg_;
+  Scheduler& sched_;
+  RpcEndpoint& rpc_;
+  StableStorage& stable_;
+  SiteState& state_;
+  Metrics& metrics_;
+  HistoryRecorder* recorder_;
+
+  LockManager lm_;
+  StatusTable status_;
+  std::unordered_map<TxnId, TxnCtx> ctxs_;
+  std::unordered_map<TxnId, std::vector<std::shared_ptr<Chain>>> chains_;
+  std::map<ItemId, std::vector<Envelope>> parked_;
+  // Once a transaction is aborted here, later messages for it must not
+  // resurrect a partial context (reply kAborted / vote no instead).
+  std::unordered_set<TxnId> locally_aborted_;
+  UnreadableHook unreadable_hook_;
+  uint64_t next_chain_ = 1;
+  bool deadlock_check_scheduled_ = false;
+  uint64_t boot_epoch_ = 0; // guards stale timer callbacks across crashes
+};
+
+} // namespace ddbs

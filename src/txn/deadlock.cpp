@@ -1,0 +1,79 @@
+#include "txn/deadlock.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ddbs {
+
+namespace {
+
+// Priority for victim selection: higher aborts first.
+int kind_priority(TxnKind k) {
+  switch (k) {
+    case TxnKind::kUser: return 3;
+    case TxnKind::kCopier: return 2;
+    case TxnKind::kControlUp: return 1;
+    case TxnKind::kControlDown: return 0;
+  }
+  return 3;
+}
+
+} // namespace
+
+std::optional<TxnId> DeadlockDetector::find_victim(
+    const std::vector<std::pair<TxnId, TxnId>>& edges,
+    const std::vector<DeadlockCandidate>& candidates) {
+  // Adjacency.
+  std::unordered_map<TxnId, std::vector<TxnId>> adj;
+  std::unordered_set<TxnId> nodes;
+  for (const auto& [a, b] : edges) {
+    adj[a].push_back(b);
+    nodes.insert(a);
+    nodes.insert(b);
+  }
+
+  // Iterative DFS with colors to collect the set of nodes on some cycle.
+  std::unordered_map<TxnId, int> color; // 0 white, 1 gray, 2 black
+  std::unordered_set<TxnId> on_cycle;
+  std::vector<TxnId> stack_path;
+
+  std::function<void(TxnId)> dfs = [&](TxnId u) {
+    color[u] = 1;
+    stack_path.push_back(u);
+    auto it = adj.find(u);
+    if (it != adj.end()) {
+      for (TxnId v : it->second) {
+        if (color[v] == 1) {
+          // back edge: everything from v to top of path is on a cycle
+          for (auto rit = stack_path.rbegin(); rit != stack_path.rend();
+               ++rit) {
+            on_cycle.insert(*rit);
+            if (*rit == v) break;
+          }
+        } else if (color[v] == 0) {
+          dfs(v);
+        }
+      }
+    }
+    color[u] = 2;
+    stack_path.pop_back();
+  };
+  for (TxnId n : nodes) {
+    if (color[n] == 0) dfs(n);
+  }
+  if (on_cycle.empty()) return std::nullopt;
+
+  const DeadlockCandidate* best = nullptr;
+  for (const auto& c : candidates) {
+    if (!on_cycle.count(c.txn)) continue;
+    if (!best || kind_priority(c.kind) > kind_priority(best->kind) ||
+        (kind_priority(c.kind) == kind_priority(best->kind) &&
+         c.txn > best->txn)) {
+      best = &c;
+    }
+  }
+  if (!best) return std::nullopt;
+  return best->txn;
+}
+
+} // namespace ddbs

@@ -1,0 +1,34 @@
+// Local wait-for-graph deadlock detection. Each DM runs this over its own
+// lock manager's wait edges; cross-site cycles (which a local WFG cannot
+// see) fall back to the lock-wait timeout. Victim policy: abort a *waiting*
+// transaction on the cycle, preferring user transactions over copiers and
+// copiers over control transactions (the paper wants recovery to make
+// progress), then the youngest.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ddbs {
+
+struct DeadlockCandidate {
+  TxnId txn = 0;
+  TxnKind kind = TxnKind::kUser;
+};
+
+class DeadlockDetector {
+ public:
+  // Finds a cycle in `edges` (waiter -> holder). Returns the chosen victim
+  // among cycle members that appear in `candidates` (i.e. are locally
+  // waiting and can be aborted here), or nullopt if no cycle / no local
+  // victim.
+  static std::optional<TxnId> find_victim(
+      const std::vector<std::pair<TxnId, TxnId>>& edges,
+      const std::vector<DeadlockCandidate>& candidates);
+};
+
+} // namespace ddbs

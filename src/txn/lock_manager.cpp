@@ -1,0 +1,192 @@
+#include "txn/lock_manager.h"
+
+#include <cassert>
+
+namespace ddbs {
+
+bool LockManager::compatible(const ItemLock& l, TxnId txn,
+                             LockMode mode) const {
+  for (const auto& [holder, hmode] : l.holders) {
+    if (holder == txn) continue; // own lock never conflicts (upgrade path)
+    if (mode == LockMode::kExclusive || hmode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LockManager::RequestId LockManager::acquire(TxnId txn, ItemId item,
+                                            LockMode mode, GrantFn on_grant) {
+  auto& l = locks_[item];
+
+  // Re-entrant: already holds an equal-or-stronger lock.
+  if (auto it = l.holders.find(txn); it != l.holders.end()) {
+    if (it->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      on_grant();
+      return 0;
+    }
+    // S -> X upgrade: grant in place when sole holder AND no earlier waiter
+    // is queued for X (prevents upgrade jumping over a waiting writer and
+    // starving it forever; a queued waiter will be granted fairly).
+    if (l.holders.size() == 1 && l.queue.empty()) {
+      it->second = LockMode::kExclusive;
+      on_grant();
+      return 0;
+    }
+    // Fall through: wait like everyone else. On grant the mode map is
+    // updated to X.
+  } else if (l.queue.empty() && compatible(l, txn, mode)) {
+    l.holders.emplace(txn, mode);
+    held_by_txn_[txn].insert(item);
+    on_grant();
+    return 0;
+  }
+
+  const RequestId id = next_req_++;
+  l.queue.push_back(Waiter{id, txn, mode, std::move(on_grant)});
+  waiting_index_.emplace(id, item);
+  return id;
+}
+
+bool LockManager::cancel(RequestId id) {
+  auto it = waiting_index_.find(id);
+  if (it == waiting_index_.end()) return false;
+  const ItemId item = it->second;
+  waiting_index_.erase(it);
+  auto& l = locks_[item];
+  for (auto qit = l.queue.begin(); qit != l.queue.end(); ++qit) {
+    if (qit->id == id) {
+      l.queue.erase(qit);
+      break;
+    }
+  }
+  pump(item, l);
+  return true;
+}
+
+void LockManager::pump(ItemId item, ItemLock& l) {
+  // Grant the longest compatible prefix of the queue (FIFO fairness: stop
+  // at the first waiter that cannot be granted).
+  while (!l.queue.empty()) {
+    Waiter& w = l.queue.front();
+    const bool upgrade = l.holders.count(w.txn) > 0;
+    bool ok;
+    if (upgrade) {
+      ok = l.holders.size() == 1; // sole holder may upgrade
+    } else {
+      ok = compatible(l, w.txn, w.mode);
+    }
+    if (!ok) break;
+    GrantFn grant = std::move(w.on_grant);
+    l.holders[w.txn] = upgrade ? LockMode::kExclusive : w.mode;
+    held_by_txn_[w.txn].insert(item);
+    waiting_index_.erase(w.id);
+    l.queue.pop_front();
+    grant();
+  }
+  if (l.queue.empty() && l.holders.empty()) locks_.erase(item);
+}
+
+void LockManager::release_all(TxnId txn) {
+  auto hit = held_by_txn_.find(txn);
+  std::vector<ItemId> to_pump;
+  if (hit != held_by_txn_.end()) {
+    for (ItemId item : hit->second) {
+      auto& l = locks_[item];
+      l.holders.erase(txn);
+      to_pump.push_back(item);
+    }
+    held_by_txn_.erase(hit);
+  }
+  // Cancel waiting requests of this txn everywhere.
+  std::vector<RequestId> stale;
+  for (const auto& [rid, item] : waiting_index_) {
+    auto& l = locks_[item];
+    for (const auto& w : l.queue) {
+      if (w.id == rid && w.txn == txn) {
+        stale.push_back(rid);
+        break;
+      }
+    }
+  }
+  for (RequestId rid : stale) {
+    const ItemId item = waiting_index_[rid];
+    waiting_index_.erase(rid);
+    auto& l = locks_[item];
+    for (auto qit = l.queue.begin(); qit != l.queue.end(); ++qit) {
+      if (qit->id == rid) {
+        l.queue.erase(qit);
+        break;
+      }
+    }
+    to_pump.push_back(item);
+  }
+  for (ItemId item : to_pump) {
+    auto it = locks_.find(item);
+    if (it != locks_.end()) pump(item, it->second);
+  }
+}
+
+std::vector<std::pair<TxnId, LockMode>> LockManager::holders_of(
+    ItemId item) const {
+  std::vector<std::pair<TxnId, LockMode>> out;
+  auto it = locks_.find(item);
+  if (it != locks_.end()) {
+    out.assign(it->second.holders.begin(), it->second.holders.end());
+  }
+  return out;
+}
+
+bool LockManager::holds(TxnId txn, ItemId item) const {
+  auto it = locks_.find(item);
+  return it != locks_.end() && it->second.holders.count(txn) > 0;
+}
+
+std::vector<std::pair<TxnId, TxnId>> LockManager::wait_edges() const {
+  std::vector<std::pair<TxnId, TxnId>> edges;
+  for (const auto& [item, l] : locks_) {
+    for (const auto& w : l.queue) {
+      for (const auto& [holder, mode] : l.holders) {
+        if (holder != w.txn) edges.emplace_back(w.txn, holder);
+      }
+      // A waiter also waits for earlier incompatible waiters (they will be
+      // granted first); modeling holder edges only is enough to catch real
+      // cycles because queue order is FIFO -- but queued X behind queued S
+      // can deadlock through two items with no holder edge, so include
+      // waiter -> earlier-waiter edges as well.
+      for (const auto& w2 : l.queue) {
+        if (w2.id == w.id) break;
+        if (w2.txn != w.txn &&
+            (w.mode == LockMode::kExclusive ||
+             w2.mode == LockMode::kExclusive)) {
+          edges.emplace_back(w.txn, w2.txn);
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<TxnId> LockManager::waiting_txns() const {
+  std::unordered_set<TxnId> seen;
+  std::vector<TxnId> out;
+  for (const auto& [item, l] : locks_) {
+    for (const auto& w : l.queue) {
+      if (seen.insert(w.txn).second) out.push_back(w.txn);
+    }
+  }
+  return out;
+}
+
+size_t LockManager::held_count(TxnId txn) const {
+  auto it = held_by_txn_.find(txn);
+  return it == held_by_txn_.end() ? 0 : it->second.size();
+}
+
+void LockManager::clear() {
+  locks_.clear();
+  held_by_txn_.clear();
+  waiting_index_.clear();
+}
+
+} // namespace ddbs

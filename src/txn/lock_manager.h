@@ -1,0 +1,83 @@
+// Strict two-phase locking: per-copy shared/exclusive locks with FIFO
+// queues and upgrade support. The lock manager is purely local to one
+// site's DM and purely mechanical -- wait policies (timeouts, deadlock
+// victims) are decided by the DM, which owns the timers.
+//
+// Grant callbacks may run synchronously from acquire() (uncontended path)
+// or later from release_all(); they must tolerate both.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ddbs {
+
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+class LockManager {
+ public:
+  using RequestId = uint64_t;
+  using GrantFn = std::function<void()>;
+
+  // Queue a lock request. If grantable now, `on_grant` runs synchronously
+  // and the returned id is already inactive. Re-entrant requests (same txn,
+  // same or weaker mode) are granted immediately; a sole-holder S->X
+  // upgrade is granted in place, otherwise the upgrade waits its turn.
+  RequestId acquire(TxnId txn, ItemId item, LockMode mode, GrantFn on_grant);
+
+  // Remove a waiting request without granting it (lock timeout / deadlock
+  // victim). Returns false if it was already granted or never existed.
+  bool cancel(RequestId id);
+
+  // Release everything `txn` holds and cancel everything it waits for,
+  // then grant newly compatible waiters (their callbacks run inside).
+  void release_all(TxnId txn);
+
+  bool holds(TxnId txn, ItemId item) const;
+  bool is_waiting(RequestId id) const { return waiting_index_.count(id) > 0; }
+
+  // Current holders of an item's lock (diagnostics / tests).
+  std::vector<std::pair<TxnId, LockMode>> holders_of(ItemId item) const;
+
+  // txn -> txn edges "waiter waits for holder", for the deadlock detector.
+  std::vector<std::pair<TxnId, TxnId>> wait_edges() const;
+
+  // Transactions currently waiting on at least one lock.
+  std::vector<TxnId> waiting_txns() const;
+
+  size_t held_count(TxnId txn) const;
+  void clear(); // site crash: all volatile lock state vanishes
+
+ private:
+  struct Waiter {
+    RequestId id;
+    TxnId txn;
+    LockMode mode;
+    GrantFn on_grant;
+  };
+  struct ItemLock {
+    // holders: txn -> mode (a txn appears once; X subsumes S)
+    std::unordered_map<TxnId, LockMode> holders;
+    std::deque<Waiter> queue;
+  };
+
+  bool compatible(const ItemLock& l, TxnId txn, LockMode mode) const;
+  void pump(ItemId item, ItemLock& l);
+
+  // std::map: node stability matters -- pump() holds a reference across
+  // grant callbacks that can re-enter acquire() and insert new items.
+  std::map<ItemId, ItemLock> locks_;
+  std::unordered_map<TxnId, std::unordered_set<ItemId>> held_by_txn_;
+  std::unordered_map<RequestId, ItemId> waiting_index_;
+  RequestId next_req_ = 1;
+};
+
+} // namespace ddbs

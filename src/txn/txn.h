@@ -1,0 +1,47 @@
+// Transaction identity and specification types shared by TM, DM and the
+// coordinators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace ddbs {
+
+// TxnIds embed the coordinator site so any participant can route a
+// cooperative-termination OutcomeQuery without extra state:
+//   txn = (site + 1) << 40 | per-site sequence number.
+constexpr TxnId make_txn_id(SiteId coordinator, uint64_t seq) {
+  return (static_cast<TxnId>(coordinator) + 1) << 40 | seq;
+}
+constexpr SiteId txn_coordinator_site(TxnId txn) {
+  return static_cast<SiteId>((txn >> 40) - 1);
+}
+constexpr uint64_t txn_seq(TxnId txn) { return txn & ((1ULL << 40) - 1); }
+
+enum class OpKind : uint8_t { kRead, kWrite };
+
+// A logical operation on a logical data item (paper Section 2).
+struct LogicalOp {
+  OpKind kind = OpKind::kRead;
+  ItemId item = 0;
+  Value value = 0; // kWrite only
+};
+
+struct TxnSpec {
+  SiteId origin = kInvalidSite;
+  std::vector<LogicalOp> ops;
+};
+
+// Why a transaction finished the way it did (metrics / client decisions).
+struct TxnResult {
+  TxnId txn = 0;
+  bool committed = false;
+  Code reason = Code::kOk; // abort reason when !committed
+  // Values returned by the logical READs, in op order (committed only).
+  std::vector<Value> reads;
+};
+
+} // namespace ddbs

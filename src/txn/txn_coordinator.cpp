@@ -1,0 +1,475 @@
+#include "txn/txn_coordinator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "replication/interpreter.h"
+
+namespace ddbs {
+
+CoordinatorBase::CoordinatorBase(TxnId txn, TxnKind kind,
+                                 const CoordinatorEnv& env)
+    : txn_(txn),
+      kind_(kind),
+      self_(env.self),
+      cfg_(*env.cfg),
+      sched_(*env.sched),
+      rpc_(*env.rpc),
+      cat_(*env.cat),
+      stable_(*env.stable),
+      state_(*env.state),
+      metrics_(*env.metrics),
+      recorder_(env.recorder) {
+  view_.assign(static_cast<size_t>(cfg_.n_sites), 0);
+  view_versions_.assign(static_cast<size_t>(cfg_.n_sites), Version{});
+  if (recorder_) recorder_->set_kind(txn_, kind_);
+}
+
+CoordinatorBase::~CoordinatorBase() {
+  for (EventId id : timers_) sched_.cancel(id);
+}
+
+void CoordinatorBase::schedule(SimTime delay, EventFn fn) {
+  timers_.push_back(sched_.after(delay, std::move(fn)));
+}
+
+void CoordinatorBase::retire_later() {
+  if (retired_) return;
+  retired_ = true;
+  // Deferred: the caller may still be on this object's stack.
+  if (retire_) {
+    sched_.after(1, [retire = retire_, txn = txn_]() { retire(txn); });
+  }
+}
+
+void CoordinatorBase::read_ns_vector(SiteId at, bool bypass,
+                                     SessionNum expected_at,
+                                     std::function<void(bool)> k,
+                                     const std::vector<SiteId>& skip) {
+  touch(at);
+  auto st = std::make_shared<NsReadState>();
+  st->at = at;
+  st->bypass = bypass;
+  st->expected = expected_at;
+  st->skip = skip;
+  st->k = std::move(k);
+  ns_read_step(std::move(st), 0);
+}
+
+// Sequential, in index order: control transactions write NS entries in the
+// same order, which keeps NS-lock deadlocks rare (and the detector catches
+// the rest). The state is owned by the in-flight RPC callback, not by a
+// self-referential closure (which would leak).
+void CoordinatorBase::ns_read_step(std::shared_ptr<NsReadState> st,
+                                   int idx) {
+  while (idx < cfg_.n_sites &&
+         std::find(st->skip.begin(), st->skip.end(),
+                   static_cast<SiteId>(idx)) != st->skip.end()) {
+    view_[static_cast<size_t>(idx)] = 0;
+    ++idx;
+  }
+  if (idx >= cfg_.n_sites) {
+    st->k(true);
+    return;
+  }
+  ReadReq req;
+  req.txn = txn_;
+  req.kind = kind_;
+  req.coordinator = self_;
+  req.item = ns_item(idx);
+  req.expected_session = st->expected;
+  req.bypass_session_check = st->bypass;
+  const SiteId at = st->at;
+  rpc_.send_request(
+      at, req, cfg_.lock_timeout + cfg_.rpc_timeout,
+      [this, idx, at, st = std::move(st)](Code code,
+                                          const Payload* payload) {
+        if (decided_) return;
+        if (code != Code::kOk) {
+          if (code == Code::kTimeout) suspect(at);
+          st->k(false);
+          return;
+        }
+        const auto& resp = std::get<ReadResp>(*payload);
+        if (resp.code != Code::kOk) {
+          st->k(false);
+          return;
+        }
+        view_[static_cast<size_t>(idx)] = static_cast<SessionNum>(resp.value);
+        view_versions_[static_cast<size_t>(idx)] = resp.version;
+        ns_read_step(st, idx + 1);
+      });
+}
+
+void CoordinatorBase::send_writes_seq(std::vector<PlannedWrite> writes,
+                                      std::function<void(bool, Code)> k) {
+  last_write_timeouts_.clear();
+  auto st = std::make_shared<WriteSeqState>();
+  st->writes = std::move(writes);
+  st->k = std::move(k);
+  write_seq_step(std::move(st), 0);
+}
+
+void CoordinatorBase::write_seq_step(std::shared_ptr<WriteSeqState> st,
+                                     size_t i) {
+  if (i >= st->writes.size()) {
+    st->k(true, Code::kOk);
+    return;
+  }
+  const SiteId to = st->writes[i].to;
+  touch(to);
+  const WriteReq req = st->writes[i].req;
+  rpc_.send_request(
+      to, req, cfg_.lock_timeout + cfg_.rpc_timeout,
+      [this, to, i, st = std::move(st)](Code code, const Payload* payload) {
+        if (decided_) return;
+        Code rc = code;
+        if (code == Code::kOk && payload != nullptr) {
+          rc = std::get<WriteResp>(*payload).code;
+        }
+        if (rc != Code::kOk) {
+          if (rc == Code::kTimeout) {
+            suspect(to);
+            last_write_timeouts_.push_back(to);
+          }
+          st->k(false, rc);
+          return;
+        }
+        write_seq_step(st, i + 1);
+      });
+}
+
+void CoordinatorBase::run_2pc(std::function<void(bool)> k) {
+  assert(!participants_.empty());
+  commit_k_ = std::move(k);
+  votes_pending_ = participants_.size();
+  any_no_ = false;
+  last_2pc_timeouts_.clear();
+  PrepareReq req;
+  req.txn = txn_;
+  req.coordinator = self_;
+  req.participants.assign(participants_.begin(), participants_.end());
+  for (SiteId p : req.participants) {
+    rpc_.send_request(
+        p, req, cfg_.rpc_timeout,
+        [this, p](Code code, const Payload* payload) {
+          if (decided_) return;
+          bool yes = false;
+          if (code == Code::kOk && payload != nullptr) {
+            const auto& resp = std::get<PrepareResp>(*payload);
+            yes = resp.vote_yes;
+            for (const auto& [item, ctr] : resp.version_counters) {
+              auto& slot = max_counters_[item];
+              if (ctr > slot) slot = ctr;
+            }
+          } else if (code == Code::kTimeout) {
+            suspect(p);
+            last_2pc_timeouts_.push_back(p);
+          }
+          if (!yes) any_no_ = true;
+          if (--votes_pending_ > 0) return;
+          decided_ = true;
+          if (any_no_) {
+            metrics_.inc("txn.2pc_vote_abort");
+            send_aborts();
+            if (recorder_) recorder_->abort(txn_);
+            auto cb = std::move(commit_k_);
+            if (cb) cb(false);
+            retire_later();
+            return;
+          }
+          // Commit: assign final version counters, log the decision
+          // durably (presumed abort), then tell everyone.
+          CommitReq creq;
+          creq.txn = txn_;
+          for (const auto& [item, ctr] : max_counters_) {
+            creq.new_counters.emplace_back(item, ctr + 1);
+          }
+          stable_.record_outcome(txn_, OutcomeRec{true, creq.new_counters});
+          if (recorder_) recorder_->commit(txn_, sched_.now());
+          acks_pending_ = participants_.size();
+          all_acks_ok_ = true;
+          for (SiteId q : participants_) {
+            rpc_.send_request(
+                q, creq, cfg_.rpc_timeout,
+                [this, q](Code acode, const Payload* apayload) {
+                  bool ok = false;
+                  if (acode == Code::kOk && apayload != nullptr) {
+                    const auto& ack = std::get<AckResp>(*apayload);
+                    ok = ack.code == Code::kOk;
+                  }
+                  if (!ok) all_acks_ok_ = false;
+                  if (q == self_) {
+                    // Local apply done: the caller may proceed.
+                    auto cb = std::move(commit_k_);
+                    if (cb) cb(true);
+                  }
+                  if (--acks_pending_ == 0) {
+                    if (all_acks_ok_) stable_.forget_outcome(txn_);
+                    retire_later();
+                  }
+                });
+          }
+          if (participants_.count(self_) == 0) {
+            // No local participant whose apply we could wait for; the
+            // decision itself is the caller's signal.
+            auto cb = std::move(commit_k_);
+            if (cb) cb(true);
+          }
+        });
+  }
+}
+
+void CoordinatorBase::run_read_only_commit(std::function<void(bool)> k) {
+  assert(!participants_.empty());
+  decided_ = true;
+  metrics_.inc("txn.read_only_one_phase");
+  if (recorder_) recorder_->commit(txn_, sched_.now());
+  commit_k_ = std::move(k);
+  acks_pending_ = participants_.size();
+  CommitReq creq;
+  creq.txn = txn_;
+  for (SiteId q : participants_) {
+    rpc_.send_request(q, creq, cfg_.rpc_timeout,
+                      [this, q](Code, const Payload*) {
+                        if (q == self_) {
+                          auto cb = std::move(commit_k_);
+                          if (cb) cb(true);
+                        }
+                        if (--acks_pending_ == 0) retire_later();
+                      });
+  }
+}
+
+void CoordinatorBase::send_aborts() {
+  for (SiteId p : participants_) {
+    rpc_.send_request(p, AbortReq{txn_}, cfg_.rpc_timeout,
+                      [](Code, const Payload*) {});
+  }
+}
+
+void CoordinatorBase::abort_txn(Code reason) {
+  if (decided_) return;
+  decided_ = true;
+  if (recorder_) recorder_->abort(txn_);
+  send_aborts();
+  report_aborted(reason);
+  retire_later();
+}
+
+void CoordinatorBase::report_aborted(Code reason) {
+  metrics_.inc(std::string("txn.abort.") + to_string(reason));
+  if (done_) {
+    TxnResult res;
+    res.txn = txn_;
+    res.committed = false;
+    res.reason = reason;
+    done_(res);
+  }
+}
+
+void CoordinatorBase::report_committed(std::vector<Value> reads) {
+  metrics_.inc("txn.committed");
+  if (done_) {
+    TxnResult res;
+    res.txn = txn_;
+    res.committed = true;
+    res.reads = std::move(reads);
+    done_(res);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UserTxnCoordinator
+
+UserTxnCoordinator::UserTxnCoordinator(TxnId txn, const CoordinatorEnv& env,
+                                       TxnSpec spec)
+    : CoordinatorBase(txn, TxnKind::kUser, env), spec_(std::move(spec)) {}
+
+void UserTxnCoordinator::start() {
+  // Overall deadline: a transaction stuck behind a parked read or a silent
+  // participant aborts rather than lingering forever.
+  schedule(cfg_.txn_timeout, [this]() {
+    if (!decided_) abort_txn(Code::kTimeout);
+  });
+  // "Each user transaction implicitly reads the local copy of the nominal
+  // session vector prior to any other operations" (Section 3.2). The TM
+  // knows its own site's actual session number (shared variable, S. 3.1).
+  read_ns_vector(self_, /*bypass=*/false, state_.session,
+                 [this](bool ok) {
+                   if (decided_) return;
+                   if (!ok) {
+                     abort_txn(Code::kAborted);
+                     return;
+                   }
+                   next_op();
+                 });
+}
+
+void UserTxnCoordinator::next_op() {
+  if (decided_) return;
+  if (op_idx_ >= spec_.ops.size()) {
+    auto finish = [this](bool committed) {
+      if (committed) {
+        report_committed(std::move(read_values_));
+      } else {
+        report_aborted(Code::kAborted);
+      }
+    };
+    const bool read_only = std::none_of(
+        spec_.ops.begin(), spec_.ops.end(),
+        [](const LogicalOp& op) { return op.kind == OpKind::kWrite; });
+    if (read_only && cfg_.read_only_one_phase) {
+      run_read_only_commit(std::move(finish));
+    } else {
+      run_2pc(std::move(finish));
+    }
+    return;
+  }
+  const LogicalOp& op = spec_.ops[op_idx_];
+  if (op.kind == OpKind::kRead) {
+    read_cands_ = read_candidates(cat_, cfg_.write_scheme, view_, op.item,
+                                  self_);
+    if (read_cands_.empty()) {
+      abort_txn(Code::kNoCopyAvailable);
+      return;
+    }
+    do_read(op, 0);
+  } else {
+    do_write(op);
+  }
+}
+
+void UserTxnCoordinator::do_read(const LogicalOp& op, size_t candidate_idx) {
+  if (decided_) return;
+  if (candidate_idx >= read_cands_.size()) {
+    abort_txn(Code::kNoCopyAvailable);
+    return;
+  }
+  const SiteId target = read_cands_[candidate_idx];
+  touch(target);
+  ReadReq req;
+  req.txn = txn_;
+  req.kind = kind_;
+  req.coordinator = self_;
+  req.item = op.item;
+  req.expected_session = view_[static_cast<size_t>(target)];
+  rpc_.send_request(
+      target, req, cfg_.lock_timeout + cfg_.rpc_timeout,
+      [this, op, candidate_idx, target](Code code, const Payload* payload) {
+        if (decided_) return;
+        Code rc = code;
+        const ReadResp* resp = nullptr;
+        if (code == Code::kOk && payload != nullptr) {
+          resp = &std::get<ReadResp>(*payload);
+          rc = resp->code;
+        }
+        switch (rc) {
+          case Code::kOk:
+            read_values_.push_back(resp->value);
+            ++op_idx_;
+            next_op();
+            return;
+          case Code::kUnreadable:
+            // "may read some other copy instead" (Section 3.2).
+            metrics_.inc("txn.read_redirect");
+            do_read(op, candidate_idx + 1);
+            return;
+          case Code::kTimeout:
+            suspect(target);
+            metrics_.inc("txn.read_failover");
+            do_read(op, candidate_idx + 1);
+            return;
+          case Code::kSessionMismatch:
+          case Code::kSiteNotOperational:
+            // Our frozen view is stale for this site; READ is a
+            // disjunction, so try the next copy.
+            metrics_.inc("txn.read_stale_view");
+            do_read(op, candidate_idx + 1);
+            return;
+          default:
+            abort_txn(rc);
+            return;
+        }
+      });
+}
+
+void UserTxnCoordinator::do_write(const LogicalOp& op) {
+  const WritePlan plan = write_plan(cat_, cfg_.write_scheme, view_, op.item);
+  if (!plan.feasible) {
+    metrics_.inc("txn.write_infeasible");
+    abort_txn(Code::kNoCopyAvailable);
+    return;
+  }
+  std::vector<PlannedWrite> writes;
+  writes.reserve(plan.targets.size());
+  for (SiteId target : plan.targets) { // ascending (catalog order)
+    WriteReq req;
+    req.txn = txn_;
+    req.kind = kind_;
+    req.coordinator = self_;
+    req.item = op.item;
+    req.expected_session = view_[static_cast<size_t>(target)];
+    req.value = op.value;
+    req.missed_sites = plan.missed;
+    req.written_sites = plan.targets;
+    writes.push_back({target, std::move(req)});
+  }
+  DDBS_TRACE << "txn " << txn_ << " do_write item " << op.item << " targets "
+             << writes.size() << " view " << to_string(view_);
+  auto done = [this](bool ok, Code code) {
+    if (decided_) return;
+    if (!ok) {
+      // WRITE is a conjunction over every nominally-up copy: one failure
+      // fails the logical operation (Section 2).
+      abort_txn(code);
+      return;
+    }
+    ++op_idx_;
+    next_op();
+  };
+  if (cfg_.canonical_write_order) {
+    send_writes_seq(std::move(writes), std::move(done));
+  } else {
+    // Ablation variant: acquire every copy's X-lock in parallel. Two
+    // writers of the same item can then deadlock ACROSS sites, invisible
+    // to any local wait-for graph -- bench_ablation measures the damage.
+    send_writes_parallel(std::move(writes), std::move(done));
+  }
+}
+
+void UserTxnCoordinator::send_writes_parallel(
+    std::vector<PlannedWrite> writes, std::function<void(bool, Code)> k) {
+  struct State {
+    size_t pending;
+    bool failed = false;
+    Code code = Code::kOk;
+    std::function<void(bool, Code)> k;
+  };
+  auto st = std::make_shared<State>();
+  st->pending = writes.size();
+  st->k = std::move(k);
+  for (auto& pw : writes) {
+    const SiteId to = pw.to;
+    touch(to);
+    rpc_.send_request(
+        to, std::move(pw.req), cfg_.lock_timeout + cfg_.rpc_timeout,
+        [this, to, st](Code code, const Payload* payload) {
+          if (decided_) return;
+          Code rc = code;
+          if (code == Code::kOk && payload != nullptr) {
+            rc = std::get<WriteResp>(*payload).code;
+          }
+          if (rc != Code::kOk) {
+            if (rc == Code::kTimeout) suspect(to);
+            st->failed = true;
+            if (st->code == Code::kOk) st->code = rc;
+          }
+          if (--st->pending > 0) return;
+          st->k(!st->failed, st->failed ? st->code : Code::kOk);
+        });
+  }
+}
+
+} // namespace ddbs

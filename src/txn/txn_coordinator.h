@@ -1,0 +1,194 @@
+// Transaction coordinators. CoordinatorBase owns the machinery every kind
+// of transaction shares: the nominal-session-vector snapshot, request
+// plumbing with suspicion reporting, presumed-abort two-phase commit with a
+// durable coordinator decision log, and deferred self-retirement.
+// UserTxnCoordinator drives ordinary transactions under the ROWAA
+// convention (paper Section 3.2); the copier and control coordinators in
+// src/recovery derive from the same base.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "common/types.h"
+#include "net/rpc.h"
+#include "replication/catalog.h"
+#include "replication/session.h"
+#include "sim/scheduler.h"
+#include "storage/stable_storage.h"
+#include "txn/txn.h"
+#include "verify/history.h"
+
+namespace ddbs {
+
+struct CoordinatorEnv {
+  SiteId self = kInvalidSite;
+  const Config* cfg = nullptr;
+  Scheduler* sched = nullptr;
+  RpcEndpoint* rpc = nullptr;
+  const Catalog* cat = nullptr;
+  StableStorage* stable = nullptr;
+  SiteState* state = nullptr;
+  Metrics* metrics = nullptr;
+  HistoryRecorder* recorder = nullptr;
+};
+
+class CoordinatorBase {
+ public:
+  using DoneFn = std::function<void(const TxnResult&)>;
+  using SuspectFn = std::function<void(SiteId)>;
+  using RetireFn = std::function<void(TxnId)>;
+
+  CoordinatorBase(TxnId txn, TxnKind kind, const CoordinatorEnv& env);
+  virtual ~CoordinatorBase();
+  CoordinatorBase(const CoordinatorBase&) = delete;
+  CoordinatorBase& operator=(const CoordinatorBase&) = delete;
+
+  virtual void start() = 0;
+
+  TxnId id() const { return txn_; }
+  TxnKind kind() const { return kind_; }
+
+  void set_done(DoneFn f) { done_ = std::move(f); }
+  void set_suspect_fn(SuspectFn f) { suspect_ = std::move(f); }
+  void set_retire_fn(RetireFn f) { retire_ = std::move(f); }
+
+ protected:
+  // Timer that is automatically cancelled when the coordinator dies.
+  void schedule(SimTime delay, EventFn fn);
+
+  // Read NS[0..n-1] at `at` in index order under shared locks, filling
+  // view_ / view_versions_. k(false) on any failure (txn should abort).
+  // Entries in `skip` are not read (and left 0 in view_): a type-2 control
+  // transaction skips the entries it is about to zero, so concurrent
+  // declarations acquire their X-locks in one canonical global order
+  // instead of deadlocking through read-at-self locks.
+  void read_ns_vector(SiteId at, bool bypass, SessionNum expected_at,
+                      std::function<void(bool)> k,
+                      const std::vector<SiteId>& skip = {});
+
+  // Mark a site as touched; it becomes a 2PC participant.
+  void touch(SiteId site) { participants_.insert(site); }
+
+  // Send the writes ONE AT A TIME in the given order. All writers of the
+  // same item use ascending site order, so X-locks on one item's copies are
+  // acquired in a canonical global order and multi-site writer/writer
+  // deadlocks (invisible to local wait-for graphs) cannot form.
+  // k(true) when all staged; k(false, code) on first failure (timeouts are
+  // reported through suspect()).
+  struct PlannedWrite {
+    SiteId to = kInvalidSite;
+    WriteReq req;
+  };
+  void send_writes_seq(std::vector<PlannedWrite> writes,
+                       std::function<void(bool, Code)> k);
+
+  // Async-chain state holders for the two sequential helpers. Owned by the
+  // in-flight RPC callbacks: no self-referential closures, no leaks.
+  struct NsReadState {
+    SiteId at = kInvalidSite;
+    bool bypass = false;
+    SessionNum expected = 0;
+    std::vector<SiteId> skip;
+    std::function<void(bool)> k;
+  };
+  struct WriteSeqState {
+    std::vector<PlannedWrite> writes;
+    std::function<void(bool, Code)> k;
+  };
+  void ns_read_step(std::shared_ptr<NsReadState> st, int idx);
+  void write_seq_step(std::shared_ptr<WriteSeqState> st, size_t i);
+
+  // Presumed-abort 2PC over participants_. k(true) fires once the decision
+  // is commit AND the local participant has applied (self is always a
+  // participant); k(false) fires on abort. Retirement is handled inside.
+  void run_2pc(std::function<void(bool)> k);
+
+  // Read-only optimization: no votes to collect, no redo to certify --
+  // one commit round releases every participant's shared locks. Safe here
+  // because a participant's unilateral (activity-timeout) abort can never
+  // precede the coordinator's own deadline: the coordinator's timer is
+  // armed at transaction start, strictly before any participant context
+  // exists, and the simulation is single-threaded.
+  void run_read_only_commit(std::function<void(bool)> k);
+
+  // Abort everywhere, report `reason` through done_, retire.
+  void abort_txn(Code reason);
+
+  // Report success through done_ (after run_2pc said true).
+  void report_committed(std::vector<Value> reads);
+  // Report an abort that was already executed (e.g. a no-vote in run_2pc).
+  void report_aborted(Code reason);
+
+  void suspect(SiteId s) {
+    if (suspect_) suspect_(s);
+  }
+  void retire_later();
+
+  const TxnId txn_;
+  const TxnKind kind_;
+  const SiteId self_;
+  const Config& cfg_;
+  Scheduler& sched_;
+  RpcEndpoint& rpc_;
+  const Catalog& cat_;
+  StableStorage& stable_;
+  SiteState& state_;
+  Metrics& metrics_;
+  HistoryRecorder* recorder_;
+
+  std::set<SiteId> participants_;
+  SessionVector view_;
+  std::vector<Version> view_versions_;
+  bool decided_ = false; // 2PC decision made (or unilateral abort)
+  // Participants whose prepare timed out in the last run_2pc (the caller
+  // may need to declare them down and retry -- recovery step 4).
+  std::vector<SiteId> last_2pc_timeouts_;
+  // Targets whose write timed out in the last send_writes_seq.
+  std::vector<SiteId> last_write_timeouts_;
+
+ private:
+  void send_aborts();
+
+  DoneFn done_;
+  SuspectFn suspect_;
+  RetireFn retire_;
+  std::vector<EventId> timers_;
+  bool retired_ = false;
+
+  // 2PC progress.
+  size_t votes_pending_ = 0;
+  bool any_no_ = false;
+  std::map<ItemId, uint64_t> max_counters_;
+  size_t acks_pending_ = 0;
+  bool all_acks_ok_ = true;
+  std::function<void(bool)> commit_k_;
+};
+
+// ---------------------------------------------------------------------------
+
+class UserTxnCoordinator : public CoordinatorBase {
+ public:
+  UserTxnCoordinator(TxnId txn, const CoordinatorEnv& env, TxnSpec spec);
+
+  void start() override;
+
+ private:
+  void next_op();
+  void do_read(const LogicalOp& op, size_t candidate_idx);
+  void do_write(const LogicalOp& op);
+  void send_writes_parallel(std::vector<PlannedWrite> writes,
+                            std::function<void(bool, Code)> k);
+
+  TxnSpec spec_;
+  size_t op_idx_ = 0;
+  std::vector<Value> read_values_;
+  std::vector<SiteId> read_cands_;
+};
+
+} // namespace ddbs

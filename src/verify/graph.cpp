@@ -1,0 +1,88 @@
+#include "verify/graph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace ddbs {
+
+void Digraph::add_node(TxnId n) { adj_.try_emplace(n); }
+
+void Digraph::add_edge(TxnId from, TxnId to) {
+  adj_[from].insert(to);
+  adj_.try_emplace(to);
+}
+
+bool Digraph::has_edge(TxnId from, TxnId to) const {
+  auto it = adj_.find(from);
+  return it != adj_.end() && it->second.count(to) > 0;
+}
+
+size_t Digraph::edge_count() const {
+  size_t n = 0;
+  for (const auto& [u, vs] : adj_) n += vs.size();
+  return n;
+}
+
+std::optional<std::vector<TxnId>> Digraph::find_cycle() const {
+  enum { kWhite, kGray, kBlack };
+  std::unordered_map<TxnId, int> color;
+  std::vector<TxnId> path;
+  std::optional<std::vector<TxnId>> cycle;
+
+  std::function<bool(TxnId)> dfs = [&](TxnId u) -> bool {
+    color[u] = kGray;
+    path.push_back(u);
+    auto it = adj_.find(u);
+    if (it != adj_.end()) {
+      for (TxnId v : it->second) {
+        if (color[v] == kGray) {
+          std::vector<TxnId> cyc;
+          auto pit = std::find(path.begin(), path.end(), v);
+          cyc.assign(pit, path.end());
+          cyc.push_back(v);
+          cycle = std::move(cyc);
+          return true;
+        }
+        if (color[v] == kWhite && dfs(v)) return true;
+      }
+    }
+    color[u] = kBlack;
+    path.pop_back();
+    return false;
+  };
+
+  for (const auto& [u, vs] : adj_) {
+    if (color[u] == kWhite && dfs(u)) break;
+  }
+  return cycle;
+}
+
+std::optional<std::vector<TxnId>> Digraph::topo_order() const {
+  std::unordered_map<TxnId, size_t> indeg;
+  for (const auto& [u, vs] : adj_) indeg.try_emplace(u, 0);
+  for (const auto& [u, vs] : adj_) {
+    for (TxnId v : vs) ++indeg[v];
+  }
+  std::vector<TxnId> ready;
+  for (const auto& [u, d] : indeg) {
+    if (d == 0) ready.push_back(u);
+  }
+  std::vector<TxnId> out;
+  while (!ready.empty()) {
+    // Deterministic order: smallest id first.
+    std::sort(ready.begin(), ready.end(), std::greater<TxnId>());
+    const TxnId u = ready.back();
+    ready.pop_back();
+    out.push_back(u);
+    auto it = adj_.find(u);
+    if (it != adj_.end()) {
+      for (TxnId v : it->second) {
+        if (--indeg[v] == 0) ready.push_back(v);
+      }
+    }
+  }
+  if (out.size() != adj_.size()) return std::nullopt;
+  return out;
+}
+
+} // namespace ddbs

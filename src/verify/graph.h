@@ -1,0 +1,36 @@
+// Small directed-graph utilities for the serializability checkers:
+// cycle detection with witness extraction and topological ordering.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ddbs {
+
+class Digraph {
+ public:
+  void add_node(TxnId n);
+  void add_edge(TxnId from, TxnId to); // adds nodes implicitly; self-loops kept
+
+  bool has_edge(TxnId from, TxnId to) const;
+  size_t node_count() const { return adj_.size(); }
+  size_t edge_count() const;
+
+  // Returns a cycle as a node sequence (first == last) if one exists.
+  std::optional<std::vector<TxnId>> find_cycle() const;
+
+  bool acyclic() const { return !find_cycle().has_value(); }
+
+  // Topological order; empty optional when cyclic.
+  std::optional<std::vector<TxnId>> topo_order() const;
+
+ private:
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> adj_;
+};
+
+} // namespace ddbs

@@ -1,0 +1,64 @@
+#include "verify/history.h"
+
+#include <algorithm>
+
+namespace ddbs {
+
+void HistoryRecorder::set_kind(TxnId txn, TxnKind kind) {
+  if (!enabled_) return;
+  auto& p = txns_[txn];
+  p.rec.txn = txn;
+  p.rec.kind = kind;
+}
+
+void HistoryRecorder::add_read(TxnId txn, SiteId site, ItemId item,
+                               TxnId from_writer, uint64_t from_counter) {
+  if (!enabled_) return;
+  auto& p = txns_[txn];
+  p.rec.txn = txn;
+  p.rec.reads.push_back(ReadEvent{site, item, from_writer, from_counter});
+}
+
+void HistoryRecorder::add_write(TxnId txn, SiteId site, ItemId item,
+                                uint64_t counter, Value value,
+                                bool copier_install) {
+  if (!enabled_) return;
+  auto& p = txns_[txn];
+  p.rec.txn = txn;
+  p.rec.writes.push_back(WriteEvent{site, item, counter, value, copier_install});
+}
+
+void HistoryRecorder::commit(TxnId txn, SimTime at) {
+  if (!enabled_) return;
+  auto& p = txns_[txn];
+  p.rec.txn = txn;
+  p.rec.commit_time = at;
+  p.committed = true;
+}
+
+void HistoryRecorder::abort(TxnId txn) {
+  if (!enabled_) return;
+  txns_.erase(txn);
+}
+
+History HistoryRecorder::snapshot() const {
+  History h;
+  for (const auto& [id, p] : txns_) {
+    if (p.committed) h.txns.push_back(p.rec);
+  }
+  std::sort(h.txns.begin(), h.txns.end(),
+            [](const TxnRecord& a, const TxnRecord& b) {
+              if (a.commit_time != b.commit_time)
+                return a.commit_time < b.commit_time;
+              return a.txn < b.txn;
+            });
+  return h;
+}
+
+size_t HistoryRecorder::committed_count() const {
+  size_t n = 0;
+  for (const auto& [id, p] : txns_) n += p.committed ? 1 : 0;
+  return n;
+}
+
+} // namespace ddbs

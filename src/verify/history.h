@@ -1,0 +1,69 @@
+// Global execution-history recorder feeding the serializability checkers
+// (paper Section 4). Records *physical* reads and writes of committed
+// transactions; aborted transactions contribute nothing (they are atomic,
+// Section 2). The recorder is outside the protocol -- an omniscient
+// observer used by tests, examples and the anomaly demo.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ddbs {
+
+struct ReadEvent {
+  SiteId site = kInvalidSite;
+  ItemId item = 0;
+  TxnId from_writer = 0;      // version.writer observed (0 = initial state)
+  uint64_t from_counter = 0;  // version.counter observed
+};
+
+struct WriteEvent {
+  SiteId site = kInvalidSite;
+  ItemId item = 0;
+  uint64_t counter = 0; // final version counter installed
+  Value value = 0;
+  bool copier_install = false; // installed by copier semantics
+};
+
+struct TxnRecord {
+  TxnId txn = 0;
+  TxnKind kind = TxnKind::kUser;
+  SimTime commit_time = kNoTime;
+  std::vector<ReadEvent> reads;
+  std::vector<WriteEvent> writes;
+};
+
+struct History {
+  std::vector<TxnRecord> txns; // committed only, by commit time
+};
+
+class HistoryRecorder {
+ public:
+  void set_kind(TxnId txn, TxnKind kind);
+  void add_read(TxnId txn, SiteId site, ItemId item, TxnId from_writer,
+                uint64_t from_counter);
+  void add_write(TxnId txn, SiteId site, ItemId item, uint64_t counter,
+                 Value value, bool copier_install);
+  void commit(TxnId txn, SimTime at);
+  void abort(TxnId txn);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool e) { enabled_ = e; }
+
+  // Committed transactions ordered by commit time.
+  History snapshot() const;
+
+  size_t committed_count() const;
+
+ private:
+  struct Pending {
+    TxnRecord rec;
+    bool committed = false;
+  };
+  std::unordered_map<TxnId, Pending> txns_;
+  bool enabled_ = true;
+};
+
+} // namespace ddbs

@@ -1,0 +1,39 @@
+// One-serializability checks with respect to DB (paper Section 4):
+//
+// 1. check_one_sr_graph: builds the *revised* 1-STG of Theorem 3's
+//    corollary -- READ-FROM edges resolved through copiers, write-order
+//    edges between non-copier writers of the same logical item, and
+//    read-before edges -- and tests acyclicity. Acyclic => the history is
+//    1-SR (sufficient condition).
+//
+// 2. check_one_sr_bruteforce: for small histories, enumerates serial
+//    orders of the non-copier transactions and checks equivalence of
+//    READ-FROM relations and final writes against a one-copy execution.
+//    Exact, used by property tests to validate (1).
+//
+// Copier resolution is implicit: a copier installs the source copy's
+// version tag, so any read of a refreshed copy already observes the
+// *original* non-copier writer in `from_writer` -- exactly the paper's
+// indirect READS-X-FROM.
+#pragma once
+
+#include "verify/sr_checker.h"
+
+namespace ddbs {
+
+// Revised 1-STG over data items only (NS excluded: one-serializability is
+// wanted "with respect to DB", Section 4.1).
+Digraph build_one_sr_graph(const History& h);
+
+CheckReport check_one_sr_graph(const History& h);
+
+struct BruteForceReport {
+  bool applicable = false; // false when too many transactions
+  bool one_sr = false;
+  std::vector<TxnId> witness_order; // a valid serial order when one_sr
+};
+
+BruteForceReport check_one_sr_bruteforce(const History& h,
+                                         size_t max_txns = 8);
+
+} // namespace ddbs

@@ -1,0 +1,151 @@
+#include "verify/sr_checker.h"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+#include <map>
+#include <sstream>
+
+namespace ddbs {
+
+namespace {
+
+struct CopyAccesses {
+  // writer txn by installed counter
+  std::map<uint64_t, TxnId> writers;
+  // readers with the counter they observed
+  std::vector<std::pair<uint64_t, TxnId>> readers;
+};
+
+std::string fmt_cycle(const std::vector<TxnId>& cyc) {
+  std::ostringstream os;
+  os << "cycle:";
+  for (TxnId t : cyc) os << " " << t;
+  return os.str();
+}
+
+} // namespace
+
+Digraph build_conflict_graph(const History& h) {
+  std::map<std::pair<SiteId, ItemId>, CopyAccesses> copies;
+  Digraph g;
+  for (const TxnRecord& t : h.txns) {
+    g.add_node(t.txn);
+    for (const WriteEvent& w : t.writes) {
+      auto& acc = copies[{w.site, w.item}];
+      // Two installs with the same counter on one copy can only be the
+      // same logical write redone (in-doubt redo); keep the first.
+      acc.writers.emplace(w.counter, t.txn);
+    }
+    for (const ReadEvent& r : t.reads) {
+      copies[{r.site, r.item}].readers.emplace_back(r.from_counter, t.txn);
+    }
+  }
+  for (auto& [key, acc] : copies) {
+    // ww: chain in counter order.
+    TxnId prev = 0;
+    bool have_prev = false;
+    for (const auto& [ctr, w] : acc.writers) {
+      if (have_prev && prev != w) g.add_edge(prev, w);
+      prev = w;
+      have_prev = true;
+    }
+    for (const auto& [ctr, reader] : acc.readers) {
+      // wr: the writer it read from (0 = initial state, no node).
+      auto wit = acc.writers.find(ctr);
+      if (wit != acc.writers.end() && wit->second != reader) {
+        g.add_edge(wit->second, reader);
+      }
+      // rw: the first later writer (the ww chain covers the rest).
+      auto nit = acc.writers.upper_bound(ctr);
+      if (nit != acc.writers.end() && nit->second != reader) {
+        g.add_edge(reader, nit->second);
+      }
+    }
+  }
+  return g;
+}
+
+SrOracleReport check_sr_bruteforce(const History& h, size_t max_txns) {
+  SrOracleReport rep;
+  if (h.txns.size() > max_txns) {
+    rep.applicable = false;
+    return rep;
+  }
+  rep.applicable = true;
+
+  struct PhysReads {
+    // (site, item) -> writer observed
+    std::vector<std::tuple<SiteId, ItemId, TxnId>> reads;
+    std::vector<std::pair<SiteId, ItemId>> writes;
+    TxnId txn = 0;
+  };
+  std::vector<PhysReads> txns;
+  std::map<std::pair<SiteId, ItemId>, std::pair<uint64_t, TxnId>> final_w;
+  for (const TxnRecord& t : h.txns) {
+    PhysReads p;
+    p.txn = t.txn;
+    for (const ReadEvent& r : t.reads) {
+      p.reads.emplace_back(r.site, r.item, r.from_writer);
+    }
+    for (const WriteEvent& w : t.writes) {
+      p.writes.emplace_back(w.site, w.item);
+      auto& slot = final_w[{w.site, w.item}];
+      if (w.counter > slot.first) slot = {w.counter, t.txn};
+    }
+    txns.push_back(std::move(p));
+  }
+
+  std::vector<size_t> perm(txns.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::sort(perm.begin(), perm.end());
+  do {
+    std::map<std::pair<SiteId, ItemId>, TxnId> last;
+    bool ok = true;
+    for (size_t idx : perm) {
+      const PhysReads& p = txns[idx];
+      for (const auto& [site, item, from] : p.reads) {
+        auto it = last.find({site, item});
+        const TxnId cur = it == last.end() ? 0 : it->second;
+        if (cur != from) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+      for (const auto& [site, item] : p.writes) last[{site, item}] = p.txn;
+    }
+    if (ok) {
+      for (const auto& [copy, winner] : final_w) {
+        auto it = last.find(copy);
+        if (it == last.end() || it->second != winner.second) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      rep.serializable = true;
+      for (size_t idx : perm) rep.witness_order.push_back(txns[idx].txn);
+      return rep;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  rep.serializable = false;
+  return rep;
+}
+
+CheckReport check_conflict_graph(const History& h) {
+  const Digraph g = build_conflict_graph(h);
+  CheckReport rep;
+  rep.nodes = g.node_count();
+  rep.edges = g.edge_count();
+  if (auto cyc = g.find_cycle()) {
+    rep.ok = false;
+    rep.detail = fmt_cycle(*cyc);
+  } else {
+    rep.ok = true;
+  }
+  return rep;
+}
+
+} // namespace ddbs

@@ -1,0 +1,99 @@
+#include "workload/runner.h"
+
+#include <memory>
+
+namespace ddbs {
+
+Runner::Runner(Cluster& cluster, RunnerParams params, uint64_t seed)
+    : cluster_(cluster), params_(std::move(params)), seed_(seed) {}
+
+SiteId Runner::pick_origin(SiteId home, Rng& rng) const {
+  if (!params_.client_failover ||
+      cluster_.site(home).state().operational()) {
+    return home;
+  }
+  std::vector<SiteId> ups;
+  for (SiteId s = 0; s < cluster_.n_sites(); ++s) {
+    if (cluster_.site(s).state().operational()) ups.push_back(s);
+  }
+  if (ups.empty()) return home;
+  return ups[static_cast<size_t>(
+      rng.uniform(0, static_cast<int64_t>(ups.size()) - 1))];
+}
+
+void Runner::account(const TxnResult& res, SimTime started) {
+  const SimTime now = cluster_.now();
+  const SimTime rel = now > start_time_ ? now - start_time_ : 0;
+  const size_t bucket = static_cast<size_t>(rel / params_.bucket);
+  auto ensure = [&](std::vector<int64_t>& v) {
+    if (v.size() <= bucket) v.resize(bucket + 1, 0);
+  };
+  if (res.committed) {
+    ++stats_.committed;
+    ensure(stats_.committed_per_bucket);
+    ++stats_.committed_per_bucket[bucket];
+    stats_.commit_latency_us.add(static_cast<double>(now - started));
+  } else {
+    ++stats_.aborted;
+    ensure(stats_.aborted_per_bucket);
+    ++stats_.aborted_per_bucket[bucket];
+    ++stats_.abort_reasons[to_string(res.reason)];
+  }
+}
+
+void Runner::client_loop(SiteId home, std::shared_ptr<WorkloadGen> gen,
+                         std::shared_ptr<Rng> rng) {
+  if (cluster_.now() >= end_time_) return;
+  const SiteId origin = pick_origin(home, *rng);
+  if (!cluster_.site(origin).state().operational()) {
+    // Nowhere to run: idle a while and re-check.
+    cluster_.scheduler().after(10 * params_.think_time,
+                               [this, home, gen, rng]() {
+                                 client_loop(home, gen, rng);
+                               });
+    return;
+  }
+  const SimTime started = cluster_.now();
+  ++stats_.submitted;
+  cluster_.submit(origin, gen->next(),
+                  [this, home, gen, rng, started](const TxnResult& res) {
+                    account(res, started);
+                    cluster_.scheduler().after(
+                        params_.think_time, [this, home, gen, rng]() {
+                          client_loop(home, gen, rng);
+                        });
+                  });
+}
+
+void Runner::spawn_client(SiteId home, uint64_t seed) {
+  auto gen = std::make_shared<WorkloadGen>(cluster_.config(),
+                                           params_.workload, seed);
+  auto rng = std::make_shared<Rng>(seed ^ 0xc11e47);
+  client_loop(home, gen, rng);
+}
+
+RunnerStats Runner::run() {
+  stats_ = RunnerStats{};
+  const SimTime start = cluster_.now();
+  start_time_ = start;
+  end_time_ = start + params_.duration;
+  for (const FailureEvent& ev : params_.schedule) {
+    if (ev.what == FailureEvent::What::kCrash) {
+      cluster_.crash_site_at(start + ev.at, ev.site);
+    } else {
+      cluster_.recover_site_at(start + ev.at, ev.site);
+    }
+  }
+  uint64_t client_seed = seed_;
+  for (SiteId s = 0; s < cluster_.n_sites(); ++s) {
+    for (int c = 0; c < params_.clients_per_site; ++c) {
+      spawn_client(s, ++client_seed * 0x9e37 + 17);
+    }
+  }
+  cluster_.run_until(end_time_);
+  // Let in-flight transactions finish so accounting is complete.
+  cluster_.settle();
+  return stats_;
+}
+
+} // namespace ddbs

@@ -1,0 +1,79 @@
+// Closed-loop workload driver over a Cluster: N clients per site, each
+// submitting the next transaction after a think time, with an optional
+// crash/recover schedule. Collects throughput/latency/abort statistics in
+// fixed-width time buckets so benches can print availability timelines.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/cluster.h"
+#include "workload/workload_gen.h"
+
+namespace ddbs {
+
+struct FailureEvent {
+  SimTime at = 0;
+  enum class What : uint8_t { kCrash, kRecover } what = What::kCrash;
+  SiteId site = kInvalidSite;
+};
+
+struct RunnerParams {
+  int clients_per_site = 2;
+  SimTime think_time = 2'000; // between a txn finishing and the next
+  SimTime duration = 5'000'000;
+  SimTime bucket = 250'000; // timeline resolution
+  WorkloadParams workload;
+  std::vector<FailureEvent> schedule;
+  // Clients at a down site fail over to an operational one when true.
+  bool client_failover = true;
+};
+
+struct RunnerStats {
+  int64_t submitted = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  std::map<std::string, int64_t> abort_reasons;
+  Histogram commit_latency_us;
+  std::vector<int64_t> committed_per_bucket;
+  std::vector<int64_t> aborted_per_bucket;
+
+  double commit_ratio() const {
+    return submitted == 0 ? 0.0
+                          : static_cast<double>(committed) /
+                                static_cast<double>(submitted);
+  }
+  double throughput_per_sec(SimTime duration) const {
+    return duration <= 0 ? 0.0
+                         : static_cast<double>(committed) * 1e6 /
+                               static_cast<double>(duration);
+  }
+};
+
+class Runner {
+ public:
+  Runner(Cluster& cluster, RunnerParams params, uint64_t seed);
+
+  // Runs the full scenario (blocking the simulated clock forward) and
+  // returns the statistics.
+  RunnerStats run();
+
+ private:
+  void spawn_client(SiteId home, uint64_t seed);
+  void client_loop(SiteId home, std::shared_ptr<WorkloadGen> gen,
+                   std::shared_ptr<Rng> rng);
+  SiteId pick_origin(SiteId home, Rng& rng) const;
+  void account(const TxnResult& res, SimTime started);
+
+  Cluster& cluster_;
+  RunnerParams params_;
+  uint64_t seed_;
+  SimTime start_time_ = 0;
+  SimTime end_time_ = 0;
+  RunnerStats stats_;
+};
+
+} // namespace ddbs

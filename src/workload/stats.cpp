@@ -1,0 +1,83 @@
+#include "workload/stats.h"
+
+#include <cstdio>
+
+namespace ddbs {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::set_header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      std::printf("%-*s  ", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  size_t total = header_.size() * 2;
+  for (size_t w : widths) total += w;
+  for (size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::integer(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string TablePrinter::ms(double micros) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", micros / 1000.0);
+  return buf;
+}
+
+std::string TablePrinter::pct(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+SeriesPrinter::SeriesPrinter(std::string title,
+                             std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void SeriesPrinter::add_point(std::vector<double> values) {
+  points_.push_back(std::move(values));
+}
+
+void SeriesPrinter::print() const {
+  std::printf("\n== %s ==\n# ", title_.c_str());
+  for (const auto& c : columns_) std::printf("%s ", c.c_str());
+  std::printf("\n");
+  for (const auto& p : points_) {
+    for (double v : p) std::printf("%.4f ", v);
+    std::printf("\n");
+  }
+}
+
+} // namespace ddbs

@@ -1,0 +1,43 @@
+// Plain-text table/series printers used by the benchmark harnesses to emit
+// paper-style rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ddbs {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title);
+
+  void set_header(std::vector<std::string> cols);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+  // Cell formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(int64_t v);
+  static std::string ms(double micros); // microseconds -> "12.3 ms"
+  static std::string pct(double fraction);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "Figure" output: one (x, series...) line per point, gnuplot-friendly.
+class SeriesPrinter {
+ public:
+  SeriesPrinter(std::string title, std::vector<std::string> columns);
+  void add_point(std::vector<double> values);
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> points_;
+};
+
+} // namespace ddbs

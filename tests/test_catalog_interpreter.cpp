@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "replication/catalog.h"
+#include "replication/interpreter.h"
+#include "txn/txn.h"
+
+namespace ddbs {
+namespace {
+
+Config cfg_with(int sites, int64_t items, int degree, uint64_t seed = 42) {
+  Config cfg;
+  cfg.n_sites = sites;
+  cfg.n_items = items;
+  cfg.replication_degree = degree;
+  cfg.placement_seed = seed;
+  return cfg;
+}
+
+TEST(Catalog, EveryItemHasExactlyDegreeDistinctSites) {
+  const Config cfg = cfg_with(6, 100, 3);
+  const Catalog cat = Catalog::make(cfg);
+  for (ItemId x = 0; x < 100; ++x) {
+    auto sites = cat.sites_of(x);
+    ASSERT_EQ(sites.size(), 3u) << "item " << x;
+    for (size_t i = 1; i < sites.size(); ++i) {
+      EXPECT_LT(sites[i - 1], sites[i]); // sorted & distinct
+    }
+    for (SiteId s : sites) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, 6);
+      EXPECT_TRUE(cat.has_copy(s, x));
+    }
+  }
+}
+
+TEST(Catalog, DegreeCappedAtSiteCount) {
+  const Config cfg = cfg_with(3, 10, 7);
+  const Catalog cat = Catalog::make(cfg);
+  for (ItemId x = 0; x < 10; ++x) {
+    EXPECT_EQ(cat.sites_of(x).size(), 3u);
+  }
+}
+
+TEST(Catalog, DeterministicForSeed) {
+  const Catalog a = Catalog::make(cfg_with(5, 50, 2, 7));
+  const Catalog b = Catalog::make(cfg_with(5, 50, 2, 7));
+  for (ItemId x = 0; x < 50; ++x) {
+    EXPECT_EQ(a.sites_of(x), b.sites_of(x));
+  }
+}
+
+TEST(Catalog, NsItemsEverywhereStatusItemsLocal) {
+  const Catalog cat = Catalog::make(cfg_with(4, 10, 2));
+  EXPECT_EQ(cat.sites_of(ns_item(2)).size(), 4u);
+  EXPECT_EQ(cat.sites_of(status_item(3)), (std::vector<SiteId>{3}));
+  EXPECT_TRUE(cat.has_copy(1, ns_item(0)));
+  EXPECT_TRUE(cat.has_copy(3, status_item(3)));
+  EXPECT_FALSE(cat.has_copy(2, status_item(3)));
+}
+
+TEST(Catalog, ItemsAtInvertsPlacement) {
+  const Catalog cat = Catalog::make(cfg_with(4, 30, 2));
+  size_t total = 0;
+  for (SiteId s = 0; s < 4; ++s) {
+    for (ItemId x : cat.items_at(s)) {
+      EXPECT_TRUE(cat.has_copy(s, x));
+    }
+    total += cat.items_at(s).size();
+  }
+  EXPECT_EQ(total, 60u); // 30 items x degree 2
+}
+
+TEST(ItemIdSpace, Helpers) {
+  EXPECT_TRUE(is_data_item(0));
+  EXPECT_TRUE(is_data_item(kNsBase - 1));
+  EXPECT_FALSE(is_data_item(ns_item(0)));
+  EXPECT_TRUE(is_ns_item(ns_item(3)));
+  EXPECT_EQ(ns_site(ns_item(3)), 3);
+  EXPECT_TRUE(is_status_item(status_item(2)));
+  EXPECT_EQ(status_site(status_item(2)), 2);
+}
+
+TEST(TxnIdSpace, RoundTrip) {
+  const TxnId t = make_txn_id(5, 12345);
+  EXPECT_EQ(txn_coordinator_site(t), 5);
+  EXPECT_EQ(txn_seq(t), 12345u);
+}
+
+// ---- interpreter ----
+
+struct InterpFixture : public ::testing::Test {
+  Config cfg = cfg_with(4, 10, 3, 11);
+  Catalog cat = Catalog::make(cfg);
+  SessionVector all_up{1, 1, 1, 1};
+};
+
+TEST_F(InterpFixture, ReadPrefersOrigin) {
+  for (ItemId x = 0; x < 10; ++x) {
+    for (SiteId origin : cat.sites_of(x)) {
+      auto cands =
+          read_candidates(cat, WriteScheme::kRowaa, all_up, x, origin);
+      ASSERT_FALSE(cands.empty());
+      EXPECT_EQ(cands.front(), origin);
+    }
+  }
+}
+
+TEST_F(InterpFixture, ReadSkipsDownSites) {
+  const ItemId x = 0;
+  auto sites = cat.sites_of(x);
+  SessionVector view = all_up;
+  view[static_cast<size_t>(sites[0])] = 0;
+  auto cands = read_candidates(cat, WriteScheme::kRowaa, view, x, sites[0]);
+  EXPECT_EQ(cands.size(), sites.size() - 1);
+  for (SiteId s : cands) EXPECT_NE(s, sites[0]);
+}
+
+TEST_F(InterpFixture, ReadFailsWhenAllCopiesDown) {
+  const ItemId x = 0;
+  SessionVector view{0, 0, 0, 0};
+  EXPECT_TRUE(
+      read_candidates(cat, WriteScheme::kRowaa, view, x, 0).empty());
+}
+
+TEST_F(InterpFixture, RowaaWritePlanSplitsTargetsAndMissed) {
+  const ItemId x = 0;
+  auto sites = cat.sites_of(x);
+  SessionVector view = all_up;
+  view[static_cast<size_t>(sites[1])] = 0;
+  const WritePlan plan = write_plan(cat, WriteScheme::kRowaa, view, x);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.targets.size(), sites.size() - 1);
+  EXPECT_EQ(plan.missed, (std::vector<SiteId>{sites[1]}));
+}
+
+TEST_F(InterpFixture, StrictRowaWriteFailsWithAnyDownCopy) {
+  const ItemId x = 0;
+  auto sites = cat.sites_of(x);
+  SessionVector view = all_up;
+  view[static_cast<size_t>(sites[1])] = 0;
+  const WritePlan plan = write_plan(cat, WriteScheme::kRowaStrict, view, x);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST_F(InterpFixture, RowaaWriteFailsOnlyWithNoCopyUp) {
+  const ItemId x = 0;
+  SessionVector view{0, 0, 0, 0};
+  EXPECT_FALSE(write_plan(cat, WriteScheme::kRowaa, view, x).feasible);
+  // One copy up is enough.
+  view[static_cast<size_t>(cat.sites_of(x)[0])] = 1;
+  EXPECT_TRUE(write_plan(cat, WriteScheme::kRowaa, view, x).feasible);
+}
+
+} // namespace
+} // namespace ddbs

@@ -1,0 +1,218 @@
+// Coordinator edge cases: empty transactions, read-own-write, one-phase
+// read-only commit, transaction deadlines, read failover order, and the
+// WAL checkpointing + outcome-log hygiene those paths rely on.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+
+namespace ddbs {
+namespace {
+
+Config cfg4() {
+  Config cfg;
+  cfg.n_sites = 4;
+  cfg.n_items = 30;
+  cfg.replication_degree = 3;
+  return cfg;
+}
+
+TEST(CoordinatorEdges, EmptyTransactionCommits) {
+  Cluster cluster(cfg4(), 1);
+  cluster.bootstrap();
+  // Only the implicit NS snapshot runs; it must still commit cleanly.
+  auto res = cluster.run_txn(0, {});
+  EXPECT_TRUE(res.committed);
+  EXPECT_TRUE(res.reads.empty());
+}
+
+TEST(CoordinatorEdges, ReadOwnWriteSeesStagedValue) {
+  Cluster cluster(cfg4(), 2);
+  cluster.bootstrap();
+  ASSERT_TRUE(cluster.run_txn(0, {{OpKind::kWrite, 5, 10}}).committed);
+  auto res = cluster.run_txn(0, {{OpKind::kWrite, 5, 77},
+                                 {OpKind::kRead, 5, 0}});
+  ASSERT_TRUE(res.committed);
+  ASSERT_EQ(res.reads.size(), 1u);
+  EXPECT_EQ(res.reads[0], 77); // the staged value, not the committed 10
+}
+
+TEST(CoordinatorEdges, RepeatedWritesToSameItemLastWins) {
+  Cluster cluster(cfg4(), 3);
+  cluster.bootstrap();
+  auto res = cluster.run_txn(0, {{OpKind::kWrite, 5, 1},
+                                 {OpKind::kWrite, 5, 2},
+                                 {OpKind::kWrite, 5, 3}});
+  ASSERT_TRUE(res.committed);
+  auto r = cluster.run_txn(1, {{OpKind::kRead, 5, 0}});
+  ASSERT_TRUE(r.committed);
+  EXPECT_EQ(r.reads[0], 3);
+}
+
+TEST(CoordinatorEdges, ReadOnlyOnePhaseSkipsVotes) {
+  Config cfg = cfg4();
+  cfg.read_only_one_phase = true;
+  Cluster cluster(cfg, 4);
+  cluster.bootstrap();
+  auto res = cluster.run_txn(0, {{OpKind::kRead, 1, 0},
+                                 {OpKind::kRead, 2, 0}});
+  ASSERT_TRUE(res.committed);
+  EXPECT_EQ(cluster.metrics().get("txn.read_only_one_phase"), 1);
+  EXPECT_EQ(cluster.metrics().get("dm.vote_no_unknown"), 0);
+  // Locks drained everywhere.
+  cluster.settle();
+  for (SiteId s = 0; s < 4; ++s) {
+    EXPECT_EQ(cluster.site(s).dm().active_txn_count(), 0u);
+  }
+}
+
+TEST(CoordinatorEdges, ReadOnlyFull2pcWhenDisabled) {
+  Config cfg = cfg4();
+  cfg.read_only_one_phase = false;
+  Cluster cluster(cfg, 5);
+  cluster.bootstrap();
+  auto res = cluster.run_txn(0, {{OpKind::kRead, 1, 0}});
+  ASSERT_TRUE(res.committed);
+  EXPECT_EQ(cluster.metrics().get("txn.read_only_one_phase"), 0);
+}
+
+TEST(CoordinatorEdges, MixedTxnStillUsesFull2pc) {
+  Cluster cluster(cfg4(), 6);
+  cluster.bootstrap();
+  auto res = cluster.run_txn(0, {{OpKind::kRead, 1, 0},
+                                 {OpKind::kWrite, 2, 9}});
+  ASSERT_TRUE(res.committed);
+  EXPECT_EQ(cluster.metrics().get("txn.read_only_one_phase"), 0);
+}
+
+TEST(CoordinatorEdges, ReadPrefersLocalCopy) {
+  Cluster cluster(cfg4(), 7);
+  cluster.bootstrap();
+  // Find an item hosted at site 0 and read it there: no remote data read
+  // should be needed (8 loopback NS reads + 1 loopback data read).
+  ItemId local_item = -1;
+  for (ItemId x : cluster.catalog().items_at(0)) {
+    local_item = x;
+    break;
+  }
+  ASSERT_NE(local_item, -1);
+  const uint64_t sent_before = cluster.network().messages_sent();
+  ASSERT_TRUE(cluster.run_txn(0, {{OpKind::kRead, local_item, 0}}).committed);
+  const uint64_t sent = cluster.network().messages_sent() - sent_before;
+  // NS snapshot (4 req+4 resp) + data read (2) + one-phase commit
+  // (2 per participant, 1 participant) = 12 envelopes, all loopback.
+  EXPECT_LE(sent, 14u);
+}
+
+TEST(CoordinatorEdges, DeadlineAbortsStuckTransaction) {
+  Config cfg = cfg4();
+  cfg.copier_mode = CopierMode::kOnDemand;
+  cfg.unreadable_policy = UnreadablePolicy::kBlock;
+  // Deadline BELOW the per-read timeout: a parked read cannot fail over
+  // before the transaction's own deadline fires.
+  cfg.txn_timeout = 100'000;
+  Cluster cluster(cfg, 8);
+  cluster.bootstrap();
+  // Manufacture a parked read that can never be served: mark a copy whose
+  // peers are all down.
+  cluster.crash_site(1);
+  cluster.crash_site(2);
+  cluster.crash_site(3);
+  cluster.run_until(cluster.now() + 800'000);
+  ItemId item = -1;
+  for (ItemId x : cluster.catalog().items_at(0)) {
+    if (cluster.catalog().sites_of(x).size() > 1) {
+      item = x;
+      break;
+    }
+  }
+  ASSERT_NE(item, -1);
+  cluster.site(0).stable().kv().mark_unreadable(item);
+  auto res = cluster.run_txn(0, {{OpKind::kRead, item, 0}});
+  EXPECT_FALSE(res.committed);
+  EXPECT_EQ(res.reason, Code::kTimeout);
+}
+
+TEST(CoordinatorEdges, BlockedReadFailsOverAfterReadTimeout) {
+  // Same scenario with a roomy deadline: the paper allows a blocked read
+  // to "read some other copy instead"; with no other copy available the
+  // logical READ fails rather than the transaction hanging.
+  Config cfg = cfg4();
+  cfg.copier_mode = CopierMode::kOnDemand;
+  cfg.unreadable_policy = UnreadablePolicy::kBlock;
+  Cluster cluster(cfg, 8);
+  cluster.bootstrap();
+  cluster.crash_site(1);
+  cluster.crash_site(2);
+  cluster.crash_site(3);
+  cluster.run_until(cluster.now() + 800'000);
+  ItemId item = -1;
+  for (ItemId x : cluster.catalog().items_at(0)) {
+    if (cluster.catalog().sites_of(x).size() > 1) {
+      item = x;
+      break;
+    }
+  }
+  ASSERT_NE(item, -1);
+  cluster.site(0).stable().kv().mark_unreadable(item);
+  auto res = cluster.run_txn(0, {{OpKind::kRead, item, 0}});
+  EXPECT_FALSE(res.committed);
+  EXPECT_EQ(res.reason, Code::kNoCopyAvailable);
+}
+
+TEST(CoordinatorEdges, WalCheckpointTruncatesResolvedRecords) {
+  Config cfg = cfg4();
+  cfg.wal_checkpoint_threshold = 16;
+  Cluster cluster(cfg, 9);
+  cluster.bootstrap();
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(
+        cluster.run_txn(0, {{OpKind::kWrite, i % 30, i}}).committed);
+  }
+  cluster.settle();
+  EXPECT_GT(cluster.metrics().get("dm.wal_checkpoints"), 0);
+  for (SiteId s = 0; s < 4; ++s) {
+    EXPECT_LT(cluster.site(s).stable().wal().size(), 40u) << "site " << s;
+  }
+}
+
+TEST(CoordinatorEdges, OutcomeLogStaysBounded) {
+  Config cfg = cfg4();
+  cfg.wal_checkpoint_threshold = 16; // checkpoint often => GC often
+  Cluster cluster(cfg, 10);
+  cluster.bootstrap();
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(
+        cluster.run_txn(static_cast<SiteId>(i % 4),
+                        {{OpKind::kWrite, i % 30, i}})
+            .committed);
+    ASSERT_TRUE(
+        cluster.run_txn(static_cast<SiteId>(i % 4), {{OpKind::kRead, i % 30, 0}})
+            .committed);
+  }
+  cluster.settle();
+  // Coordinator records are dropped at ack collection, participant
+  // records at WAL checkpoints, read-only txns never recorded: the log
+  // stays bounded by the checkpoint threshold, not the txn count.
+  for (SiteId s = 0; s < 4; ++s) {
+    EXPECT_LE(cluster.site(s).stable().outcome_count(), 16u) << "site " << s;
+  }
+}
+
+TEST(CoordinatorEdges, ParallelWriteAblationStillCorrect) {
+  // The ablated (parallel) lock acquisition must stay SAFE -- it only
+  // hurts liveness. Serialized single-client traffic commits normally.
+  Config cfg = cfg4();
+  cfg.canonical_write_order = false;
+  Cluster cluster(cfg, 11);
+  cluster.bootstrap();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        cluster.run_txn(0, {{OpKind::kWrite, i % 30, i}}).committed);
+  }
+  cluster.settle();
+  std::string why;
+  EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
+}
+
+} // namespace
+} // namespace ddbs

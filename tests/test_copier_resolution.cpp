@@ -1,0 +1,116 @@
+// The all-copies-marked resolution protocol (the "separate protocol" the
+// paper defers in Section 3.2, implemented in CopierCoordinator):
+// when every resident copy of an item is unreadable AND every resident
+// site is nominally up, the max-version copy is the latest committed state
+// and may be promoted; if any resident site is down, resolution must wait.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+
+namespace ddbs {
+namespace {
+
+// Returns an item with exactly the given resident count.
+ItemId find_item(const Cluster& cluster, size_t residents) {
+  for (ItemId x = 0; x < cluster.config().n_items; ++x) {
+    if (cluster.catalog().sites_of(x).size() == residents) return x;
+  }
+  return -1;
+}
+
+TEST(CopierResolution, PromotesMaxVersionWhenAllMarked) {
+  Config cfg;
+  cfg.n_sites = 3;
+  cfg.n_items = 12;
+  cfg.replication_degree = 3;
+  Cluster cluster(cfg, 61);
+  cluster.bootstrap();
+  const ItemId item = find_item(cluster, 3);
+  ASSERT_NE(item, -1);
+  // Two committed writes: versions advance on every copy.
+  ASSERT_TRUE(cluster.run_txn(0, {{OpKind::kWrite, item, 10}}).committed);
+  ASSERT_TRUE(cluster.run_txn(1, {{OpKind::kWrite, item, 20}}).committed);
+  cluster.settle();
+  // Artificially mark EVERY copy (as a full-cluster restart storm would).
+  for (SiteId s = 0; s < 3; ++s) {
+    cluster.site(s).stable().kv().mark_unreadable(item);
+  }
+  // A read triggers the on-demand hook? We are in eager mode; drive a
+  // copier directly through the recovery manager hook instead.
+  cluster.site(0).rm().on_demand_copier(item);
+  cluster.settle();
+  const Copy* c0 = cluster.site(0).stable().kv().find(item);
+  ASSERT_NE(c0, nullptr);
+  EXPECT_FALSE(c0->unreadable);
+  EXPECT_EQ(c0->value, 20);
+  EXPECT_GE(cluster.metrics().get("copier.resolutions"), 1);
+}
+
+TEST(CopierResolution, WaitsWhileAResidentSiteIsDown) {
+  Config cfg;
+  cfg.n_sites = 3;
+  cfg.n_items = 12;
+  cfg.replication_degree = 3;
+  Cluster cluster(cfg, 62);
+  cluster.bootstrap();
+  const ItemId item = find_item(cluster, 3);
+  ASSERT_NE(item, -1);
+  ASSERT_TRUE(cluster.run_txn(0, {{OpKind::kWrite, item, 10}}).committed);
+  cluster.settle();
+  cluster.crash_site(2); // one resident site dark
+  cluster.run_until(cluster.now() + 500'000);
+  for (SiteId s = 0; s < 2; ++s) {
+    cluster.site(s).stable().kv().mark_unreadable(item);
+  }
+  cluster.site(0).rm().on_demand_copier(item);
+  cluster.run_until(cluster.now() + 600'000);
+  // Site 2 might hold a newer committed value (it does not here, but the
+  // protocol cannot know): resolution must NOT promote.
+  const Copy* c0 = cluster.site(0).stable().kv().find(item);
+  ASSERT_NE(c0, nullptr);
+  EXPECT_TRUE(c0->unreadable);
+  EXPECT_EQ(cluster.metrics().get("copier.resolutions"), 0);
+  // Once site 2 returns (its copy is readable again), refresh completes.
+  cluster.recover_site(2);
+  cluster.settle(240'000'000);
+  const Copy* after = cluster.site(0).stable().kv().find(item);
+  EXPECT_FALSE(after->unreadable);
+  EXPECT_EQ(after->value, 10);
+}
+
+TEST(CopierResolution, FullClusterRestartStormRecovers) {
+  // Every site restarts back-to-back: with mark-all, every copy of every
+  // item ends up marked; the resolution protocol must still drain the
+  // whole database back to readable, with values preserved.
+  Config cfg;
+  cfg.n_sites = 4;
+  cfg.n_items = 24;
+  cfg.replication_degree = 2;
+  Cluster cluster(cfg, 63);
+  cluster.bootstrap();
+  for (ItemId x = 0; x < 24; ++x) {
+    ASSERT_TRUE(cluster.run_txn(0, {{OpKind::kWrite, x, 300 + x}}).committed);
+  }
+  cluster.settle();
+  // Restart everyone nearly simultaneously (staggered by 2 ms).
+  for (SiteId s = 0; s < 4; ++s) {
+    cluster.crash_site_at(cluster.now() + 1'000 + s * 2'000, s);
+    cluster.recover_site_at(cluster.now() + 10'000 + s * 2'000, s);
+  }
+  cluster.settle(300'000'000);
+  for (SiteId s = 0; s < 4; ++s) {
+    ASSERT_EQ(cluster.site(s).state().mode, SiteMode::kUp) << "site " << s;
+    EXPECT_EQ(cluster.site(s).stable().kv().unreadable_count(), 0u)
+        << "site " << s;
+  }
+  std::string why;
+  EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
+  for (ItemId x = 0; x < 24; ++x) {
+    auto r = cluster.run_txn(static_cast<SiteId>(x % 4), {{OpKind::kRead, x, 0}});
+    ASSERT_TRUE(r.committed) << "item " << x;
+    EXPECT_EQ(r.reads[0], 300 + x) << "item " << x;
+  }
+}
+
+} // namespace
+} // namespace ddbs

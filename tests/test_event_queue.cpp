@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/scheduler.h"
+
+namespace ddbs {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&]() { order.push_back(3); });
+  q.push(10, [&]() { order.push_back(1); });
+  q.push(20, [&]() { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i]() { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.push(10, [&]() { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id)); // second cancel is a no-op
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(1, [&]() { order.push_back(1); });
+  const EventId id = q.push(2, [&]() { order.push_back(2); });
+  q.push(3, [&]() { order.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId id = q.push(5, []() {});
+  q.push(9, []() {});
+  EXPECT_EQ(q.next_time(), 5);
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(EventQueue, NextTimeEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kNoTime);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(1, []() {});
+  q.push(2, []() {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Scheduler, RunUntilAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.after(100, [&]() { ++fired; });
+  s.after(300, [&]() { ++fired; });
+  s.run_until(200);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 200);
+  s.run_until(400);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, EventsScheduleMoreEvents) {
+  Scheduler s;
+  std::vector<SimTime> times;
+  s.after(10, [&]() {
+    times.push_back(s.now());
+    s.after(10, [&]() { times.push_back(s.now()); });
+  });
+  s.run_all();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20}));
+}
+
+TEST(Scheduler, CancelTimer) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.after(50, [&]() { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, RunUntilWithoutEventsStillAdvances) {
+  Scheduler s;
+  s.run_until(1234);
+  EXPECT_EQ(s.now(), 1234);
+}
+
+} // namespace
+} // namespace ddbs

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "txn/deadlock.h"
+#include "txn/lock_manager.h"
+
+namespace ddbs {
+namespace {
+
+TEST(LockManager, SharedLocksCoexist) {
+  LockManager lm;
+  int granted = 0;
+  lm.acquire(1, 10, LockMode::kShared, [&]() { ++granted; });
+  lm.acquire(2, 10, LockMode::kShared, [&]() { ++granted; });
+  EXPECT_EQ(granted, 2);
+  EXPECT_TRUE(lm.holds(1, 10));
+  EXPECT_TRUE(lm.holds(2, 10));
+}
+
+TEST(LockManager, ExclusiveBlocksShared) {
+  LockManager lm;
+  int granted = 0;
+  lm.acquire(1, 10, LockMode::kExclusive, [&]() { ++granted; });
+  lm.acquire(2, 10, LockMode::kShared, [&]() { ++granted; });
+  EXPECT_EQ(granted, 1);
+  lm.release_all(1);
+  EXPECT_EQ(granted, 2);
+}
+
+TEST(LockManager, SharedBlocksExclusive) {
+  LockManager lm;
+  bool x_granted = false;
+  lm.acquire(1, 10, LockMode::kShared, []() {});
+  lm.acquire(2, 10, LockMode::kExclusive, [&]() { x_granted = true; });
+  EXPECT_FALSE(x_granted);
+  lm.release_all(1);
+  EXPECT_TRUE(x_granted);
+}
+
+TEST(LockManager, FifoNoWriterStarvation) {
+  LockManager lm;
+  std::vector<int> order;
+  lm.acquire(1, 10, LockMode::kShared, [&]() { order.push_back(1); });
+  lm.acquire(2, 10, LockMode::kExclusive, [&]() { order.push_back(2); });
+  // A later shared request must queue behind the waiting writer.
+  lm.acquire(3, 10, LockMode::kShared, [&]() { order.push_back(3); });
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  lm.release_all(1);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  lm.release_all(2);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(LockManager, CompatiblePrefixGrantedTogether) {
+  LockManager lm;
+  int granted = 0;
+  lm.acquire(1, 10, LockMode::kExclusive, []() {});
+  lm.acquire(2, 10, LockMode::kShared, [&]() { ++granted; });
+  lm.acquire(3, 10, LockMode::kShared, [&]() { ++granted; });
+  lm.release_all(1);
+  EXPECT_EQ(granted, 2); // both shared waiters granted in one pump
+}
+
+TEST(LockManager, ReentrantSameMode) {
+  LockManager lm;
+  int granted = 0;
+  lm.acquire(1, 10, LockMode::kShared, [&]() { ++granted; });
+  lm.acquire(1, 10, LockMode::kShared, [&]() { ++granted; });
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(lm.held_count(1), 1u);
+}
+
+TEST(LockManager, ExclusiveSubsumesSharedReentry) {
+  LockManager lm;
+  int granted = 0;
+  lm.acquire(1, 10, LockMode::kExclusive, [&]() { ++granted; });
+  lm.acquire(1, 10, LockMode::kShared, [&]() { ++granted; });
+  EXPECT_EQ(granted, 2);
+}
+
+TEST(LockManager, SoleHolderUpgrades) {
+  LockManager lm;
+  int granted = 0;
+  lm.acquire(1, 10, LockMode::kShared, [&]() { ++granted; });
+  lm.acquire(1, 10, LockMode::kExclusive, [&]() { ++granted; });
+  EXPECT_EQ(granted, 2);
+  // Now exclusive: another shared must wait.
+  bool s2 = false;
+  lm.acquire(2, 10, LockMode::kShared, [&]() { s2 = true; });
+  EXPECT_FALSE(s2);
+}
+
+TEST(LockManager, UpgradeWaitsForOtherSharers) {
+  LockManager lm;
+  bool upgraded = false;
+  lm.acquire(1, 10, LockMode::kShared, []() {});
+  lm.acquire(2, 10, LockMode::kShared, []() {});
+  lm.acquire(1, 10, LockMode::kExclusive, [&]() { upgraded = true; });
+  EXPECT_FALSE(upgraded);
+  lm.release_all(2);
+  EXPECT_TRUE(upgraded);
+}
+
+TEST(LockManager, CancelWaitingRequest) {
+  LockManager lm;
+  lm.acquire(1, 10, LockMode::kExclusive, []() {});
+  bool granted = false;
+  const auto rid =
+      lm.acquire(2, 10, LockMode::kShared, [&]() { granted = true; });
+  ASSERT_NE(rid, 0u);
+  EXPECT_TRUE(lm.cancel(rid));
+  lm.release_all(1);
+  EXPECT_FALSE(granted);
+}
+
+TEST(LockManager, CancelGrantedReturnsFalse) {
+  LockManager lm;
+  const auto rid = lm.acquire(1, 10, LockMode::kShared, []() {});
+  EXPECT_EQ(rid, 0u); // granted synchronously -> no live request id
+  EXPECT_FALSE(lm.cancel(1234));
+}
+
+TEST(LockManager, ReleaseAllCancelsWaits) {
+  LockManager lm;
+  lm.acquire(1, 10, LockMode::kExclusive, []() {});
+  bool granted2 = false;
+  lm.acquire(2, 10, LockMode::kShared, [&]() { granted2 = true; });
+  lm.release_all(2); // txn 2 aborts while waiting
+  lm.release_all(1);
+  EXPECT_FALSE(granted2);
+}
+
+TEST(LockManager, WaitEdgesReflectWaiters) {
+  LockManager lm;
+  lm.acquire(1, 10, LockMode::kExclusive, []() {});
+  lm.acquire(2, 10, LockMode::kExclusive, []() {});
+  const auto edges = lm.wait_edges();
+  ASSERT_FALSE(edges.empty());
+  EXPECT_EQ(edges[0].first, 2u);
+  EXPECT_EQ(edges[0].second, 1u);
+}
+
+TEST(LockManager, ClearDropsEverything) {
+  LockManager lm;
+  lm.acquire(1, 10, LockMode::kExclusive, []() {});
+  lm.acquire(2, 10, LockMode::kShared, []() {});
+  lm.clear();
+  bool granted = false;
+  lm.acquire(3, 10, LockMode::kExclusive, [&]() { granted = true; });
+  EXPECT_TRUE(granted);
+}
+
+// ---- deadlock detector ----
+
+TEST(Deadlock, FindsSimpleCycle) {
+  std::vector<std::pair<TxnId, TxnId>> edges{{1, 2}, {2, 1}};
+  std::vector<DeadlockCandidate> cands{{1, TxnKind::kUser},
+                                       {2, TxnKind::kUser}};
+  auto victim = DeadlockDetector::find_victim(edges, cands);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2u); // youngest (largest id) among users
+}
+
+TEST(Deadlock, NoCycleNoVictim) {
+  std::vector<std::pair<TxnId, TxnId>> edges{{1, 2}, {2, 3}};
+  std::vector<DeadlockCandidate> cands{{1, TxnKind::kUser},
+                                       {2, TxnKind::kUser},
+                                       {3, TxnKind::kUser}};
+  EXPECT_FALSE(DeadlockDetector::find_victim(edges, cands).has_value());
+}
+
+TEST(Deadlock, PrefersUserOverControl) {
+  std::vector<std::pair<TxnId, TxnId>> edges{{1, 2}, {2, 1}};
+  std::vector<DeadlockCandidate> cands{{1, TxnKind::kUser},
+                                       {2, TxnKind::kControlUp}};
+  auto victim = DeadlockDetector::find_victim(edges, cands);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 1u); // user aborts so recovery can proceed
+}
+
+TEST(Deadlock, VictimMustBeLocalCandidate) {
+  std::vector<std::pair<TxnId, TxnId>> edges{{1, 2}, {2, 1}};
+  std::vector<DeadlockCandidate> cands{{3, TxnKind::kUser}};
+  EXPECT_FALSE(DeadlockDetector::find_victim(edges, cands).has_value());
+}
+
+TEST(Deadlock, ThreeWayCycle) {
+  std::vector<std::pair<TxnId, TxnId>> edges{{1, 2}, {2, 3}, {3, 1}};
+  std::vector<DeadlockCandidate> cands{{1, TxnKind::kUser},
+                                       {2, TxnKind::kUser},
+                                       {3, TxnKind::kCopier}};
+  auto victim = DeadlockDetector::find_victim(edges, cands);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2u); // users outrank the copier; youngest user
+}
+
+} // namespace
+} // namespace ddbs

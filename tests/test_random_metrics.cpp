@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/random.h"
+
+namespace ddbs {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformSingleton) {
+  Rng r(7);
+  EXPECT_EQ(r.uniform(3, 3), 3);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 3.0);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(5);
+  Rng b = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng a2(5);
+  a2.fork();
+  EXPECT_NE(b.next_u64(), a.next_u64());
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  Rng r(17);
+  ZipfGen z(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[static_cast<size_t>(z.sample(r))];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 250);
+}
+
+TEST(Zipf, SkewPrefersLowIndices) {
+  Rng r(19);
+  ZipfGen z(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[static_cast<size_t>(z.sample(r))];
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], counts[10]);
+}
+
+TEST(Histogram, PercentilesExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_NEAR(h.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, AddAfterPercentileStillSorted) {
+  Histogram h;
+  h.add(5);
+  h.add(1);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 5.0);
+  h.add(10);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10.0);
+}
+
+TEST(Metrics, CountersAccumulate) {
+  Metrics m;
+  m.inc("a");
+  m.inc("a", 4);
+  m.inc("b");
+  EXPECT_EQ(m.get("a"), 5);
+  EXPECT_EQ(m.get("b"), 1);
+  EXPECT_EQ(m.get("missing"), 0);
+}
+
+TEST(Metrics, ClearResets) {
+  Metrics m;
+  m.inc("a");
+  m.hist("h").add(1);
+  m.clear();
+  EXPECT_EQ(m.get("a"), 0);
+  EXPECT_EQ(m.hist("h").count(), 0u);
+}
+
+} // namespace
+} // namespace ddbs

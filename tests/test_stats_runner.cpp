@@ -1,0 +1,90 @@
+// Table/series printers and runner statistics helpers.
+#include <gtest/gtest.h>
+
+#include "workload/runner.h"
+#include "workload/stats.h"
+
+namespace ddbs {
+namespace {
+
+TEST(TablePrinter, Formatters) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::integer(-42), "-42");
+  EXPECT_EQ(TablePrinter::ms(1500.0), "1.50 ms");
+  EXPECT_EQ(TablePrinter::ms(1'000'000.0), "1000.00 ms");
+  EXPECT_EQ(TablePrinter::pct(0.5), "50.0%");
+  EXPECT_EQ(TablePrinter::pct(1.0), "100.0%");
+  EXPECT_EQ(TablePrinter::pct(0.123), "12.3%");
+}
+
+TEST(TablePrinter, PrintsAllRows) {
+  // Smoke: printing must not crash with ragged rows or empty tables.
+  TablePrinter t("empty");
+  t.set_header({"a", "bb"});
+  t.print();
+  TablePrinter t2("ragged");
+  t2.set_header({"a", "bb", "ccc"});
+  t2.add_row({"1"});
+  t2.add_row({"1", "2", "3"});
+  t2.print();
+  SUCCEED();
+}
+
+TEST(SeriesPrinter, PrintsPoints) {
+  SeriesPrinter s("fig", {"x", "y"});
+  s.add_point({1.0, 2.0});
+  s.add_point({2.0, 4.0});
+  s.print();
+  SUCCEED();
+}
+
+TEST(RunnerStats, Ratios) {
+  RunnerStats s;
+  s.submitted = 10;
+  s.committed = 8;
+  s.aborted = 2;
+  EXPECT_DOUBLE_EQ(s.commit_ratio(), 0.8);
+  EXPECT_DOUBLE_EQ(s.throughput_per_sec(1'000'000), 8.0);
+  EXPECT_DOUBLE_EQ(s.throughput_per_sec(500'000), 16.0);
+  RunnerStats empty;
+  EXPECT_DOUBLE_EQ(empty.commit_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.throughput_per_sec(0), 0.0);
+}
+
+TEST(Runner, BucketsCoverTheRun) {
+  Config cfg;
+  cfg.n_sites = 3;
+  cfg.n_items = 20;
+  cfg.replication_degree = 2;
+  Cluster cluster(cfg, 9);
+  cluster.bootstrap();
+  RunnerParams rp;
+  rp.clients_per_site = 1;
+  rp.duration = 800'000;
+  rp.bucket = 200'000;
+  Runner runner(cluster, rp, 9);
+  const RunnerStats stats = runner.run();
+  int64_t bucket_sum = 0;
+  for (int64_t c : stats.committed_per_bucket) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, stats.committed);
+}
+
+TEST(Runner, ClientsIdleWhenWholeClusterDown) {
+  Config cfg;
+  cfg.n_sites = 3;
+  cfg.n_items = 10;
+  cfg.replication_degree = 2;
+  Cluster cluster(cfg, 10);
+  cluster.bootstrap();
+  for (SiteId s = 0; s < 3; ++s) cluster.crash_site(s);
+  RunnerParams rp;
+  rp.clients_per_site = 1;
+  rp.duration = 500'000;
+  Runner runner(cluster, rp, 10);
+  const RunnerStats stats = runner.run();
+  EXPECT_EQ(stats.committed, 0);
+}
+
+} // namespace
+} // namespace ddbs

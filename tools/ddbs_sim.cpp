@@ -1,0 +1,237 @@
+// ddbs_sim -- scenario runner CLI.
+//
+// Drives a full cluster + workload + failure schedule from command-line
+// flags and prints throughput, latency, abort breakdown, recovery
+// milestones and (optionally) the serializability verdicts. Useful for
+// exploring protocol variants without writing a bench.
+//
+// Examples:
+//   ddbs_sim --sites=5 --items=200 --degree=3 --duration-ms=5000
+//            --crash=2@1000 --recover=2@2500
+//   ddbs_sim --strategy=missing-list --copier=on-demand --policy=redirect
+//            --crash=1@500 --recover=1@2000 --verify
+//   ddbs_sim --scheme=spooler --crash=3@800 --recover=3@3000
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "verify/one_sr_checker.h"
+#include "workload/runner.h"
+#include "workload/stats.h"
+
+using namespace ddbs;
+
+namespace {
+
+struct Options {
+  Config cfg;
+  uint64_t seed = 1;
+  SimTime duration = 5'000'000;
+  int clients = 2;
+  int ops_per_txn = 3;
+  double read_fraction = 0.5;
+  double zipf = 0.0;
+  std::vector<FailureEvent> schedule;
+  bool verify = false;
+  bool dump_metrics = false;
+  bool quiet_expect = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [flags]\n"
+      "  --sites=N             number of sites (default 5)\n"
+      "  --items=N             number of logical items (default 200)\n"
+      "  --degree=N            copies per item (default 3)\n"
+      "  --seed=N              simulation seed (default 1)\n"
+      "  --duration-ms=N       workload duration (default 5000)\n"
+      "  --clients=N           closed-loop clients per site (default 2)\n"
+      "  --ops=N               operations per transaction (default 3)\n"
+      "  --reads=F             read fraction 0..1 (default 0.5)\n"
+      "  --zipf=F              access skew theta (default 0 = uniform)\n"
+      "  --scheme=session-vector|spooler\n"
+      "  --write-scheme=rowaa|rowa\n"
+      "  --strategy=mark-all|vcmp|fail-lock|missing-list\n"
+      "  --copier=eager|on-demand\n"
+      "  --policy=block|redirect\n"
+      "  --loss=F              message loss probability (default 0)\n"
+      "  --crash=S@MS          crash site S at MS milliseconds (repeatable)\n"
+      "  --recover=S@MS        recover site S at MS milliseconds\n"
+      "  --verify              run the Section-4 serializability checkers\n"
+      "  --metrics             dump the raw metric counters\n",
+      argv0);
+  std::exit(2);
+}
+
+bool parse_kv(const char* arg, const char* key, std::string* out) {
+  const size_t len = std::strlen(key);
+  if (std::strncmp(arg, key, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+FailureEvent parse_event(const std::string& v, FailureEvent::What what,
+                         const char* argv0) {
+  const size_t at = v.find('@');
+  if (at == std::string::npos) usage(argv0);
+  FailureEvent ev;
+  ev.what = what;
+  ev.site = static_cast<SiteId>(std::stol(v.substr(0, at)));
+  ev.at = static_cast<SimTime>(std::stoll(v.substr(at + 1))) * 1000;
+  return ev;
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_kv(argv[i], "--sites", &v)) {
+      o.cfg.n_sites = std::stoi(v);
+    } else if (parse_kv(argv[i], "--items", &v)) {
+      o.cfg.n_items = std::stoll(v);
+    } else if (parse_kv(argv[i], "--degree", &v)) {
+      o.cfg.replication_degree = std::stoi(v);
+    } else if (parse_kv(argv[i], "--seed", &v)) {
+      o.seed = std::stoull(v);
+    } else if (parse_kv(argv[i], "--duration-ms", &v)) {
+      o.duration = std::stoll(v) * 1000;
+    } else if (parse_kv(argv[i], "--clients", &v)) {
+      o.clients = std::stoi(v);
+    } else if (parse_kv(argv[i], "--ops", &v)) {
+      o.ops_per_txn = std::stoi(v);
+    } else if (parse_kv(argv[i], "--reads", &v)) {
+      o.read_fraction = std::stod(v);
+    } else if (parse_kv(argv[i], "--zipf", &v)) {
+      o.zipf = std::stod(v);
+    } else if (parse_kv(argv[i], "--loss", &v)) {
+      o.cfg.msg_loss_prob = std::stod(v);
+    } else if (parse_kv(argv[i], "--scheme", &v)) {
+      o.cfg.recovery_scheme = v == "spooler" ? RecoveryScheme::kSpooler
+                                             : RecoveryScheme::kSessionVector;
+    } else if (parse_kv(argv[i], "--write-scheme", &v)) {
+      o.cfg.write_scheme =
+          v == "rowa" ? WriteScheme::kRowaStrict : WriteScheme::kRowaa;
+    } else if (parse_kv(argv[i], "--strategy", &v)) {
+      if (v == "mark-all") {
+        o.cfg.outdated_strategy = OutdatedStrategy::kMarkAll;
+      } else if (v == "vcmp") {
+        o.cfg.outdated_strategy = OutdatedStrategy::kMarkAllVersionCmp;
+      } else if (v == "fail-lock") {
+        o.cfg.outdated_strategy = OutdatedStrategy::kFailLock;
+      } else if (v == "missing-list") {
+        o.cfg.outdated_strategy = OutdatedStrategy::kMissingList;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (parse_kv(argv[i], "--copier", &v)) {
+      o.cfg.copier_mode =
+          v == "on-demand" ? CopierMode::kOnDemand : CopierMode::kEager;
+    } else if (parse_kv(argv[i], "--policy", &v)) {
+      o.cfg.unreadable_policy = v == "redirect" ? UnreadablePolicy::kRedirect
+                                                : UnreadablePolicy::kBlock;
+    } else if (parse_kv(argv[i], "--crash", &v)) {
+      o.schedule.push_back(
+          parse_event(v, FailureEvent::What::kCrash, argv[0]));
+    } else if (parse_kv(argv[i], "--recover", &v)) {
+      o.schedule.push_back(
+          parse_event(v, FailureEvent::What::kRecover, argv[0]));
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      o.verify = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      o.dump_metrics = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  Config cfg = o.cfg;
+  cfg.record_history = o.verify;
+
+  std::printf("ddbs_sim: %d sites, %lld items x%d, %s / %s / %s / %s, "
+              "seed %llu\n",
+              cfg.n_sites, static_cast<long long>(cfg.n_items),
+              cfg.effective_replication(), to_string(cfg.recovery_scheme),
+              to_string(cfg.outdated_strategy), to_string(cfg.copier_mode),
+              to_string(cfg.unreadable_policy),
+              static_cast<unsigned long long>(o.seed));
+
+  Cluster cluster(cfg, o.seed);
+  cluster.bootstrap();
+
+  RunnerParams rp;
+  rp.clients_per_site = o.clients;
+  rp.duration = o.duration;
+  rp.workload.ops_per_txn = o.ops_per_txn;
+  rp.workload.read_fraction = o.read_fraction;
+  rp.workload.zipf_theta = o.zipf;
+  rp.schedule = o.schedule;
+  Runner runner(cluster, rp, o.seed);
+  const RunnerStats stats = runner.run();
+  cluster.settle();
+
+  TablePrinter t("results");
+  t.set_header({"metric", "value"});
+  t.add_row({"committed", TablePrinter::integer(stats.committed)});
+  t.add_row({"aborted", TablePrinter::integer(stats.aborted)});
+  t.add_row({"commit ratio", TablePrinter::pct(stats.commit_ratio())});
+  t.add_row({"throughput",
+             TablePrinter::num(stats.throughput_per_sec(o.duration), 1) +
+                 " txn/s"});
+  t.add_row(
+      {"p50 latency", TablePrinter::ms(stats.commit_latency_us.percentile(50))});
+  t.add_row(
+      {"p99 latency", TablePrinter::ms(stats.commit_latency_us.percentile(99))});
+  for (const auto& [reason, n] : stats.abort_reasons) {
+    t.add_row({"abort: " + reason, TablePrinter::integer(n)});
+  }
+  t.print();
+
+  for (SiteId s = 0; s < cfg.n_sites; ++s) {
+    const auto& ms = cluster.site(s).rm().milestones();
+    if (ms.started == kNoTime) continue;
+    std::printf("site %d recovery: started %.2fs, operational %+.1fms, "
+                "current %+.1fms, %zu marked, %zu copiers, %d type-1, "
+                "%d type-2\n",
+                s, ms.started / 1e6,
+                ms.nominally_up == kNoTime
+                    ? -1.0
+                    : (ms.nominally_up - ms.started) / 1e3,
+                ms.fully_current == kNoTime
+                    ? -1.0
+                    : (ms.fully_current - ms.started) / 1e3,
+                ms.marked_unreadable, ms.copiers_run, ms.type1_attempts,
+                ms.type2_rounds);
+  }
+
+  std::string why;
+  const bool conv = cluster.replicas_converged(&why);
+  std::printf("replicas converged: %s\n", conv ? "yes" : why.c_str());
+
+  int rc = conv ? 0 : 1;
+  if (o.verify) {
+    const History h = cluster.history().snapshot();
+    const auto cg = check_conflict_graph(h);
+    const auto one = check_one_sr_graph(h);
+    std::printf("CG over DB+NS: %s; revised 1-STG over DB: %s "
+                "(%zu committed txns)\n",
+                cg.ok ? "acyclic" : cg.detail.c_str(),
+                one.ok ? "acyclic (1-SR)" : one.detail.c_str(),
+                h.txns.size());
+    if (!cg.ok || !one.ok) rc = 1;
+  }
+  if (o.dump_metrics) {
+    std::printf("metrics: %s\n", cluster.metrics().summary().c_str());
+  }
+  return rc;
+}
