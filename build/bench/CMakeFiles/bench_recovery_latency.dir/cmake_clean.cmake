@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_latency.dir/bench_recovery_latency.cpp.o"
+  "CMakeFiles/bench_recovery_latency.dir/bench_recovery_latency.cpp.o.d"
+  "bench_recovery_latency"
+  "bench_recovery_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inventory_service.dir/inventory_service.cpp.o"
+  "CMakeFiles/inventory_service.dir/inventory_service.cpp.o.d"
+  "inventory_service"
+  "inventory_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inventory_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

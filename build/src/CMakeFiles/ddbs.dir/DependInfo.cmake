@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/spooler.cpp" "src/CMakeFiles/ddbs.dir/baselines/spooler.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/baselines/spooler.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/ddbs.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/ddbs.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/metrics.cpp" "src/CMakeFiles/ddbs.dir/common/metrics.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/common/metrics.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/ddbs.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/result.cpp" "src/CMakeFiles/ddbs.dir/common/result.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/common/result.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/CMakeFiles/ddbs.dir/common/types.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/common/types.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/CMakeFiles/ddbs.dir/core/client.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/core/client.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/ddbs.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/core/cluster.cpp.o.d"
+  "/root/repo/src/core/site.cpp" "src/CMakeFiles/ddbs.dir/core/site.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/core/site.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/ddbs.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/rpc.cpp" "src/CMakeFiles/ddbs.dir/net/rpc.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/net/rpc.cpp.o.d"
+  "/root/repo/src/recovery/control_txn.cpp" "src/CMakeFiles/ddbs.dir/recovery/control_txn.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/recovery/control_txn.cpp.o.d"
+  "/root/repo/src/recovery/copier.cpp" "src/CMakeFiles/ddbs.dir/recovery/copier.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/recovery/copier.cpp.o.d"
+  "/root/repo/src/recovery/failure_detector.cpp" "src/CMakeFiles/ddbs.dir/recovery/failure_detector.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/recovery/failure_detector.cpp.o.d"
+  "/root/repo/src/recovery/recovery_manager.cpp" "src/CMakeFiles/ddbs.dir/recovery/recovery_manager.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/recovery/recovery_manager.cpp.o.d"
+  "/root/repo/src/recovery/status_tables.cpp" "src/CMakeFiles/ddbs.dir/recovery/status_tables.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/recovery/status_tables.cpp.o.d"
+  "/root/repo/src/replication/catalog.cpp" "src/CMakeFiles/ddbs.dir/replication/catalog.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/replication/catalog.cpp.o.d"
+  "/root/repo/src/replication/interpreter.cpp" "src/CMakeFiles/ddbs.dir/replication/interpreter.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/replication/interpreter.cpp.o.d"
+  "/root/repo/src/replication/session.cpp" "src/CMakeFiles/ddbs.dir/replication/session.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/replication/session.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/ddbs.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/latency_model.cpp" "src/CMakeFiles/ddbs.dir/sim/latency_model.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/sim/latency_model.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/ddbs.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/storage/kv_store.cpp" "src/CMakeFiles/ddbs.dir/storage/kv_store.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/storage/kv_store.cpp.o.d"
+  "/root/repo/src/storage/stable_storage.cpp" "src/CMakeFiles/ddbs.dir/storage/stable_storage.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/storage/stable_storage.cpp.o.d"
+  "/root/repo/src/storage/wal.cpp" "src/CMakeFiles/ddbs.dir/storage/wal.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/storage/wal.cpp.o.d"
+  "/root/repo/src/txn/data_manager.cpp" "src/CMakeFiles/ddbs.dir/txn/data_manager.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/txn/data_manager.cpp.o.d"
+  "/root/repo/src/txn/deadlock.cpp" "src/CMakeFiles/ddbs.dir/txn/deadlock.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/txn/deadlock.cpp.o.d"
+  "/root/repo/src/txn/lock_manager.cpp" "src/CMakeFiles/ddbs.dir/txn/lock_manager.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/txn/lock_manager.cpp.o.d"
+  "/root/repo/src/txn/transaction_manager.cpp" "src/CMakeFiles/ddbs.dir/txn/transaction_manager.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/txn/transaction_manager.cpp.o.d"
+  "/root/repo/src/txn/txn_coordinator.cpp" "src/CMakeFiles/ddbs.dir/txn/txn_coordinator.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/txn/txn_coordinator.cpp.o.d"
+  "/root/repo/src/verify/graph.cpp" "src/CMakeFiles/ddbs.dir/verify/graph.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/verify/graph.cpp.o.d"
+  "/root/repo/src/verify/history.cpp" "src/CMakeFiles/ddbs.dir/verify/history.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/verify/history.cpp.o.d"
+  "/root/repo/src/verify/one_sr_checker.cpp" "src/CMakeFiles/ddbs.dir/verify/one_sr_checker.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/verify/one_sr_checker.cpp.o.d"
+  "/root/repo/src/verify/sr_checker.cpp" "src/CMakeFiles/ddbs.dir/verify/sr_checker.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/verify/sr_checker.cpp.o.d"
+  "/root/repo/src/workload/runner.cpp" "src/CMakeFiles/ddbs.dir/workload/runner.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/workload/runner.cpp.o.d"
+  "/root/repo/src/workload/stats.cpp" "src/CMakeFiles/ddbs.dir/workload/stats.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/workload/stats.cpp.o.d"
+  "/root/repo/src/workload/workload_gen.cpp" "src/CMakeFiles/ddbs.dir/workload/workload_gen.cpp.o" "gcc" "src/CMakeFiles/ddbs.dir/workload/workload_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

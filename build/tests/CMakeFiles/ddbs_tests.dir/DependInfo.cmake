@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_catalog_interpreter.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_catalog_interpreter.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_catalog_interpreter.cpp.o.d"
+  "/root/repo/tests/test_checkers.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_checkers.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_checkers.cpp.o.d"
+  "/root/repo/tests/test_client_runner.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_client_runner.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_client_runner.cpp.o.d"
+  "/root/repo/tests/test_cold_start.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_cold_start.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_cold_start.cpp.o.d"
+  "/root/repo/tests/test_coordinator_edges.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_coordinator_edges.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_coordinator_edges.cpp.o.d"
+  "/root/repo/tests/test_copier_resolution.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_copier_resolution.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_copier_resolution.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_dm_protocol.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_dm_protocol.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_dm_protocol.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_lock_manager.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_lock_manager.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_lock_manager.cpp.o.d"
+  "/root/repo/tests/test_lock_property.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_lock_property.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_lock_property.cpp.o.d"
+  "/root/repo/tests/test_message_loss.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_message_loss.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_message_loss.cpp.o.d"
+  "/root/repo/tests/test_multi_failure.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_multi_failure.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_multi_failure.cpp.o.d"
+  "/root/repo/tests/test_network_rpc.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_network_rpc.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_network_rpc.cpp.o.d"
+  "/root/repo/tests/test_ns_invariants.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_ns_invariants.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_ns_invariants.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_random_metrics.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_random_metrics.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_random_metrics.cpp.o.d"
+  "/root/repo/tests/test_recovery.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_recovery.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_recovery.cpp.o.d"
+  "/root/repo/tests/test_scale_bounds.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_scale_bounds.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_scale_bounds.cpp.o.d"
+  "/root/repo/tests/test_session_checks.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_session_checks.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_session_checks.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_spooler_rowa.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_spooler_rowa.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_spooler_rowa.cpp.o.d"
+  "/root/repo/tests/test_stats_runner.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_stats_runner.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_stats_runner.cpp.o.d"
+  "/root/repo/tests/test_storage.cpp" "tests/CMakeFiles/ddbs_tests.dir/test_storage.cpp.o" "gcc" "tests/CMakeFiles/ddbs_tests.dir/test_storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ddbs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

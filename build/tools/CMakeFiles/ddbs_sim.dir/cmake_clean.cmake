@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddbs_sim.dir/ddbs_sim.cpp.o"
+  "CMakeFiles/ddbs_sim.dir/ddbs_sim.cpp.o.d"
+  "ddbs_sim"
+  "ddbs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddbs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

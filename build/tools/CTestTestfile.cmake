@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_ddbs_sim "/root/repo/build/tools/ddbs_sim" "--sites=4" "--items=60" "--duration-ms=1500" "--crash=1@400" "--recover=1@900" "--verify")
+set_tests_properties(tool_ddbs_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;3;add_test;/root/repo/tools/CMakeLists.txt;0;")
