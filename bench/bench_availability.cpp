@@ -9,7 +9,9 @@
 // of logical reads/writes that commit, one attempt per item, issued at an
 // operational site after the failure detectors have settled.
 #include <cstdio>
+#include <string>
 
+#include "common/report.h"
 #include "core/cluster.h"
 #include "workload/stats.h"
 
@@ -22,7 +24,8 @@ struct Cell {
   double write_ok = 0;
 };
 
-Cell measure(WriteScheme scheme, int degree, int down_count, uint64_t seed) {
+Cell measure(WriteScheme scheme, int degree, int down_count, uint64_t seed,
+             RunReport& report) {
   Config cfg;
   cfg.n_sites = 8;
   cfg.n_items = 64;
@@ -41,6 +44,13 @@ Cell measure(WriteScheme scheme, int degree, int down_count, uint64_t seed) {
   Cell c;
   c.read_ok = static_cast<double>(reads) / static_cast<double>(cfg.n_items);
   c.write_ok = static_cast<double>(writes) / static_cast<double>(cfg.n_items);
+
+  const std::string label = std::string(to_string(scheme)) + "_d" +
+                            std::to_string(degree) + "_down" +
+                            std::to_string(down_count);
+  RunReport::Run& run = cluster.report_run(report, label);
+  run.scalars.emplace_back("read_availability", c.read_ok);
+  run.scalars.emplace_back("write_availability", c.write_ok);
   return c;
 }
 
@@ -49,6 +59,7 @@ Cell measure(WriteScheme scheme, int degree, int down_count, uint64_t seed) {
 int main() {
   std::printf("E1: availability of logical operations, 8 sites, 64 items,\n"
               "one attempt per item from an operational site.\n");
+  RunReport report("availability");
   TablePrinter table(
       "Table 1: operation availability vs crashed sites (read% / write%)");
   table.set_header({"degree", "down", "ROWA-strict R", "ROWA-strict W",
@@ -56,10 +67,10 @@ int main() {
   for (int degree : {1, 2, 3, 5}) {
     for (int down : {0, 1, 2, 4, 6}) {
       if (down >= 8) continue;
-      const Cell rowa =
-          measure(WriteScheme::kRowaStrict, degree, down, 1000 + down);
+      const Cell rowa = measure(WriteScheme::kRowaStrict, degree, down,
+                                1000 + down, report);
       const Cell rowaa =
-          measure(WriteScheme::kRowaa, degree, down, 1000 + down);
+          measure(WriteScheme::kRowaa, degree, down, 1000 + down, report);
       table.add_row({TablePrinter::integer(degree),
                      TablePrinter::integer(down),
                      TablePrinter::pct(rowa.read_ok),
@@ -69,6 +80,7 @@ int main() {
     }
   }
   table.print();
+  report.write();
   std::printf(
       "\nExpected shape: ROWAA writes track ROWAA reads (any live copy\n"
       "suffices); strict-ROWA writes collapse as soon as one copy is down\n"

@@ -10,7 +10,9 @@
 // paper makes against per-item directories [2]: per-site status state is
 // O(n_sites) versus O(n_items) directory entries.
 #include <cstdio>
+#include <string>
 
+#include "common/report.h"
 #include "core/cluster.h"
 #include "workload/runner.h"
 #include "workload/stats.h"
@@ -28,7 +30,7 @@ struct Row {
   int64_t control_msgs_share = 0;
 };
 
-Row run_case(int churn_events, uint64_t seed) {
+Row run_case(int churn_events, uint64_t seed, RunReport& report) {
   Config cfg;
   cfg.n_sites = 5;
   cfg.n_items = 200;
@@ -61,6 +63,16 @@ Row run_case(int churn_events, uint64_t seed) {
   row.commit_ratio = stats.commit_ratio();
   row.control_txns = cluster.metrics().get("control_up.committed") +
                      cluster.metrics().get("control_down.committed");
+
+  RunReport::Run& run = cluster.report_run(
+      report, "churn" + std::to_string(churn_events));
+  run.scalars.emplace_back("churn_pairs", static_cast<double>(churn_events));
+  run.scalars.emplace_back("throughput_txn_s", row.tput);
+  run.scalars.emplace_back("p50_latency_us", row.p50);
+  run.scalars.emplace_back("p99_latency_us", row.p99);
+  run.scalars.emplace_back("commit_ratio", row.commit_ratio);
+  run.scalars.emplace_back("control_txns",
+                           static_cast<double>(row.control_txns));
   return row;
 }
 
@@ -69,11 +81,13 @@ Row run_case(int churn_events, uint64_t seed) {
 int main() {
   std::printf("E4: overhead of the session-vector conventions, 5 sites,\n"
               "200 items, 10 closed-loop clients, 6 simulated seconds.\n");
+  RunReport report("control_overhead");
   TablePrinter table("Table 4a: user-transaction cost vs failure churn");
   table.set_header({"fail/recover pairs", "txn/s", "p50 latency",
                     "p99 latency", "commit ratio", "control txns"});
   for (int churn : {0, 1, 2, 4}) {
-    const Row row = run_case(churn, 3000 + static_cast<uint64_t>(churn));
+    const Row row =
+        run_case(churn, 3000 + static_cast<uint64_t>(churn), report);
     table.add_row({TablePrinter::integer(churn),
                    TablePrinter::num(row.tput, 0),
                    TablePrinter::ms(row.p50), TablePrinter::ms(row.p99),
@@ -97,5 +111,6 @@ int main() {
       "churn-free row (NS snapshot reads share locks); aborts and control\n"
       "transactions appear only around the fail/recover events; and the\n"
       "per-site status footprint is the site count, not the item count.\n");
+  report.write();
   return 0;
 }

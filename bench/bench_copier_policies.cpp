@@ -10,7 +10,9 @@
 // during the refresh window, refresh completion time, and copier counts for
 // each (mode x policy) combination.
 #include <cstdio>
+#include <string>
 
+#include "common/report.h"
 #include "core/cluster.h"
 #include "workload/runner.h"
 #include "workload/stats.h"
@@ -28,7 +30,8 @@ struct Row {
   size_t leftover = 0; // unreadable copies at the end (on-demand)
 };
 
-Row run_case(CopierMode mode, UnreadablePolicy policy, uint64_t seed) {
+Row run_case(CopierMode mode, UnreadablePolicy policy, uint64_t seed,
+             RunReport& report) {
   Config cfg;
   cfg.n_sites = 4;
   cfg.n_items = 150;
@@ -66,6 +69,18 @@ Row run_case(CopierMode mode, UnreadablePolicy policy, uint64_t seed) {
   row.copiers = cluster.metrics().get("copier.started");
   row.refresh = ms.fully_current == kNoTime ? 0 : ms.fully_current - t0;
   row.leftover = cluster.site(2).stable().kv().unreadable_count();
+
+  RunReport::Run& run = cluster.report_run(
+      report,
+      std::string(to_string(mode)) + "_" + std::string(to_string(policy)));
+  run.scalars.emplace_back("p50_latency_us", row.p50);
+  run.scalars.emplace_back("p99_latency_us", row.p99);
+  run.scalars.emplace_back("commit_ratio", row.commit_ratio);
+  run.scalars.emplace_back("copier_runs", static_cast<double>(row.copiers));
+  run.scalars.emplace_back("refresh_time_us",
+                           static_cast<double>(row.refresh));
+  run.scalars.emplace_back("copies_left_marked",
+                           static_cast<double>(row.leftover));
   return row;
 }
 
@@ -74,6 +89,7 @@ Row run_case(CopierMode mode, UnreadablePolicy policy, uint64_t seed) {
 int main() {
   std::printf("E5: copier scheduling x unreadable-read policy, 4 sites,\n"
               "150 items, read-heavy workload through the refresh window.\n");
+  RunReport report("copier_policies");
   TablePrinter table("Table 5: behaviour during the refresh window");
   table.set_header({"copier mode", "read policy", "p50 latency",
                     "p99 latency", "commit ratio", "copier runs",
@@ -81,7 +97,7 @@ int main() {
   for (CopierMode mode : {CopierMode::kEager, CopierMode::kOnDemand}) {
     for (UnreadablePolicy policy :
          {UnreadablePolicy::kBlock, UnreadablePolicy::kRedirect}) {
-      const Row row = run_case(mode, policy, 500);
+      const Row row = run_case(mode, policy, 500, report);
       table.add_row(
           {to_string(mode), to_string(policy), TablePrinter::ms(row.p50),
            TablePrinter::ms(row.p99), TablePrinter::pct(row.commit_ratio),
@@ -97,5 +113,6 @@ int main() {
       "latency low; on-demand leaves untouched copies marked (trading\n"
       "refresh completeness for zero background work); blocking inflates\n"
       "the read tail relative to redirecting.\n");
+  report.write();
   return 0;
 }

@@ -9,7 +9,9 @@
 // type-1 is in flight. Measured: did recovery complete, how many type-1
 // attempts / type-2 rounds it took, and the time to operational.
 #include <cstdio>
+#include <string>
 
+#include "common/report.h"
 #include "core/cluster.h"
 #include "workload/stats.h"
 
@@ -24,7 +26,7 @@ struct Row {
   SimTime to_operational = 0;
 };
 
-Row run_case(int extra_crashes, uint64_t seed) {
+Row run_case(int extra_crashes, uint64_t seed, RunReport& report) {
   Config cfg;
   cfg.n_sites = 6;
   cfg.n_items = 60;
@@ -52,6 +54,18 @@ Row run_case(int extra_crashes, uint64_t seed) {
   row.type2_rounds = ms.type2_rounds;
   row.to_operational =
       ms.nominally_up == kNoTime ? 0 : ms.nominally_up - t0;
+
+  RunReport::Run& run = cluster.report_run(
+      report, "extra_crashes" + std::to_string(extra_crashes));
+  run.scalars.emplace_back("extra_crashes",
+                           static_cast<double>(extra_crashes));
+  run.scalars.emplace_back("recovered", row.recovered ? 1.0 : 0.0);
+  run.scalars.emplace_back("type1_attempts",
+                           static_cast<double>(row.type1_attempts));
+  run.scalars.emplace_back("type2_rounds",
+                           static_cast<double>(row.type2_rounds));
+  run.scalars.emplace_back("to_operational_us",
+                           static_cast<double>(row.to_operational));
   return row;
 }
 
@@ -60,11 +74,12 @@ Row run_case(int extra_crashes, uint64_t seed) {
 int main() {
   std::printf("E6: crashes during recovery, 6 sites, degree 3; site 1\n"
               "recovers while k extra sites die mid-procedure.\n");
+  RunReport report("multi_failure");
   TablePrinter table("Table 6: recovery under interfering failures");
   table.set_header({"extra crashes", "recovered", "type-1 attempts",
                     "type-2 rounds", "time to operational"});
   for (int k : {0, 1, 2, 3}) {
-    const Row row = run_case(k, 600 + static_cast<uint64_t>(k));
+    const Row row = run_case(k, 600 + static_cast<uint64_t>(k), report);
     table.add_row(
         {TablePrinter::integer(k), row.recovered ? "yes" : "NO",
          TablePrinter::integer(row.type1_attempts),
@@ -79,5 +94,6 @@ int main() {
       "site stays up); each interfering crash costs extra type-1 attempts\n"
       "and/or type-2 rounds and delays -- but never prevents -- the\n"
       "recovering site's return to operation.\n");
+  report.write();
   return 0;
 }

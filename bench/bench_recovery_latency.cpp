@@ -8,7 +8,9 @@
 // proceeds concurrently; the redo baseline must replay its whole spool
 // first, so its time-to-operational grows with the outage's update volume.
 #include <cstdio>
+#include <string>
 
+#include "common/report.h"
 #include "core/cluster.h"
 #include "workload/stats.h"
 
@@ -22,7 +24,8 @@ struct Point {
   size_t work_items = 0;  // replayed records / refreshed copies
 };
 
-Point run_case(RecoveryScheme scheme, int64_t updates, uint64_t seed) {
+Point run_case(RecoveryScheme scheme, int64_t updates, uint64_t seed,
+               RunReport& report) {
   Config cfg;
   cfg.n_sites = 5;
   cfg.n_items = 400;
@@ -49,6 +52,14 @@ Point run_case(RecoveryScheme scheme, int64_t updates, uint64_t seed) {
                  t0;
   p.work_items = scheme == RecoveryScheme::kSpooler ? ms.spool_replayed
                                                     : ms.marked_unreadable;
+
+  RunReport::Run& run = cluster.report_run(
+      report, std::string(to_string(scheme)) + "_u" + std::to_string(updates));
+  run.scalars.emplace_back("updates_missed", static_cast<double>(updates));
+  run.scalars.emplace_back("to_operational_us",
+                           static_cast<double>(p.to_operational));
+  run.scalars.emplace_back("to_current_us", static_cast<double>(p.to_current));
+  run.scalars.emplace_back("work_items", static_cast<double>(p.work_items));
   return p;
 }
 
@@ -57,6 +68,7 @@ Point run_case(RecoveryScheme scheme, int64_t updates, uint64_t seed) {
 int main() {
   std::printf("E2: recovery latency vs outage update volume, 5 sites,\n"
               "400 items, degree 3, missing-list identification.\n");
+  RunReport report("recovery_latency");
   TablePrinter table("Table 2: time to resume operation after recovery");
   table.set_header({"updates missed", "scheme", "work items",
                     "t operational", "t fully current"});
@@ -64,8 +76,8 @@ int main() {
                     {"updates", "session_vector_us", "spooler_us"});
   for (int64_t updates : {25, 100, 400, 1000, 2000}) {
     const Point sv =
-        run_case(RecoveryScheme::kSessionVector, updates, 42);
-    const Point sp = run_case(RecoveryScheme::kSpooler, updates, 42);
+        run_case(RecoveryScheme::kSessionVector, updates, 42, report);
+    const Point sp = run_case(RecoveryScheme::kSpooler, updates, 42, report);
     table.add_row({TablePrinter::integer(updates), "session-vector",
                    TablePrinter::integer(static_cast<int64_t>(sv.work_items)),
                    TablePrinter::ms(static_cast<double>(sv.to_operational)),
@@ -80,6 +92,7 @@ int main() {
   }
   table.print();
   fig.print();
+  report.write();
   std::printf(
       "\nExpected shape: the session-vector site is operational after a\n"
       "near-constant control-transaction latency regardless of outage\n"

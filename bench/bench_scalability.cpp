@@ -5,7 +5,9 @@
 // reads an n-entry local vector. This bench measures both ends: recovery
 // latency / message cost vs n, and steady-state throughput vs n.
 #include <cstdio>
+#include <string>
 
+#include "common/report.h"
 #include "core/cluster.h"
 #include "workload/runner.h"
 #include "workload/stats.h"
@@ -21,7 +23,7 @@ struct Row {
   double p50 = 0;
 };
 
-Row run_case(int sites, uint64_t seed) {
+Row run_case(int sites, uint64_t seed, RunReport& report) {
   Config cfg;
   cfg.n_sites = sites;
   cfg.n_items = 40 * sites; // keep per-site data constant
@@ -56,6 +58,16 @@ Row run_case(int sites, uint64_t seed) {
   row.recovery_msgs = cluster.network().messages_sent() - msgs_before;
   row.tput = stats.throughput_per_sec(rp.duration);
   row.p50 = stats.commit_latency_us.percentile(50);
+
+  RunReport::Run& run =
+      cluster.report_run(report, "sites" + std::to_string(sites));
+  run.scalars.emplace_back("sites", static_cast<double>(sites));
+  run.scalars.emplace_back("throughput_txn_s", row.tput);
+  run.scalars.emplace_back("p50_latency_us", row.p50);
+  run.scalars.emplace_back("to_operational_us",
+                           static_cast<double>(row.to_operational));
+  run.scalars.emplace_back("recovery_msgs",
+                           static_cast<double>(row.recovery_msgs));
   return row;
 }
 
@@ -64,11 +76,13 @@ Row run_case(int sites, uint64_t seed) {
 int main() {
   std::printf("E8: session-vector machinery vs cluster size; 40 items per\n"
               "site, degree 3, one client per site; one crash+recovery.\n");
+  RunReport report("scalability");
   TablePrinter t("Table 8: scaling with the number of sites");
   t.set_header({"sites", "steady txn/s", "p50 latency", "t operational",
                 "msgs during recovery"});
   for (int sites : {3, 5, 8, 12, 16}) {
-    const Row row = run_case(sites, 700 + static_cast<uint64_t>(sites));
+    const Row row =
+        run_case(sites, 700 + static_cast<uint64_t>(sites), report);
     t.add_row({TablePrinter::integer(sites),
                TablePrinter::num(row.tput, 0), TablePrinter::ms(row.p50),
                TablePrinter::ms(static_cast<double>(row.to_operational)),
@@ -83,5 +97,6 @@ int main() {
       "mildly with n (the type-1 touches every up site) and recovery\n"
       "message count grows roughly linearly -- the O(n_sites) cost the\n"
       "paper trades against per-item directories.\n");
+  report.write();
   return 0;
 }

@@ -4,6 +4,7 @@
 // behaviour the paper narrates in Sections 1 and 3.4.
 #include <cstdio>
 
+#include "common/report.h"
 #include "core/cluster.h"
 #include "workload/runner.h"
 #include "workload/stats.h"
@@ -87,5 +88,13 @@ int main() {
       "down (ROWAA), a brief dip when the type-1 control transaction\n"
       "drains in-flight transactions, and the unreadable count stepping\n"
       "down to zero as copiers drain -- all while user work continues.\n");
+
+  RunReport report("timeline");
+  RunReport::Run& run = cluster.report_run(report, "crash_recover_site2");
+  run.scalars.emplace_back("committed", static_cast<double>(stats.committed));
+  run.scalars.emplace_back("aborted", static_cast<double>(stats.aborted));
+  run.scalars.emplace_back("crash_at_us", static_cast<double>(kCrashAt));
+  run.scalars.emplace_back("recover_at_us", static_cast<double>(kRecoverAt));
+  report.write();
   return 0;
 }

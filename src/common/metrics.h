@@ -1,25 +1,42 @@
 // Counters and sample histograms collected by the cluster and reported by
-// benches. Intentionally simple: benches are modest-sized, so histograms
+// benches. Counters are *interned*: call sites register a name once (at
+// construction time) and receive a small integer handle; the hot-path
+// inc() is then a plain vector index, no per-call string hashing or map
+// walk. The names survive only for reporting.
+//
+// Histograms stay intentionally simple: benches are modest-sized, so they
 // keep raw samples and compute exact percentiles on demand.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/result.h"
 
 namespace ddbs {
 
 class Histogram {
  public:
-  void add(double v) { samples_.push_back(v); }
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false; // invalidate here, not in percentile()
+  }
   size_t count() const { return samples_.size(); }
   double mean() const;
   double percentile(double p) const; // p in [0, 100]
   double max() const;
+  double min() const;
   double sum() const;
-  void clear() { samples_.clear(); }
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
 
  private:
   mutable std::vector<double> samples_;
@@ -27,19 +44,120 @@ class Histogram {
   void sort_once() const;
 };
 
+// Opaque interned ids. Default-constructed handles are invalid; inc() on
+// one is a programming error (asserted in debug builds).
+struct CounterHandle {
+  uint32_t id = UINT32_MAX;
+  bool valid() const { return id != UINT32_MAX; }
+};
+struct HistHandle {
+  uint32_t id = UINT32_MAX;
+  bool valid() const { return id != UINT32_MAX; }
+};
+
+// Number of distinct protocol outcome codes, for per-code counter families
+// (e.g. "txn.abort.<code>").
+inline constexpr size_t kCodeCount = static_cast<size_t>(Code::kNotFound) + 1;
+
+// Every well-known metric in the system, registered once per Metrics
+// instance. Central so per-transaction coordinators (constructed on the
+// hot path) never pay a registration lookup: they index straight into this
+// struct through their shared Metrics reference.
+struct MetricIds {
+  // transaction manager / coordinators
+  CounterHandle tm_user_submitted, tm_rejected_not_operational;
+  CounterHandle txn_committed, txn_2pc_vote_abort, txn_read_only_one_phase,
+      txn_read_redirect, txn_read_failover, txn_read_stale_view,
+      txn_write_infeasible;
+  std::array<CounterHandle, kCodeCount> txn_abort; // txn.abort.<code>
+
+  // data manager
+  std::array<CounterHandle, kCodeCount> dm_read_reject;  // dm.read_reject.<c>
+  std::array<CounterHandle, kCodeCount> dm_write_reject; // dm.write_reject.<c>
+  CounterHandle dm_activity_timeout_abort, dm_lock_timeout,
+      dm_deadlock_victim, dm_read_hit_unreadable, dm_reads, dm_writes_staged,
+      dm_vote_no_unknown, dm_recovery_marks, dm_commits_applied,
+      dm_copier_installs, dm_copier_skipped_current,
+      dm_writes_with_missed_copies, dm_aborts_applied,
+      dm_termination_blocked_round, dm_termination_queries,
+      dm_termination_committed, dm_termination_aborted, dm_mark_all_items,
+      dm_spool_applied, dm_indoubt_aborted, dm_indoubt_committed,
+      dm_wal_checkpoints;
+
+  // copier transactions
+  CounterHandle copier_started, copier_resolutions, copier_totally_failed,
+      copier_payload_avoided_vcmp, copier_payload_copies, copier_committed;
+
+  // control transactions
+  CounterHandle control_up_attempts, control_up_committed,
+      control_up_cold_start, control_up_2pc_abort;
+  CounterHandle control_down_attempts, control_down_committed;
+  std::array<CounterHandle, kCodeCount> control_up_fail, control_down_fail;
+
+  // recovery manager
+  CounterHandle rm_recoveries_started, rm_indoubt_queries, rm_gave_up,
+      rm_false_suspicion, rm_recovered, rm_spool_prefetched,
+      rm_totally_failed, rm_copier_backoff, rm_copier_starved,
+      rm_fully_current;
+
+  // failure detector
+  CounterHandle fd_reconcile_restarts, fd_declared_down, fd_verify_chains;
+
+  // site lifecycle
+  CounterHandle site_crashes, site_recovers, site_false_declaration_restart;
+};
+
 class Metrics {
  public:
-  void inc(const std::string& counter, int64_t by = 1) { counters_[counter] += by; }
-  int64_t get(const std::string& counter) const;
-  Histogram& hist(const std::string& name) { return hists_[name]; }
-  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  Metrics();
+
+  // Intern `name` (idempotent: same name => same handle). Registration
+  // walks a map -- do it once at setup, never per event.
+  CounterHandle counter(std::string_view name);
+  HistHandle histogram(std::string_view name);
+
+  // Hot path: O(1) vector index.
+  void inc(CounterHandle h, int64_t by = 1) {
+    counter_vals_[h.id] += by;
+  }
+  Histogram& hist(HistHandle h) { return hist_vals_[h.id]; }
+
+  int64_t get(CounterHandle h) const { return counter_vals_[h.id]; }
+  // Reporting/tests: name lookup, fine off the hot path. Unknown => 0.
+  int64_t get(std::string_view name) const;
+  Histogram& hist(std::string_view name) { return hist(histogram(name)); }
+
+  // Zero every value; registrations (and thus handles) stay valid.
   void clear();
 
+  size_t counter_count() const { return counter_names_.size(); }
+  std::string_view counter_name(size_t i) const { return counter_names_[i]; }
+  int64_t counter_value(size_t i) const { return counter_vals_[i]; }
+  size_t hist_count() const { return hist_names_.size(); }
+  std::string_view hist_name(size_t i) const { return hist_names_[i]; }
+  const Histogram& hist_value(size_t i) const { return hist_vals_[i]; }
+
+  // "name=value " for every non-zero counter, in sorted name order
+  // (deterministic across runs regardless of registration order).
   std::string summary() const;
 
  private:
-  std::map<std::string, int64_t> counters_;
-  std::map<std::string, Histogram> hists_;
+  MetricIds register_all();
+
+  // Storage must be declared BEFORE `id`: members initialize in declaration
+  // order, and register_all() interns into these containers.
+  std::vector<std::string> counter_names_;
+  std::vector<int64_t> counter_vals_;
+  std::map<std::string, uint32_t, std::less<>> counter_index_;
+  std::vector<std::string> hist_names_;
+  // deque: hist() hands out references that must survive later
+  // registrations (a vector would invalidate them on growth).
+  std::deque<Histogram> hist_vals_;
+  std::map<std::string, uint32_t, std::less<>> hist_index_;
+
+ public:
+  // Pre-registered handles for every built-in metric.
+  const MetricIds id;
 };
 
 } // namespace ddbs

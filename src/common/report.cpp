@@ -1,0 +1,244 @@
+#include "common/report.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ddbs {
+
+// ---------------------------------------------------------------- JsonWriter
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_and_indent(bool is_value) {
+  if (after_key_) {
+    // Value completing a "key": pair — no comma, no newline.
+    assert(is_value);
+    after_key_ = false;
+    return;
+  }
+  (void)is_value;
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ",";
+    needs_comma_.back() = true;
+    out_ += "\n";
+    out_.append(2 * needs_comma_.size(), ' ');
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma_and_indent(true);
+  out_ += "{";
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  assert(!needs_comma_.empty());
+  const bool had_members = needs_comma_.back();
+  needs_comma_.pop_back();
+  if (had_members) {
+    out_ += "\n";
+    out_.append(2 * needs_comma_.size(), ' ');
+  }
+  out_ += "}";
+}
+
+void JsonWriter::begin_array() {
+  comma_and_indent(true);
+  out_ += "[";
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  assert(!needs_comma_.empty());
+  const bool had_members = needs_comma_.back();
+  needs_comma_.pop_back();
+  if (had_members) {
+    out_ += "\n";
+    out_.append(2 * needs_comma_.size(), ' ');
+  }
+  out_ += "]";
+}
+
+void JsonWriter::key(std::string_view k) {
+  comma_and_indent(false);
+  out_ += "\"";
+  out_ += escape(k);
+  out_ += "\": ";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma_and_indent(true);
+  out_ += "\"";
+  out_ += escape(s);
+  out_ += "\"";
+}
+
+void JsonWriter::value(int64_t v) {
+  comma_and_indent(true);
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(uint64_t v) {
+  comma_and_indent(true);
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(double v) {
+  comma_and_indent(true);
+  std::ostringstream os;
+  os << v;
+  out_ += os.str();
+}
+
+void JsonWriter::value_null() {
+  comma_and_indent(true);
+  out_ += "null";
+}
+
+void JsonWriter::value(bool b) {
+  comma_and_indent(true);
+  out_ += b ? "true" : "false";
+}
+
+// ------------------------------------------------------------------- helpers
+
+void write_config(JsonWriter& w, const Config& cfg) {
+  w.begin_object();
+  w.kv("n_sites", cfg.n_sites);
+  w.kv("n_items", cfg.n_items);
+  w.kv("replication_degree", cfg.replication_degree);
+  w.kv("placement_seed", cfg.placement_seed);
+  w.kv("write_scheme", to_string(cfg.write_scheme));
+  w.kv("recovery_scheme", to_string(cfg.recovery_scheme));
+  w.kv("outdated_strategy", to_string(cfg.outdated_strategy));
+  w.kv("copier_mode", to_string(cfg.copier_mode));
+  w.kv("unreadable_policy", to_string(cfg.unreadable_policy));
+  w.kv("spooler_copies", cfg.spooler_copies);
+  w.kv("net_latency_min", cfg.net_latency_min);
+  w.kv("net_latency_max", cfg.net_latency_max);
+  w.kv("msg_loss_prob", cfg.msg_loss_prob);
+  w.kv("rpc_timeout", cfg.rpc_timeout);
+  w.kv("lock_timeout", cfg.lock_timeout);
+  w.kv("txn_timeout", cfg.txn_timeout);
+  w.kv("detector_interval", cfg.detector_interval);
+  w.kv("copier_concurrency", cfg.copier_concurrency);
+  w.kv("control_retry_limit", cfg.control_retry_limit);
+  w.kv("read_only_one_phase", cfg.read_only_one_phase);
+  w.kv("canonical_write_order", cfg.canonical_write_order);
+  w.kv("detector_jitter", cfg.detector_jitter);
+  w.kv("reconcile_probes", cfg.reconcile_probes);
+  w.kv("wal_checkpoint_threshold", cfg.wal_checkpoint_threshold);
+  w.kv("local_op_cost", cfg.local_op_cost);
+  w.end_object();
+}
+
+void write_timeline(JsonWriter& w, const RecoveryTimeline& t) {
+  w.begin_object();
+  w.kv("site", static_cast<int64_t>(t.site));
+  w.key("started");
+  w.time_or_null(t.started);
+  w.key("nominally_up");
+  w.time_or_null(t.nominally_up);
+  w.key("fully_current");
+  w.time_or_null(t.fully_current);
+  w.kv("type1_attempts", t.type1_attempts);
+  w.kv("type2_rounds", t.type2_rounds);
+  w.kv("marked_unreadable", t.marked_unreadable);
+  w.kv("copiers_run", t.copiers_run);
+  w.kv("copier_retries", t.copier_retries);
+  w.kv("totally_failed_items", t.totally_failed_items);
+  w.kv("spool_replayed", t.spool_replayed);
+  w.end_object();
+}
+
+// ----------------------------------------------------------------- RunReport
+
+RunReport::Run& RunReport::add_run(std::string label, const Config& cfg) {
+  runs_.push_back(Run{std::move(label), cfg, {}, {}, {}});
+  return runs_.back();
+}
+
+void RunReport::capture_counters(Run& run, const Metrics& m) {
+  for (size_t i = 0; i < m.counter_count(); ++i) {
+    if (m.counter_value(i) != 0) {
+      run.counters.emplace_back(std::string(m.counter_name(i)),
+                                m.counter_value(i));
+    }
+  }
+}
+
+std::string RunReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("bench", bench_);
+  w.kv("schema_version", 1);
+  w.key("runs");
+  w.begin_array();
+  for (const Run& run : runs_) {
+    w.begin_object();
+    w.kv("label", run.label);
+    w.key("config");
+    write_config(w, run.cfg);
+    w.key("scalars");
+    w.begin_object();
+    for (const auto& [k, v] : run.scalars) w.kv(k, v);
+    w.end_object();
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [k, v] : run.counters) w.kv(k, v);
+    w.end_object();
+    w.key("recoveries");
+    w.begin_array();
+    for (const RecoveryTimeline& t : run.recoveries) write_timeline(w, t);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+bool RunReport::write(const std::string& path) const {
+  std::string target = path;
+  if (target.empty()) {
+    std::string dir = ".";
+    if (const char* env = std::getenv("DDBS_REPORT_DIR")) dir = env;
+    target = dir + "/BENCH_" + bench_ + ".json";
+  }
+  std::ofstream out(target);
+  if (!out) {
+    std::fprintf(stderr, "report: cannot write %s\n", target.c_str());
+    return false;
+  }
+  out << to_json();
+  std::fprintf(stderr, "report: wrote %s (%zu runs)\n", target.c_str(),
+               runs_.size());
+  return static_cast<bool>(out);
+}
+
+} // namespace ddbs

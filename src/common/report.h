@@ -1,0 +1,122 @@
+// Machine-readable run reports (BENCH_*.json and --report-out).
+//
+// A RunReport collects, per measured run: a label, the config echo, scalar
+// results, the full metrics dump, and per-recovery milestone timelines.
+// The writer is a small hand-rolled streaming JSON emitter — the repo has
+// no JSON dependency and the schema is flat enough not to need one. The
+// schema is documented in EXPERIMENTS.md; tests/test_trace_report.cpp
+// round-trips it with a minimal parser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "common/types.h"
+
+namespace ddbs {
+
+// Minimal streaming JSON writer: objects/arrays are explicit begin/end
+// calls, commas and indentation are handled internally, strings are
+// escaped. Misuse (value outside a container) is a programming error.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  // Introduce the next member of the enclosing object.
+  void key(std::string_view k);
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(int64_t v);
+  void value(uint64_t v);
+  void value(int v) { value(static_cast<int64_t>(v)); }
+  void value(double v);
+  void value(bool b);
+  void value_null();
+  // A sim-time milestone: kNoTime (not reached) serializes as null.
+  void time_or_null(SimTime t) {
+    if (t == kNoTime) {
+      value_null();
+    } else {
+      value(static_cast<int64_t>(t));
+    }
+  }
+
+  // Convenience: key + value in one call.
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  std::string str() const { return out_; }
+  static std::string escape(std::string_view s);
+
+ private:
+  void comma_and_indent(bool is_value);
+  std::string out_;
+  std::vector<bool> needs_comma_; // per open container
+  bool after_key_ = false;
+};
+
+// One site recovery, from crash detection to fully-current, in sim time.
+// Filled by the RecoveryManager milestones; kNoTime marks a milestone not
+// reached within the run.
+struct RecoveryTimeline {
+  SiteId site = kInvalidSite;
+  SimTime started = kNoTime;       // recovery procedure began
+  SimTime nominally_up = kNoTime;  // type-1 control txn committed
+  SimTime fully_current = kNoTime; // last unreadable copy refreshed
+  int64_t type1_attempts = 0;
+  int64_t type2_rounds = 0;
+  int64_t marked_unreadable = 0;
+  int64_t copiers_run = 0;
+  int64_t copier_retries = 0;
+  int64_t totally_failed_items = 0;
+  int64_t spool_replayed = 0;
+};
+
+// A report covers one bench binary: shared metadata plus one entry per
+// measured run (a parameter-sweep cell).
+class RunReport {
+ public:
+  explicit RunReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  struct Run {
+    std::string label;
+    Config cfg;
+    std::vector<std::pair<std::string, double>> scalars;
+    std::vector<std::pair<std::string, int64_t>> counters;
+    std::vector<RecoveryTimeline> recoveries;
+  };
+
+  // Append a run. Scalars are the bench's headline numbers (availability,
+  // latency percentiles, ...); add them via the returned reference.
+  Run& add_run(std::string label, const Config& cfg);
+
+  // Capture every non-zero counter from `m` into the run.
+  static void capture_counters(Run& run, const Metrics& m);
+
+  std::string to_json() const;
+
+  // Write to `path`, or to "BENCH_<name>.json" under $DDBS_REPORT_DIR
+  // (default: current directory) when path is empty. Returns false and
+  // leaves a note on stderr if the file cannot be written.
+  bool write(const std::string& path = "") const;
+
+  const std::string& name() const { return bench_; }
+  size_t run_count() const { return runs_.size(); }
+
+ private:
+  std::string bench_;
+  std::vector<Run> runs_;
+};
+
+// Serialize one Config as a JSON object (shared by report + sim tool).
+void write_config(JsonWriter& w, const Config& cfg);
+void write_timeline(JsonWriter& w, const RecoveryTimeline& t);
+
+} // namespace ddbs

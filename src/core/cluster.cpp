@@ -16,7 +16,7 @@ Cluster::Cluster(Config cfg, uint64_t seed)
   for (SiteId s = 0; s < cfg_.n_sites; ++s) {
     sites_.push_back(std::make_unique<Site>(
         s, cfg_, sched_, net_, cat_, metrics_,
-        cfg_.record_history ? &recorder_ : nullptr));
+        cfg_.record_history ? &recorder_ : nullptr, &tracer_));
   }
 }
 
@@ -84,6 +84,36 @@ void Cluster::settle(SimTime max_time) {
     if (!busy) return;
   }
   DDBS_WARN << "settle() hit its time bound";
+}
+
+std::vector<RecoveryTimeline> Cluster::recovery_timelines() const {
+  std::vector<RecoveryTimeline> out;
+  for (const auto& site : sites_) {
+    const RecoveryManager::Milestones& ms = site->rm().milestones();
+    if (ms.started == kNoTime) continue; // never recovered this run
+    RecoveryTimeline t;
+    t.site = site->id();
+    t.started = ms.started;
+    t.nominally_up = ms.nominally_up;
+    t.fully_current = ms.fully_current;
+    t.type1_attempts = ms.type1_attempts;
+    t.type2_rounds = ms.type2_rounds;
+    t.marked_unreadable = static_cast<int64_t>(ms.marked_unreadable);
+    t.copiers_run = static_cast<int64_t>(ms.copiers_run);
+    t.copier_retries = static_cast<int64_t>(ms.copier_retries);
+    t.totally_failed_items = static_cast<int64_t>(ms.totally_failed_items);
+    t.spool_replayed = static_cast<int64_t>(ms.spool_replayed);
+    out.push_back(t);
+  }
+  return out;
+}
+
+RunReport::Run& Cluster::report_run(RunReport& report,
+                                    std::string label) const {
+  RunReport::Run& run = report.add_run(std::move(label), cfg_);
+  RunReport::capture_counters(run, metrics_);
+  run.recoveries = recovery_timelines();
+  return run;
 }
 
 bool Cluster::replicas_converged(std::string* why) const {

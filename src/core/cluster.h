@@ -20,10 +20,12 @@
 
 #include "common/config.h"
 #include "common/metrics.h"
+#include "common/report.h"
 #include "core/site.h"
 #include "net/network.h"
 #include "replication/catalog.h"
 #include "sim/scheduler.h"
+#include "sim/trace.h"
 #include "verify/history.h"
 
 namespace ddbs {
@@ -70,6 +72,17 @@ class Cluster {
   Network& network() { return net_; }
   Metrics& metrics() { return metrics_; }
   HistoryRecorder& history() { return recorder_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  // One RecoveryTimeline per site that has begun a recovery this run
+  // (from the per-site milestone records), for JSON reports.
+  std::vector<RecoveryTimeline> recovery_timelines() const;
+
+  // Append this cluster's state (config echo, non-zero counters, recovery
+  // timelines) to `report` as a run labelled `label`. The returned Run can
+  // take bench-specific scalars afterwards.
+  RunReport::Run& report_run(RunReport& report, std::string label) const;
 
   // True when every copy of every item is identical across its readable
   // (non-marked, up-site) replicas AND no unreadable copy remains at
@@ -81,6 +94,7 @@ class Cluster {
   Metrics metrics_;
   HistoryRecorder recorder_;
   Scheduler sched_;
+  Tracer tracer_{sched_};
   Network net_;
   Catalog cat_;
   std::vector<std::unique_ptr<Site>> sites_;

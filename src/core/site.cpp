@@ -7,13 +7,15 @@
 namespace ddbs {
 
 Site::Site(SiteId id, const Config& cfg, Scheduler& sched, Network& net,
-           const Catalog& cat, Metrics& metrics, HistoryRecorder* recorder)
+           const Catalog& cat, Metrics& metrics, HistoryRecorder* recorder,
+           Tracer* tracer)
     : id_(id),
       cfg_(cfg),
       sched_(sched),
       net_(net),
       cat_(cat),
       metrics_(metrics),
+      tracer_(tracer),
       rpc_(id, net, sched) {
   CoordinatorEnv env;
   env.self = id_;
@@ -25,9 +27,10 @@ Site::Site(SiteId id, const Config& cfg, Scheduler& sched, Network& net,
   env.state = &state_;
   env.metrics = &metrics_;
   env.recorder = recorder;
+  env.tracer = tracer;
 
   dm_ = std::make_unique<DataManager>(id_, cfg_, sched_, rpc_, stable_,
-                                      state_, metrics_, recorder);
+                                      state_, metrics_, recorder, tracer);
   tm_ = std::make_unique<TransactionManager>(env);
   tm_->set_local_dm(dm_.get());
   rm_ = std::make_unique<RecoveryManager>(env, *dm_, *tm_);
@@ -56,7 +59,7 @@ void Site::on_declared_down() {
   // still see themselves as up while everyone else skips this site's
   // copies. The safe reaction is process suicide + normal re-integration.
   if (state_.mode != SiteMode::kUp) return;
-  metrics_.inc("site.false_declaration_restart");
+  metrics_.inc(metrics_.id.site_false_declaration_restart);
   DDBS_WARN << "site " << id_
             << " learned it was declared down while alive; restarting";
   sched_.after(1, [this]() {
@@ -85,7 +88,7 @@ void Site::bootstrap_up(Value initial_value) {
 void Site::crash() {
   assert(state_.mode != SiteMode::kDown && "crashing a down site");
   DDBS_INFO << "site " << id_ << " CRASH at " << sched_.now();
-  metrics_.inc("site.crashes");
+  metrics_.inc(metrics_.id.site_crashes);
   net_.set_alive(id_, false);
   rpc_.reset();
   fd_->stop();
@@ -99,7 +102,7 @@ void Site::crash() {
 void Site::recover() {
   assert(state_.mode == SiteMode::kDown && "recovering a non-down site");
   DDBS_INFO << "site " << id_ << " powering up at " << sched_.now();
-  metrics_.inc("site.recovers");
+  metrics_.inc(metrics_.id.site_recovers);
   net_.set_alive(id_, true);
   state_.mode = SiteMode::kRecovering;
   state_.session = 0; // as[k] = 0: control transactions only (step 1)

@@ -23,7 +23,8 @@ namespace ddbs {
 class Site {
  public:
   Site(SiteId id, const Config& cfg, Scheduler& sched, Network& net,
-       const Catalog& cat, Metrics& metrics, HistoryRecorder* recorder);
+       const Catalog& cat, Metrics& metrics, HistoryRecorder* recorder,
+       Tracer* tracer = nullptr);
 
   // Cold start at t=0: create local copies (data items hosted here plus
   // the full NS vector, everyone at session 1), go straight to operational.
@@ -57,6 +58,7 @@ class Site {
   Network& net_;
   const Catalog& cat_;
   Metrics& metrics_;
+  Tracer* tracer_;
 
   SiteState state_;
   StableStorage stable_;

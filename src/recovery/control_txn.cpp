@@ -20,7 +20,7 @@ ControlUpCoordinator::ControlUpCoordinator(TxnId txn,
 
 void ControlUpCoordinator::fail(Code reason) {
   if (decided_) return;
-  metrics_.inc(std::string("control_up.fail.") + to_string(reason));
+  metrics_.inc(metrics_.id.control_up_fail[static_cast<size_t>(reason)]);
   ControlUpResult res;
   res.ok = false;
   res.suspected_down = suspected_;
@@ -31,7 +31,8 @@ void ControlUpCoordinator::fail(Code reason) {
 }
 
 void ControlUpCoordinator::start() {
-  metrics_.inc("control_up.attempts");
+  metrics_.inc(metrics_.id.control_up_attempts);
+  trace(TraceKind::kControlUpStart, metrics_.get(metrics_.id.control_up_attempts));
   schedule(cfg_.txn_timeout, [this]() {
     if (!decided_) fail(Code::kTimeout);
   });
@@ -94,7 +95,7 @@ void ControlUpCoordinator::pick_sponsor() {
 }
 
 void ControlUpCoordinator::bootstrap_cold_start() {
-  metrics_.inc("control_up.cold_start");
+  metrics_.inc(metrics_.id.control_up_cold_start);
   // Conservative marking: whatever identification strategy is configured,
   // its volatile bookkeeping did not survive a total failure. Items whose
   // only copy lives here cannot have missed anything and stay readable.
@@ -134,7 +135,8 @@ void ControlUpCoordinator::bootstrap_cold_start() {
       res.ok = committed;
       res.session = new_session_;
       if (committed) {
-        metrics_.inc("control_up.committed");
+        metrics_.inc(metrics_.id.control_up_committed);
+        trace(TraceKind::kControlUpCommit, static_cast<int64_t>(new_session_));
       } else {
         res.suspected_down = suspected_;
       }
@@ -341,14 +343,15 @@ void ControlUpCoordinator::stage_and_write() {
     run_2pc([this](bool committed) {
       for (SiteId s : last_2pc_timeouts_) suspected_.push_back(s);
       if (!committed) {
-        metrics_.inc("control_up.2pc_abort");
+        metrics_.inc(metrics_.id.control_up_2pc_abort);
         ControlUpResult res;
         res.ok = false;
         res.suspected_down = suspected_;
         if (up_done_) up_done_(res);
         return;
       }
-      metrics_.inc("control_up.committed");
+      metrics_.inc(metrics_.id.control_up_committed);
+      trace(TraceKind::kControlUpCommit, static_cast<int64_t>(new_session_));
       ControlUpResult res;
       res.ok = true;
       res.session = new_session_;
@@ -378,7 +381,7 @@ ControlDownCoordinator::ControlDownCoordinator(TxnId txn,
 
 void ControlDownCoordinator::fail(Code reason) {
   if (decided_) return;
-  metrics_.inc(std::string("control_down.fail.") + to_string(reason));
+  metrics_.inc(metrics_.id.control_down_fail[static_cast<size_t>(reason)]);
   ControlDownResult res;
   res.ok = false;
   res.additional_suspects = suspected_;
@@ -388,7 +391,8 @@ void ControlDownCoordinator::fail(Code reason) {
 }
 
 void ControlDownCoordinator::start() {
-  metrics_.inc("control_down.attempts");
+  metrics_.inc(metrics_.id.control_down_attempts);
+  trace(TraceKind::kControlDownStart, down_.empty() ? -1 : down_.front());
   schedule(cfg_.txn_timeout, [this]() {
     if (!decided_) fail(Code::kTimeout);
   });
@@ -463,7 +467,10 @@ void ControlDownCoordinator::write_zeroes() {
       res.ok = committed;
       res.additional_suspects = suspected_;
       if (committed) {
-        metrics_.inc("control_down.committed");
+        metrics_.inc(metrics_.id.control_down_committed);
+        trace(TraceKind::kControlDownCommit,
+              down_.empty() ? -1 : down_.front(),
+              static_cast<int64_t>(down_.size()));
         // Best-effort notice to the declared sites: a LIVE recipient was
         // falsely declared (fail-stop violated) and reacts by restarting
         // and re-integrating; a dead recipient never sees it.

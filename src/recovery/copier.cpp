@@ -13,7 +13,8 @@ void CopierCoordinator::start() {
   schedule(cfg_.txn_timeout, [this]() {
     if (!decided_) abort_txn(Code::kTimeout);
   });
-  metrics_.inc("copier.started");
+  metrics_.inc(metrics_.id.copier_started);
+  trace(TraceKind::kCopierStart, item_);
   // Copiers follow the same convention: read the local NS vector first,
   // then locate a readable source among nominally-up resident sites.
   read_ns_vector(self_, /*bypass=*/false, state_.session, [this](bool ok) {
@@ -46,11 +47,11 @@ void CopierCoordinator::try_source(size_t idx) {
     }
     if (all_resident_up && unreadable_sources_ == sources_.size() &&
         !sources_.empty()) {
-      metrics_.inc("copier.resolutions");
+      metrics_.inc(metrics_.id.copier_resolutions);
       resolve_all_marked(0);
       return;
     }
-    metrics_.inc("copier.totally_failed");
+    metrics_.inc(metrics_.id.copier_totally_failed);
     abort_txn(Code::kTotallyFailed);
     return;
   }
@@ -74,6 +75,7 @@ void CopierCoordinator::try_source(size_t idx) {
         }
         switch (rc) {
           case Code::kOk:
+            record_read(src, item_, *resp);
             write_local(resp->value, resp->version);
             return;
           case Code::kUnreadable: // source itself is still refreshing
@@ -100,7 +102,7 @@ void CopierCoordinator::resolve_all_marked(size_t idx) {
   if (idx >= sources_.size()) {
     if (!have_best_) {
       // Everything raced away beneath us; give up this round.
-      metrics_.inc("copier.totally_failed");
+      metrics_.inc(metrics_.id.copier_totally_failed);
       abort_txn(Code::kTotallyFailed);
       return;
     }
@@ -129,6 +131,7 @@ void CopierCoordinator::resolve_all_marked(size_t idx) {
           rc = resp->code;
         }
         if (rc == Code::kOk) {
+          record_read(src, item_, *resp);
           if (!have_best_ || best_version_ < resp->version) {
             have_best_ = true;
             best_value_ = resp->value;
@@ -152,12 +155,12 @@ void CopierCoordinator::write_local(Value value, Version version) {
   if (cfg_.outdated_strategy == OutdatedStrategy::kMarkAllVersionCmp) {
     const Copy* local = stable_.kv().find(item_);
     if (local != nullptr && local->version == version) {
-      metrics_.inc("copier.payload_avoided_vcmp");
+      metrics_.inc(metrics_.id.copier_payload_avoided_vcmp);
     } else {
-      metrics_.inc("copier.payload_copies");
+      metrics_.inc(metrics_.id.copier_payload_copies);
     }
   } else {
-    metrics_.inc("copier.payload_copies");
+    metrics_.inc(metrics_.id.copier_payload_copies);
   }
   touch(self_);
   WriteReq req;
@@ -183,7 +186,8 @@ void CopierCoordinator::write_local(Value value, Version version) {
         }
         run_2pc([this](bool committed) {
           if (committed) {
-            metrics_.inc("copier.committed");
+            metrics_.inc(metrics_.id.copier_committed);
+            trace(TraceKind::kCopierCommit, item_);
             report_committed({});
           } else {
             report_aborted(Code::kAborted);

@@ -10,6 +10,13 @@ namespace ddbs {
 
 namespace {
 constexpr int kMissesToDeclare = 2;
+// A declaration additionally requires the suspect to have been silent --
+// no pong on ANY of our pings -- for this many detector intervals. On a
+// lossy transport a burst of consecutive timeouts is cheap (at 25% loss a
+// 3-ping chain fails ~8% of the time), but a live site keeps answering
+// *some* periodic pings, so prolonged total silence separates death from
+// loss far more reliably than any fixed-length chain.
+constexpr SimTime kSilenceToDeclare = 6;
 } // namespace
 
 FailureDetector::FailureDetector(const CoordinatorEnv& env,
@@ -19,7 +26,7 @@ FailureDetector::FailureDetector(const CoordinatorEnv& env,
       rng_(0x9d5f00d + static_cast<uint64_t>(env.self) * 7919) {}
 
 void FailureDetector::metrics_inc_reconcile() {
-  env_.metrics->inc("fd.reconcile_restarts");
+  env_.metrics->inc(env_.metrics->id.fd_reconcile_restarts);
 }
 
 SimTime FailureDetector::jittered_interval() {
@@ -37,6 +44,9 @@ void FailureDetector::start() {
   ++epoch_;
   misses_.clear();
   declaring_.clear();
+  verifying_.clear();
+  last_pong_.clear();
+  started_at_ = env_.sched->now(); // silence is measured from here at first
   declare_inflight_ = false;
   const uint64_t epoch = epoch_;
   env_.sched->after(jittered_interval(), [this, epoch]() {
@@ -76,6 +86,10 @@ void FailureDetector::tick() {
               }
             });
       }
+      // While a site is nominally down we stop pinging it, so keep its
+      // proof-of-life fresh artificially: when it re-integrates it starts
+      // with a clean silence clock instead of an ancient last pong.
+      last_pong_[s] = env_.sched->now();
       continue;
     }
     if (declaring_.count(s)) continue;
@@ -85,13 +99,14 @@ void FailureDetector::tick() {
           if (epoch != epoch_ || !running_) return;
           if (code == Code::kOk) {
             misses_[s] = 0;
+            last_pong_[s] = env_.sched->now();
             return;
           }
           // Two missed periodic pings arouse suspicion; certainty (the
           // paper's precondition for a type-2) takes a burst of
           // consecutive timeouts -- on a lossy transport two lost pings
           // do not prove death.
-          if (++misses_[s] >= kMissesToDeclare) verify(s, 3);
+          if (++misses_[s] >= kMissesToDeclare) begin_verify(s, 3);
         });
   }
   env_.sched->after(jittered_interval(), [this, epoch]() {
@@ -150,7 +165,17 @@ void FailureDetector::suspect(SiteId s) {
   if (declaring_.count(s)) return;
   const SessionVector ns = peek_ns_vector(env_.stable->kv(), env_.cfg->n_sites);
   if (ns[static_cast<size_t>(s)] == 0) return; // already nominally down
-  verify(s, 2);
+  begin_verify(s, 3);
+}
+
+void FailureDetector::begin_verify(SiteId s, int attempts) {
+  // One chain per suspect at a time; further hints while it runs are
+  // folded into it (they would reach the same verdict from the same
+  // pings anyway).
+  if (!verifying_.emplace(s, env_.sched->now()).second) return;
+  env_.metrics->inc(env_.metrics->id.fd_verify_chains);
+  Tracer::emit(env_.tracer, TraceKind::kDetectorVerify, env_.self, 0, s);
+  verify(s, attempts);
 }
 
 void FailureDetector::verify(SiteId s, int attempts_left) {
@@ -161,13 +186,28 @@ void FailureDetector::verify(SiteId s, int attempts_left) {
         if (epoch != epoch_ || !running_) return;
         if (code == Code::kOk) {
           misses_[s] = 0;
-          return; // alive after all
+          last_pong_[s] = env_.sched->now();
+          verifying_.erase(s); // chain resolved: alive after all
+          return;
         }
         if (attempts_left > 1) {
           verify(s, attempts_left - 1);
-        } else {
-          declare(s);
+          return;
         }
+        verifying_.erase(s); // chain resolved
+        SimTime last_alive = started_at_;
+        if (const auto pong = last_pong_.find(s); pong != last_pong_.end()) {
+          last_alive = std::max(last_alive, pong->second);
+        }
+        if (env_.sched->now() - last_alive <
+            kSilenceToDeclare * env_.cfg->detector_interval) {
+          // The site answered a ping recently: alive, the chain's timeouts
+          // were loss. Not *sure* => no type-2 yet. Leave the accumulated
+          // misses so the next timed-out periodic ping restarts the chain;
+          // a genuinely dead site re-reaches this point silent and stale.
+          return;
+        }
+        declare(s);
       });
 }
 
@@ -191,7 +231,10 @@ void FailureDetector::run_declare(std::vector<SiteId> down, int attempt) {
     declaring_.insert(d);
     misses_[d] = 0;
   }
-  env_.metrics->inc("fd.declared_down");
+  env_.metrics->inc(env_.metrics->id.fd_declared_down);
+  Tracer::emit(env_.tracer, TraceKind::kDetectorDeclare, env_.self, 0,
+               down.empty() ? -1 : down.front(),
+               static_cast<int64_t>(down.size()));
   if (log_level() <= LogLevel::kInfo) {
     std::ostringstream os;
     os << "site " << env_.self << " declares down:";

@@ -40,6 +40,8 @@ class FailureDetector {
 
  private:
   void tick();
+  // Start a verify chain for `s` unless one is already in flight.
+  void begin_verify(SiteId s, int attempts);
   void verify(SiteId s, int attempts_left);
   void declare(SiteId s);
   void run_declare(std::vector<SiteId> down, int attempt);
@@ -53,6 +55,19 @@ class FailureDetector {
   uint64_t epoch_ = 0;
   std::map<SiteId, int> misses_;
   std::set<SiteId> declaring_;
+  // Sites with a verify chain in flight, mapped to the chain's start time.
+  // Without this guard every further missed ping past the threshold (and
+  // every coordinator suspect() hint) spawned an additional chain toward
+  // declare(), multiplying ping traffic and racing the declaration.
+  // Cleared when the chain resolves (alive or declared) and on start().
+  std::map<SiteId, SimTime> verifying_;
+  // Last time each site answered any of our pings. A chain that ends in
+  // three timeouts still refuses to declare unless the site has also been
+  // silent for a multiple of the detector interval: the paper requires
+  // the initiator to be *sure*, and on a lossy transport a recent pong is
+  // proof of life while prolonged total silence is death.
+  std::map<SiteId, SimTime> last_pong_;
+  SimTime started_at_ = 0; // silence reference before any pong arrives
   // At most one type-2 in flight per initiator: concurrent declarations
   // from one site deadlock with each other on the NS locks; suspects that
   // accumulate meanwhile are batched into the next declaration.

@@ -9,8 +9,21 @@ namespace ddbs {
 
 namespace {
 constexpr SimTime kRetryBackoff = 30'000; // between type-1 attempts
-constexpr int kMaxCopierAttempts = 25;
+// Copier retry policy. A copier may fail transiently (conflict aborts) or
+// because every source copy is unreachable ("totally failed", Section 3.2).
+// Neither case may ever abandon the item: an unreadable copy must
+// eventually be refreshed, so instead of a hard attempt cap the retry
+// delay escalates -- doubling every kEscalateEvery failed attempts, capped
+// at kMaxBackoffShift doublings -- and keeps going while the site is up.
+constexpr int kEscalateEvery = 5;
+constexpr int kMaxBackoffShift = 4;
 } // namespace
+
+SimTime RecoveryManager::copier_retry_delay(int attempts) const {
+  int shift = attempts / kEscalateEvery;
+  if (shift > kMaxBackoffShift) shift = kMaxBackoffShift;
+  return (8 * env_.cfg->detector_interval) << shift;
+}
 
 RecoveryManager::RecoveryManager(const CoordinatorEnv& env, DataManager& dm,
                                  TransactionManager& tm)
@@ -30,7 +43,8 @@ void RecoveryManager::begin_recovery() {
   ++epoch_;
   ms_ = Milestones{};
   ms_.started = env_.sched->now();
-  env_.metrics->inc("rm.recoveries_started");
+  env_.metrics->inc(env_.metrics->id.rm_recoveries_started);
+  Tracer::emit(env_.tracer, TraceKind::kRecoveryStarted, env_.self);
   resolve_in_doubt(); // background; does not gate the procedure
   if (env_.cfg->recovery_scheme == RecoveryScheme::kSpooler) {
     spooler_prefetch();
@@ -68,7 +82,7 @@ void RecoveryManager::resolve_one(const WalRecord& rec, size_t target_idx) {
   // asked too, but the coordinator answer is always definitive).
   (void)target_idx;
   const uint64_t epoch = epoch_;
-  env_.metrics->inc("rm.indoubt_queries");
+  env_.metrics->inc(env_.metrics->id.rm_indoubt_queries);
   env_.rpc->send_request(
       coord, OutcomeQuery{rec.txn}, env_.cfg->rpc_timeout,
       [this, rec, epoch](Code code, const Payload* payload) {
@@ -97,7 +111,7 @@ void RecoveryManager::resolve_one(const WalRecord& rec, size_t target_idx) {
 
 void RecoveryManager::attempt_up(int attempt) {
   if (attempt > env_.cfg->control_retry_limit) {
-    env_.metrics->inc("rm.gave_up");
+    env_.metrics->inc(env_.metrics->id.rm_gave_up);
     DDBS_WARN << "site " << env_.self << " recovery gave up after "
               << attempt << " attempts";
     return;
@@ -137,7 +151,7 @@ void RecoveryManager::exclude_then_retry(std::vector<SiteId> dead,
         if (epoch != epoch_) return;
         if (confirmed.empty()) {
           // False suspicion (contention): just retry the type-1 later.
-          env_.metrics->inc("rm.false_suspicion");
+          env_.metrics->inc(env_.metrics->id.rm_false_suspicion);
           env_.sched->after(kRetryBackoff, [this, attempt, epoch]() {
             if (epoch != epoch_) return;
             attempt_up(attempt + 1);
@@ -175,7 +189,10 @@ void RecoveryManager::become_up(SessionNum session, size_t replayed) {
   ms_.marked_unreadable = dm_.kv().unreadable_count();
   env_.state->mode = SiteMode::kUp;
   env_.state->session = session;
-  env_.metrics->inc("rm.recovered");
+  env_.metrics->inc(env_.metrics->id.rm_recovered);
+  Tracer::emit(env_.tracer, TraceKind::kNominallyUp, env_.self, 0,
+               static_cast<int64_t>(session),
+               static_cast<int64_t>(ms_.marked_unreadable));
   DDBS_INFO << "site " << env_.self << " operational, session " << session
             << ", " << ms_.marked_unreadable << " copies to refresh";
   if (on_operational_) on_operational_(session);
@@ -228,7 +245,7 @@ void RecoveryManager::spooler_prefetch() {
           // approach avoids).
           const SimTime replay_cost =
               static_cast<SimTime>(recs.size()) * env_.cfg->local_op_cost;
-          env_.metrics->inc("rm.spool_prefetched",
+          env_.metrics->inc(env_.metrics->id.rm_spool_prefetched,
                             static_cast<int64_t>(recs.size()));
           env_.sched->after(replay_cost,
                             [this, epoch, recs = std::move(recs)]() {
@@ -276,48 +293,37 @@ void RecoveryManager::pump_copiers() {
     tm_.run_copier(item, [this, item, epoch](const TxnResult& res) {
       if (epoch != epoch_) return;
       copier_inflight_.erase(item);
-      if (!res.committed) {
+      if (res.committed) {
+        // Forget the failure history: a later on-demand copier for this
+        // item starts fresh instead of inheriting a stale backoff count.
+        copier_attempts_.erase(item);
+      } else {
+        const int attempts = ++copier_attempts_[item];
         if (res.reason == Code::kTotallyFailed) {
           ++ms_.totally_failed_items;
-          env_.metrics->inc("rm.totally_failed");
+          env_.metrics->inc(env_.metrics->id.rm_totally_failed);
           // "Totally failed" is transient when the source sites are merely
           // down: retry after they had a chance to come back. (A permanent
-          // resolution protocol is out of the paper's scope.)
-          if (++copier_attempts_[item] < kMaxCopierAttempts) {
-            ++delayed_retries_;
-            env_.sched->after(
-                8 * env_.cfg->detector_interval, [this, item, epoch]() {
-                  if (epoch != epoch_) return;
-                  --delayed_retries_;
-                  const Copy* c2 = dm_.kv().find(item);
-                  if (c2 != nullptr && c2->unreadable &&
-                      env_.state->mode == SiteMode::kUp) {
-                    enqueue_copier(item, /*front=*/false);
-                    pump_copiers();
-                  }
-                });
+          // resolution protocol is out of the paper's scope.) The delay
+          // escalates but the retry NEVER stops while this site is up --
+          // an unreadable copy must eventually be refreshed, however long
+          // its only source stays dark.
+          if (attempts % kEscalateEvery == 0) {
+            env_.metrics->inc(env_.metrics->id.rm_copier_starved);
+            Tracer::emit(env_.tracer, TraceKind::kCopierStarved, env_.self,
+                         0, item, copier_retry_delay(attempts));
           }
-        } else if (++copier_attempts_[item] % kMaxCopierAttempts != 0) {
+          schedule_copier_retry(item, copier_retry_delay(attempts));
+        } else if (attempts % kEscalateEvery != 0) {
           // Conflict/deadlock/lock-timeout abort: try again right away.
           ++ms_.copier_retries;
           enqueue_copier(item, /*front=*/false);
         } else {
           // Something (e.g. an in-doubt transaction awaiting termination)
-          // has blocked this copy for many rounds: back off, then keep
+          // has blocked this copy for several rounds: back off, then keep
           // trying -- an unreadable copy must eventually be refreshed.
-          env_.metrics->inc("rm.copier_backoff");
-          ++delayed_retries_;
-          env_.sched->after(
-              8 * env_.cfg->detector_interval, [this, item, epoch]() {
-                if (epoch != epoch_) return;
-                --delayed_retries_;
-                const Copy* c2 = dm_.kv().find(item);
-                if (c2 != nullptr && c2->unreadable &&
-                    env_.state->mode == SiteMode::kUp) {
-                  enqueue_copier(item, /*front=*/false);
-                  pump_copiers();
-                }
-              });
+          env_.metrics->inc(env_.metrics->id.rm_copier_backoff);
+          schedule_copier_retry(item, copier_retry_delay(attempts));
         }
       }
       maybe_fully_current();
@@ -327,13 +333,36 @@ void RecoveryManager::pump_copiers() {
   maybe_fully_current();
 }
 
+void RecoveryManager::schedule_copier_retry(ItemId item, SimTime delay) {
+  const uint64_t epoch = epoch_;
+  ++delayed_retries_;
+  env_.sched->after(delay, [this, item, epoch]() {
+    if (epoch != epoch_) return;
+    --delayed_retries_;
+    const Copy* c2 = dm_.kv().find(item);
+    if (c2 != nullptr && c2->unreadable &&
+        env_.state->mode == SiteMode::kUp) {
+      enqueue_copier(item, /*front=*/false);
+      pump_copiers();
+    } else {
+      // The copy was refreshed while this retry waited (a user write
+      // installed a current value, or an on-demand copier won the race).
+      // This retry may have been the last outstanding refresh work, so the
+      // fully-current milestone must still be checked.
+      maybe_fully_current();
+    }
+  });
+}
+
 void RecoveryManager::maybe_fully_current() {
   if (ms_.fully_current != kNoTime) return;
   if (ms_.nominally_up == kNoTime) return;
   if (!copier_queue_.empty() || !copier_inflight_.empty()) return;
   if (dm_.kv().unreadable_count() != 0) return; // on-demand leftovers
   ms_.fully_current = env_.sched->now();
-  env_.metrics->inc("rm.fully_current");
+  env_.metrics->inc(env_.metrics->id.rm_fully_current);
+  Tracer::emit(env_.tracer, TraceKind::kFullyCurrent, env_.self, 0,
+               static_cast<int64_t>(ms_.copiers_run));
 }
 
 } // namespace ddbs

@@ -61,6 +61,14 @@ class RecoveryManager {
     return copier_queue_.empty() && copier_inflight_.empty() &&
            delayed_retries_ == 0;
   }
+  // Failed-attempt count for one item (0 when clean). Tests use this to
+  // check that a committed copier wipes the item's backoff history.
+  int copier_attempts_for(ItemId item) const {
+    auto it = copier_attempts_.find(item);
+    return it == copier_attempts_.end() ? 0 : it->second;
+  }
+  // Retry delay after `attempts` consecutive failures (escalating, capped).
+  SimTime copier_retry_delay(int attempts) const;
 
  private:
   void resolve_in_doubt();
@@ -71,6 +79,7 @@ class RecoveryManager {
   void spooler_prefetch();
   void enqueue_copier(ItemId item, bool front);
   void pump_copiers();
+  void schedule_copier_retry(ItemId item, SimTime delay);
   void maybe_fully_current();
 
   CoordinatorEnv env_;

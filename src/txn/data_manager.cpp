@@ -27,7 +27,7 @@ void set_dm_trace_txn(TxnId t) { g_trace_txn = t; }
 DataManager::DataManager(SiteId self, const Config& cfg, Scheduler& sched,
                          RpcEndpoint& rpc, StableStorage& stable,
                          SiteState& state, Metrics& metrics,
-                         HistoryRecorder* recorder)
+                         HistoryRecorder* recorder, Tracer* tracer)
     : self_(self),
       cfg_(cfg),
       sched_(sched),
@@ -35,7 +35,8 @@ DataManager::DataManager(SiteId self, const Config& cfg, Scheduler& sched,
       stable_(stable),
       state_(state),
       metrics_(metrics),
-      recorder_(recorder) {}
+      recorder_(recorder),
+      tracer_(tracer) {}
 
 // ---------------------------------------------------------------------------
 // dispatch
@@ -106,7 +107,7 @@ DataManager::TxnCtx& DataManager::ctx_of(TxnId txn, TxnKind kind,
           if (epoch != boot_epoch_) return;
           TxnCtx* c = find_ctx(txn);
           if (c && !c->prepared) {
-            metrics_.inc("dm.activity_timeout_abort");
+            metrics_.inc(metrics_.id.dm_activity_timeout_abort);
             fail_chains_of(txn, Code::kAborted);
             finish_abort(txn, /*log_abort=*/false);
           }
@@ -171,7 +172,7 @@ void DataManager::advance_chain(const std::shared_ptr<Chain>& chain) {
         if (!c) return;
         c->timer = 0;
         if (c->rid != 0) lm_.cancel(c->rid);
-        metrics_.inc("dm.lock_timeout");
+        metrics_.inc(metrics_.id.dm_lock_timeout);
         if (c->txn == g_trace_txn && g_trace_txn != 0) {
           std::fprintf(stderr,
                        "[DMTRACE] t=%lld site=%d txn=%llu chain TIMEOUT on "
@@ -248,7 +249,7 @@ void DataManager::run_deadlock_check() {
     candidates.push_back(DeadlockCandidate{txn, kind});
   }
   if (auto victim = DeadlockDetector::find_victim(edges, candidates)) {
-    metrics_.inc("dm.deadlock_victim");
+    metrics_.inc(metrics_.id.dm_deadlock_victim);
     DDBS_DEBUG << "site " << self_ << " deadlock victim txn " << *victim;
     fail_chains_of(*victim, Code::kDeadlockVictim);
   }
@@ -276,7 +277,12 @@ void DataManager::on_read(const Envelope& env) {
   const Code c = admit(req.kind, req.expected_session,
                        req.bypass_session_check);
   if (c != Code::kOk) {
-    metrics_.inc(std::string("dm.read_reject.") + to_string(c));
+    metrics_.inc(metrics_.id.dm_read_reject[static_cast<size_t>(c)]);
+    if (c == Code::kSessionMismatch) {
+      Tracer::emit(tracer_, TraceKind::kSessionReject, self_, req.txn,
+                   static_cast<int64_t>(state_.session),
+                   static_cast<int64_t>(req.expected_session));
+    }
     reply_code(env, c);
     return;
   }
@@ -303,7 +309,7 @@ void DataManager::on_read(const Envelope& env) {
   if (is_data_item(req.item) && copy->unreadable &&
       !req.bypass_session_check &&
       !(req.allow_unreadable && req.kind == TxnKind::kCopier)) {
-    metrics_.inc("dm.read_hit_unreadable");
+    metrics_.inc(metrics_.id.dm_read_hit_unreadable);
     // "a request for reading it triggers a copier transaction" (S. 3.2)
     if (unreadable_hook_) unreadable_hook_(req.item);
     if (cfg_.unreadable_policy == UnreadablePolicy::kBlock &&
@@ -322,11 +328,13 @@ void DataManager::serve_read(const Envelope& env) {
   const auto& req = std::get<ReadReq>(env.payload);
   const Copy* copy = kv().find(req.item);
   assert(copy != nullptr);
-  if (recorder_ && !is_status_item(req.item)) {
-    recorder_->add_read(req.txn, self_, req.item, copy->version.writer,
-                        copy->version.counter);
-  }
-  metrics_.inc("dm.reads");
+  // NOT recorded here: the requesting coordinator records the read when it
+  // consumes the response. A serve can outlive the requester -- a read
+  // parked on an unreadable copy may only be served after the coordinator
+  // timed out, failed over to another copy and committed -- and recording
+  // such an orphaned serve would attribute a read the transaction never
+  // used, manufacturing false conflict-graph edges.
+  metrics_.inc(metrics_.id.dm_reads);
   rpc_.respond(env, ReadResp{req.txn, req.item, Code::kOk, copy->value,
                              copy->version});
 }
@@ -344,7 +352,12 @@ void DataManager::on_write(const Envelope& env) {
   const Code c = admit(req.kind, req.expected_session,
                        req.bypass_session_check);
   if (c != Code::kOk) {
-    metrics_.inc(std::string("dm.write_reject.") + to_string(c));
+    metrics_.inc(metrics_.id.dm_write_reject[static_cast<size_t>(c)]);
+    if (c == Code::kSessionMismatch) {
+      Tracer::emit(tracer_, TraceKind::kSessionReject, self_, req.txn,
+                   static_cast<int64_t>(state_.session),
+                   static_cast<int64_t>(req.expected_session));
+    }
     reply_code(env, c);
     return;
   }
@@ -375,7 +388,7 @@ void DataManager::on_write(const Envelope& env) {
     w.missed = r.missed_sites;
     w.written = r.written_sites;
     ctx.writes[r.item] = std::move(w);
-    metrics_.inc("dm.writes_staged");
+    metrics_.inc(metrics_.id.dm_writes_staged);
     rpc_.respond(env, WriteResp{r.txn, r.item, Code::kOk});
   });
 }
@@ -455,7 +468,7 @@ void DataManager::on_prepare(const Envelope& env) {
     // Unknown transaction: either we crashed since serving it (all its
     // locks and context are gone -- committing would be unsound, cf. the
     // vanished-S-lock hazard) or we unilaterally aborted it. Vote no.
-    metrics_.inc("dm.vote_no_unknown");
+    metrics_.inc(metrics_.id.dm_vote_no_unknown);
     rpc_.respond(env, PrepareResp{req.txn, false, {}});
     return;
   }
@@ -548,7 +561,8 @@ void DataManager::apply_commit(
       }
     }
     apply_spool_records(ctx.replay);
-    metrics_.inc("dm.recovery_marks", static_cast<int64_t>(ctx.marks.size()));
+    metrics_.inc(metrics_.id.dm_recovery_marks,
+                 static_cast<int64_t>(ctx.marks.size()));
   }
   // Outcome records exist to answer redo/termination queries; only
   // participants that logged a prepare (i.e. can be in doubt) need them.
@@ -562,7 +576,7 @@ void DataManager::apply_commit(
   }
   ctxs_.erase(txn);
   lm_.release_all(txn);
-  metrics_.inc("dm.commits_applied");
+  metrics_.inc(metrics_.id.dm_commits_applied);
   maybe_checkpoint_wal();
 }
 
@@ -579,10 +593,10 @@ void DataManager::install_write(TxnId writer, ItemId item,
         recorder_->add_write(writer, self_, item, w.copier_version.counter,
                              w.value, /*copier_install=*/true);
       }
-      metrics_.inc("dm.copier_installs");
+      metrics_.inc(metrics_.id.dm_copier_installs);
     } else {
       if (kv().exists(item)) kv().clear_mark(item);
-      metrics_.inc("dm.copier_skipped_current");
+      metrics_.inc(metrics_.id.dm_copier_skipped_current);
     }
     unpark_reads(item);
     return;
@@ -621,7 +635,7 @@ void DataManager::install_write(TxnId writer, ItemId item,
         break;
     }
     if (!w.missed.empty()) {
-      metrics_.inc("dm.writes_with_missed_copies");
+      metrics_.inc(metrics_.id.dm_writes_with_missed_copies);
     }
   }
   unpark_reads(item);
@@ -655,7 +669,7 @@ void DataManager::finish_abort(TxnId txn, bool log_abort) {
   }
   ctxs_.erase(it);
   lm_.release_all(txn);
-  metrics_.inc("dm.aborts_applied");
+  metrics_.inc(metrics_.id.dm_aborts_applied);
   maybe_checkpoint_wal();
 }
 
@@ -701,11 +715,11 @@ void DataManager::run_termination(TxnId txn, size_t participant_idx) {
           if (epoch != boot_epoch_) return;
           run_termination(txn, 0);
         });
-    metrics_.inc("dm.termination_blocked_round");
+    metrics_.inc(metrics_.id.dm_termination_blocked_round);
     return;
   }
   const uint64_t epoch = boot_epoch_;
-  metrics_.inc("dm.termination_queries");
+  metrics_.inc(metrics_.id.dm_termination_queries);
   rpc_.send_request(
       target, OutcomeQuery{txn}, cfg_.rpc_timeout,
       [this, txn, idx, epoch](Code code, const Payload* payload) {
@@ -716,12 +730,12 @@ void DataManager::run_termination(TxnId txn, size_t participant_idx) {
           const auto& resp = std::get<OutcomeResp>(*payload);
           if (resp.outcome == Outcome::kCommitted) {
             apply_commit(*c, resp.new_counters);
-            metrics_.inc("dm.termination_committed");
+            metrics_.inc(metrics_.id.dm_termination_committed);
             return;
           }
           if (resp.outcome == Outcome::kAborted) {
             finish_abort(txn, /*log_abort=*/true);
-            metrics_.inc("dm.termination_aborted");
+            metrics_.inc(metrics_.id.dm_termination_aborted);
             return;
           }
         }
@@ -787,7 +801,7 @@ void DataManager::mark_items(const std::vector<ItemId>& items) {
       ++n;
     }
   }
-  metrics_.inc("dm.mark_all_items", static_cast<int64_t>(n));
+  metrics_.inc(metrics_.id.dm_mark_all_items, static_cast<int64_t>(n));
 }
 
 size_t DataManager::apply_spool_records(
@@ -808,7 +822,7 @@ size_t DataManager::apply_spool_records(
       ++applied;
     }
   }
-  metrics_.inc("dm.spool_applied", static_cast<int64_t>(applied));
+  metrics_.inc(metrics_.id.dm_spool_applied, static_cast<int64_t>(applied));
   return applied;
 }
 
@@ -849,7 +863,7 @@ void DataManager::resolve_in_doubt(
     stable_.wal().append(WalRecord{WalRecord::Kind::kAbort, rec.txn,
                                    rec.txn_kind, rec.coordinator, {}, {}});
     stable_.record_outcome(rec.txn, OutcomeRec{false, {}});
-    metrics_.inc("dm.indoubt_aborted");
+    metrics_.inc(metrics_.id.dm_indoubt_aborted);
     return;
   }
   auto counter_of = [&new_counters](ItemId item) -> uint64_t {
@@ -889,7 +903,7 @@ void DataManager::resolve_in_doubt(
                                  rec.txn_kind, rec.coordinator, {},
                                  new_counters});
   stable_.record_outcome(rec.txn, OutcomeRec{true, new_counters});
-  metrics_.inc("dm.indoubt_committed");
+  metrics_.inc(metrics_.id.dm_indoubt_committed);
 }
 
 // ---------------------------------------------------------------------------
@@ -910,7 +924,7 @@ void DataManager::maybe_checkpoint_wal() {
     }
   }
   stable_.wal().truncate_resolved();
-  metrics_.inc("dm.wal_checkpoints");
+  metrics_.inc(metrics_.id.dm_wal_checkpoints);
 }
 
 void DataManager::reply_code(const Envelope& env, Code code) {

@@ -38,6 +38,7 @@
 #include "recovery/status_tables.h"
 #include "replication/session.h"
 #include "sim/scheduler.h"
+#include "sim/trace.h"
 #include "storage/stable_storage.h"
 #include "txn/lock_manager.h"
 #include "verify/history.h"
@@ -50,7 +51,8 @@ class DataManager {
 
   DataManager(SiteId self, const Config& cfg, Scheduler& sched,
               RpcEndpoint& rpc, StableStorage& stable, SiteState& state,
-              Metrics& metrics, HistoryRecorder* recorder);
+              Metrics& metrics, HistoryRecorder* recorder,
+              Tracer* tracer = nullptr);
 
   // Entry point for every request envelope addressed to this site.
   void handle_request(const Envelope& env);
@@ -192,6 +194,7 @@ class DataManager {
   SiteState& state_;
   Metrics& metrics_;
   HistoryRecorder* recorder_;
+  Tracer* tracer_;
 
   LockManager lm_;
   StatusTable status_;

@@ -25,14 +25,14 @@ void TransactionManager::submit_user(TxnSpec spec,
     TxnResult res;
     res.committed = false;
     res.reason = Code::kSiteNotOperational;
-    env_.metrics->inc("tm.rejected_not_operational");
+    env_.metrics->inc(env_.metrics->id.tm_rejected_not_operational);
     done(res);
     return;
   }
   auto coord =
       std::make_unique<UserTxnCoordinator>(next_id(), env_, std::move(spec));
   coord->set_done(std::move(done));
-  env_.metrics->inc("tm.user_submitted");
+  env_.metrics->inc(env_.metrics->id.tm_user_submitted);
   launch(std::move(coord));
 }
 

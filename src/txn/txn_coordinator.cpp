@@ -20,7 +20,8 @@ CoordinatorBase::CoordinatorBase(TxnId txn, TxnKind kind,
       stable_(*env.stable),
       state_(*env.state),
       metrics_(*env.metrics),
-      recorder_(env.recorder) {
+      recorder_(env.recorder),
+      tracer_(env.tracer) {
   view_.assign(static_cast<size_t>(cfg_.n_sites), 0);
   view_versions_.assign(static_cast<size_t>(cfg_.n_sites), Version{});
   if (recorder_) recorder_->set_kind(txn_, kind_);
@@ -96,6 +97,7 @@ void CoordinatorBase::ns_read_step(std::shared_ptr<NsReadState> st,
           st->k(false);
           return;
         }
+        record_read(at, ns_item(idx), resp);
         view_[static_cast<size_t>(idx)] = static_cast<SessionNum>(resp.value);
         view_versions_[static_cast<size_t>(idx)] = resp.version;
         ns_read_step(st, idx + 1);
@@ -171,7 +173,7 @@ void CoordinatorBase::run_2pc(std::function<void(bool)> k) {
           if (--votes_pending_ > 0) return;
           decided_ = true;
           if (any_no_) {
-            metrics_.inc("txn.2pc_vote_abort");
+            metrics_.inc(metrics_.id.txn_2pc_vote_abort);
             send_aborts();
             if (recorder_) recorder_->abort(txn_);
             auto cb = std::move(commit_k_);
@@ -224,7 +226,7 @@ void CoordinatorBase::run_2pc(std::function<void(bool)> k) {
 void CoordinatorBase::run_read_only_commit(std::function<void(bool)> k) {
   assert(!participants_.empty());
   decided_ = true;
-  metrics_.inc("txn.read_only_one_phase");
+  metrics_.inc(metrics_.id.txn_read_only_one_phase);
   if (recorder_) recorder_->commit(txn_, sched_.now());
   commit_k_ = std::move(k);
   acks_pending_ = participants_.size();
@@ -259,7 +261,8 @@ void CoordinatorBase::abort_txn(Code reason) {
 }
 
 void CoordinatorBase::report_aborted(Code reason) {
-  metrics_.inc(std::string("txn.abort.") + to_string(reason));
+  metrics_.inc(metrics_.id.txn_abort[static_cast<size_t>(reason)]);
+  trace(TraceKind::kTxnAbort, static_cast<int64_t>(reason));
   if (done_) {
     TxnResult res;
     res.txn = txn_;
@@ -270,7 +273,8 @@ void CoordinatorBase::report_aborted(Code reason) {
 }
 
 void CoordinatorBase::report_committed(std::vector<Value> reads) {
-  metrics_.inc("txn.committed");
+  metrics_.inc(metrics_.id.txn_committed);
+  trace(TraceKind::kTxnCommit);
   if (done_) {
     TxnResult res;
     res.txn = txn_;
@@ -288,6 +292,7 @@ UserTxnCoordinator::UserTxnCoordinator(TxnId txn, const CoordinatorEnv& env,
     : CoordinatorBase(txn, TxnKind::kUser, env), spec_(std::move(spec)) {}
 
 void UserTxnCoordinator::start() {
+  trace(TraceKind::kTxnBegin);
   // Overall deadline: a transaction stuck behind a parked read or a silent
   // participant aborts rather than lingering forever.
   schedule(cfg_.txn_timeout, [this]() {
@@ -367,25 +372,26 @@ void UserTxnCoordinator::do_read(const LogicalOp& op, size_t candidate_idx) {
         }
         switch (rc) {
           case Code::kOk:
+            record_read(target, op.item, *resp);
             read_values_.push_back(resp->value);
             ++op_idx_;
             next_op();
             return;
           case Code::kUnreadable:
             // "may read some other copy instead" (Section 3.2).
-            metrics_.inc("txn.read_redirect");
+            metrics_.inc(metrics_.id.txn_read_redirect);
             do_read(op, candidate_idx + 1);
             return;
           case Code::kTimeout:
             suspect(target);
-            metrics_.inc("txn.read_failover");
+            metrics_.inc(metrics_.id.txn_read_failover);
             do_read(op, candidate_idx + 1);
             return;
           case Code::kSessionMismatch:
           case Code::kSiteNotOperational:
             // Our frozen view is stale for this site; READ is a
             // disjunction, so try the next copy.
-            metrics_.inc("txn.read_stale_view");
+            metrics_.inc(metrics_.id.txn_read_stale_view);
             do_read(op, candidate_idx + 1);
             return;
           default:
@@ -398,7 +404,7 @@ void UserTxnCoordinator::do_read(const LogicalOp& op, size_t candidate_idx) {
 void UserTxnCoordinator::do_write(const LogicalOp& op) {
   const WritePlan plan = write_plan(cat_, cfg_.write_scheme, view_, op.item);
   if (!plan.feasible) {
-    metrics_.inc("txn.write_infeasible");
+    metrics_.inc(metrics_.id.txn_write_infeasible);
     abort_txn(Code::kNoCopyAvailable);
     return;
   }

@@ -20,6 +20,7 @@
 #include "replication/catalog.h"
 #include "replication/session.h"
 #include "sim/scheduler.h"
+#include "sim/trace.h"
 #include "storage/stable_storage.h"
 #include "txn/txn.h"
 #include "verify/history.h"
@@ -36,6 +37,7 @@ struct CoordinatorEnv {
   SiteState* state = nullptr;
   Metrics* metrics = nullptr;
   HistoryRecorder* recorder = nullptr;
+  Tracer* tracer = nullptr; // may be null: tracing disabled
 };
 
 class CoordinatorBase {
@@ -141,6 +143,23 @@ class CoordinatorBase {
   SiteState& state_;
   Metrics& metrics_;
   HistoryRecorder* recorder_;
+  Tracer* tracer_;
+
+  void trace(TraceKind k, int64_t a = 0, int64_t b = 0) {
+    Tracer::emit(tracer_, k, self_, txn_, a, b);
+  }
+
+  // Record a physical read THIS transaction actually consumed. Use-time
+  // recording (vs. at the serving DM) keeps orphaned serves -- a parked
+  // read answered after this coordinator failed over, a response the
+  // transport lost -- out of the checked history. Read-own-write responses
+  // (marked with version.writer == txn_) are not database reads.
+  void record_read(SiteId site, ItemId item, const ReadResp& resp) {
+    if (recorder_ && resp.version.writer != txn_) {
+      recorder_->add_read(txn_, site, item, resp.version.writer,
+                          resp.version.counter);
+    }
+  }
 
   std::set<SiteId> participants_;
   SessionVector view_;

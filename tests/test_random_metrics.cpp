@@ -110,21 +110,56 @@ TEST(Histogram, AddAfterPercentileStillSorted) {
 
 TEST(Metrics, CountersAccumulate) {
   Metrics m;
-  m.inc("a");
-  m.inc("a", 4);
-  m.inc("b");
+  const CounterHandle a = m.counter("a");
+  const CounterHandle b = m.counter("b");
+  m.inc(a);
+  m.inc(a, 4);
+  m.inc(b);
+  EXPECT_EQ(m.get(a), 5);
   EXPECT_EQ(m.get("a"), 5);
   EXPECT_EQ(m.get("b"), 1);
   EXPECT_EQ(m.get("missing"), 0);
 }
 
+TEST(Metrics, InterningIsIdempotent) {
+  Metrics m;
+  const CounterHandle a1 = m.counter("a");
+  const CounterHandle a2 = m.counter("a");
+  EXPECT_EQ(a1.id, a2.id);
+  m.inc(a1);
+  m.inc(a2);
+  EXPECT_EQ(m.get("a"), 2);
+}
+
+TEST(Metrics, PreRegisteredIdsWork) {
+  Metrics m;
+  m.inc(m.id.txn_committed, 3);
+  EXPECT_EQ(m.get("txn.committed"), 3);
+  m.inc(m.id.dm_read_reject[static_cast<size_t>(Code::kSessionMismatch)]);
+  EXPECT_EQ(m.get("dm.read_reject.session-mismatch"), 1);
+}
+
 TEST(Metrics, ClearResets) {
   Metrics m;
-  m.inc("a");
-  m.hist("h").add(1);
+  const CounterHandle a = m.counter("a");
+  const HistHandle h = m.histogram("h");
+  m.inc(a);
+  m.hist(h).add(1);
   m.clear();
-  EXPECT_EQ(m.get("a"), 0);
-  EXPECT_EQ(m.hist("h").count(), 0u);
+  EXPECT_EQ(m.get(a), 0);
+  EXPECT_EQ(m.hist(h).count(), 0u);
+  // Handles remain valid after clear().
+  m.inc(a, 2);
+  EXPECT_EQ(m.get("a"), 2);
+}
+
+TEST(Histogram, MaxOfAllNegativeSamples) {
+  Histogram h;
+  h.add(-7);
+  h.add(-3);
+  h.add(-11);
+  EXPECT_DOUBLE_EQ(h.max(), -3.0);
+  EXPECT_DOUBLE_EQ(h.min(), -11.0);
 }
 
 } // namespace

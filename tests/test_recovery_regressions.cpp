@@ -1,0 +1,181 @@
+// Regression tests for the copier-starvation and failure-detector fixes.
+//
+// (1) Copier starvation: an unreadable copy whose ONLY possible source
+//     stays down used to be retried a bounded number of times and then
+//     abandoned -- the copy stayed unreadable forever even after the
+//     source returned. The retry now never gives up: it backs off with an
+//     escalating (capped) delay and counts rm.copier_starved, and the copy
+//     is refreshed whenever a source finally reappears, however long the
+//     outage lasted.
+// (2) A committed copier erases the item's accumulated failure count, so a
+//     later on-demand copier starts from the base retry delay instead of
+//     inheriting a stale maximum backoff.
+// (3) The failure detector keeps at most one verify chain in flight per
+//     suspect, and its proof-of-life silence gate stops false declarations
+//     of healthy sites (the restart-storm feedback loop).
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+
+namespace ddbs {
+namespace {
+
+// An item all of whose copies live AWAY from `except` (so crashing those
+// resident sites leaves no readable source anywhere).
+ItemId find_item_avoiding(const Cluster& cluster, SiteId except) {
+  for (ItemId x = 0; x < cluster.config().n_items; ++x) {
+    bool hits = false;
+    for (SiteId s : cluster.catalog().sites_of(x)) {
+      if (s == except) hits = true;
+    }
+    if (!hits) return x;
+  }
+  return -1;
+}
+
+TEST(CopierStarvation, RefreshesAfterSourceDownManyRetryWindows) {
+  Config cfg;
+  cfg.n_sites = 3;
+  cfg.n_items = 12;
+  cfg.replication_degree = 2;
+  // Mark-all: the recovering site marks every local copy, so the test does
+  // not depend on which updates were missed.
+  cfg.outdated_strategy = OutdatedStrategy::kMarkAll;
+  Cluster cluster(cfg, 71);
+  cluster.bootstrap();
+
+  // An item resident only on sites != 0 (with 3 sites, degree 2, that
+  // means exactly {1, 2}).
+  const ItemId item = find_item_avoiding(cluster, 0);
+  ASSERT_NE(item, -1);
+  const auto residents = cluster.catalog().sites_of(item);
+  ASSERT_EQ(residents.size(), 2u);
+
+  ASSERT_TRUE(cluster.run_txn(0, {{OpKind::kWrite, item, 42}}).committed);
+  cluster.settle();
+
+  // Both resident sites crash; one recovers while the other stays dark.
+  const SiteId recoverer = residents[0];
+  const SiteId dark = residents[1];
+  cluster.crash_site(recoverer);
+  cluster.crash_site(dark);
+  cluster.run_until(cluster.now() + 500'000);
+  cluster.recover_site(recoverer);
+
+  // Keep the only source down for far more than 25 base retry windows
+  // (base delay = 8 x detector_interval = 400 ms here; 12 s ~ 30 windows).
+  // The old code capped retries and abandoned the item inside this span.
+  const SimTime base_delay = 8 * cfg.detector_interval;
+  cluster.run_until(cluster.now() + 30 * base_delay);
+
+  // Still starving: the copy is unreadable, the copier has kept trying
+  // (escalation fired), and nothing has been abandoned.
+  const Copy* mid = cluster.site(recoverer).stable().kv().find(item);
+  ASSERT_NE(mid, nullptr);
+  EXPECT_TRUE(mid->unreadable);
+  EXPECT_GE(cluster.metrics().get("rm.copier_starved"), 1);
+  EXPECT_GT(cluster.site(recoverer).rm().copier_attempts_for(item), 5);
+  EXPECT_FALSE(cluster.site(recoverer).rm().refresh_idle());
+
+  // The source returns; the starved copier must now succeed.
+  cluster.recover_site(dark);
+  cluster.settle(300'000'000);
+
+  std::string why;
+  EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
+  EXPECT_EQ(cluster.site(recoverer).stable().kv().unreadable_count(), 0u);
+  EXPECT_EQ(cluster.site(dark).stable().kv().unreadable_count(), 0u);
+  const Copy* after = cluster.site(recoverer).stable().kv().find(item);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->value, 42);
+  // Success wiped the failure history (regression 2).
+  EXPECT_EQ(cluster.site(recoverer).rm().copier_attempts_for(item), 0);
+}
+
+TEST(CopierStarvation, RetryDelayEscalatesAndCaps) {
+  Config cfg;
+  Cluster cluster(cfg, 72);
+  const RecoveryManager& rm = cluster.site(0).rm();
+  const SimTime base = 8 * cfg.detector_interval;
+  EXPECT_EQ(rm.copier_retry_delay(1), base);
+  EXPECT_EQ(rm.copier_retry_delay(4), base);
+  EXPECT_EQ(rm.copier_retry_delay(5), base * 2);
+  EXPECT_EQ(rm.copier_retry_delay(10), base * 4);
+  EXPECT_EQ(rm.copier_retry_delay(20), base * 16);
+  // Capped: arbitrarily many failures never push the delay further.
+  EXPECT_EQ(rm.copier_retry_delay(1'000), base * 16);
+}
+
+TEST(CopierStarvation, CommittedCopierErasesAttemptCount) {
+  Config cfg;
+  cfg.n_sites = 3;
+  cfg.n_items = 12;
+  cfg.replication_degree = 2;
+  Cluster cluster(cfg, 73);
+  cluster.bootstrap();
+  const ItemId item = find_item_avoiding(cluster, 0);
+  ASSERT_NE(item, -1);
+  const auto residents = cluster.catalog().sites_of(item);
+  const SiteId holder = residents[0];
+  const SiteId source = residents[1];
+  ASSERT_TRUE(cluster.run_txn(0, {{OpKind::kWrite, item, 9}}).committed);
+  cluster.settle();
+
+  // Source dark, local copy marked by hand: the on-demand copier fails and
+  // accumulates attempts.
+  cluster.crash_site(source);
+  cluster.run_until(cluster.now() + 500'000);
+  cluster.site(holder).stable().kv().mark_unreadable(item);
+  cluster.site(holder).rm().on_demand_copier(item);
+  cluster.run_until(cluster.now() + 2'000'000);
+  EXPECT_GT(cluster.site(holder).rm().copier_attempts_for(item), 0);
+
+  // Source returns: the copier commits and must forget the history.
+  cluster.recover_site(source);
+  cluster.settle(300'000'000);
+  EXPECT_EQ(cluster.site(holder).rm().copier_attempts_for(item), 0);
+  const Copy* c = cluster.site(holder).stable().kv().find(item);
+  ASSERT_NE(c, nullptr);
+  EXPECT_FALSE(c->unreadable);
+  EXPECT_EQ(c->value, 9);
+}
+
+TEST(FailureDetector, OneVerifyChainInFlightPerSuspect) {
+  Config cfg;
+  cfg.n_sites = 4;
+  cfg.n_items = 20;
+  cfg.replication_degree = 2;
+  Cluster cluster(cfg, 74);
+  cluster.bootstrap();
+  cluster.crash_site(3);
+  // Plenty of detector ticks: without the in-flight guard every tick past
+  // the miss threshold stacked another chain per observer (hundreds over
+  // this window); with it, chains restart only after the previous one
+  // resolves, and stop entirely once the site is declared nominally down.
+  cluster.run_until(cluster.now() + 10'000'000);
+  const int64_t chains = cluster.metrics().get("fd.verify_chains");
+  EXPECT_GE(chains, 1);
+  EXPECT_LE(chains, 60);
+  EXPECT_GE(cluster.metrics().get("fd.declared_down"), 1);
+}
+
+TEST(FailureDetector, NoFalseDeclarationsOnHealthyCluster) {
+  Config cfg;
+  cfg.n_sites = 5;
+  cfg.n_items = 30;
+  cfg.replication_degree = 3;
+  Cluster cluster(cfg, 75);
+  cluster.bootstrap();
+  // Light write traffic while the detectors tick for 20 simulated seconds.
+  for (int i = 0; i < 20; ++i) {
+    cluster.run_txn(static_cast<SiteId>(i % 5),
+                    {{OpKind::kWrite, i % cfg.n_items, i}});
+    cluster.run_until(cluster.now() + 1'000'000);
+  }
+  EXPECT_EQ(cluster.metrics().get("fd.declared_down"), 0);
+  std::string why;
+  EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
+}
+
+} // namespace
+} // namespace ddbs

@@ -1,0 +1,432 @@
+// Observability layer: the trace ring buffer and the JSON run reports.
+//
+// The ring tests pin the overwrite semantics (oldest events drop, the
+// dropped count is exact, retained events stay in record order). The JSON
+// tests round-trip the emitted documents through a minimal recursive-
+// descent parser -- enough of RFC 8259 to prove the hand-rolled writer
+// produces well-formed, correctly-escaped output with the schema
+// EXPERIMENTS.md documents.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/report.h"
+#include "core/cluster.h"
+#include "sim/scheduler.h"
+#include "sim/trace.h"
+
+namespace ddbs {
+namespace {
+
+// --------------------------------------------------------------------------
+// Minimal JSON parser (test-only). Values are numbers (as doubles),
+// strings, bools, null, arrays and objects. Parse errors fail the test via
+// the `ok` flag.
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v;
+
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
+  }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(v);
+  }
+  const JsonObject& obj() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  const JsonArray& arr() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  double num() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) ok = false;
+    return v;
+  }
+
+  bool ok = true;
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  bool eat(char c) {
+    if (peek() != c) {
+      ok = false;
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      case 't': return literal("true", JsonValue{true});
+      case 'f': return literal("false", JsonValue{false});
+      case 'n': return literal("null", JsonValue{nullptr});
+      default: return number();
+    }
+  }
+
+  JsonValue literal(std::string_view word, JsonValue v) {
+    skip_ws();
+    if (s_.compare(pos_, word.size(), word) != 0) {
+      ok = false;
+      return JsonValue{nullptr};
+    }
+    pos_ += word.size();
+    return v;
+  }
+
+  std::string string() {
+    std::string out;
+    if (!eat('"')) return out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u':
+            // Only \u00XX escapes are emitted (control characters).
+            if (pos_ + 4 <= s_.size()) {
+              out += static_cast<char>(
+                  std::stoi(std::string(s_.substr(pos_, 4)), nullptr, 16));
+              pos_ += 4;
+            } else {
+              ok = false;
+            }
+            break;
+          default: out += esc; break; // \" \\ \/
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= s_.size()) {
+      ok = false;
+    } else {
+      ++pos_; // closing quote
+    }
+    return out;
+  }
+
+  JsonValue number() {
+    skip_ws();
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      ok = false;
+      return JsonValue{nullptr};
+    }
+    return JsonValue{std::stod(std::string(s_.substr(start, pos_ - start)))};
+  }
+
+  JsonValue array() {
+    auto out = std::make_shared<JsonArray>();
+    eat('[');
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{out};
+    }
+    while (ok) {
+      out->push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      eat(']');
+      break;
+    }
+    return JsonValue{out};
+  }
+
+  JsonValue object() {
+    auto out = std::make_shared<JsonObject>();
+    eat('{');
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{out};
+    }
+    while (ok) {
+      std::string k = string();
+      eat(':');
+      out->emplace(std::move(k), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      eat('}');
+      break;
+    }
+    return JsonValue{out};
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+JsonValue parse_checked(const std::string& json) {
+  JsonParser p(json);
+  JsonValue v = p.parse();
+  EXPECT_TRUE(p.ok) << "unparseable JSON: " << json.substr(0, 200);
+  return v;
+}
+
+// --------------------------------------------------------------------------
+// Ring buffer semantics.
+
+TEST(Tracer, RecordsInOrderBelowCapacity) {
+  Scheduler sched;
+  Tracer tracer(sched, 8);
+  for (int i = 0; i < 5; ++i) {
+    tracer.record(TraceKind::kTxnBegin, 0, 100 + i);
+  }
+  EXPECT_EQ(tracer.size(), 5u);
+  EXPECT_EQ(tracer.recorded(), 5u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[static_cast<size_t>(i)].txn, TxnId{100} + i);
+  }
+}
+
+TEST(Tracer, WrapsKeepingNewestAndCountsDropped) {
+  Scheduler sched;
+  Tracer tracer(sched, 4);
+  for (int i = 0; i < 11; ++i) {
+    tracer.record(TraceKind::kCopierStart, 1, 0, /*a=*/i);
+  }
+  EXPECT_EQ(tracer.capacity(), 4u);
+  EXPECT_EQ(tracer.size(), 4u);      // retained
+  EXPECT_EQ(tracer.recorded(), 11u); // total ever
+  EXPECT_EQ(tracer.dropped(), 7u);   // exactly the overwritten ones
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: 7, 8, 9, 10.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].a, static_cast<int64_t>(7 + i));
+  }
+}
+
+TEST(Tracer, StampsSimTime) {
+  Scheduler sched;
+  Tracer tracer(sched, 8);
+  tracer.record(TraceKind::kTxnBegin, 0, 1);
+  sched.at(2'500, [&]() { tracer.record(TraceKind::kTxnCommit, 0, 1); });
+  sched.run_all();
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at, 0);
+  EXPECT_EQ(events[1].at, 2'500);
+  EXPECT_LT(events[0].at, events[1].at);
+}
+
+TEST(Tracer, ClearResetsCounters) {
+  Scheduler sched;
+  Tracer tracer(sched, 2);
+  for (int i = 0; i < 5; ++i) tracer.record(TraceKind::kTxnBegin, 0);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, JsonRoundTripsEventsOldestFirst) {
+  Scheduler sched;
+  Tracer tracer(sched, 4);
+  for (int i = 0; i < 6; ++i) {
+    tracer.record(TraceKind::kDetectorDeclare, static_cast<SiteId>(i % 3),
+                  /*txn=*/1'000 + i, /*a=*/i, /*b=*/-i);
+  }
+  const JsonValue doc = parse_checked(tracer.to_json());
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.arr().size(), 4u); // retained only
+  int64_t prev_a = -1;
+  for (const JsonValue& ev : doc.arr()) {
+    ASSERT_TRUE(ev.is_object());
+    const JsonObject& o = ev.obj();
+    ASSERT_TRUE(o.count("at"));
+    ASSERT_TRUE(o.count("kind"));
+    ASSERT_TRUE(o.count("site"));
+    ASSERT_TRUE(o.count("txn"));
+    ASSERT_TRUE(o.count("a"));
+    EXPECT_EQ(o.at("kind").str(), "detector_declare");
+    const int64_t a = static_cast<int64_t>(o.at("a").num());
+    EXPECT_GT(a, prev_a); // oldest-first, strictly increasing here
+    prev_a = a;
+    EXPECT_EQ(static_cast<int64_t>(o.at("b").num()), -a);
+  }
+  EXPECT_EQ(prev_a, 5); // the newest event survived the wrap
+}
+
+// --------------------------------------------------------------------------
+// Run report schema.
+
+TEST(RunReport, JsonCarriesConfigScalarsCountersAndTimelines) {
+  RunReport report("unit");
+  Config cfg;
+  cfg.n_sites = 7;
+  cfg.n_items = 123;
+  cfg.replication_degree = 2;
+  RunReport::Run& run = report.add_run("cell_a", cfg);
+  run.scalars.emplace_back("throughput_txn_s", 512.25);
+  run.scalars.emplace_back("commit_ratio", 0.875);
+  run.counters.emplace_back("dm.reads", 42);
+  RecoveryTimeline tl;
+  tl.site = 3;
+  tl.started = 1'000;
+  tl.nominally_up = 2'000;
+  tl.fully_current = kNoTime; // must serialize as null
+  tl.marked_unreadable = 9;
+  run.recoveries.push_back(tl);
+
+  const JsonValue doc = parse_checked(report.to_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.obj().at("bench").str(), "unit");
+  EXPECT_GE(doc.obj().at("schema_version").num(), 1.0);
+  const JsonArray& runs = doc.obj().at("runs").arr();
+  ASSERT_EQ(runs.size(), 1u);
+  const JsonObject& r = runs[0].obj();
+  EXPECT_EQ(r.at("label").str(), "cell_a");
+  EXPECT_EQ(r.at("config").obj().at("n_sites").num(), 7.0);
+  EXPECT_EQ(r.at("config").obj().at("n_items").num(), 123.0);
+  EXPECT_DOUBLE_EQ(r.at("scalars").obj().at("throughput_txn_s").num(),
+                   512.25);
+  EXPECT_EQ(r.at("counters").obj().at("dm.reads").num(), 42.0);
+  const JsonObject& rec = r.at("recoveries").arr()[0].obj();
+  EXPECT_EQ(rec.at("site").num(), 3.0);
+  EXPECT_EQ(rec.at("nominally_up").num(), 2'000.0);
+  EXPECT_TRUE(std::holds_alternative<std::nullptr_t>(
+      rec.at("fully_current").v)); // unreached milestone -> null
+  EXPECT_EQ(rec.at("marked_unreadable").num(), 9.0);
+}
+
+TEST(RunReport, EscapesStringsInLabels) {
+  RunReport report("unit");
+  Config cfg;
+  RunReport::Run& run =
+      report.add_run("quote\" backslash\\ newline\n tab\t", cfg);
+  (void)run;
+  const JsonValue doc = parse_checked(report.to_json());
+  EXPECT_EQ(doc.obj().at("runs").arr()[0].obj().at("label").str(),
+            "quote\" backslash\\ newline\n tab\t");
+}
+
+TEST(RunReport, ClusterReportRunCapturesLiveState) {
+  Config cfg;
+  cfg.n_sites = 3;
+  cfg.n_items = 20;
+  cfg.replication_degree = 2;
+  Cluster cluster(cfg, 17);
+  cluster.bootstrap();
+  ASSERT_TRUE(cluster.run_txn(0, {{OpKind::kWrite, 0, 5}}).committed);
+  cluster.crash_site(1);
+  cluster.run_until(cluster.now() + 300'000);
+  cluster.recover_site(1);
+  cluster.settle();
+
+  RunReport report("unit");
+  cluster.report_run(report, "live");
+  const JsonValue doc = parse_checked(report.to_json());
+  const JsonObject& r = doc.obj().at("runs").arr()[0].obj();
+  // Config echo matches the cluster's actual config.
+  EXPECT_EQ(r.at("config").obj().at("n_sites").num(), 3.0);
+  // Counters captured some real activity.
+  EXPECT_GT(r.at("counters").obj().at("txn.committed").num(), 0.0);
+  // The crash+recover produced one timeline with ordered milestones.
+  const JsonArray& recs = r.at("recoveries").arr();
+  ASSERT_EQ(recs.size(), 1u);
+  const JsonObject& rec = recs[0].obj();
+  EXPECT_EQ(rec.at("site").num(), 1.0);
+  EXPECT_LT(rec.at("started").num(), rec.at("nominally_up").num());
+}
+
+TEST(RunReport, WriteProducesReadableFile) {
+  RunReport report("writetest");
+  Config cfg;
+  report.add_run("only", cfg);
+  const std::string path = ::testing::TempDir() + "ddbs_report_test.json";
+  ASSERT_TRUE(report.write(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  const JsonValue doc = parse_checked(content);
+  EXPECT_EQ(doc.obj().at("bench").str(), "writetest");
+}
+
+// --------------------------------------------------------------------------
+// The cluster's tracer sees protocol activity end to end.
+
+TEST(Tracer, ClusterEmitsLifecycleEvents) {
+  Config cfg;
+  cfg.n_sites = 3;
+  cfg.n_items = 20;
+  cfg.replication_degree = 2;
+  Cluster cluster(cfg, 29);
+  cluster.bootstrap();
+  ASSERT_TRUE(cluster.run_txn(0, {{OpKind::kWrite, 1, 7}}).committed);
+  cluster.crash_site(2);
+  cluster.run_until(cluster.now() + 500'000);
+  cluster.recover_site(2);
+  cluster.settle();
+
+  std::map<TraceKind, int> by_kind;
+  cluster.tracer().for_each(
+      [&](const TraceEvent& e) { ++by_kind[e.kind]; });
+  EXPECT_GT(by_kind[TraceKind::kTxnCommit], 0);
+  EXPECT_GT(by_kind[TraceKind::kControlUpStart], 0);
+  EXPECT_GT(by_kind[TraceKind::kControlUpCommit], 0);
+  EXPECT_GT(by_kind[TraceKind::kRecoveryStarted], 0);
+  EXPECT_GT(by_kind[TraceKind::kNominallyUp], 0);
+  // Detector saw the crash: either a verify chain or a full declaration.
+  EXPECT_GT(by_kind[TraceKind::kDetectorVerify] +
+                by_kind[TraceKind::kDetectorDeclare],
+            0);
+}
+
+} // namespace
+} // namespace ddbs

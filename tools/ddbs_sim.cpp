@@ -38,6 +38,8 @@ struct Options {
   bool verify = false;
   bool dump_metrics = false;
   bool quiet_expect = false;
+  std::string report_out; // JSON run report path ("" = off)
+  std::string trace_out;  // JSON trace-event dump path ("" = off)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -61,7 +63,9 @@ struct Options {
       "  --crash=S@MS          crash site S at MS milliseconds (repeatable)\n"
       "  --recover=S@MS        recover site S at MS milliseconds\n"
       "  --verify              run the Section-4 serializability checkers\n"
-      "  --metrics             dump the raw metric counters\n",
+      "  --metrics             dump the raw metric counters\n"
+      "  --report-out=PATH     write a JSON run report (schema: EXPERIMENTS.md)\n"
+      "  --trace-out=PATH      write the structured trace ring as JSON\n",
       argv0);
   std::exit(2);
 }
@@ -140,6 +144,10 @@ Options parse(int argc, char** argv) {
     } else if (parse_kv(argv[i], "--recover", &v)) {
       o.schedule.push_back(
           parse_event(v, FailureEvent::What::kRecover, argv[0]));
+    } else if (parse_kv(argv[i], "--report-out", &v)) {
+      o.report_out = v;
+    } else if (parse_kv(argv[i], "--trace-out", &v)) {
+      o.trace_out = v;
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       o.verify = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -232,6 +240,36 @@ int main(int argc, char** argv) {
   }
   if (o.dump_metrics) {
     std::printf("metrics: %s\n", cluster.metrics().summary().c_str());
+  }
+  if (!o.report_out.empty()) {
+    RunReport report("ddbs_sim");
+    RunReport::Run& run = cluster.report_run(report, "cli");
+    run.scalars.emplace_back("committed", stats.committed);
+    run.scalars.emplace_back("aborted", stats.aborted);
+    run.scalars.emplace_back("commit_ratio", stats.commit_ratio());
+    run.scalars.emplace_back("throughput_txn_s",
+                             stats.throughput_per_sec(o.duration));
+    run.scalars.emplace_back("p50_latency_us",
+                             stats.commit_latency_us.percentile(50));
+    run.scalars.emplace_back("p99_latency_us",
+                             stats.commit_latency_us.percentile(99));
+    if (!report.write(o.report_out)) rc = 1;
+  }
+  if (!o.trace_out.empty()) {
+    std::FILE* f = std::fopen(o.trace_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "trace: cannot write %s\n", o.trace_out.c_str());
+      rc = 1;
+    } else {
+      const std::string json = cluster.tracer().to_json();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("trace: wrote %s (%zu events, %llu recorded, %llu "
+                  "dropped)\n",
+                  o.trace_out.c_str(), cluster.tracer().size(),
+                  static_cast<unsigned long long>(cluster.tracer().recorded()),
+                  static_cast<unsigned long long>(cluster.tracer().dropped()));
+    }
   }
   return rc;
 }
