@@ -51,6 +51,7 @@ RunnerStats contended_run(bool canonical, uint64_t seed, Metrics** metrics,
   run.scalars.emplace_back("commit_ratio", stats.commit_ratio());
   run.scalars.emplace_back("p99_latency_us",
                            stats.commit_latency_us.percentile(99));
+  keep->add_perf_scalars(run);
   return stats;
 }
 
@@ -109,6 +110,7 @@ int main() {
                                stats.commit_latency_us.percentile(50));
       run.scalars.emplace_back("p99_latency_us",
                                stats.commit_latency_us.percentile(99));
+      cluster.add_perf_scalars(run);
       t.add_row({one_phase ? "one-phase (default)" : "full 2PC (ablated)",
                  TablePrinter::num(stats.throughput_per_sec(2'000'000), 0),
                  TablePrinter::ms(stats.commit_latency_us.percentile(50)),
@@ -156,6 +158,7 @@ int main() {
                                  "control_down.committed")));
       run.scalars.emplace_back("both_excluded_us",
                                static_cast<double>(excluded_at));
+      cluster.add_perf_scalars(run);
       t.add_row({jitter ? "on (default)" : "off (ablated)",
                  TablePrinter::integer(
                      cluster.metrics().get("control_down.attempts")),

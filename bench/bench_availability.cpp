@@ -51,6 +51,7 @@ Cell measure(WriteScheme scheme, int degree, int down_count, uint64_t seed,
   RunReport::Run& run = cluster.report_run(report, label);
   run.scalars.emplace_back("read_availability", c.read_ok);
   run.scalars.emplace_back("write_availability", c.write_ok);
+  cluster.add_perf_scalars(run);
   return c;
 }
 

@@ -73,6 +73,7 @@ Row run_case(int churn_events, uint64_t seed, RunReport& report) {
   run.scalars.emplace_back("commit_ratio", row.commit_ratio);
   run.scalars.emplace_back("control_txns",
                            static_cast<double>(row.control_txns));
+  cluster.add_perf_scalars(run);
   return row;
 }
 

@@ -81,6 +81,7 @@ Row run_case(CopierMode mode, UnreadablePolicy policy, uint64_t seed,
                            static_cast<double>(row.refresh));
   run.scalars.emplace_back("copies_left_marked",
                            static_cast<double>(row.leftover));
+  cluster.add_perf_scalars(run);
   return row;
 }
 

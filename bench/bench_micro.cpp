@@ -6,6 +6,7 @@
 
 #include "common/report.h"
 #include "core/cluster.h"
+#include "net/rpc.h"
 #include "recovery/status_tables.h"
 #include "sim/event_queue.h"
 #include "txn/lock_manager.h"
@@ -56,6 +57,70 @@ void BM_EventQueue_PushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueue_PushPop)->Arg(64)->Arg(1024);
+
+// Steady-state churn: a rolling window of pushes, cancels (timer resets)
+// and pops, the way the protocol actually uses the queue.
+void BM_EventQueue_PushCancelChurn(benchmark::State& state) {
+  EventQueue q;
+  SimTime t = 0;
+  for (auto _ : state) {
+    EventId ids[8];
+    for (int i = 0; i < 8; ++i) {
+      ids[i] = q.push(t + (i * 13) % 50, []() {});
+    }
+    for (int i = 0; i < 8; i += 2) q.cancel(ids[i]);
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+    t += 50;
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_EventQueue_PushCancelChurn);
+
+// One envelope through the transport: send() -> latency event -> handler.
+void BM_Network_SendDeliver(benchmark::State& state) {
+  Config cfg;
+  Scheduler sched;
+  Network net(sched, cfg, 3);
+  uint64_t delivered = 0;
+  net.register_site(0, [](const Envelope&) {});
+  net.register_site(1, [&delivered](const Envelope&) { ++delivered; });
+  net.set_alive(0, true);
+  net.set_alive(1, true);
+  for (auto _ : state) {
+    Envelope env;
+    env.from = 0;
+    env.to = 1;
+    env.payload = Ping{};
+    net.send(std::move(env));
+    sched.run_all();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Network_SendDeliver);
+
+// Full RPC round-trip: request out, correlation, response back, timeout
+// armed and cancelled -- the per-operation cost under every protocol step.
+void BM_Rpc_RequestResponse(benchmark::State& state) {
+  Config cfg;
+  Scheduler sched;
+  Network net(sched, cfg, 4);
+  RpcEndpoint a(0, net, sched);
+  RpcEndpoint b(1, net, sched);
+  a.start([](const Envelope&) {});
+  b.start([&b](const Envelope& env) { b.respond(env, AckResp{}); });
+  net.set_alive(0, true);
+  net.set_alive(1, true);
+  uint64_t completed = 0;
+  for (auto _ : state) {
+    a.send_request(1, Ping{}, 1'000'000,
+                   [&completed](Code, const Payload*) { ++completed; });
+    sched.run_all();
+  }
+  benchmark::DoNotOptimize(completed);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Rpc_RequestResponse);
 
 void BM_MissingList_AddRemove(benchmark::State& state) {
   StatusTable t;
@@ -160,6 +225,7 @@ int main(int argc, char** argv) {
   run.scalars.emplace_back(
       "unreadable_left",
       static_cast<double>(cluster.site(2).stable().kv().unreadable_count()));
+  cluster.add_perf_scalars(run);
   report.write();
   return 0;
 }

@@ -66,6 +66,7 @@ Row run_case(int extra_crashes, uint64_t seed, RunReport& report) {
                            static_cast<double>(row.type2_rounds));
   run.scalars.emplace_back("to_operational_us",
                            static_cast<double>(row.to_operational));
+  cluster.add_perf_scalars(run);
   return row;
 }
 

@@ -60,6 +60,7 @@ Point run_case(RecoveryScheme scheme, int64_t updates, uint64_t seed,
                            static_cast<double>(p.to_operational));
   run.scalars.emplace_back("to_current_us", static_cast<double>(p.to_current));
   run.scalars.emplace_back("work_items", static_cast<double>(p.work_items));
+  cluster.add_perf_scalars(run);
   return p;
 }
 

@@ -68,6 +68,7 @@ Row run_case(int sites, uint64_t seed, RunReport& report) {
                            static_cast<double>(row.to_operational));
   run.scalars.emplace_back("recovery_msgs",
                            static_cast<double>(row.recovery_msgs));
+  cluster.add_perf_scalars(run);
   return row;
 }
 

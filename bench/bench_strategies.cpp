@@ -87,6 +87,7 @@ Row run_case(OutdatedStrategy strategy, int64_t updated_items, uint64_t seed,
                            static_cast<double>(row.payloads));
   run.scalars.emplace_back("refresh_time_us",
                            static_cast<double>(row.refresh_time));
+  cluster.add_perf_scalars(run);
   return row;
 }
 

@@ -95,6 +95,7 @@ int main() {
   run.scalars.emplace_back("aborted", static_cast<double>(stats.aborted));
   run.scalars.emplace_back("crash_at_us", static_cast<double>(kCrashAt));
   run.scalars.emplace_back("recover_at_us", static_cast<double>(kRecoverAt));
+  cluster.add_perf_scalars(run);
   report.write();
   return 0;
 }

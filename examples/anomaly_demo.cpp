@@ -101,7 +101,7 @@ void part2_protocol() {
   // Whatever interleaving the crash produced, the recorded history must be
   // one-serializable: stale-view transactions were aborted by the session
   // check / write-all failure rather than committed half-written.
-  const History h = cluster.history().snapshot();
+  const History& h = cluster.history().view();
   const auto graph = check_one_sr_graph(h);
   std::printf("revised 1-STG over the real execution: %s\n",
               graph.ok ? "acyclic (one-serializable)" : graph.detail.c_str());

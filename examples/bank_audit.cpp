@@ -113,7 +113,7 @@ int main() {
   }
 
   // Audit 2: the execution history is one-serializable.
-  const History h = cluster.history().snapshot();
+  const History& h = cluster.history().view();
   const auto rep = check_one_sr_graph(h);
   std::printf("\n1-SR check over %zu committed txns: %s\n", h.txns.size(),
               rep.ok ? "acyclic 1-STG (one-serializable)" : rep.detail.c_str());

@@ -116,6 +116,28 @@ RunReport::Run& Cluster::report_run(RunReport& report,
   return run;
 }
 
+double Cluster::events_per_sec() const {
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start_)
+          .count();
+  return secs > 0 ? static_cast<double>(sched_.executed()) / secs : 0.0;
+}
+
+void Cluster::add_perf_scalars(RunReport::Run& run) const {
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start_)
+          .count();
+  run.scalars.emplace_back("events_per_sec",
+                           secs > 0 ? static_cast<double>(sched_.executed()) /
+                                          secs
+                                    : 0.0);
+  run.scalars.emplace_back("events_executed",
+                           static_cast<double>(sched_.executed()));
+  run.scalars.emplace_back("wall_ms", secs * 1e3);
+}
+
 bool Cluster::replicas_converged(std::string* why) const {
   for (ItemId x = 0; x < cfg_.n_items; ++x) {
     bool have_ref = false;

@@ -14,6 +14,7 @@
 //   cluster.settle();         // drain in-flight work
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -84,6 +85,17 @@ class Cluster {
   // take bench-specific scalars afterwards.
   RunReport::Run& report_run(RunReport& report, std::string label) const;
 
+  // Simulator throughput on the host: events executed by the scheduler
+  // divided by wall-clock seconds since this cluster was constructed.
+  uint64_t events_executed() const { return sched_.executed(); }
+  double events_per_sec() const;
+
+  // Append host-perf scalars (events_per_sec, events_executed, wall_ms) to
+  // a report run. Kept separate from report_run(): wall-clock scalars are
+  // nondeterministic, and sweep per-run reports must stay bit-identical
+  // across serial and parallel execution.
+  void add_perf_scalars(RunReport::Run& run) const;
+
   // True when every copy of every item is identical across its readable
   // (non-marked, up-site) replicas AND no unreadable copy remains at
   // operational sites. Quiescence check for tests.
@@ -91,6 +103,8 @@ class Cluster {
 
  private:
   Config cfg_;
+  std::chrono::steady_clock::time_point wall_start_ =
+      std::chrono::steady_clock::now();
   Metrics metrics_;
   HistoryRecorder recorder_;
   Scheduler sched_;

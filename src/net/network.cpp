@@ -62,8 +62,13 @@ bool Network::reachable(SiteId a, SiteId b) const {
 
 void Network::send(Envelope env) {
   assert(env.to >= 0 && static_cast<size_t>(env.to) < sites_.size());
+  if (!alive(env.from)) {
+    // A dead sender emits nothing: not a wire-level send, not a drop.
+    ++dropped_at_send_;
+    return;
+  }
   ++sent_;
-  if (!alive(env.from) || !reachable(env.from, env.to)) {
+  if (!reachable(env.from, env.to)) {
     ++dropped_;
     return;
   }
@@ -73,16 +78,34 @@ void Network::send(Envelope env) {
   }
   const uint64_t dest_inc = incarnation(env.to);
   const SimTime delay = latency_.sample(env.from, env.to);
-  sched_.after(delay, [this, env = std::move(env), dest_inc]() {
-    auto& slot = sites_[static_cast<size_t>(env.to)];
-    if (!slot.alive || slot.incarnation != dest_inc ||
-        !reachable(env.from, env.to)) {
-      ++dropped_;
-      return;
-    }
-    assert(slot.handler && "site registered no handler");
-    slot.handler(env);
-  });
+  uint32_t idx;
+  if (!inflight_free_.empty()) {
+    idx = inflight_free_.back();
+    inflight_free_.pop_back();
+    inflight_[idx].env = std::move(env);
+    inflight_[idx].dest_inc = dest_inc;
+  } else {
+    idx = static_cast<uint32_t>(inflight_.size());
+    inflight_.push_back(InFlight{std::move(env), dest_inc});
+  }
+  sched_.after(delay, [this, idx]() { deliver(idx); });
+}
+
+void Network::deliver(uint32_t slot) {
+  // Move the message out of the slab before dispatch: the handler may send
+  // (and thus allocate in-flight slots, invalidating references into
+  // inflight_) re-entrantly.
+  Envelope env = std::move(inflight_[slot].env);
+  const uint64_t dest_inc = inflight_[slot].dest_inc;
+  inflight_free_.push_back(slot);
+  const SiteSlot& dest = sites_[static_cast<size_t>(env.to)];
+  if (!dest.alive || dest.incarnation != dest_inc ||
+      !reachable(env.from, env.to)) {
+    ++dropped_;
+    return;
+  }
+  assert(dest.handler && "site registered no handler");
+  dest.handler(env);
 }
 
 } // namespace ddbs

@@ -43,9 +43,13 @@ class Network {
 
   LatencyModel& latency() { return latency_; }
 
-  // Counters for benches.
+  // Counters for benches. A message discarded because its *sender* was
+  // already dead never reached the wire: it counts in dropped_at_send only,
+  // not in sent or dropped, so message-overhead numbers aren't inflated by
+  // crash noise.
   uint64_t messages_sent() const { return sent_; }
   uint64_t messages_dropped() const { return dropped_; }
+  uint64_t messages_dropped_at_send() const { return dropped_at_send_; }
 
  private:
   struct SiteSlot {
@@ -54,14 +58,27 @@ class Network {
     uint64_t incarnation = 0;
     int group = 0; // partition group; same group <=> reachable
   };
+  // In-flight messages live in a recycled slab; the delivery event captures
+  // only a slot index, so the Envelope is moved (never copied) from send()
+  // to handler dispatch and the closure stays within InlineFn's inline
+  // buffer -- no per-message heap allocation in the steady state.
+  struct InFlight {
+    Envelope env;
+    uint64_t dest_inc = 0;
+  };
+
+  void deliver(uint32_t slot);
 
   Scheduler& sched_;
   LatencyModel latency_;
   Rng loss_rng_;
   double loss_prob_;
   std::vector<SiteSlot> sites_;
+  std::vector<InFlight> inflight_;
+  std::vector<uint32_t> inflight_free_;
   uint64_t sent_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t dropped_at_send_ = 0;
 };
 
 } // namespace ddbs

@@ -18,13 +18,13 @@ uint64_t RpcEndpoint::send_request(SiteId to, Payload payload, SimTime timeout,
   Pending p;
   p.cb = std::move(cb);
   p.timeout_ev = sched_.after(timeout, [this, id]() {
-    auto it = pending_.find(id);
-    if (it == pending_.end()) return;
-    ResponseCb cb = std::move(it->second.cb);
-    pending_.erase(it);
+    Pending* it = pending_.find(id);
+    if (it == nullptr) return;
+    ResponseCb cb = std::move(it->cb);
+    pending_.erase(id);
     cb(Code::kTimeout, nullptr);
   });
-  pending_.emplace(id, std::move(p));
+  pending_.insert(id, std::move(p));
   net_.send(Envelope{id, /*is_response=*/false, self_, to, std::move(payload)});
   return id;
 }
@@ -40,14 +40,15 @@ void RpcEndpoint::respond(const Envelope& request, Payload payload) {
 }
 
 void RpcEndpoint::cancel_request(uint64_t rpc_id) {
-  auto it = pending_.find(rpc_id);
-  if (it == pending_.end()) return;
-  sched_.cancel(it->second.timeout_ev);
-  pending_.erase(it);
+  Pending* it = pending_.find(rpc_id);
+  if (it == nullptr) return;
+  sched_.cancel(it->timeout_ev);
+  pending_.erase(rpc_id);
 }
 
 void RpcEndpoint::reset() {
-  for (auto& [id, p] : pending_) sched_.cancel(p.timeout_ev);
+  pending_.for_each(
+      [this](uint64_t, Pending& p) { sched_.cancel(p.timeout_ev); });
   pending_.clear();
 }
 
@@ -56,11 +57,11 @@ void RpcEndpoint::on_envelope(const Envelope& env) {
     if (handler_) handler_(env);
     return;
   }
-  auto it = pending_.find(env.rpc_id);
-  if (it == pending_.end()) return; // late response; requester moved on
-  sched_.cancel(it->second.timeout_ev);
-  ResponseCb cb = std::move(it->second.cb);
-  pending_.erase(it);
+  Pending* it = pending_.find(env.rpc_id);
+  if (it == nullptr) return; // late response; requester moved on
+  sched_.cancel(it->timeout_ev);
+  ResponseCb cb = std::move(it->cb);
+  pending_.erase(env.rpc_id);
   cb(Code::kOk, &env.payload);
 }
 

@@ -4,8 +4,8 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
 
+#include "common/u64_table.h"
 #include "net/network.h"
 #include "sim/scheduler.h"
 
@@ -53,7 +53,7 @@ class RpcEndpoint {
   Scheduler& sched_;
   RequestHandler handler_;
   uint64_t next_rpc_ = 1;
-  std::unordered_map<uint64_t, Pending> pending_;
+  U64Table<Pending> pending_;
 };
 
 } // namespace ddbs

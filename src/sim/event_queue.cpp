@@ -1,38 +1,34 @@
 #include "sim/event_queue.h"
 
-#include <cassert>
-
 namespace ddbs {
 
-EventId EventQueue::push(SimTime at, EventFn fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id});
-  fns_.emplace(id, std::move(fn));
-  return id;
-}
-
-bool EventQueue::cancel(EventId id) { return fns_.erase(id) > 0; }
-
-void EventQueue::drop_tombstones() const {
-  while (!heap_.empty() && fns_.find(heap_.top().id) == fns_.end()) {
-    heap_.pop();
+void EventQueue::sift_up(size_t i) {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
   }
+  heap_[i] = e;
 }
 
-SimTime EventQueue::next_time() const {
-  drop_tombstones();
-  return heap_.empty() ? kNoTime : heap_.top().time;
-}
-
-EventQueue::Fired EventQueue::pop() {
-  drop_tombstones();
-  assert(!heap_.empty());
-  const Entry e = heap_.top();
-  heap_.pop();
-  auto it = fns_.find(e.id);
-  Fired f{e.time, e.id, std::move(it->second)};
-  fns_.erase(it);
-  return f;
+void EventQueue::sift_down(size_t i) const {
+  const size_t n = heap_.size();
+  HeapEntry e = heap_[i];
+  while (true) {
+    const size_t first = 4 * i + 1;
+    if (first >= n) break;
+    size_t best = first;
+    const size_t last = first + 4 < n ? first + 4 : n;
+    for (size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
 }
 
 } // namespace ddbs

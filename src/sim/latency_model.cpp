@@ -11,6 +11,8 @@ LatencyModel::LatencyModel(SimTime min_us, SimTime max_us, uint64_t seed)
 
 SimTime LatencyModel::sample(SiteId from, SiteId to) {
   if (from == to) return 5; // loopback
+  // Common case: no per-pair overrides configured, skip the tree probe.
+  if (overrides_.empty()) return rng_.uniform(min_, max_);
   SimTime lo = min_, hi = max_;
   if (auto it = overrides_.find({from, to}); it != overrides_.end()) {
     lo = it->second.first;

@@ -22,6 +22,7 @@ size_t Scheduler::run_until(SimTime until) {
     now_ = fired.time;
     fired.fn();
     ++n;
+    ++executed_;
   }
   if (now_ < until) now_ = until;
   return n;
@@ -34,6 +35,7 @@ size_t Scheduler::run_all(size_t max_events) {
     now_ = fired.time;
     fired.fn();
     ++n;
+    ++executed_;
   }
   assert(n < max_events && "event budget exhausted -- livelock?");
   return n;

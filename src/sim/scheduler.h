@@ -29,10 +29,14 @@ class Scheduler {
   bool idle() const { return queue_.empty(); }
   size_t pending() const { return queue_.size(); }
   SimTime next_event_time() const { return queue_.next_time(); }
+  // Total events executed over the scheduler's lifetime; the numerator of
+  // the events_per_sec throughput scalar in run reports.
+  uint64_t executed() const { return executed_; }
 
  private:
   EventQueue queue_;
   SimTime now_ = 0;
+  uint64_t executed_ = 0;
 };
 
 } // namespace ddbs

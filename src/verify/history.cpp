@@ -4,61 +4,87 @@
 
 namespace ddbs {
 
+// Events may arrive for a transaction after its commit() was recorded: the
+// coordinator commits when 2PC completes, but participants apply (and
+// record) their staged writes when the CommitReq reaches them, later in sim
+// time. record_of() therefore resolves a txn to its in-flight record OR its
+// already-committed slot.
+TxnRecord& HistoryRecorder::record_of(TxnId txn) {
+  if (auto it = committed_idx_.find(txn); it != committed_idx_.end()) {
+    return committed_.txns[it->second];
+  }
+  TxnRecord& rec = pending_[txn];
+  rec.txn = txn;
+  return rec;
+}
+
 void HistoryRecorder::set_kind(TxnId txn, TxnKind kind) {
   if (!enabled_) return;
-  auto& p = txns_[txn];
-  p.rec.txn = txn;
-  p.rec.kind = kind;
+  record_of(txn).kind = kind;
 }
 
 void HistoryRecorder::add_read(TxnId txn, SiteId site, ItemId item,
                                TxnId from_writer, uint64_t from_counter) {
   if (!enabled_) return;
-  auto& p = txns_[txn];
-  p.rec.txn = txn;
-  p.rec.reads.push_back(ReadEvent{site, item, from_writer, from_counter});
+  record_of(txn).reads.push_back(
+      ReadEvent{site, item, from_writer, from_counter});
 }
 
 void HistoryRecorder::add_write(TxnId txn, SiteId site, ItemId item,
                                 uint64_t counter, Value value,
                                 bool copier_install) {
   if (!enabled_) return;
-  auto& p = txns_[txn];
-  p.rec.txn = txn;
-  p.rec.writes.push_back(WriteEvent{site, item, counter, value, copier_install});
+  record_of(txn).writes.push_back(
+      WriteEvent{site, item, counter, value, copier_install});
 }
 
 void HistoryRecorder::commit(TxnId txn, SimTime at) {
   if (!enabled_) return;
-  auto& p = txns_[txn];
-  p.rec.txn = txn;
-  p.rec.commit_time = at;
-  p.committed = true;
+  if (auto it = committed_idx_.find(txn); it != committed_idx_.end()) {
+    committed_.txns[it->second].commit_time = at; // re-commit: update time
+    sorted_ = false;
+    return;
+  }
+  TxnRecord rec;
+  if (auto it = pending_.find(txn); it != pending_.end()) {
+    rec = std::move(it->second);
+    pending_.erase(it);
+  }
+  rec.txn = txn;
+  rec.commit_time = at;
+  committed_idx_.emplace(txn, committed_.txns.size());
+  committed_.txns.push_back(std::move(rec));
+  sorted_ = false;
 }
 
 void HistoryRecorder::abort(TxnId txn) {
   if (!enabled_) return;
-  txns_.erase(txn);
+  pending_.erase(txn);
 }
 
-History HistoryRecorder::snapshot() const {
-  History h;
-  for (const auto& [id, p] : txns_) {
-    if (p.committed) h.txns.push_back(p.rec);
+const History& HistoryRecorder::view() const {
+  if (!sorted_) {
+    // Commits are recorded in nondecreasing sim-time order, so this is a
+    // near-sorted pass; ties broken by txn id for determinism.
+    std::sort(committed_.txns.begin(), committed_.txns.end(),
+              [](const TxnRecord& a, const TxnRecord& b) {
+                if (a.commit_time != b.commit_time)
+                  return a.commit_time < b.commit_time;
+                return a.txn < b.txn;
+              });
+    committed_idx_.clear();
+    for (size_t i = 0; i < committed_.txns.size(); ++i) {
+      committed_idx_.emplace(committed_.txns[i].txn, i);
+    }
+    sorted_ = true;
   }
-  std::sort(h.txns.begin(), h.txns.end(),
-            [](const TxnRecord& a, const TxnRecord& b) {
-              if (a.commit_time != b.commit_time)
-                return a.commit_time < b.commit_time;
-              return a.txn < b.txn;
-            });
-  return h;
+  return committed_;
 }
+
+History HistoryRecorder::snapshot() const { return view(); }
 
 size_t HistoryRecorder::committed_count() const {
-  size_t n = 0;
-  for (const auto& [id, p] : txns_) n += p.committed ? 1 : 0;
-  return n;
+  return committed_.txns.size();
 }
 
 } // namespace ddbs

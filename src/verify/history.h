@@ -52,17 +52,29 @@ class HistoryRecorder {
   bool enabled() const { return enabled_; }
   void set_enabled(bool e) { enabled_ = e; }
 
-  // Committed transactions ordered by commit time.
+  // Committed transactions ordered by commit time, borrowed from the
+  // recorder -- no copy. The reference stays valid until the next commit().
+  // Checkers take `const History&`, so this is the preferred entry point.
+  const History& view() const;
+
+  // Owned copy of view(), for callers that outlive the recorder or mutate
+  // the history.
   History snapshot() const;
 
   size_t committed_count() const;
 
  private:
-  struct Pending {
-    TxnRecord rec;
-    bool committed = false;
-  };
-  std::unordered_map<TxnId, Pending> txns_;
+  TxnRecord& record_of(TxnId txn);
+
+  // In-flight transactions accumulate here; commit() moves the record into
+  // committed_ (so a checker pass never re-copies the whole history) and
+  // abort() just drops it. committed_idx_ maps a committed txn back to its
+  // slot so participant writes that land after the coordinator's commit
+  // still reach the record; view() re-sorts lazily and rebuilds the index.
+  std::unordered_map<TxnId, TxnRecord> pending_;
+  mutable std::unordered_map<TxnId, size_t> committed_idx_;
+  mutable History committed_;
+  mutable bool sorted_ = true;
   bool enabled_ = true;
 };
 

@@ -1,0 +1,199 @@
+#include "workload/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/report.h"
+#include "core/cluster.h"
+
+namespace ddbs {
+namespace {
+
+// The headline per-run scalars, shared by the per-run report, the per-cell
+// aggregation and the sweep JSON so the three never drift apart.
+struct RunScalars {
+  const char* name;
+  double (*get)(const SweepRun&, const SweepSpec&);
+};
+
+const RunScalars kScalars[] = {
+    {"committed",
+     [](const SweepRun& r, const SweepSpec&) {
+       return static_cast<double>(r.stats.committed);
+     }},
+    {"aborted",
+     [](const SweepRun& r, const SweepSpec&) {
+       return static_cast<double>(r.stats.aborted);
+     }},
+    {"commit_ratio",
+     [](const SweepRun& r, const SweepSpec&) { return r.stats.commit_ratio(); }},
+    {"throughput_txn_s",
+     [](const SweepRun& r, const SweepSpec& s) {
+       return r.stats.throughput_per_sec(s.params.duration);
+     }},
+    {"p50_latency_us",
+     [](const SweepRun& r, const SweepSpec&) {
+       return r.stats.commit_latency_us.percentile(50);
+     }},
+    {"p99_latency_us",
+     [](const SweepRun& r, const SweepSpec&) {
+       return r.stats.commit_latency_us.percentile(99);
+     }},
+};
+
+// One independent simulation; everything it touches is local to the call,
+// which is what makes the thread fan-out safe and bit-reproducible.
+SweepRun run_one(const SweepSpec& spec, size_t cell, uint64_t seed,
+                 std::atomic<uint64_t>& events_total) {
+  SweepRun out;
+  out.cell = cell;
+  out.seed = seed;
+
+  Cluster cluster(spec.cells[cell].cfg, seed);
+  cluster.bootstrap();
+  Runner runner(cluster, spec.params, seed);
+  out.stats = runner.run();
+  cluster.settle();
+  out.converged = cluster.replicas_converged();
+  events_total.fetch_add(cluster.events_executed(),
+                         std::memory_order_relaxed);
+
+  RunReport report("ddbs_sweep");
+  RunReport::Run& run = cluster.report_run(
+      report, spec.cells[cell].label + "/seed" + std::to_string(seed));
+  for (const RunScalars& s : kScalars) {
+    run.scalars.emplace_back(s.name, s.get(out, spec));
+  }
+  run.scalars.emplace_back("converged", out.converged ? 1.0 : 0.0);
+  // No add_perf_scalars() here: wall-clock numbers would break the
+  // serial-vs-parallel byte-identity contract.
+  out.report_json = report.to_json();
+  return out;
+}
+
+SweepCellSummary summarize(const SweepSpec& spec, size_t cell,
+                           const std::vector<SweepRun>& runs) {
+  SweepCellSummary sum;
+  sum.label = spec.cells[cell].label;
+  const size_t n = static_cast<size_t>(spec.seeds);
+  for (const RunScalars& s : kScalars) {
+    Histogram h;
+    for (size_t k = 0; k < n; ++k) {
+      h.add(s.get(runs[cell * n + k], spec));
+    }
+    sum.scalars.push_back(
+        SweepScalar{s.name, h.mean(), h.percentile(50), h.percentile(99)});
+  }
+  for (size_t k = 0; k < n; ++k) {
+    if (runs[cell * n + k].converged) ++sum.converged;
+  }
+  return sum;
+}
+
+} // namespace
+
+SweepResult run_sweep(const SweepSpec& spec, int threads) {
+  const size_t total =
+      spec.cells.size() * static_cast<size_t>(spec.seeds > 0 ? spec.seeds : 0);
+  SweepResult res;
+  res.runs.resize(total);
+  if (total == 0) return res;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::atomic<uint64_t> events_total{0};
+  std::atomic<size_t> next{0};
+
+  // Pull-based pool over a pre-sized results vector: run i always lands at
+  // index i, so scheduling order cannot leak into the output.
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      const size_t cell = i / static_cast<size_t>(spec.seeds);
+      const uint64_t seed =
+          spec.seed_base + (i % static_cast<size_t>(spec.seeds));
+      res.runs[i] = run_one(spec, cell, seed, events_total);
+    }
+  };
+
+  size_t n_workers = static_cast<size_t>(threads > 1 ? threads : 1);
+  if (n_workers > total) n_workers = total;
+  if (n_workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (size_t t = 0; t < n_workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  res.events_executed = events_total.load();
+  for (size_t c = 0; c < spec.cells.size(); ++c) {
+    res.cells.push_back(summarize(spec, c, res.runs));
+  }
+  return res;
+}
+
+std::string sweep_report_json(const SweepSpec& spec, const SweepResult& res,
+                              int threads) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("tool", "ddbs_sweep");
+  w.kv("seed_base", spec.seed_base);
+  w.kv("seeds", spec.seeds);
+  w.kv("threads", threads);
+  w.kv("duration_us", static_cast<int64_t>(spec.params.duration));
+  w.key("cells");
+  w.begin_array();
+  const size_t n = static_cast<size_t>(spec.seeds);
+  for (size_t c = 0; c < spec.cells.size(); ++c) {
+    w.begin_object();
+    w.kv("label", spec.cells[c].label);
+    w.key("config");
+    write_config(w, spec.cells[c].cfg);
+    w.kv("converged_runs", static_cast<int64_t>(res.cells[c].converged));
+    w.key("aggregates");
+    w.begin_object();
+    for (const SweepScalar& s : res.cells[c].scalars) {
+      w.key(s.name);
+      w.begin_object();
+      w.kv("mean", s.mean);
+      w.kv("p50", s.p50);
+      w.kv("p99", s.p99);
+      w.end_object();
+    }
+    w.end_object();
+    w.key("runs");
+    w.begin_array();
+    for (size_t k = 0; k < n; ++k) {
+      const SweepRun& r = res.runs[c * n + k];
+      w.begin_object();
+      w.kv("seed", r.seed);
+      w.kv("converged", r.converged);
+      for (const RunScalars& s : kScalars) {
+        w.kv(s.name, s.get(r, spec));
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  // Host-side numbers last: everything above this key is deterministic.
+  w.key("host");
+  w.begin_object();
+  w.kv("wall_seconds", res.wall_seconds);
+  w.kv("events_executed", res.events_executed);
+  w.kv("events_per_sec", res.events_per_sec());
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+} // namespace ddbs

@@ -1,0 +1,83 @@
+// Parallel (config x seed) sweep driver.
+//
+// A sweep runs every cell of a small config matrix against a range of
+// seeds, each run being one fully independent, single-threaded,
+// deterministic simulation (its own Cluster + Runner). Runs are fanned
+// across a thread pool; because no simulation state is shared, the per-run
+// results -- including the per-run JSON report -- are bit-identical
+// whether the sweep executes serially or on N threads. Aggregation
+// (mean/p50/p99 across seeds per cell) happens after the pool joins, in
+// deterministic cell-major order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "workload/runner.h"
+
+namespace ddbs {
+
+// One cell of the sweep matrix: a labelled protocol configuration.
+struct SweepCell {
+  std::string label;
+  Config cfg;
+};
+
+struct SweepSpec {
+  std::vector<SweepCell> cells;
+  uint64_t seed_base = 1; // run seeds are seed_base .. seed_base+seeds-1
+  int seeds = 1;
+  RunnerParams params; // workload + failure schedule, shared by all cells
+};
+
+// Outcome of one (cell, seed) run. `report_json` is a complete RunReport
+// document for the run; it deliberately contains no wall-clock scalars so
+// it is reproducible byte-for-byte across serial and parallel sweeps.
+struct SweepRun {
+  size_t cell = 0;
+  uint64_t seed = 0;
+  bool converged = false;
+  RunnerStats stats;
+  std::string report_json;
+};
+
+// Named scalar summarised across the seeds of one cell.
+struct SweepScalar {
+  std::string name;
+  double mean = 0;
+  double p50 = 0;
+  double p99 = 0;
+};
+
+struct SweepCellSummary {
+  std::string label;
+  std::vector<SweepScalar> scalars;
+  int converged = 0; // runs that reached replica convergence
+};
+
+struct SweepResult {
+  std::vector<SweepRun> runs; // cell-major, seed-minor (deterministic order)
+  std::vector<SweepCellSummary> cells;
+  // Host-side observability (nondeterministic; excluded from per-run JSON).
+  double wall_seconds = 0;
+  uint64_t events_executed = 0;
+  double events_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(events_executed) /
+                                  wall_seconds
+                            : 0.0;
+  }
+};
+
+// Executes the sweep on `threads` worker threads (>=1; clamped to the
+// number of runs). Results land at fixed indices, so the output is
+// independent of scheduling.
+SweepResult run_sweep(const SweepSpec& spec, int threads);
+
+// The aggregate sweep report (schema: EXPERIMENTS.md). Per-cell aggregates
+// and per-run scalars are deterministic; the trailing "host" object carries
+// the wall-clock numbers.
+std::string sweep_report_json(const SweepSpec& spec, const SweepResult& res,
+                              int threads);
+
+} // namespace ddbs

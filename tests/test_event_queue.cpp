@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+
 #include "sim/event_queue.h"
 #include "sim/scheduler.h"
 
@@ -70,6 +73,77 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 1u);
   q.pop();
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EqualTimesStayFifoAcrossCancels) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 12; ++i) {
+    ids.push_back(q.push(7, [&order, i]() { order.push_back(i); }));
+  }
+  // Cancelling every third event must not disturb the relative order of
+  // the survivors at the shared timestamp.
+  for (size_t i = 0; i < ids.size(); i += 3) q.cancel(ids[i]);
+  while (!q.empty()) q.pop().fn();
+  std::vector<int> expected;
+  for (int i = 0; i < 12; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, CancelAfterFireIsRejected) {
+  EventQueue q;
+  const EventId id = q.push(10, []() {});
+  EventQueue::Fired f = q.pop();
+  EXPECT_EQ(f.id, id);
+  EXPECT_FALSE(q.cancel(id)); // already ran: id is dead
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  const EventId stale = q.push(10, []() {});
+  ASSERT_TRUE(q.cancel(stale));
+  // Reap the dead heap entry so the slot returns to the free list, then
+  // reuse it for a live event.
+  EXPECT_EQ(q.next_time(), kNoTime);
+  bool ran = false;
+  const EventId fresh = q.push(5, [&]() { ran = true; });
+  EXPECT_NE(stale, fresh); // same slot, bumped generation
+  EXPECT_FALSE(q.cancel(stale));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, SmallCallablesStayInline) {
+  int hits = 0;
+  EventFn small([&hits]() { ++hits; });
+  EXPECT_TRUE(small.is_inline());
+  small();
+  EXPECT_EQ(hits, 1);
+
+  // A capture larger than the inline buffer must spill to the heap and
+  // still survive moves.
+  std::array<uint64_t, 32> big_payload{};
+  big_payload[31] = 42;
+  uint64_t seen = 0;
+  EventFn big([big_payload, &seen]() { seen = big_payload[31]; });
+  EXPECT_FALSE(big.is_inline());
+  EventFn moved(std::move(big));
+  moved();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, MoveOnlyCallableThroughQueue) {
+  EventQueue q;
+  auto payload = std::make_unique<int>(99);
+  int got = 0;
+  q.push(1, [p = std::move(payload), &got]() { got = *p; });
+  q.pop().fn();
+  EXPECT_EQ(got, 99);
 }
 
 TEST(Scheduler, RunUntilAdvancesClock) {

@@ -36,7 +36,7 @@ TEST_P(LossTest, InvariantsSurviveLossyTransport) {
   EXPECT_GT(stats.committed, 0);
 
   cluster.settle(120'000'000);
-  const History h = cluster.history().snapshot();
+  const History& h = cluster.history().view();
   const auto cg = check_conflict_graph(h);
   EXPECT_TRUE(cg.ok) << cg.detail;
   const auto one = check_one_sr_graph(h);

@@ -71,7 +71,7 @@ TEST(MultiFailure, ConcurrentRecoveries) {
   EXPECT_EQ(cluster.site(2).state().mode, SiteMode::kUp);
   std::string why;
   EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
-  const auto rep = check_one_sr_graph(cluster.history().snapshot());
+  const auto rep = check_one_sr_graph(cluster.history().view());
   EXPECT_TRUE(rep.ok) << rep.detail;
 }
 
@@ -131,7 +131,7 @@ TEST(MultiFailure, RollingRestartOfEverySite) {
     ASSERT_TRUE(res.committed);
     EXPECT_EQ(res.reads[0], 100 + x);
   }
-  const auto rep = check_one_sr_graph(cluster.history().snapshot());
+  const auto rep = check_one_sr_graph(cluster.history().view());
   EXPECT_TRUE(rep.ok) << rep.detail;
 }
 
@@ -207,7 +207,7 @@ TEST(MultiFailure, SourceSiteCrashesDuringRefreshWindow) {
   cluster.settle(300'000'000);
   std::string why;
   EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
-  const auto rep = check_one_sr_graph(cluster.history().snapshot());
+  const auto rep = check_one_sr_graph(cluster.history().view());
   EXPECT_TRUE(rep.ok) << rep.detail;
 }
 

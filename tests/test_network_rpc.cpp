@@ -44,6 +44,23 @@ TEST_F(NetFixture, DropsToDeadSite) {
   EXPECT_GE(net->messages_dropped(), 1u);
 }
 
+TEST_F(NetFixture, DeadSenderCountsSeparatelyFromWireDrops) {
+  int got = 0;
+  net->register_site(1, [&](const Envelope&) { ++got; });
+  net->register_site(0, [](const Envelope&) {});
+  net->register_site(2, [](const Envelope&) {});
+  net->set_alive(0, false);
+  net->send(Envelope{0, false, 0, 1, Ping{}});
+  sched.run_all();
+  EXPECT_EQ(got, 0);
+  // A dead sender's message never reached the wire: it must appear in
+  // dropped_at_send only -- neither sent nor dropped -- so per-message
+  // overhead numbers are not distorted by crash noise.
+  EXPECT_EQ(net->messages_dropped_at_send(), 1u);
+  EXPECT_EQ(net->messages_sent(), 0u);
+  EXPECT_EQ(net->messages_dropped(), 0u);
+}
+
 TEST_F(NetFixture, InFlightMessageDroppedWhenDestDiesBeforeDelivery) {
   int got = 0;
   net->register_site(1, [&](const Envelope&) { ++got; });

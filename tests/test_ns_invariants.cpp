@@ -81,7 +81,7 @@ TEST(NsInvariants, OnlyControlTransactionsWriteNs) {
   Runner runner(cluster, rp, 73);
   runner.run();
   cluster.settle();
-  for (const TxnRecord& t : cluster.history().snapshot().txns) {
+  for (const TxnRecord& t : cluster.history().view().txns) {
     for (const WriteEvent& w : t.writes) {
       if (is_ns_item(w.item)) {
         EXPECT_TRUE(t.kind == TxnKind::kControlUp ||

@@ -87,7 +87,7 @@ TEST_P(RandomScheduleTest, InvariantsHoldUnderRandomFailures) {
   std::string why;
   EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
 
-  const History h = cluster.history().snapshot();
+  const History& h = cluster.history().view();
   const auto cg = check_conflict_graph(h);
   EXPECT_TRUE(cg.ok) << cg.detail;
   const auto one = check_one_sr_graph(h);
@@ -157,7 +157,7 @@ TEST_P(ChaosTest, InvariantsUnderLossAndChurn) {
   cluster.settle(240'000'000);
   std::string why;
   EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
-  const History h = cluster.history().snapshot();
+  const History& h = cluster.history().view();
   const auto cg = check_conflict_graph(h);
   EXPECT_TRUE(cg.ok) << cg.detail;
   const auto one = check_one_sr_graph(h);
@@ -212,7 +212,7 @@ TEST_P(SpoolerPropertyTest, SpoolerBaselineHoldsInvariantsToo) {
   cluster.settle();
   std::string why;
   EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
-  const History h = cluster.history().snapshot();
+  const History& h = cluster.history().view();
   const auto cg = check_conflict_graph(h);
   EXPECT_TRUE(cg.ok) << cg.detail;
   const auto one = check_one_sr_graph(h);
@@ -263,7 +263,7 @@ TEST_P(SmallHistoryTest, GraphCheckerAgreesWithBruteForce) {
   cluster.settle();
   EXPECT_GT(committed, 0);
 
-  const History h = cluster.history().snapshot();
+  const History& h = cluster.history().view();
   const auto graph_rep = check_one_sr_graph(h);
   const auto bf = check_one_sr_bruteforce(h, 8);
   ASSERT_TRUE(bf.applicable) << "history too large for the oracle";

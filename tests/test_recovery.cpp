@@ -100,7 +100,7 @@ TEST_P(StrategyTest, HistoryIsOneSerializable) {
   Config cfg = base_cfg();
   cfg.outdated_strategy = GetParam().strategy;
   auto cluster = outage_scenario(cfg, 1, 8, 13);
-  const auto h = cluster->history().snapshot();
+  const History& h = cluster->history().view();
   const auto cg = check_conflict_graph(h);
   EXPECT_TRUE(cg.ok) << cg.detail;
   const auto one = check_one_sr_graph(h);

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json run reports and flag scalar regressions.
+
+Usage:
+  compare_reports.py BASELINE.json CURRENT.json [options]
+
+Options:
+  --scalar NAME      scalar to compare (repeatable; default: events_per_sec)
+  --threshold PCT    allowed regression in percent (default: 10)
+  --higher-is-better / --lower-is-better
+                     direction of goodness for the named scalars
+                     (default: higher is better, which fits rates like
+                     events_per_sec / throughput_txn_s)
+
+Runs are matched by label; a scalar absent from either side of a matched
+run is skipped with a note (new benches shouldn't fail old baselines).
+Exits 1 when any compared scalar regressed by more than the threshold,
+0 otherwise. Stdlib only -- usable straight from CTest or CI.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"compare_reports: cannot read {path}: {e}")
+    return {run["label"]: run.get("scalars", {}) for run in doc.get("runs", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(add_help=True)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--scalar", action="append", default=[])
+    ap.add_argument("--threshold", type=float, default=10.0)
+    ap.add_argument("--higher-is-better", dest="higher", action="store_true",
+                    default=True)
+    ap.add_argument("--lower-is-better", dest="higher", action="store_false")
+    args = ap.parse_args()
+    scalars = args.scalar or ["events_per_sec"]
+
+    base = load_runs(args.baseline)
+    cur = load_runs(args.current)
+
+    compared = 0
+    regressions = []
+    for label, base_scalars in sorted(base.items()):
+        if label not in cur:
+            print(f"  note: run '{label}' missing from current report")
+            continue
+        for name in scalars:
+            if name not in base_scalars or name not in cur[label]:
+                print(f"  note: scalar '{name}' not in both '{label}' runs")
+                continue
+            b, c = float(base_scalars[name]), float(cur[label][name])
+            compared += 1
+            if b == 0:
+                continue
+            # Regression = goodness moved the wrong way by > threshold.
+            change = (c - b) / abs(b) * 100.0
+            regressed = (change < -args.threshold) if args.higher \
+                else (change > args.threshold)
+            marker = "REGRESSION" if regressed else "ok"
+            print(f"  {label}/{name}: {b:.6g} -> {c:.6g} "
+                  f"({change:+.1f}%) {marker}")
+            if regressed:
+                regressions.append((label, name, change))
+
+    if compared == 0:
+        sys.exit("compare_reports: no comparable scalars found")
+    if regressions:
+        print(f"compare_reports: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%")
+        return 1
+    print(f"compare_reports: {compared} scalar(s) within "
+          f"{args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

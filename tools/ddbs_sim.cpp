@@ -228,7 +228,7 @@ int main(int argc, char** argv) {
 
   int rc = conv ? 0 : 1;
   if (o.verify) {
-    const History h = cluster.history().snapshot();
+    const History& h = cluster.history().view();
     const auto cg = check_conflict_graph(h);
     const auto one = check_one_sr_graph(h);
     std::printf("CG over DB+NS: %s; revised 1-STG over DB: %s "

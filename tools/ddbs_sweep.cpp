@@ -1,0 +1,315 @@
+// ddbs_sweep -- parallel (config x seed) sweep CLI.
+//
+// Builds a config matrix from comma-separated axis flags (cross product),
+// runs every cell against --seeds consecutive seeds on a -j thread pool,
+// and writes one aggregate JSON report (schema: EXPERIMENTS.md). Each run
+// is an independent single-threaded simulation, so per-seed results are
+// bit-identical to a serial sweep regardless of -j.
+//
+// Examples:
+//   ddbs_sweep --strategy=mark-all,missing-list --seeds=8 -j 4
+//              --crash=2@1000 --recover=2@2500 --out=SWEEP.json
+//   ddbs_sweep --scheme=session-vector,spooler --copier=eager,on-demand
+//              --seeds=4 --duration-ms=2000 --per-run-dir=runs/
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/sweep.h"
+
+using namespace ddbs;
+
+namespace {
+
+struct Options {
+  Config base;
+  std::vector<std::string> schemes{"session-vector"};
+  std::vector<std::string> write_schemes{"rowaa"};
+  std::vector<std::string> strategies{"mark-all"};
+  std::vector<std::string> copiers{"eager"};
+  std::vector<std::string> policies{"block"};
+  uint64_t seed_base = 1;
+  int seeds = 4;
+  int threads = 1;
+  SimTime duration = 2'000'000;
+  int clients = 2;
+  int ops_per_txn = 3;
+  double read_fraction = 0.5;
+  double zipf = 0.0;
+  std::vector<FailureEvent> schedule;
+  std::string out = "SWEEP_ddbs.json";
+  std::string per_run_dir; // "" = don't write per-run reports
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [flags]\n"
+      "matrix axes (comma-separated values; cross product forms the cells):\n"
+      "  --scheme=A,B          session-vector|spooler\n"
+      "  --write-scheme=A,B    rowaa|rowa\n"
+      "  --strategy=A,B,..     mark-all|vcmp|fail-lock|missing-list\n"
+      "  --copier=A,B          eager|on-demand\n"
+      "  --policy=A,B          block|redirect\n"
+      "sweep control:\n"
+      "  --seeds=N             seeds per cell (default 4)\n"
+      "  --seed-base=N         first seed (default 1)\n"
+      "  -j N, --threads=N     worker threads (default 1)\n"
+      "  --out=PATH            aggregate JSON report (default SWEEP_ddbs.json)\n"
+      "  --per-run-dir=DIR     also write RUN_<cell>_seed<N>.json per run\n"
+      "scenario (same meaning as ddbs_sim):\n"
+      "  --sites=N --items=N --degree=N --loss=F\n"
+      "  --duration-ms=N --clients=N --ops=N --reads=F --zipf=F\n"
+      "  --crash=S@MS --recover=S@MS (repeatable)\n",
+      argv0);
+  std::exit(2);
+}
+
+bool parse_kv(const char* arg, const char* key, std::string* out) {
+  const size_t len = std::strlen(key);
+  if (std::strncmp(arg, key, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> split_commas(const std::string& v) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= v.size()) {
+    const size_t comma = v.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(v.substr(start));
+      break;
+    }
+    out.push_back(v.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+FailureEvent parse_event(const std::string& v, FailureEvent::What what,
+                         const char* argv0) {
+  const size_t at = v.find('@');
+  if (at == std::string::npos) usage(argv0);
+  FailureEvent ev;
+  ev.what = what;
+  ev.site = static_cast<SiteId>(std::stol(v.substr(0, at)));
+  ev.at = static_cast<SimTime>(std::stoll(v.substr(at + 1))) * 1000;
+  return ev;
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_kv(argv[i], "--scheme", &v)) {
+      o.schemes = split_commas(v);
+    } else if (parse_kv(argv[i], "--write-scheme", &v)) {
+      o.write_schemes = split_commas(v);
+    } else if (parse_kv(argv[i], "--strategy", &v)) {
+      o.strategies = split_commas(v);
+    } else if (parse_kv(argv[i], "--copier", &v)) {
+      o.copiers = split_commas(v);
+    } else if (parse_kv(argv[i], "--policy", &v)) {
+      o.policies = split_commas(v);
+    } else if (parse_kv(argv[i], "--seeds", &v)) {
+      o.seeds = std::stoi(v);
+    } else if (parse_kv(argv[i], "--seed-base", &v)) {
+      o.seed_base = std::stoull(v);
+    } else if (parse_kv(argv[i], "--threads", &v)) {
+      o.threads = std::stoi(v);
+    } else if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) {
+      o.threads = std::stoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "-j", 2) == 0 && argv[i][2] != '\0') {
+      o.threads = std::stoi(argv[i] + 2);
+    } else if (parse_kv(argv[i], "--sites", &v)) {
+      o.base.n_sites = std::stoi(v);
+    } else if (parse_kv(argv[i], "--items", &v)) {
+      o.base.n_items = std::stoll(v);
+    } else if (parse_kv(argv[i], "--degree", &v)) {
+      o.base.replication_degree = std::stoi(v);
+    } else if (parse_kv(argv[i], "--loss", &v)) {
+      o.base.msg_loss_prob = std::stod(v);
+    } else if (parse_kv(argv[i], "--duration-ms", &v)) {
+      o.duration = std::stoll(v) * 1000;
+    } else if (parse_kv(argv[i], "--clients", &v)) {
+      o.clients = std::stoi(v);
+    } else if (parse_kv(argv[i], "--ops", &v)) {
+      o.ops_per_txn = std::stoi(v);
+    } else if (parse_kv(argv[i], "--reads", &v)) {
+      o.read_fraction = std::stod(v);
+    } else if (parse_kv(argv[i], "--zipf", &v)) {
+      o.zipf = std::stod(v);
+    } else if (parse_kv(argv[i], "--crash", &v)) {
+      o.schedule.push_back(
+          parse_event(v, FailureEvent::What::kCrash, argv[0]));
+    } else if (parse_kv(argv[i], "--recover", &v)) {
+      o.schedule.push_back(
+          parse_event(v, FailureEvent::What::kRecover, argv[0]));
+    } else if (parse_kv(argv[i], "--out", &v)) {
+      o.out = v;
+    } else if (parse_kv(argv[i], "--per-run-dir", &v)) {
+      o.per_run_dir = v;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (o.seeds < 1 || o.threads < 1) usage(argv[0]);
+  return o;
+}
+
+bool apply_axis(Config& cfg, const std::string& scheme,
+                const std::string& write_scheme, const std::string& strategy,
+                const std::string& copier, const std::string& policy) {
+  if (scheme == "session-vector") {
+    cfg.recovery_scheme = RecoveryScheme::kSessionVector;
+  } else if (scheme == "spooler") {
+    cfg.recovery_scheme = RecoveryScheme::kSpooler;
+  } else {
+    return false;
+  }
+  if (write_scheme == "rowaa") {
+    cfg.write_scheme = WriteScheme::kRowaa;
+  } else if (write_scheme == "rowa") {
+    cfg.write_scheme = WriteScheme::kRowaStrict;
+  } else {
+    return false;
+  }
+  if (strategy == "mark-all") {
+    cfg.outdated_strategy = OutdatedStrategy::kMarkAll;
+  } else if (strategy == "vcmp") {
+    cfg.outdated_strategy = OutdatedStrategy::kMarkAllVersionCmp;
+  } else if (strategy == "fail-lock") {
+    cfg.outdated_strategy = OutdatedStrategy::kFailLock;
+  } else if (strategy == "missing-list") {
+    cfg.outdated_strategy = OutdatedStrategy::kMissingList;
+  } else {
+    return false;
+  }
+  if (copier == "eager") {
+    cfg.copier_mode = CopierMode::kEager;
+  } else if (copier == "on-demand") {
+    cfg.copier_mode = CopierMode::kOnDemand;
+  } else {
+    return false;
+  }
+  if (policy == "block") {
+    cfg.unreadable_policy = UnreadablePolicy::kBlock;
+  } else if (policy == "redirect") {
+    cfg.unreadable_policy = UnreadablePolicy::kRedirect;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Label only from axes with >1 value, so single-axis sweeps stay readable.
+std::string cell_label(const Options& o, const std::string& scheme,
+                       const std::string& write_scheme,
+                       const std::string& strategy, const std::string& copier,
+                       const std::string& policy) {
+  std::string label;
+  auto add = [&label](const std::vector<std::string>& axis,
+                      const std::string& v) {
+    if (axis.size() <= 1) return;
+    if (!label.empty()) label += '+';
+    label += v;
+  };
+  add(o.schemes, scheme);
+  add(o.write_schemes, write_scheme);
+  add(o.strategies, strategy);
+  add(o.copiers, copier);
+  add(o.policies, policy);
+  return label.empty() ? strategy : label;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ddbs_sweep: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  SweepSpec spec;
+  spec.seed_base = o.seed_base;
+  spec.seeds = o.seeds;
+  spec.params.clients_per_site = o.clients;
+  spec.params.duration = o.duration;
+  spec.params.workload.ops_per_txn = o.ops_per_txn;
+  spec.params.workload.read_fraction = o.read_fraction;
+  spec.params.workload.zipf_theta = o.zipf;
+  spec.params.schedule = o.schedule;
+
+  for (const std::string& scheme : o.schemes) {
+    for (const std::string& ws : o.write_schemes) {
+      for (const std::string& strategy : o.strategies) {
+        for (const std::string& copier : o.copiers) {
+          for (const std::string& policy : o.policies) {
+            SweepCell cell;
+            cell.cfg = o.base;
+            cell.cfg.record_history = false; // perf runs, no checker feed
+            if (!apply_axis(cell.cfg, scheme, ws, strategy, copier, policy)) {
+              usage(argv[0]);
+            }
+            cell.label = cell_label(o, scheme, ws, strategy, copier, policy);
+            spec.cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("ddbs_sweep: %zu cells x %d seeds = %zu runs on %d thread%s\n",
+              spec.cells.size(), o.seeds, spec.cells.size() * o.seeds,
+              o.threads, o.threads == 1 ? "" : "s");
+
+  const SweepResult res = run_sweep(spec, o.threads);
+
+  for (size_t c = 0; c < res.cells.size(); ++c) {
+    const SweepCellSummary& cell = res.cells[c];
+    std::printf("  %-28s", cell.label.c_str());
+    for (const SweepScalar& s : cell.scalars) {
+      if (s.name == "throughput_txn_s") {
+        std::printf(" thr mean %.1f p50 %.1f p99 %.1f txn/s", s.mean, s.p50,
+                    s.p99);
+      } else if (s.name == "commit_ratio") {
+        std::printf(" commit %.1f%%", s.mean * 100.0);
+      }
+    }
+    std::printf(" converged %d/%d\n", cell.converged, o.seeds);
+  }
+  std::printf("wall %.2fs, %llu events, %.2fM events/s\n", res.wall_seconds,
+              static_cast<unsigned long long>(res.events_executed),
+              res.events_per_sec() / 1e6);
+
+  int rc = 0;
+  if (!o.per_run_dir.empty()) {
+    for (const SweepRun& r : res.runs) {
+      const std::string path = o.per_run_dir + "/RUN_" +
+                               spec.cells[r.cell].label + "_seed" +
+                               std::to_string(r.seed) + ".json";
+      if (!write_file(path, r.report_json)) rc = 1;
+    }
+  }
+  if (!write_file(o.out, sweep_report_json(spec, res, o.threads))) rc = 1;
+  for (const SweepCellSummary& cell : res.cells) {
+    if (cell.converged != o.seeds) {
+      std::fprintf(stderr, "ddbs_sweep: cell %s: %d/%d runs converged\n",
+                   cell.label.c_str(), cell.converged, o.seeds);
+      rc = 1;
+    }
+  }
+  return rc;
+}
