@@ -154,6 +154,9 @@ void write_config(JsonWriter& w, const Config& cfg) {
   w.kv("reconcile_probes", cfg.reconcile_probes);
   w.kv("wal_checkpoint_threshold", cfg.wal_checkpoint_threshold);
   w.kv("local_op_cost", cfg.local_op_cost);
+  w.kv("trace_capacity", static_cast<uint64_t>(cfg.trace_capacity));
+  w.kv("span_capacity", static_cast<uint64_t>(cfg.span_capacity));
+  w.kv("timeseries_bucket", cfg.timeseries_bucket);
   w.end_object();
 }
 
@@ -173,6 +176,67 @@ void write_timeline(JsonWriter& w, const RecoveryTimeline& t) {
   w.kv("copier_retries", t.copier_retries);
   w.kv("totally_failed_items", t.totally_failed_items);
   w.kv("spool_replayed", t.spool_replayed);
+  w.end_object();
+}
+
+void write_episode(JsonWriter& w, const RecoveryEpisode& e) {
+  w.begin_object();
+  w.kv("site", static_cast<int64_t>(e.site));
+  w.key("crash_at");
+  w.time_or_null(e.crash_at);
+  w.key("declared_down_at");
+  w.time_or_null(e.declared_down_at);
+  w.key("type2_commit_at");
+  w.time_or_null(e.type2_commit_at);
+  w.key("reboot_at");
+  w.time_or_null(e.reboot_at);
+  w.key("nominally_up_at");
+  w.time_or_null(e.nominally_up_at);
+  w.key("fully_current_at");
+  w.time_or_null(e.fully_current_at);
+  // Phase durations, null while the bounding milestones are missing.
+  auto dur = [&](std::string_view k, SimTime from, SimTime to) {
+    w.key(k);
+    if (from == kNoTime || to == kNoTime) {
+      w.value_null();
+    } else {
+      w.value(static_cast<int64_t>(to - from));
+    }
+  };
+  dur("declared_to_type2_us", e.declared_down_at, e.type2_commit_at);
+  dur("reboot_to_nominally_up_us", e.reboot_at, e.nominally_up_at);
+  dur("nominally_up_to_current_us", e.nominally_up_at, e.fully_current_at);
+  w.kv("type1_attempts", e.type1_attempts);
+  w.kv("type2_rounds", e.type2_rounds);
+  w.kv("session", e.session);
+  w.kv("marked_unreadable", e.marked_unreadable);
+  w.kv("copier_commits", e.copier_commits);
+  w.kv("complete", e.complete);
+  w.key("backlog");
+  w.begin_array();
+  for (const BacklogPoint& p : e.backlog) {
+    w.begin_object();
+    w.kv("at", static_cast<int64_t>(p.at));
+    w.kv("remaining", p.remaining);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_time_series(JsonWriter& w, const TimeSeriesData& s) {
+  w.begin_object();
+  w.kv("bucket_us", static_cast<int64_t>(s.bucket_width));
+  auto arr = [&](std::string_view k, const std::vector<int64_t>& v) {
+    w.key(k);
+    w.begin_array();
+    for (int64_t x : v) w.value(x);
+    w.end_array();
+  };
+  arr("commits", s.commits);
+  arr("aborts", s.aborts);
+  arr("session_rejects", s.session_rejects);
+  arr("sites_up", s.sites_up);
   w.end_object();
 }
 
@@ -196,7 +260,7 @@ std::string RunReport::to_json() const {
   JsonWriter w;
   w.begin_object();
   w.kv("bench", bench_);
-  w.kv("schema_version", 1);
+  w.kv("schema_version", 2);
   w.key("runs");
   w.begin_array();
   for (const Run& run : runs_) {
@@ -216,6 +280,19 @@ std::string RunReport::to_json() const {
     w.begin_array();
     for (const RecoveryTimeline& t : run.recoveries) write_timeline(w, t);
     w.end_array();
+    w.key("episodes");
+    w.begin_array();
+    for (const RecoveryEpisode& e : run.episodes) write_episode(w, e);
+    w.end_array();
+    w.key("time_series");
+    write_time_series(w, run.series);
+    w.key("trace");
+    w.begin_object();
+    w.kv("recorded", run.trace_recorded);
+    w.kv("dropped", run.trace_dropped);
+    w.kv("spans_recorded", run.span_recorded);
+    w.kv("spans_dropped", run.span_dropped);
+    w.end_object();
     w.end_object();
   }
   w.end_array();

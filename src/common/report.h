@@ -79,6 +79,47 @@ struct RecoveryTimeline {
   int64_t spool_replayed = 0;
 };
 
+// One point of a recovering site's missed-copy backlog curve: how many
+// copies were still unreadable at `at`.
+struct BacklogPoint {
+  SimTime at = 0;
+  int64_t remaining = 0;
+};
+
+// One recovery episode of one site, folded from the trace stream by the
+// EpisodeTracker: crash -> declared down -> reboot -> type-1 attempts ->
+// nominally up -> copier drain -> fully current. kNoTime marks a phase
+// not observed (e.g. a false declaration has no crash, an episode cut
+// short by a second crash never reaches fully_current_at).
+struct RecoveryEpisode {
+  SiteId site = kInvalidSite;
+  SimTime crash_at = kNoTime;
+  SimTime declared_down_at = kNoTime; // first type-2 declaration observed
+  SimTime type2_commit_at = kNoTime;  // type-2 excluding this site committed
+  SimTime reboot_at = kNoTime;        // recovery procedure began
+  SimTime nominally_up_at = kNoTime;  // type-1 control txn committed
+  SimTime fully_current_at = kNoTime; // last unreadable copy refreshed
+  int64_t type1_attempts = 0;
+  int64_t type2_rounds = 0;
+  int64_t session = 0;            // session number granted by the type-1
+  int64_t marked_unreadable = 0;  // backlog at nominally-up
+  int64_t copier_commits = 0;
+  bool complete = false; // reached fully-current within the run
+  std::vector<BacklogPoint> backlog;
+};
+
+// Availability-over-time curves: per-bucket user commit/abort counts,
+// session rejects, and the number of operational sites at each bucket's
+// end. All vectors share one length; bucket b covers
+// [b*bucket_width, (b+1)*bucket_width).
+struct TimeSeriesData {
+  SimTime bucket_width = 0;
+  std::vector<int64_t> commits;
+  std::vector<int64_t> aborts;
+  std::vector<int64_t> session_rejects;
+  std::vector<int64_t> sites_up;
+};
+
 // A report covers one bench binary: shared metadata plus one entry per
 // measured run (a parameter-sweep cell).
 class RunReport {
@@ -91,6 +132,14 @@ class RunReport {
     std::vector<std::pair<std::string, double>> scalars;
     std::vector<std::pair<std::string, int64_t>> counters;
     std::vector<RecoveryTimeline> recoveries;
+    std::vector<RecoveryEpisode> episodes;
+    TimeSeriesData series;
+    // Ring health: totals and overwrite counts for the flat trace ring
+    // and the span log, so a wrapped ring is visible in every report.
+    int64_t trace_recorded = 0;
+    int64_t trace_dropped = 0;
+    int64_t span_recorded = 0;
+    int64_t span_dropped = 0;
   };
 
   // Append a run. Scalars are the bench's headline numbers (availability,
@@ -118,5 +167,7 @@ class RunReport {
 // Serialize one Config as a JSON object (shared by report + sim tool).
 void write_config(JsonWriter& w, const Config& cfg);
 void write_timeline(JsonWriter& w, const RecoveryTimeline& t);
+void write_episode(JsonWriter& w, const RecoveryEpisode& e);
+void write_time_series(JsonWriter& w, const TimeSeriesData& s);
 
 } // namespace ddbs

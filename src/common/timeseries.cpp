@@ -1,0 +1,84 @@
+#include "common/timeseries.h"
+
+#include <algorithm>
+
+namespace ddbs {
+
+TimeSeries::TimeSeries(SimTime bucket_width, int n_sites)
+    : width_(bucket_width), n_sites_(n_sites) {}
+
+void TimeSeries::bump(std::vector<int64_t>& v, SimTime at) {
+  if (at < 0) return;
+  const size_t b = static_cast<size_t>(at / width_);
+  if (b >= kMaxBuckets) return;
+  if (b >= v.size()) v.resize(b + 1, 0);
+  ++v[b];
+}
+
+void TimeSeries::on_trace(const TraceEvent& e) {
+  if (width_ <= 0) return;
+  switch (e.kind) {
+    case TraceKind::kTxnCommit:
+      // b carries the TxnKind; only user transactions count toward the
+      // availability curve (copiers and control txns are overhead).
+      if (e.b == static_cast<int64_t>(TxnKind::kUser)) bump(commits_, e.at);
+      break;
+    case TraceKind::kTxnAbort:
+      if (e.b == static_cast<int64_t>(TxnKind::kUser)) bump(aborts_, e.at);
+      break;
+    case TraceKind::kSessionReject:
+      bump(rejects_, e.at);
+      break;
+    case TraceKind::kSiteCrash:
+      up_changes_.emplace_back(e.at, -1);
+      break;
+    case TraceKind::kNominallyUp:
+      up_changes_.emplace_back(e.at, +1);
+      break;
+    default:
+      break;
+  }
+}
+
+TimeSeriesData TimeSeries::data() const {
+  TimeSeriesData out;
+  out.bucket_width = width_;
+  if (width_ <= 0) return out;
+  size_t n = std::max({commits_.size(), aborts_.size(), rejects_.size()});
+  if (!up_changes_.empty()) {
+    const SimTime last = up_changes_.back().first;
+    if (last >= 0) {
+      const size_t b = static_cast<size_t>(last / width_) + 1;
+      n = std::max(n, std::min(b, kMaxBuckets));
+    }
+  }
+  out.commits = commits_;
+  out.aborts = aborts_;
+  out.session_rejects = rejects_;
+  out.commits.resize(n, 0);
+  out.aborts.resize(n, 0);
+  out.session_rejects.resize(n, 0);
+  // sites_up[b] = operational sites at the end of bucket b. up_changes_
+  // is recorded in event order, i.e. already time-sorted.
+  out.sites_up.resize(n, 0);
+  int64_t up = n_sites_;
+  size_t next = 0;
+  for (size_t b = 0; b < n; ++b) {
+    const SimTime bucket_end = static_cast<SimTime>(b + 1) * width_;
+    while (next < up_changes_.size() && up_changes_[next].first < bucket_end) {
+      up += up_changes_[next].second;
+      ++next;
+    }
+    out.sites_up[b] = up;
+  }
+  return out;
+}
+
+void TimeSeries::clear() {
+  commits_.clear();
+  aborts_.clear();
+  rejects_.clear();
+  up_changes_.clear();
+}
+
+} // namespace ddbs

@@ -1,0 +1,46 @@
+// Cheap time-bucketed availability recorder, fed by the live trace
+// stream. Counts user-transaction commits/aborts and session rejects per
+// bucket, and tracks how many sites are operational so every report can
+// carry an availability-over-time curve instead of just end-of-run
+// totals. Recording is O(1) amortized (a vector bump per event); the
+// per-bucket sites-up view is derived at export time from the recorded
+// up/down transitions.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/report.h"
+#include "sim/trace.h"
+
+namespace ddbs {
+
+class TimeSeries : public TraceSink {
+ public:
+  // `bucket_width` of 0 disables recording (data() stays empty).
+  TimeSeries(SimTime bucket_width, int n_sites);
+
+  void on_trace(const TraceEvent& e) override;
+
+  TimeSeriesData data() const;
+  SimTime bucket_width() const { return width_; }
+
+  void clear();
+
+ private:
+  // Backstop against a pathological bucket width: at most ~4M buckets.
+  static constexpr size_t kMaxBuckets = size_t{1} << 22;
+
+  void bump(std::vector<int64_t>& v, SimTime at);
+
+  SimTime width_;
+  int n_sites_;
+  std::vector<int64_t> commits_;
+  std::vector<int64_t> aborts_;
+  std::vector<int64_t> rejects_;
+  // Operational-site transitions: (time, +1/-1). All sites count as up at
+  // t=0 (bootstrap grants session 1 without a control transaction).
+  std::vector<std::pair<SimTime, int>> up_changes_;
+};
+
+} // namespace ddbs

@@ -21,6 +21,7 @@ using TxnId = uint64_t;      // globally unique transaction identifier
 using SessionNum = uint64_t; // 0 == "not operational" (paper's convention)
 using Value = int64_t;       // data items hold integers (sufficient for study)
 using SimTime = int64_t;     // simulated microseconds since start
+using SpanId = uint64_t;     // causal span identifier; 0 == "no span"
 
 inline constexpr SiteId kInvalidSite = -1;
 inline constexpr SimTime kNoTime = std::numeric_limits<SimTime>::min();

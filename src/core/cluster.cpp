@@ -12,11 +12,13 @@ Cluster::Cluster(Config cfg, uint64_t seed)
       net_(sched_, cfg_, seed),
       cat_(Catalog::make(cfg_)) {
   recorder_.set_enabled(cfg_.record_history);
+  tracer_.add_sink(&episodes_);
+  tracer_.add_sink(&series_);
   sites_.reserve(static_cast<size_t>(cfg_.n_sites));
   for (SiteId s = 0; s < cfg_.n_sites; ++s) {
     sites_.push_back(std::make_unique<Site>(
         s, cfg_, sched_, net_, cat_, metrics_,
-        cfg_.record_history ? &recorder_ : nullptr, &tracer_));
+        cfg_.record_history ? &recorder_ : nullptr, &tracer_, &spans_));
   }
 }
 
@@ -113,6 +115,12 @@ RunReport::Run& Cluster::report_run(RunReport& report,
   RunReport::Run& run = report.add_run(std::move(label), cfg_);
   RunReport::capture_counters(run, metrics_);
   run.recoveries = recovery_timelines();
+  run.episodes = episodes_.episodes();
+  run.series = series_.data();
+  run.trace_recorded = static_cast<int64_t>(tracer_.recorded());
+  run.trace_dropped = static_cast<int64_t>(tracer_.dropped());
+  run.span_recorded = static_cast<int64_t>(spans_.recorded());
+  run.span_dropped = static_cast<int64_t>(spans_.dropped());
   return run;
 }
 

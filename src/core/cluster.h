@@ -22,10 +22,13 @@
 #include "common/config.h"
 #include "common/metrics.h"
 #include "common/report.h"
+#include "common/timeseries.h"
 #include "core/site.h"
 #include "net/network.h"
+#include "recovery/episode.h"
 #include "replication/catalog.h"
 #include "sim/scheduler.h"
+#include "sim/span.h"
 #include "sim/trace.h"
 #include "verify/history.h"
 
@@ -75,6 +78,10 @@ class Cluster {
   HistoryRecorder& history() { return recorder_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  SpanLog& spans() { return spans_; }
+  const SpanLog& spans() const { return spans_; }
+  const EpisodeTracker& episodes() const { return episodes_; }
+  const TimeSeries& timeseries() const { return series_; }
 
   // One RecoveryTimeline per site that has begun a recovery this run
   // (from the per-site milestone records), for JSON reports.
@@ -108,7 +115,10 @@ class Cluster {
   Metrics metrics_;
   HistoryRecorder recorder_;
   Scheduler sched_;
-  Tracer tracer_{sched_};
+  Tracer tracer_{sched_, cfg_.trace_capacity};
+  SpanLog spans_{sched_, cfg_.span_capacity};
+  EpisodeTracker episodes_{cfg_.n_sites};
+  TimeSeries series_{cfg_.timeseries_bucket, cfg_.n_sites};
   Network net_;
   Catalog cat_;
   std::vector<std::unique_ptr<Site>> sites_;

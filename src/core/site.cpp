@@ -8,7 +8,7 @@ namespace ddbs {
 
 Site::Site(SiteId id, const Config& cfg, Scheduler& sched, Network& net,
            const Catalog& cat, Metrics& metrics, HistoryRecorder* recorder,
-           Tracer* tracer)
+           Tracer* tracer, SpanLog* spans)
     : id_(id),
       cfg_(cfg),
       sched_(sched),
@@ -17,6 +17,7 @@ Site::Site(SiteId id, const Config& cfg, Scheduler& sched, Network& net,
       metrics_(metrics),
       tracer_(tracer),
       rpc_(id, net, sched) {
+  rpc_.set_span_log(spans);
   CoordinatorEnv env;
   env.self = id_;
   env.cfg = &cfg_;
@@ -28,9 +29,11 @@ Site::Site(SiteId id, const Config& cfg, Scheduler& sched, Network& net,
   env.metrics = &metrics_;
   env.recorder = recorder;
   env.tracer = tracer;
+  env.spans = spans;
 
   dm_ = std::make_unique<DataManager>(id_, cfg_, sched_, rpc_, stable_,
-                                      state_, metrics_, recorder, tracer);
+                                      state_, metrics_, recorder, tracer,
+                                      spans);
   tm_ = std::make_unique<TransactionManager>(env);
   tm_->set_local_dm(dm_.get());
   rm_ = std::make_unique<RecoveryManager>(env, *dm_, *tm_);
@@ -89,6 +92,7 @@ void Site::crash() {
   assert(state_.mode != SiteMode::kDown && "crashing a down site");
   DDBS_INFO << "site " << id_ << " CRASH at " << sched_.now();
   metrics_.inc(metrics_.id.site_crashes);
+  Tracer::emit(tracer_, TraceKind::kSiteCrash, id_);
   net_.set_alive(id_, false);
   rpc_.reset();
   fd_->stop();
@@ -103,6 +107,7 @@ void Site::recover() {
   assert(state_.mode == SiteMode::kDown && "recovering a non-down site");
   DDBS_INFO << "site " << id_ << " powering up at " << sched_.now();
   metrics_.inc(metrics_.id.site_recovers);
+  Tracer::emit(tracer_, TraceKind::kSiteRecover, id_);
   net_.set_alive(id_, true);
   state_.mode = SiteMode::kRecovering;
   state_.session = 0; // as[k] = 0: control transactions only (step 1)

@@ -214,6 +214,9 @@ struct Envelope {
   SiteId from = kInvalidSite;
   SiteId to = kInvalidSite;
   Payload payload;
+  // Causal span of the sender at send time (0 = none). Stamped by the
+  // RpcEndpoint so per-site work can nest under the coordinator's span.
+  SpanId span = 0;
 };
 
 } // namespace ddbs

@@ -15,28 +15,34 @@ void RpcEndpoint::start(RequestHandler handler) {
 uint64_t RpcEndpoint::send_request(SiteId to, Payload payload, SimTime timeout,
                                    ResponseCb cb) {
   const uint64_t id = next_rpc_++;
+  const SpanId ctx = spans_ ? spans_->current() : 0;
   Pending p;
   p.cb = std::move(cb);
+  p.resume_span = ctx;
   p.timeout_ev = sched_.after(timeout, [this, id]() {
     Pending* it = pending_.find(id);
     if (it == nullptr) return;
     ResponseCb cb = std::move(it->cb);
+    const SpanId resume = it->resume_span;
     pending_.erase(id);
+    SpanScope scope(spans_, resume);
     cb(Code::kTimeout, nullptr);
   });
   pending_.insert(id, std::move(p));
-  net_.send(Envelope{id, /*is_response=*/false, self_, to, std::move(payload)});
+  net_.send(Envelope{id, /*is_response=*/false, self_, to, std::move(payload),
+                     ctx});
   return id;
 }
 
 void RpcEndpoint::send_oneway(SiteId to, Payload payload) {
-  net_.send(Envelope{0, false, self_, to, std::move(payload)});
+  net_.send(Envelope{0, false, self_, to, std::move(payload),
+                     spans_ ? spans_->current() : 0});
 }
 
 void RpcEndpoint::respond(const Envelope& request, Payload payload) {
   assert(!request.is_response);
   net_.send(Envelope{request.rpc_id, /*is_response=*/true, self_,
-                     request.from, std::move(payload)});
+                     request.from, std::move(payload), request.span});
 }
 
 void RpcEndpoint::cancel_request(uint64_t rpc_id) {
@@ -54,14 +60,21 @@ void RpcEndpoint::reset() {
 
 void RpcEndpoint::on_envelope(const Envelope& env) {
   if (!env.is_response) {
-    if (handler_) handler_(env);
+    if (handler_) {
+      // The handler runs under the sender's span, so per-site DM work
+      // (lock waits, stages, applies) nests under the coordinator.
+      SpanScope scope(spans_, env.span);
+      handler_(env);
+    }
     return;
   }
   Pending* it = pending_.find(env.rpc_id);
   if (it == nullptr) return; // late response; requester moved on
   sched_.cancel(it->timeout_ev);
   ResponseCb cb = std::move(it->cb);
+  const SpanId resume = it->resume_span;
   pending_.erase(env.rpc_id);
+  SpanScope scope(spans_, resume);
   cb(Code::kOk, &env.payload);
 }
 

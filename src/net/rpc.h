@@ -8,6 +8,7 @@
 #include "common/u64_table.h"
 #include "net/network.h"
 #include "sim/scheduler.h"
+#include "sim/span.h"
 
 namespace ddbs {
 
@@ -22,6 +23,11 @@ class RpcEndpoint {
   RpcEndpoint(SiteId self, Network& net, Scheduler& sched);
 
   void start(RequestHandler handler);
+
+  // Optional causal span propagation: outgoing envelopes are stamped with
+  // the log's current span, and handlers / response callbacks / timeout
+  // callbacks run scoped to the span they belong to.
+  void set_span_log(SpanLog* spans) { spans_ = spans; }
 
   uint64_t send_request(SiteId to, Payload payload, SimTime timeout,
                         ResponseCb cb);
@@ -44,6 +50,9 @@ class RpcEndpoint {
   struct Pending {
     ResponseCb cb;
     EventId timeout_ev = 0;
+    // Span to resume when the response (or timeout) arrives, so the
+    // continuation stays attributed to the request's causal context.
+    SpanId resume_span = 0;
   };
 
   void on_envelope(const Envelope& env);
@@ -52,6 +61,7 @@ class RpcEndpoint {
   Network& net_;
   Scheduler& sched_;
   RequestHandler handler_;
+  SpanLog* spans_ = nullptr;
   uint64_t next_rpc_ = 1;
   U64Table<Pending> pending_;
 };

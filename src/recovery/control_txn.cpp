@@ -392,7 +392,11 @@ void ControlDownCoordinator::fail(Code reason) {
 
 void ControlDownCoordinator::start() {
   metrics_.inc(metrics_.id.control_down_attempts);
-  trace(TraceKind::kControlDownStart, down_.empty() ? -1 : down_.front());
+  // One event per declared site (a = site, b = batch size) so per-site
+  // consumers can attribute the round to each excluded site.
+  for (SiteId d : down_) {
+    trace(TraceKind::kControlDownStart, d, static_cast<int64_t>(down_.size()));
+  }
   schedule(cfg_.txn_timeout, [this]() {
     if (!decided_) fail(Code::kTimeout);
   });
@@ -468,9 +472,10 @@ void ControlDownCoordinator::write_zeroes() {
       res.additional_suspects = suspected_;
       if (committed) {
         metrics_.inc(metrics_.id.control_down_committed);
-        trace(TraceKind::kControlDownCommit,
-              down_.empty() ? -1 : down_.front(),
-              static_cast<int64_t>(down_.size()));
+        for (SiteId d : down_) {
+          trace(TraceKind::kControlDownCommit, d,
+                static_cast<int64_t>(down_.size()));
+        }
         // Best-effort notice to the declared sites: a LIVE recipient was
         // falsely declared (fail-stop violated) and reacts by restarting
         // and re-integrating; a dead recipient never sees it.

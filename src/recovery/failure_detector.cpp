@@ -44,6 +44,7 @@ void FailureDetector::start() {
   ++epoch_;
   misses_.clear();
   declaring_.clear();
+  for (const auto& [s, span] : verifying_) SpanLog::close(env_.spans, span);
   verifying_.clear();
   last_pong_.clear();
   started_at_ = env_.sched->now(); // silence is measured from here at first
@@ -172,10 +173,25 @@ void FailureDetector::begin_verify(SiteId s, int attempts) {
   // One chain per suspect at a time; further hints while it runs are
   // folded into it (they would reach the same verdict from the same
   // pings anyway).
-  if (!verifying_.emplace(s, env_.sched->now()).second) return;
+  const SpanId span =
+      SpanLog::open(env_.spans, SpanKind::kDetectorVerify, env_.self, 0, s);
+  if (!verifying_.emplace(s, span).second) {
+    SpanLog::close(env_.spans, span);
+    return;
+  }
   env_.metrics->inc(env_.metrics->id.fd_verify_chains);
   Tracer::emit(env_.tracer, TraceKind::kDetectorVerify, env_.self, 0, s);
+  // The chain's pings (and anything they lead to, e.g. the type-2 control
+  // transaction of a declaration) nest under the chain's span.
+  SpanScope scope(env_.spans, span);
   verify(s, attempts);
+}
+
+void FailureDetector::resolve_verify(SiteId s) {
+  auto it = verifying_.find(s);
+  if (it == verifying_.end()) return;
+  SpanLog::close(env_.spans, it->second);
+  verifying_.erase(it);
 }
 
 void FailureDetector::verify(SiteId s, int attempts_left) {
@@ -187,14 +203,14 @@ void FailureDetector::verify(SiteId s, int attempts_left) {
         if (code == Code::kOk) {
           misses_[s] = 0;
           last_pong_[s] = env_.sched->now();
-          verifying_.erase(s); // chain resolved: alive after all
+          resolve_verify(s); // chain resolved: alive after all
           return;
         }
         if (attempts_left > 1) {
           verify(s, attempts_left - 1);
           return;
         }
-        verifying_.erase(s); // chain resolved
+        resolve_verify(s); // chain resolved
         SimTime last_alive = started_at_;
         if (const auto pong = last_pong_.find(s); pong != last_pong_.end()) {
           last_alive = std::max(last_alive, pong->second);
@@ -232,9 +248,12 @@ void FailureDetector::run_declare(std::vector<SiteId> down, int attempt) {
     misses_[d] = 0;
   }
   env_.metrics->inc(env_.metrics->id.fd_declared_down);
-  Tracer::emit(env_.tracer, TraceKind::kDetectorDeclare, env_.self, 0,
-               down.empty() ? -1 : down.front(),
-               static_cast<int64_t>(down.size()));
+  // One event per declared site (a = site, b = batch size) so per-site
+  // consumers (episode tracker) see every member of a batched declaration.
+  for (SiteId d : down) {
+    Tracer::emit(env_.tracer, TraceKind::kDetectorDeclare, env_.self, 0, d,
+                 static_cast<int64_t>(down.size()));
+  }
   if (log_level() <= LogLevel::kInfo) {
     std::ostringstream os;
     os << "site " << env_.self << " declares down:";

@@ -42,6 +42,8 @@ class FailureDetector {
   void tick();
   // Start a verify chain for `s` unless one is already in flight.
   void begin_verify(SiteId s, int attempts);
+  // Close the chain's span and drop the in-flight guard.
+  void resolve_verify(SiteId s);
   void verify(SiteId s, int attempts_left);
   void declare(SiteId s);
   void run_declare(std::vector<SiteId> down, int attempt);
@@ -55,12 +57,13 @@ class FailureDetector {
   uint64_t epoch_ = 0;
   std::map<SiteId, int> misses_;
   std::set<SiteId> declaring_;
-  // Sites with a verify chain in flight, mapped to the chain's start time.
-  // Without this guard every further missed ping past the threshold (and
-  // every coordinator suspect() hint) spawned an additional chain toward
-  // declare(), multiplying ping traffic and racing the declaration.
-  // Cleared when the chain resolves (alive or declared) and on start().
-  std::map<SiteId, SimTime> verifying_;
+  // Sites with a verify chain in flight, mapped to the chain's causal
+  // span (0 when span tracing is off). Without this guard every further
+  // missed ping past the threshold (and every coordinator suspect() hint)
+  // spawned an additional chain toward declare(), multiplying ping
+  // traffic and racing the declaration. Cleared when the chain resolves
+  // (alive or declared) and on start().
+  std::map<SiteId, SpanId> verifying_;
   // Last time each site answered any of our pings. A chain that ends in
   // three timeouts still refuses to declare unless the site has also been
   // silent for a multiple of the detector interval: the paper requires

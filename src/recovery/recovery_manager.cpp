@@ -31,6 +31,8 @@ RecoveryManager::RecoveryManager(const CoordinatorEnv& env, DataManager& dm,
 
 void RecoveryManager::on_crash() {
   ++epoch_;
+  SpanLog::close(env_.spans, span_);
+  span_ = 0;
   copier_queue_.clear();
   copier_queued_.clear();
   copier_inflight_.clear();
@@ -45,6 +47,8 @@ void RecoveryManager::begin_recovery() {
   ms_.started = env_.sched->now();
   env_.metrics->inc(env_.metrics->id.rm_recoveries_started);
   Tracer::emit(env_.tracer, TraceKind::kRecoveryStarted, env_.self);
+  SpanLog::close(env_.spans, span_); // leftover from a crash-free restart
+  span_ = SpanLog::open(env_.spans, SpanKind::kRecovery, env_.self);
   resolve_in_doubt(); // background; does not gate the procedure
   if (env_.cfg->recovery_scheme == RecoveryScheme::kSpooler) {
     spooler_prefetch();
@@ -118,6 +122,8 @@ void RecoveryManager::attempt_up(int attempt) {
   }
   ++ms_.type1_attempts;
   const uint64_t epoch = epoch_;
+  // The control transaction's span nests under the recovery episode.
+  SpanScope scope(env_.spans, span_);
   tm_.run_control_up([this, attempt, epoch](const ControlUpResult& res) {
     if (epoch != epoch_) return;
     if (res.ok) {
@@ -162,6 +168,7 @@ void RecoveryManager::exclude_then_retry(std::vector<SiteId> dead,
         // The recovering site's own NS copy is stale, so pass no view: the
         // coordinator reads it bypass-locked; targets that are themselves
         // dead surface as additional suspects and widen the next round.
+        SpanScope scope(env_.spans, span_);
         tm_.run_control_down(
             confirmed, {},
             [this, confirmed, attempt,
@@ -290,6 +297,7 @@ void RecoveryManager::pump_copiers() {
     if (c == nullptr || !c->unreadable) continue; // refreshed meanwhile
     copier_inflight_.insert(item);
     ++ms_.copiers_run;
+    SpanScope scope(env_.spans, span_);
     tm_.run_copier(item, [this, item, epoch](const TxnResult& res) {
       if (epoch != epoch_) return;
       copier_inflight_.erase(item);
@@ -363,6 +371,8 @@ void RecoveryManager::maybe_fully_current() {
   env_.metrics->inc(env_.metrics->id.rm_fully_current);
   Tracer::emit(env_.tracer, TraceKind::kFullyCurrent, env_.self, 0,
                static_cast<int64_t>(ms_.copiers_run));
+  SpanLog::close(env_.spans, span_);
+  span_ = 0;
 }
 
 } // namespace ddbs

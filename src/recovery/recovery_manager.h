@@ -94,6 +94,10 @@ class RecoveryManager {
   std::map<ItemId, int> copier_attempts_;
   size_t delayed_retries_ = 0; // totally-failed items awaiting re-probe
   uint64_t epoch_ = 0; // bumped on crash; guards stale callbacks
+  // Causal span covering the whole recovery episode (reboot to fully
+  // current); control and copier transactions launched by this manager
+  // nest under it.
+  SpanId span_ = 0;
 };
 
 } // namespace ddbs

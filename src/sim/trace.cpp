@@ -22,6 +22,8 @@ const char* to_string(TraceKind k) {
     case TraceKind::kNominallyUp: return "nominally_up";
     case TraceKind::kFullyCurrent: return "fully_current";
     case TraceKind::kCopierStarved: return "copier_starved";
+    case TraceKind::kSiteCrash: return "site_crash";
+    case TraceKind::kSiteRecover: return "site_recover";
   }
   return "?";
 }

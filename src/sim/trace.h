@@ -35,6 +35,8 @@ enum class TraceKind : uint8_t {
   kNominallyUp,
   kFullyCurrent,
   kCopierStarved, // a = item id, b = escalated delay (us)
+  kSiteCrash,     // site failed (fail-stop)
+  kSiteRecover,   // site rebooted (not yet operational)
 };
 
 const char* to_string(TraceKind k);
@@ -48,10 +50,20 @@ struct TraceEvent {
   int64_t b = 0;
 };
 
+// Online observer of trace events. Sinks see every record() call as it
+// happens, before the ring can wrap -- so folded products (recovery
+// episodes, time series) never lose early events to overwrites even when
+// the ring does.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_trace(const TraceEvent& e) = 0;
+};
+
 class Tracer {
  public:
   explicit Tracer(Scheduler& sched, size_t capacity = 1 << 14)
-      : sched_(sched), ring_(capacity) {}
+      : sched_(sched), ring_(capacity ? capacity : 1) {}
 
   void record(TraceKind kind, SiteId site, TxnId txn = 0, int64_t a = 0,
               int64_t b = 0) {
@@ -63,7 +75,11 @@ class Tracer {
     e.a = a;
     e.b = b;
     ++next_;
+    for (TraceSink* s : sinks_) s->on_trace(e);
   }
+
+  // Register an observer; not owned, must outlive the Tracer's producers.
+  void add_sink(TraceSink* s) { sinks_.push_back(s); }
 
   // Null-safe helper so producers don't litter `if (tracer_)` everywhere.
   static void emit(Tracer* t, TraceKind kind, SiteId site, TxnId txn = 0,
@@ -93,6 +109,7 @@ class Tracer {
  private:
   Scheduler& sched_;
   std::vector<TraceEvent> ring_;
+  std::vector<TraceSink*> sinks_;
   uint64_t next_ = 0; // total events ever recorded; write cursor mod size
 };
 

@@ -27,7 +27,8 @@ void set_dm_trace_txn(TxnId t) { g_trace_txn = t; }
 DataManager::DataManager(SiteId self, const Config& cfg, Scheduler& sched,
                          RpcEndpoint& rpc, StableStorage& stable,
                          SiteState& state, Metrics& metrics,
-                         HistoryRecorder* recorder, Tracer* tracer)
+                         HistoryRecorder* recorder, Tracer* tracer,
+                         SpanLog* spans)
     : self_(self),
       cfg_(cfg),
       sched_(sched),
@@ -36,7 +37,8 @@ DataManager::DataManager(SiteId self, const Config& cfg, Scheduler& sched,
       state_(state),
       metrics_(metrics),
       recorder_(recorder),
-      tracer_(tracer) {}
+      tracer_(tracer),
+      spans_(spans) {}
 
 // ---------------------------------------------------------------------------
 // dispatch
@@ -131,6 +133,7 @@ void DataManager::start_chain(TxnId txn, const Envelope& env,
   chain->id = next_chain_++;
   chain->txn = txn;
   chain->env = env;
+  chain->parent_span = env.span;
   chain->locks = std::move(locks);
   chain->on_done = std::move(on_done);
   chains_[txn].push_back(chain);
@@ -164,6 +167,12 @@ void DataManager::advance_chain(const std::shared_ptr<Chain>& chain) {
     }
     // Must wait.
     chain->rid = rid;
+    if (chain->wait_span == 0 && spans_ != nullptr) {
+      // Lock-wait span under the requesting coordinator: the first real
+      // wait opens it, chain resolution (either way) closes it.
+      chain->wait_span = spans_->begin_under(
+          chain->parent_span, SpanKind::kLockWait, self_, chain->txn, item);
+    }
     if (chain->timer == 0) {
       const uint64_t epoch = boot_epoch_;
       chain->timer = sched_.after(cfg_.lock_timeout, [this, weak, epoch]() {
@@ -184,6 +193,8 @@ void DataManager::advance_chain(const std::shared_ptr<Chain>& chain) {
                                               c->locks.front().first),
                        c->locks.size());
         }
+        SpanLog::close(spans_, c->wait_span);
+        c->wait_span = 0;
         reply_code(c->env, Code::kLockTimeout);
         auto& vec = chains_[c->txn];
         vec.erase(std::remove(vec.begin(), vec.end(), c), vec.end());
@@ -198,6 +209,8 @@ void DataManager::advance_chain(const std::shared_ptr<Chain>& chain) {
     sched_.cancel(chain->timer);
     chain->timer = 0;
   }
+  SpanLog::close(spans_, chain->wait_span);
+  chain->wait_span = 0;
   auto& vec = chains_[chain->txn];
   vec.erase(std::remove(vec.begin(), vec.end(), chain), vec.end());
   if (vec.empty()) chains_.erase(chain->txn);
@@ -212,6 +225,8 @@ void DataManager::fail_chains_of(TxnId txn, Code code) {
   for (auto& c : chains) {
     if (c->rid != 0) lm_.cancel(c->rid);
     if (c->timer != 0) sched_.cancel(c->timer);
+    SpanLog::close(spans_, c->wait_span);
+    c->wait_span = 0;
     reply_code(c->env, code);
   }
 }
@@ -282,6 +297,8 @@ void DataManager::on_read(const Envelope& env) {
       Tracer::emit(tracer_, TraceKind::kSessionReject, self_, req.txn,
                    static_cast<int64_t>(state_.session),
                    static_cast<int64_t>(req.expected_session));
+      SpanLog::note_under(spans_, env.span, SpanKind::kSessionReject, self_,
+                          req.txn, static_cast<int64_t>(state_.session));
     }
     reply_code(env, c);
     return;
@@ -357,6 +374,8 @@ void DataManager::on_write(const Envelope& env) {
       Tracer::emit(tracer_, TraceKind::kSessionReject, self_, req.txn,
                    static_cast<int64_t>(state_.session),
                    static_cast<int64_t>(req.expected_session));
+      SpanLog::note_under(spans_, env.span, SpanKind::kSessionReject, self_,
+                          req.txn, static_cast<int64_t>(state_.session));
     }
     reply_code(env, c);
     return;
@@ -389,6 +408,8 @@ void DataManager::on_write(const Envelope& env) {
     w.written = r.written_sites;
     ctx.writes[r.item] = std::move(w);
     metrics_.inc(metrics_.id.dm_writes_staged);
+    SpanLog::note_under(spans_, env.span, SpanKind::kStage, self_, r.txn,
+                        r.item);
     rpc_.respond(env, WriteResp{r.txn, r.item, Code::kOk});
   });
 }
@@ -541,6 +562,12 @@ void DataManager::apply_commit(
     assert(false && "commit lacks a counter for a staged item");
     return 0;
   };
+  if (!ctx.writes.empty()) {
+    // The ambient span here is the CommitReq's (on_commit path) or the
+    // termination chain's -- either way the causal origin of this apply.
+    SpanLog::note(spans_, SpanKind::kApply, self_, txn,
+                  static_cast<int64_t>(ctx.writes.size()));
+  }
   for (const auto& [item, w] : ctx.writes) {
     install_write(txn, item, w, w.is_copier ? 0 : counter_of(item));
   }

@@ -52,7 +52,7 @@ class DataManager {
   DataManager(SiteId self, const Config& cfg, Scheduler& sched,
               RpcEndpoint& rpc, StableStorage& stable, SiteState& state,
               Metrics& metrics, HistoryRecorder* recorder,
-              Tracer* tracer = nullptr);
+              Tracer* tracer = nullptr, SpanLog* spans = nullptr);
 
   // Entry point for every request envelope addressed to this site.
   void handle_request(const Envelope& env);
@@ -143,6 +143,11 @@ class DataManager {
     // advance_chain() returned, when a conflicting holder releases.
     bool in_acquire = false;
     bool sync_granted = false;
+    // Causal attribution: the requesting coordinator's span (from the
+    // envelope) and the lock-wait span opened lazily at the first real
+    // wait, closed when the chain resolves either way.
+    SpanId parent_span = 0;
+    SpanId wait_span = 0;
   };
 
   // ---- handlers ----
@@ -195,6 +200,7 @@ class DataManager {
   Metrics& metrics_;
   HistoryRecorder* recorder_;
   Tracer* tracer_;
+  SpanLog* spans_;
 
   LockManager lm_;
   StatusTable status_;

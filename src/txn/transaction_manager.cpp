@@ -14,7 +14,7 @@ void TransactionManager::launch(std::unique_ptr<CoordinatorBase> coord) {
   raw->set_suspect_fn(suspect_fn_);
   raw->set_retire_fn([this](TxnId txn) { coords_.erase(txn); });
   coords_.emplace(raw->id(), std::move(coord));
-  raw->start();
+  raw->launch_start();
 }
 
 void TransactionManager::submit_user(TxnSpec spec,

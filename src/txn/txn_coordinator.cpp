@@ -21,18 +21,31 @@ CoordinatorBase::CoordinatorBase(TxnId txn, TxnKind kind,
       state_(*env.state),
       metrics_(*env.metrics),
       recorder_(env.recorder),
-      tracer_(env.tracer) {
+      tracer_(env.tracer),
+      spans_(env.spans) {
   view_.assign(static_cast<size_t>(cfg_.n_sites), 0);
   view_versions_.assign(static_cast<size_t>(cfg_.n_sites), Version{});
   if (recorder_) recorder_->set_kind(txn_, kind_);
+  // The ambient span at construction time becomes the parent: a copier
+  // launched from a recovery episode nests under it, a user transaction
+  // submitted by the workload is a root.
+  const SpanKind sk = kind_ == TxnKind::kUser      ? SpanKind::kUserTxn
+                      : kind_ == TxnKind::kCopier  ? SpanKind::kCopier
+                      : kind_ == TxnKind::kControlUp ? SpanKind::kControlUp
+                                                     : SpanKind::kControlDown;
+  span_ = SpanLog::open(spans_, sk, self_, txn_);
 }
 
 CoordinatorBase::~CoordinatorBase() {
   for (EventId id : timers_) sched_.cancel(id);
+  SpanLog::close(spans_, span_);
 }
 
 void CoordinatorBase::schedule(SimTime delay, EventFn fn) {
-  timers_.push_back(sched_.after(delay, std::move(fn)));
+  timers_.push_back(sched_.after(delay, [this, fn = std::move(fn)]() mutable {
+    SpanScope scope(spans_, span_);
+    fn();
+  }));
 }
 
 void CoordinatorBase::retire_later() {
@@ -262,7 +275,9 @@ void CoordinatorBase::abort_txn(Code reason) {
 
 void CoordinatorBase::report_aborted(Code reason) {
   metrics_.inc(metrics_.id.txn_abort[static_cast<size_t>(reason)]);
-  trace(TraceKind::kTxnAbort, static_cast<int64_t>(reason));
+  // b = TxnKind so trace consumers (time series) can single out user txns.
+  trace(TraceKind::kTxnAbort, static_cast<int64_t>(reason),
+        static_cast<int64_t>(kind_));
   if (done_) {
     TxnResult res;
     res.txn = txn_;
@@ -274,7 +289,7 @@ void CoordinatorBase::report_aborted(Code reason) {
 
 void CoordinatorBase::report_committed(std::vector<Value> reads) {
   metrics_.inc(metrics_.id.txn_committed);
-  trace(TraceKind::kTxnCommit);
+  trace(TraceKind::kTxnCommit, 0, static_cast<int64_t>(kind_));
   if (done_) {
     TxnResult res;
     res.txn = txn_;
@@ -292,7 +307,7 @@ UserTxnCoordinator::UserTxnCoordinator(TxnId txn, const CoordinatorEnv& env,
     : CoordinatorBase(txn, TxnKind::kUser, env), spec_(std::move(spec)) {}
 
 void UserTxnCoordinator::start() {
-  trace(TraceKind::kTxnBegin);
+  trace(TraceKind::kTxnBegin, 0, static_cast<int64_t>(kind_));
   // Overall deadline: a transaction stuck behind a parked read or a silent
   // participant aborts rather than lingering forever.
   schedule(cfg_.txn_timeout, [this]() {

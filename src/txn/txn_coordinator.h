@@ -20,6 +20,7 @@
 #include "replication/catalog.h"
 #include "replication/session.h"
 #include "sim/scheduler.h"
+#include "sim/span.h"
 #include "sim/trace.h"
 #include "storage/stable_storage.h"
 #include "txn/txn.h"
@@ -38,6 +39,7 @@ struct CoordinatorEnv {
   Metrics* metrics = nullptr;
   HistoryRecorder* recorder = nullptr;
   Tracer* tracer = nullptr; // may be null: tracing disabled
+  SpanLog* spans = nullptr; // may be null: span tracing disabled
 };
 
 class CoordinatorBase {
@@ -53,8 +55,17 @@ class CoordinatorBase {
 
   virtual void start() = 0;
 
+  // start() wrapped in this coordinator's span scope, so every RPC sent
+  // from the initial step inherits the span. Call sites use this instead
+  // of start() directly.
+  void launch_start() {
+    SpanScope scope(spans_, span_);
+    start();
+  }
+
   TxnId id() const { return txn_; }
   TxnKind kind() const { return kind_; }
+  SpanId span() const { return span_; }
 
   void set_done(DoneFn f) { done_ = std::move(f); }
   void set_suspect_fn(SuspectFn f) { suspect_ = std::move(f); }
@@ -144,6 +155,8 @@ class CoordinatorBase {
   Metrics& metrics_;
   HistoryRecorder* recorder_;
   Tracer* tracer_;
+  SpanLog* spans_;
+  SpanId span_ = 0; // this transaction's causal span (0 when disabled)
 
   void trace(TraceKind k, int64_t a = 0, int64_t b = 0) {
     Tracer::emit(tracer_, k, self_, txn_, a, b);

@@ -1,7 +1,8 @@
 // Closed-loop workload driver over a Cluster: N clients per site, each
 // submitting the next transaction after a think time, with an optional
-// crash/recover schedule. Collects throughput/latency/abort statistics in
-// fixed-width time buckets so benches can print availability timelines.
+// crash/recover schedule. Collects totals, latency and abort-reason
+// statistics; per-bucket availability timelines come from the cluster's
+// TimeSeries recorder (Config::timeseries_bucket), not from the runner.
 #pragma once
 
 #include <functional>
@@ -25,7 +26,6 @@ struct RunnerParams {
   int clients_per_site = 2;
   SimTime think_time = 2'000; // between a txn finishing and the next
   SimTime duration = 5'000'000;
-  SimTime bucket = 250'000; // timeline resolution
   WorkloadParams workload;
   std::vector<FailureEvent> schedule;
   // Clients at a down site fail over to an operational one when true.
@@ -38,8 +38,6 @@ struct RunnerStats {
   int64_t aborted = 0;
   std::map<std::string, int64_t> abort_reasons;
   Histogram commit_latency_us;
-  std::vector<int64_t> committed_per_bucket;
-  std::vector<int64_t> aborted_per_bucket;
 
   double commit_ratio() const {
     return submitted == 0 ? 0.0
@@ -71,7 +69,6 @@ class Runner {
   Cluster& cluster_;
   RunnerParams params_;
   uint64_t seed_;
-  SimTime start_time_ = 0;
   SimTime end_time_ = 0;
   RunnerStats stats_;
 };

@@ -70,6 +70,9 @@ SweepRun run_one(const SweepSpec& spec, size_t cell, uint64_t seed,
   // No add_perf_scalars() here: wall-clock numbers would break the
   // serial-vs-parallel byte-identity contract.
   out.report_json = report.to_json();
+  if (spec.capture_spans) {
+    out.spans_json = cluster.spans().to_chrome_json(&cluster.tracer());
+  }
   return out;
 }
 

@@ -29,17 +29,22 @@ struct SweepSpec {
   uint64_t seed_base = 1; // run seeds are seed_base .. seed_base+seeds-1
   int seeds = 1;
   RunnerParams params; // workload + failure schedule, shared by all cells
+  // Also serialize each run's causal spans as Chrome trace_event JSON
+  // (spans_json below). Off by default: span export is sizable.
+  bool capture_spans = false;
 };
 
-// Outcome of one (cell, seed) run. `report_json` is a complete RunReport
-// document for the run; it deliberately contains no wall-clock scalars so
-// it is reproducible byte-for-byte across serial and parallel sweeps.
+// Outcome of one (cell, seed) run. `report_json` (and `spans_json` when
+// captured) is a complete document for the run; both deliberately contain
+// no wall-clock scalars so they are reproducible byte-for-byte across
+// serial and parallel sweeps.
 struct SweepRun {
   size_t cell = 0;
   uint64_t seed = 0;
   bool converged = false;
   RunnerStats stats;
   std::string report_json;
+  std::string spans_json; // "" unless SweepSpec::capture_spans
 };
 
 // Named scalar summarised across the seeds of one cell.

@@ -57,16 +57,20 @@ TEST(Runner, BucketsCoverTheRun) {
   cfg.n_sites = 3;
   cfg.n_items = 20;
   cfg.replication_degree = 2;
+  cfg.timeseries_bucket = 200'000;
   Cluster cluster(cfg, 9);
   cluster.bootstrap();
   RunnerParams rp;
   rp.clients_per_site = 1;
   rp.duration = 800'000;
-  rp.bucket = 200'000;
   Runner runner(cluster, rp, 9);
   const RunnerStats stats = runner.run();
+  // Every commit the runner accounted must land in exactly one bucket of
+  // the cluster's time-series recorder.
+  const TimeSeriesData series = cluster.timeseries().data();
+  EXPECT_EQ(series.bucket_width, 200'000);
   int64_t bucket_sum = 0;
-  for (int64_t c : stats.committed_per_bucket) bucket_sum += c;
+  for (int64_t c : series.commits) bucket_sum += c;
   EXPECT_EQ(bucket_sum, stats.committed);
 }
 

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build + tests, the sanitizer build, and a
+# smoke run of the observability pipeline (ddbs_sim report/span export ->
+# ddbs_trace.py -> compare_reports.py). Run from anywhere; everything is
+# anchored to the repo root. Exits non-zero on the first failure.
+#
+# Usage: tools/ci/run_checks.sh [--no-asan]
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+run_asan=1
+[[ "${1:-}" == "--no-asan" ]] && run_asan=0
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+# cmake resolves --preset against the current directory, so run every
+# preset command from the repo root.
+cd "$repo"
+
+step "tier-1 build (preset: default)"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs"
+
+step "tier-1 tests"
+ctest --preset default -j "$jobs"
+
+if [[ "$run_asan" == 1 ]]; then
+  step "ASan+UBSan build (preset: asan)"
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$jobs"
+
+  step "ASan+UBSan tests"
+  ctest --preset asan -j "$jobs"
+fi
+
+step "observability smoke (ddbs_sim -> ddbs_trace.py)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+"$repo/build/tools/ddbs_sim" \
+  --duration-ms=3000 --crash=2@600 --recover=2@1500 \
+  --report-out="$tmp/report.json" --spans-out="$tmp/spans.json" \
+  --trace-out="$tmp/trace.json" >/dev/null
+python3 "$repo/tools/ddbs_trace.py" "$tmp/report.json" >/dev/null
+python3 "$repo/tools/ddbs_trace.py" "$tmp/spans.json" >/dev/null
+# A report must never regress against itself.
+python3 "$repo/tools/compare_reports.py" \
+  --scalar throughput_txn_s "$tmp/report.json" "$tmp/report.json" >/dev/null
+
+step "all checks passed"

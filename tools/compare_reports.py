@@ -13,9 +13,12 @@ Options:
                      events_per_sec / throughput_txn_s)
 
 Runs are matched by label; a scalar absent from either side of a matched
-run is skipped with a note (new benches shouldn't fail old baselines).
+run is skipped and reported as added/removed rather than treated as an
+error (new benches and new report fields shouldn't fail old baselines).
 Exits 1 when any compared scalar regressed by more than the threshold,
-0 otherwise. Stdlib only -- usable straight from CTest or CI.
+0 otherwise -- including when nothing was comparable at all, which is the
+expected state right after a schema change. Stdlib only -- usable straight
+from CTest or CI.
 """
 
 import argparse
@@ -29,6 +32,8 @@ def load_runs(path):
             doc = json.load(f)
     except (OSError, ValueError) as e:
         sys.exit(f"compare_reports: cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        sys.exit(f"compare_reports: {path} is not a run report object")
     return {run["label"]: run.get("scalars", {}) for run in doc.get("runs", [])}
 
 
@@ -49,13 +54,23 @@ def main():
 
     compared = 0
     regressions = []
+    for label in sorted(cur):
+        if label not in base:
+            print(f"  note: run '{label}' added since baseline")
     for label, base_scalars in sorted(base.items()):
         if label not in cur:
             print(f"  note: run '{label}' missing from current report")
             continue
+        # Scalars present on only one side of a matched run are fine --
+        # report them so schema drift is visible, then move on.
+        added = sorted(set(cur[label]) - set(base_scalars))
+        removed = sorted(set(base_scalars) - set(cur[label]))
+        if added:
+            print(f"  note: '{label}' scalars added: {', '.join(added)}")
+        if removed:
+            print(f"  note: '{label}' scalars removed: {', '.join(removed)}")
         for name in scalars:
             if name not in base_scalars or name not in cur[label]:
-                print(f"  note: scalar '{name}' not in both '{label}' runs")
                 continue
             b, c = float(base_scalars[name]), float(cur[label][name])
             compared += 1
@@ -72,7 +87,9 @@ def main():
                 regressions.append((label, name, change))
 
     if compared == 0:
-        sys.exit("compare_reports: no comparable scalars found")
+        print("compare_reports: nothing comparable (no shared runs or "
+              "scalars); not a failure")
+        return 0
     if regressions:
         print(f"compare_reports: {len(regressions)} regression(s) beyond "
               f"{args.threshold:.0f}%")

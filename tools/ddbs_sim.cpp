@@ -40,6 +40,7 @@ struct Options {
   bool quiet_expect = false;
   std::string report_out; // JSON run report path ("" = off)
   std::string trace_out;  // JSON trace-event dump path ("" = off)
+  std::string spans_out;  // Chrome trace_event span dump path ("" = off)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -65,7 +66,13 @@ struct Options {
       "  --verify              run the Section-4 serializability checkers\n"
       "  --metrics             dump the raw metric counters\n"
       "  --report-out=PATH     write a JSON run report (schema: EXPERIMENTS.md)\n"
-      "  --trace-out=PATH      write the structured trace ring as JSON\n",
+      "  --trace-out=PATH      write the structured trace ring as JSON\n"
+      "  --spans-out=PATH      write causal spans as Chrome trace_event JSON\n"
+      "                        (load in chrome://tracing / Perfetto, or feed\n"
+      "                        to tools/ddbs_trace.py)\n"
+      "  --trace-cap=N         trace ring capacity in events (default 16384)\n"
+      "  --span-cap=N          span ring capacity in events (default 32768)\n"
+      "  --bucket-ms=N         time-series bucket width (default 250; 0 off)\n",
       argv0);
   std::exit(2);
 }
@@ -148,6 +155,14 @@ Options parse(int argc, char** argv) {
       o.report_out = v;
     } else if (parse_kv(argv[i], "--trace-out", &v)) {
       o.trace_out = v;
+    } else if (parse_kv(argv[i], "--spans-out", &v)) {
+      o.spans_out = v;
+    } else if (parse_kv(argv[i], "--trace-cap", &v)) {
+      o.cfg.trace_capacity = static_cast<size_t>(std::stoull(v));
+    } else if (parse_kv(argv[i], "--span-cap", &v)) {
+      o.cfg.span_capacity = static_cast<size_t>(std::stoull(v));
+    } else if (parse_kv(argv[i], "--bucket-ms", &v)) {
+      o.cfg.timeseries_bucket = std::stoll(v) * 1000;
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       o.verify = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -269,6 +284,22 @@ int main(int argc, char** argv) {
                   o.trace_out.c_str(), cluster.tracer().size(),
                   static_cast<unsigned long long>(cluster.tracer().recorded()),
                   static_cast<unsigned long long>(cluster.tracer().dropped()));
+    }
+  }
+  if (!o.spans_out.empty()) {
+    std::FILE* f = std::fopen(o.spans_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "spans: cannot write %s\n", o.spans_out.c_str());
+      rc = 1;
+    } else {
+      const std::string json =
+          cluster.spans().to_chrome_json(&cluster.tracer());
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("spans: wrote %s (%llu recorded, %llu dropped)\n",
+                  o.spans_out.c_str(),
+                  static_cast<unsigned long long>(cluster.spans().recorded()),
+                  static_cast<unsigned long long>(cluster.spans().dropped()));
     }
   }
   return rc;

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,7 @@ struct Options {
   std::vector<FailureEvent> schedule;
   std::string out = "SWEEP_ddbs.json";
   std::string per_run_dir; // "" = don't write per-run reports
+  std::string spans_dir;   // "" = don't write per-run span dumps
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -58,6 +60,8 @@ struct Options {
       "  -j N, --threads=N     worker threads (default 1)\n"
       "  --out=PATH            aggregate JSON report (default SWEEP_ddbs.json)\n"
       "  --per-run-dir=DIR     also write RUN_<cell>_seed<N>.json per run\n"
+      "  --spans-dir=DIR       also write SPANS_<cell>_seed<N>.json per run\n"
+      "                        (Chrome trace_event JSON of the causal spans)\n"
       "scenario (same meaning as ddbs_sim):\n"
       "  --sites=N --items=N --degree=N --loss=F\n"
       "  --duration-ms=N --clients=N --ops=N --reads=F --zipf=F\n"
@@ -153,6 +157,8 @@ Options parse(int argc, char** argv) {
       o.out = v;
     } else if (parse_kv(argv[i], "--per-run-dir", &v)) {
       o.per_run_dir = v;
+    } else if (parse_kv(argv[i], "--spans-dir", &v)) {
+      o.spans_dir = v;
     } else {
       usage(argv[0]);
     }
@@ -251,6 +257,7 @@ int main(int argc, char** argv) {
   spec.params.workload.read_fraction = o.read_fraction;
   spec.params.workload.zipf_theta = o.zipf;
   spec.params.schedule = o.schedule;
+  spec.capture_spans = !o.spans_dir.empty();
 
   for (const std::string& scheme : o.schemes) {
     for (const std::string& ws : o.write_schemes) {
@@ -295,12 +302,30 @@ int main(int argc, char** argv) {
               res.events_per_sec() / 1e6);
 
   int rc = 0;
+  for (const std::string& dir : {o.per_run_dir, o.spans_dir}) {
+    if (dir.empty()) continue;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "ddbs_sweep: cannot create %s: %s\n", dir.c_str(),
+                   ec.message().c_str());
+      rc = 1;
+    }
+  }
   if (!o.per_run_dir.empty()) {
     for (const SweepRun& r : res.runs) {
       const std::string path = o.per_run_dir + "/RUN_" +
                                spec.cells[r.cell].label + "_seed" +
                                std::to_string(r.seed) + ".json";
       if (!write_file(path, r.report_json)) rc = 1;
+    }
+  }
+  if (!o.spans_dir.empty()) {
+    for (const SweepRun& r : res.runs) {
+      const std::string path = o.spans_dir + "/SPANS_" +
+                               spec.cells[r.cell].label + "_seed" +
+                               std::to_string(r.seed) + ".json";
+      if (!write_file(path, r.spans_json)) rc = 1;
     }
   }
   if (!write_file(o.out, sweep_report_json(spec, res, o.threads))) rc = 1;

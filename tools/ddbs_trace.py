@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Analyze ddbs observability output: run reports or Chrome span dumps.
+
+Usage:
+  ddbs_trace.py FILE [--width N]
+
+FILE is auto-detected:
+  * a run report written by --report-out (JSON object with "runs"):
+    prints per-site recovery-episode summaries (phase durations, type-1
+    retries, missed-copy backlog drain) and an ASCII degradation timeline
+    built from the report's time series (commits / aborts / sites up per
+    bucket);
+  * a Chrome trace_event span dump written by --spans-out (JSON object
+    with "traceEvents"): prints per-kind span statistics (count, mean /
+    max duration, total time) and the per-site event volume.
+
+Stdlib only -- usable straight from CTest or CI.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fmt_us(us):
+    """A duration in microseconds, humanized."""
+    if us is None:
+        return "n/a"
+    us = float(us)
+    if us >= 1e6:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.1f}ms"
+    return f"{us:.0f}us"
+
+
+def fmt_at(us):
+    """An absolute sim timestamp in microseconds, as seconds."""
+    return "n/a" if us is None else f"{us / 1e6:.3f}s"
+
+
+# ---- report mode ----------------------------------------------------------
+
+def print_episode(ep):
+    site = ep.get("site")
+    tag = "complete" if ep.get("complete") else "INCOMPLETE"
+    print(f"  site {site} [{tag}]")
+    rows = [
+        ("crashed", fmt_at(ep.get("crash_at")), ""),
+        ("declared down", fmt_at(ep.get("declared_down_at")),
+         f"after {ep.get('type2_rounds', 0)} type-2 round(s)"),
+        ("type-2 committed", fmt_at(ep.get("type2_commit_at")),
+         f"+{fmt_us(ep.get('declared_to_type2_us'))} after declaration"),
+        ("rebooted", fmt_at(ep.get("reboot_at")), ""),
+        ("nominally up", fmt_at(ep.get("nominally_up_at")),
+         f"+{fmt_us(ep.get('reboot_to_nominally_up_us'))} after reboot, "
+         f"{ep.get('type1_attempts', 0)} type-1 attempt(s), "
+         f"session {ep.get('session', 0)}, "
+         f"{ep.get('marked_unreadable', 0)} copies marked"),
+        ("fully current", fmt_at(ep.get("fully_current_at")),
+         f"+{fmt_us(ep.get('nominally_up_to_current_us'))} after nominally "
+         f"up, {ep.get('copier_commits', 0)} copier commit(s)"),
+    ]
+    for name, at, extra in rows:
+        line = f"    {name:<17} {at:>9}"
+        if extra and at != "n/a":
+            line += f"   {extra}"
+        print(line)
+    backlog = ep.get("backlog", [])
+    if backlog:
+        peak = max(p["remaining"] for p in backlog)
+        last = backlog[-1]
+        print(f"    backlog           peak {peak} missed copies, "
+              f"{last['remaining']} left at {fmt_at(last['at'])}")
+
+
+def print_timeline(series, width):
+    bucket_us = series.get("bucket_us", 0)
+    commits = series.get("commits", [])
+    aborts = series.get("aborts", [])
+    rejects = series.get("session_rejects", [])
+    sites_up = series.get("sites_up", [])
+    n = max(len(commits), len(aborts), len(rejects), len(sites_up))
+    if n == 0 or bucket_us <= 0:
+        print("  (no time series recorded)")
+        return
+
+    def get(arr, i):
+        return arr[i] if i < len(arr) else 0
+
+    peak = max(max(commits, default=0), 1)
+    full = max(sites_up, default=0)
+    print(f"  {'t':>7} {'commits':>8} {'aborts':>7} {'rejects':>8} "
+          f"{'up':>3}  throughput ('.' = degraded bucket)")
+    for i in range(n):
+        c, a, r = get(commits, i), get(aborts, i), get(rejects, i)
+        up = get(sites_up, i)
+        bar = "#" * int(round(c / peak * width))
+        degraded = up < full or (a > 0 and a >= c)
+        mark = " ." if degraded and not bar else ""
+        print(f"  {i * bucket_us / 1e6:6.2f}s {c:8d} {a:7d} {r:8d} "
+              f"{up:3d}  {bar}{mark}")
+
+
+def report_mode(doc, width):
+    runs = doc.get("runs", [])
+    print(f"report: {doc.get('bench', '?')} (schema "
+          f"{doc.get('schema_version', '?')}, {len(runs)} run(s))")
+    for run in runs:
+        print(f"\nrun '{run.get('label', '?')}'")
+        trace = run.get("trace", {})
+        if trace:
+            print(f"  trace: {trace.get('recorded', 0)} events "
+                  f"({trace.get('dropped', 0)} dropped), "
+                  f"{trace.get('spans_recorded', 0)} span events "
+                  f"({trace.get('spans_dropped', 0)} dropped)")
+        episodes = run.get("episodes", [])
+        if episodes:
+            print(f"  recovery episodes: {len(episodes)}")
+            for ep in episodes:
+                print_episode(ep)
+        else:
+            print("  recovery episodes: none")
+        series = run.get("time_series", {})
+        if series:
+            print("  availability timeline:")
+            print_timeline(series, width)
+    return 0
+
+
+# ---- spans mode -----------------------------------------------------------
+
+def spans_mode(doc, width):
+    events = doc.get("traceEvents", [])
+    spans = {}   # name -> [count, total_dur, max_dur]
+    instants = {}
+    sites = {}
+    for e in events:
+        pid = e.get("pid", 0)
+        sites[pid] = sites.get(pid, 0) + 1
+        name = e.get("name", "?")
+        if e.get("ph") == "X":
+            st = spans.setdefault(name, [0, 0.0, 0.0])
+            st[0] += 1
+            dur = float(e.get("dur", 0))
+            st[1] += dur
+            st[2] = max(st[2], dur)
+        else:
+            instants[name] = instants.get(name, 0) + 1
+
+    print(f"spans: {len(events)} trace events, "
+          f"{sum(c for c, _, _ in spans.values())} spans across "
+          f"{len(sites)} site lanes")
+    if spans:
+        print(f"\n  {'span kind':<18} {'count':>7} {'mean':>9} {'max':>9} "
+              f"{'total':>10}  share of span time")
+        grand = sum(t for _, t, _ in spans.values()) or 1.0
+        by_total = sorted(spans.items(), key=lambda kv: -kv[1][1])
+        for name, (count, total, peak) in by_total:
+            bar = "#" * int(round(total / grand * width))
+            print(f"  {name:<18} {count:>7} {fmt_us(total / count):>9} "
+                  f"{fmt_us(peak):>9} {fmt_us(total):>10}  {bar}")
+    if instants:
+        print(f"\n  {'instant kind':<18} {'count':>7}")
+        for name, count in sorted(instants.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:<18} {count:>7}")
+    print(f"\n  {'site lane':<18} {'events':>7}")
+    for pid in sorted(sites):
+        print(f"  site {pid:<13} {sites[pid]:>7}")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(add_help=True)
+    ap.add_argument("file")
+    ap.add_argument("--width", type=int, default=40,
+                    help="max bar width for ASCII charts (default 40)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.file, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"ddbs_trace: cannot read {args.file}: {e}")
+
+    if isinstance(doc, dict) and "runs" in doc:
+        return report_mode(doc, args.width)
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return spans_mode(doc, args.width)
+    sys.exit(f"ddbs_trace: {args.file} is neither a run report "
+             f"(\"runs\") nor a Chrome trace (\"traceEvents\")")
+
+
+if __name__ == "__main__":
+    sys.exit(main())
