@@ -44,4 +44,62 @@ const char* to_string(UnreadablePolicy p) {
   return "?";
 }
 
+const char* to_string(PlantedBug b) {
+  switch (b) {
+    case PlantedBug::kNone: return "none";
+    case PlantedBug::kSkipSessionCheck: return "skip-session-check";
+    case PlantedBug::kSkipMark: return "skip-mark";
+  }
+  return "?";
+}
+
+namespace {
+
+// Generic inverse lookup over an enum's to_string table.
+template <typename E>
+bool parse_enum(std::string_view name, E* out, std::initializer_list<E> all) {
+  for (E e : all) {
+    if (name == to_string(e)) {
+      *out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+bool parse_write_scheme(std::string_view name, WriteScheme* out) {
+  return parse_enum(name, out,
+                    {WriteScheme::kRowaStrict, WriteScheme::kRowaa});
+}
+
+bool parse_recovery_scheme(std::string_view name, RecoveryScheme* out) {
+  return parse_enum(name, out,
+                    {RecoveryScheme::kSessionVector, RecoveryScheme::kSpooler});
+}
+
+bool parse_outdated_strategy(std::string_view name, OutdatedStrategy* out) {
+  return parse_enum(name, out,
+                    {OutdatedStrategy::kMarkAll,
+                     OutdatedStrategy::kMarkAllVersionCmp,
+                     OutdatedStrategy::kFailLock,
+                     OutdatedStrategy::kMissingList});
+}
+
+bool parse_copier_mode(std::string_view name, CopierMode* out) {
+  return parse_enum(name, out, {CopierMode::kEager, CopierMode::kOnDemand});
+}
+
+bool parse_unreadable_policy(std::string_view name, UnreadablePolicy* out) {
+  return parse_enum(name, out,
+                    {UnreadablePolicy::kBlock, UnreadablePolicy::kRedirect});
+}
+
+bool parse_planted_bug(std::string_view name, PlantedBug* out) {
+  return parse_enum(name, out,
+                    {PlantedBug::kNone, PlantedBug::kSkipSessionCheck,
+                     PlantedBug::kSkipMark});
+}
+
 } // namespace ddbs

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "common/types.h"
 
@@ -43,11 +44,36 @@ enum class UnreadablePolicy : uint8_t {
   kRedirect, // DM rejects; the TM retries at another readable copy
 };
 
+// Deliberate protocol mutations for self-validating the adversarial
+// explorer (tools/ddbs_explore --planted-bug): each drops one safety
+// mechanism the paper's correctness argument depends on, and the explorer
+// must find the resulting invariant violation and shrink its schedule.
+enum class PlantedBug : uint8_t {
+  kNone,
+  // The DM write path accepts requests whose session number does not
+  // match as[k] (Section 3.2's rejection rule disabled on one path).
+  kSkipSessionCheck,
+  // Recovery skips marking one hosted item as out-of-date (mark-all step
+  // 2 leaves the highest hosted item readable-but-possibly-stale).
+  kSkipMark,
+};
+
 const char* to_string(WriteScheme s);
 const char* to_string(RecoveryScheme s);
 const char* to_string(OutdatedStrategy s);
 const char* to_string(CopierMode m);
 const char* to_string(UnreadablePolicy p);
+const char* to_string(PlantedBug b);
+
+// Inverse of the to_string pairs above, for parsing CLI flags and repro
+// artifacts. Each returns false (leaving *out untouched) on an unknown
+// name.
+bool parse_write_scheme(std::string_view name, WriteScheme* out);
+bool parse_recovery_scheme(std::string_view name, RecoveryScheme* out);
+bool parse_outdated_strategy(std::string_view name, OutdatedStrategy* out);
+bool parse_copier_mode(std::string_view name, CopierMode* out);
+bool parse_unreadable_policy(std::string_view name, UnreadablePolicy* out);
+bool parse_planted_bug(std::string_view name, PlantedBug* out);
 
 struct Config {
   // Topology.
@@ -114,6 +140,8 @@ struct Config {
 
   // Verification.
   bool record_history = true; // feed the 1-SR checker (tests/examples)
+  // Protocol mutation for explorer self-validation; kNone in real runs.
+  PlantedBug planted_bug = PlantedBug::kNone;
 
   int effective_replication() const {
     return replication_degree > n_sites ? n_sites : replication_degree;

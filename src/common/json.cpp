@@ -1,0 +1,181 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ddbs {
+namespace json {
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = obj().find(key);
+  return it == obj().end() ? nullptr : &it->second;
+}
+
+double JsonValue::num_or(const std::string& key, double fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->is_number() ? v->num() : fallback;
+}
+
+std::string JsonValue::str_or(const std::string& key,
+                              std::string fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->is_string() ? v->str() : std::move(fallback);
+}
+
+bool JsonValue::bool_or(const std::string& key, bool fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->is_bool() ? v->boolean() : fallback;
+}
+
+JsonValue JsonParser::parse() {
+  JsonValue v = value();
+  skip_ws();
+  if (pos_ != s_.size()) ok = false;
+  return v;
+}
+
+void JsonParser::skip_ws() {
+  while (pos_ < s_.size() &&
+         (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+          s_[pos_] == '\r')) {
+    ++pos_;
+  }
+}
+
+char JsonParser::peek() {
+  skip_ws();
+  return pos_ < s_.size() ? s_[pos_] : '\0';
+}
+
+bool JsonParser::eat(char c) {
+  if (peek() != c) {
+    ok = false;
+    return false;
+  }
+  ++pos_;
+  return true;
+}
+
+JsonValue JsonParser::value() {
+  switch (peek()) {
+    case '{': return object();
+    case '[': return array();
+    case '"': return JsonValue{string()};
+    case 't': return literal("true", JsonValue{true});
+    case 'f': return literal("false", JsonValue{false});
+    case 'n': return literal("null", JsonValue{nullptr});
+    default: return number();
+  }
+}
+
+JsonValue JsonParser::literal(std::string_view word, JsonValue v) {
+  skip_ws();
+  if (s_.compare(pos_, word.size(), word) != 0) {
+    ok = false;
+    return JsonValue{nullptr};
+  }
+  pos_ += word.size();
+  return v;
+}
+
+std::string JsonParser::string() {
+  std::string out;
+  if (!eat('"')) return out;
+  while (pos_ < s_.size() && s_[pos_] != '"') {
+    char c = s_[pos_++];
+    if (c == '\\' && pos_ < s_.size()) {
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u':
+          // Only \u00XX escapes are emitted (control characters).
+          if (pos_ + 4 <= s_.size()) {
+            out += static_cast<char>(std::strtol(
+                std::string(s_.substr(pos_, 4)).c_str(), nullptr, 16));
+            pos_ += 4;
+          } else {
+            ok = false;
+          }
+          break;
+        default: out += esc; break; // \" \\ \/
+      }
+    } else {
+      out += c;
+    }
+  }
+  if (pos_ >= s_.size()) {
+    ok = false;
+  } else {
+    ++pos_; // closing quote
+  }
+  return out;
+}
+
+JsonValue JsonParser::number() {
+  skip_ws();
+  const size_t start = pos_;
+  while (pos_ < s_.size() &&
+         (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+          s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+          s_[pos_] == 'e' || s_[pos_] == 'E')) {
+    ++pos_;
+  }
+  if (start == pos_) {
+    ok = false;
+    return JsonValue{nullptr};
+  }
+  return JsonValue{std::stod(std::string(s_.substr(start, pos_ - start)))};
+}
+
+JsonValue JsonParser::array() {
+  auto out = std::make_shared<JsonArray>();
+  eat('[');
+  if (peek() == ']') {
+    ++pos_;
+    return JsonValue{out};
+  }
+  while (ok) {
+    out->push_back(value());
+    if (peek() == ',') {
+      ++pos_;
+      continue;
+    }
+    eat(']');
+    break;
+  }
+  return JsonValue{out};
+}
+
+JsonValue JsonParser::object() {
+  auto out = std::make_shared<JsonObject>();
+  eat('{');
+  if (peek() == '}') {
+    ++pos_;
+    return JsonValue{out};
+  }
+  while (ok) {
+    std::string k = string();
+    eat(':');
+    out->emplace(std::move(k), value());
+    if (peek() == ',') {
+      ++pos_;
+      continue;
+    }
+    eat('}');
+    break;
+  }
+  return JsonValue{out};
+}
+
+JsonValue parse(std::string_view text, bool* ok) {
+  JsonParser p(text);
+  JsonValue v = p.parse();
+  if (ok != nullptr) *ok = p.ok;
+  return v;
+}
+
+} // namespace json
+} // namespace ddbs

@@ -1,0 +1,85 @@
+// Minimal JSON parser for the library's own artifacts. Values are numbers
+// (as doubles), strings, bools, null, arrays and objects -- enough of
+// RFC 8259 to read back what the hand-rolled JsonWriter emits. Promoted
+// from the observability tests so the adversarial explorer can parse its
+// replayable repro artifacts without a JSON dependency; the tests now
+// share this implementation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ddbs {
+namespace json {
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v;
+
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
+  }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(v);
+  }
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_bool() const { return std::holds_alternative<bool>(v); }
+  const JsonObject& obj() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  const JsonArray& arr() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  double num() const { return std::get<double>(v); }
+  bool boolean() const { return std::get<bool>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+
+  // Lookup helpers for the flat schemas this repo emits. `get` returns
+  // nullptr when the key is absent (or this is not an object); the typed
+  // variants fall back to a default instead of throwing.
+  const JsonValue* get(const std::string& key) const;
+  double num_or(const std::string& key, double fallback) const;
+  std::string str_or(const std::string& key, std::string fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  JsonValue parse();
+
+  bool ok = true;
+
+ private:
+  void skip_ws();
+  char peek();
+  bool eat(char c);
+  JsonValue value();
+  JsonValue literal(std::string_view word, JsonValue v);
+  std::string string();
+  JsonValue number();
+  JsonValue array();
+  JsonValue object();
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+// Parse `text`; sets *ok (when non-null) to whether the document was
+// well-formed and fully consumed.
+JsonValue parse(std::string_view text, bool* ok = nullptr);
+
+} // namespace json
+} // namespace ddbs

@@ -51,6 +51,35 @@ TxnResult Cluster::run_txn(SiteId origin, std::vector<LogicalOp> ops) {
   return result;
 }
 
+bool Cluster::crash_site(SiteId s) {
+  if (!valid_site(s)) {
+    DDBS_WARN << "crash_site: site " << s << " out of range [0, "
+              << cfg_.n_sites << "); ignored";
+    return false;
+  }
+  // A crash scheduled against an already-down site (e.g. by a delta-
+  // debugged fault schedule, or racing another injector) is a no-op, not
+  // a double power-off of dead hardware.
+  if (sites_[static_cast<size_t>(s)]->state().mode == SiteMode::kDown) {
+    return false;
+  }
+  sites_[static_cast<size_t>(s)]->crash();
+  return true;
+}
+
+bool Cluster::recover_site(SiteId s) {
+  if (!valid_site(s)) {
+    DDBS_WARN << "recover_site: site " << s << " out of range [0, "
+              << cfg_.n_sites << "); ignored";
+    return false;
+  }
+  if (sites_[static_cast<size_t>(s)]->state().mode != SiteMode::kDown) {
+    return false; // already up or mid-recovery: nothing to power on
+  }
+  sites_[static_cast<size_t>(s)]->recover();
+  return true;
+}
+
 void Cluster::crash_site_at(SimTime t, SiteId s) {
   sched_.at(t, [this, s]() { crash_site(s); });
 }

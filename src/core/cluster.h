@@ -53,10 +53,17 @@ class Cluster {
 
   // ---- failure injection ----
 
-  void crash_site(SiteId s) { sites_[static_cast<size_t>(s)]->crash(); }
-  void recover_site(SiteId s) { sites_[static_cast<size_t>(s)]->recover(); }
+  // Both are safe under arbitrary (possibly machine-generated) fault
+  // schedules: an out-of-range SiteId is rejected with a warning, crashing
+  // an already-down site and recovering a site that is not down are
+  // no-ops. Returns whether the action was applied.
+  bool crash_site(SiteId s);
+  bool recover_site(SiteId s);
   void crash_site_at(SimTime t, SiteId s);
   void recover_site_at(SimTime t, SiteId s);
+  bool valid_site(SiteId s) const {
+    return s >= 0 && s < cfg_.n_sites;
+  }
 
   // ---- time control ----
 

@@ -1,0 +1,286 @@
+#include "explore/explorer.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/cluster.h"
+
+namespace ddbs {
+namespace {
+
+// Per-run driver: owns the cluster, the nemesis state and the client
+// loops. Lives on the stack of run_schedule for exactly one run.
+class ScheduleRun {
+ public:
+  ScheduleRun(const ExploreOptions& opts, const Schedule& schedule,
+              uint64_t seed)
+      : opts_(opts), schedule_(schedule), seed_(seed),
+        cluster_(force_history(opts.cfg), seed) {}
+
+  ExploreRunResult run() {
+    cluster_.bootstrap();
+    end_time_ = cluster_.now() + opts_.horizon;
+    arm_nemesis();
+    spawn_clients();
+
+    // Drive to the horizon in fixed checkpoint slices; a checkpoint
+    // violation ends the run immediately (deterministically) so the
+    // shrinker sees the earliest observable failure.
+    ExploreRunResult res;
+    for (SimTime t = cluster_.now() + opts_.checkpoint_every;;
+         t += opts_.checkpoint_every) {
+      const SimTime target = std::min(t, end_time_);
+      cluster_.run_until(target);
+      if (auto v = checkpoint_.check(cluster_)) {
+        res.violations.push_back(*v);
+        break;
+      }
+      if (target == end_time_) break;
+    }
+
+    if (res.violations.empty()) {
+      // Horizon reached cleanly: force-clear network faults, drain, give
+      // the failure detector time to declare any end-of-window crash (NS
+      // reflects a crash only once a type-2 commits), then judge.
+      clear_network_faults();
+      cluster_.settle(opts_.settle_budget);
+      cluster_.run_until(cluster_.now() +
+                         4 * cluster_.config().detector_interval);
+      cluster_.settle(opts_.settle_budget);
+      res.violations = quiescence_oracles(cluster_);
+    }
+    res.violated = !res.violations.empty();
+    res.submitted = submitted_;
+    res.committed = committed_;
+    res.aborted = aborted_;
+    res.report = render_report(res);
+    return res;
+  }
+
+ private:
+  static Config force_history(Config cfg) {
+    cfg.record_history = true; // one-sr + lost-write oracles need it
+    return cfg;
+  }
+
+  void arm_nemesis() {
+    const SimTime start = cluster_.now();
+    for (const NemesisOp& op : schedule_) {
+      cluster_.scheduler().at(start + op.at, [this, op]() { apply(op); });
+    }
+  }
+
+  void apply(const NemesisOp& op) {
+    const Config& cfg = cluster_.config();
+    switch (op.kind) {
+      case NemesisKind::kCrash:
+        cluster_.crash_site(op.site);
+        break;
+      case NemesisKind::kReboot:
+        cluster_.recover_site(op.site);
+        break;
+      case NemesisKind::kPartition: {
+        if (!cluster_.valid_site(op.site)) break;
+        std::vector<SiteId> rest;
+        for (SiteId s = 0; s < cluster_.n_sites(); ++s) {
+          if (s != op.site) rest.push_back(s);
+        }
+        if (cluster_.network().set_partition({{op.site}, rest})) {
+          isolated_ = op.site;
+        }
+        break;
+      }
+      case NemesisKind::kHeal:
+        cluster_.network().clear_partition();
+        isolated_ = kInvalidSite;
+        break;
+      case NemesisKind::kDropBurst:
+        cluster_.network().set_loss_prob(op.prob);
+        cluster_.scheduler().after(std::max<SimTime>(op.duration, 1), [this]() {
+          cluster_.network().set_loss_prob(cluster_.config().msg_loss_prob);
+        });
+        break;
+      case NemesisKind::kLatencySkew: {
+        if (!cluster_.valid_site(op.site)) break;
+        const SimTime skewed_max = static_cast<SimTime>(
+            static_cast<double>(cfg.net_latency_max) * op.factor);
+        set_site_latency(op.site, cfg.net_latency_min, skewed_max);
+        const SiteId site = op.site;
+        cluster_.scheduler().after(
+            std::max<SimTime>(op.duration, 1), [this, site]() {
+              const Config& c = cluster_.config();
+              set_site_latency(site, c.net_latency_min, c.net_latency_max);
+            });
+        break;
+      }
+    }
+  }
+
+  void set_site_latency(SiteId site, SimTime min_us, SimTime max_us) {
+    for (SiteId t = 0; t < cluster_.n_sites(); ++t) {
+      if (t == site) continue;
+      cluster_.network().latency().set_pair(site, t, min_us, max_us);
+      cluster_.network().latency().set_pair(t, site, min_us, max_us);
+    }
+  }
+
+  void clear_network_faults() {
+    const Config& cfg = cluster_.config();
+    cluster_.network().clear_partition();
+    isolated_ = kInvalidSite;
+    cluster_.network().set_loss_prob(cfg.msg_loss_prob);
+    for (SiteId s = 0; s < cluster_.n_sites(); ++s) {
+      set_site_latency(s, cfg.net_latency_min, cfg.net_latency_max);
+    }
+  }
+
+  // ---- clients (Runner's loop, made partition-aware) ----
+
+  void spawn_clients() {
+    uint64_t client_seed = seed_;
+    for (SiteId s = 0; s < cluster_.n_sites(); ++s) {
+      for (int c = 0; c < opts_.clients_per_site; ++c) {
+        auto gen = std::make_shared<WorkloadGen>(
+            cluster_.config(), opts_.workload, ++client_seed * 0x9e37 + 17);
+        auto rng = std::make_shared<Rng>(client_seed ^ 0xc11e47);
+        client_loop(s, gen, rng);
+      }
+    }
+  }
+
+  bool submittable(SiteId s) {
+    return cluster_.site(s).state().operational() && s != isolated_;
+  }
+
+  void client_loop(SiteId home, std::shared_ptr<WorkloadGen> gen,
+                   std::shared_ptr<Rng> rng) {
+    if (cluster_.now() >= end_time_) return;
+    SiteId origin = home;
+    if (!submittable(origin)) {
+      std::vector<SiteId> ups;
+      for (SiteId s = 0; s < cluster_.n_sites(); ++s) {
+        if (submittable(s)) ups.push_back(s);
+      }
+      if (ups.empty()) {
+        cluster_.scheduler().after(10 * opts_.think_time,
+                                   [this, home, gen, rng]() {
+                                     client_loop(home, gen, rng);
+                                   });
+        return;
+      }
+      origin = ups[static_cast<size_t>(
+          rng->uniform(0, static_cast<int64_t>(ups.size()) - 1))];
+    }
+    ++submitted_;
+    cluster_.submit(origin, gen->next(),
+                    [this, home, gen, rng](const TxnResult& res) {
+                      if (res.committed) {
+                        ++committed_;
+                      } else {
+                        ++aborted_;
+                      }
+                      cluster_.scheduler().after(
+                          opts_.think_time, [this, home, gen, rng]() {
+                            client_loop(home, gen, rng);
+                          });
+                    });
+  }
+
+  // Canonical per-run report: everything in it is a deterministic function
+  // of (options, schedule, seed), so a replay must reproduce it verbatim.
+  std::string render_report(const ExploreRunResult& res) const {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("tool", "ddbs_explore");
+    w.kv("schema", 1);
+    w.kv("seed", seed_);
+    w.kv("planted_bug", to_string(cluster_.config().planted_bug));
+    w.kv("horizon", static_cast<int64_t>(opts_.horizon));
+    w.key("schedule");
+    write_schedule(w, schedule_);
+    w.kv("violated", !res.violations.empty());
+    w.key("violations");
+    w.begin_array();
+    for (const Violation& v : res.violations) {
+      w.begin_object();
+      w.kv("oracle", v.oracle);
+      w.kv("at", static_cast<int64_t>(v.at));
+      w.kv("detail", v.detail);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("stats");
+    w.begin_object();
+    w.kv("submitted", res.submitted);
+    w.kv("committed", res.committed);
+    w.kv("aborted", res.aborted);
+    w.end_object();
+    w.end_object();
+    return w.str();
+  }
+
+  ExploreOptions opts_;
+  Schedule schedule_;
+  uint64_t seed_;
+  Cluster cluster_;
+  CheckpointOracle checkpoint_;
+  SiteId isolated_ = kInvalidSite;
+  SimTime end_time_ = 0;
+  int64_t submitted_ = 0;
+  int64_t committed_ = 0;
+  int64_t aborted_ = 0;
+};
+
+} // namespace
+
+ExploreRunResult run_schedule(const ExploreOptions& opts,
+                              const Schedule& schedule, uint64_t seed) {
+  ScheduleRun run(opts, schedule, seed);
+  return run.run();
+}
+
+void write_explore_options(JsonWriter& w, const ExploreOptions& opts) {
+  w.begin_object();
+  w.kv("clients_per_site", opts.clients_per_site);
+  w.kv("think_time", static_cast<int64_t>(opts.think_time));
+  w.kv("horizon", static_cast<int64_t>(opts.horizon));
+  w.kv("checkpoint_every", static_cast<int64_t>(opts.checkpoint_every));
+  w.kv("settle_budget", static_cast<int64_t>(opts.settle_budget));
+  w.key("workload");
+  w.begin_object();
+  w.kv("ops_per_txn", opts.workload.ops_per_txn);
+  w.kv("read_fraction", opts.workload.read_fraction);
+  w.kv("zipf_theta", opts.workload.zipf_theta);
+  w.kv("n_items", opts.workload.n_items);
+  w.end_object();
+  w.end_object();
+}
+
+bool parse_explore_options(const json::JsonValue& v, ExploreOptions* out) {
+  if (!v.is_object()) return false;
+  ExploreOptions o = *out; // keep caller-supplied Config
+  o.clients_per_site = static_cast<int>(
+      v.num_or("clients_per_site", o.clients_per_site));
+  o.think_time = static_cast<SimTime>(
+      v.num_or("think_time", static_cast<double>(o.think_time)));
+  o.horizon = static_cast<SimTime>(
+      v.num_or("horizon", static_cast<double>(o.horizon)));
+  o.checkpoint_every = static_cast<SimTime>(
+      v.num_or("checkpoint_every", static_cast<double>(o.checkpoint_every)));
+  o.settle_budget = static_cast<SimTime>(
+      v.num_or("settle_budget", static_cast<double>(o.settle_budget)));
+  if (const json::JsonValue* wl = v.get("workload"); wl != nullptr) {
+    if (!wl->is_object()) return false;
+    o.workload.ops_per_txn = static_cast<int>(
+        wl->num_or("ops_per_txn", o.workload.ops_per_txn));
+    o.workload.read_fraction =
+        wl->num_or("read_fraction", o.workload.read_fraction);
+    o.workload.zipf_theta = wl->num_or("zipf_theta", o.workload.zipf_theta);
+    o.workload.n_items = static_cast<int64_t>(
+        wl->num_or("n_items", static_cast<double>(o.workload.n_items)));
+  }
+  *out = o;
+  return true;
+}
+
+} // namespace ddbs

@@ -1,0 +1,64 @@
+// Invariant oracles for the adversarial explorer. Each oracle inspects a
+// quiesced (or checkpointed) Cluster from outside the protocol -- the same
+// omniscient-observer stance as verify/ -- and reports the first violation
+// it can prove, with enough detail to act on.
+//
+// Quiescence oracles (all faults healed, settle() done):
+//   - convergence:   every readable copy of every item identical; no copy
+//                    still unreadable at an up site (Section 3.2's goal).
+//   - ns-agreement:  operational sites agree on NS, and NS matches the
+//                    actual sessions (up sites carry their own session,
+//                    down sites carry 0) -- Section 3.1.
+//   - one-sr:        the recorded history passes the revised 1-STG
+//                    acyclicity test (Section 4, Theorem 3 corollary).
+//   - lost-write:    the last committed user write of every item is the
+//                    value every readable copy holds ("no committed write
+//                    lost" -- what session numbers exist to guarantee).
+//
+// Checkpoint oracles (safe to evaluate mid-run, between fault actions):
+//   - session monotonicity per site (Lemma: sessions never reused);
+//   - only control transactions ever write NS items.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ddbs {
+
+class Cluster;
+
+struct Violation {
+  std::string oracle; // "convergence", "ns-agreement", "one-sr", ...
+  std::string detail; // human-readable witness
+  SimTime at = 0;     // sim time the oracle fired
+};
+
+std::string to_string(const Violation& v);
+
+// Individual quiescence oracles; nullopt == invariant holds.
+std::optional<Violation> check_convergence(Cluster& cluster);
+std::optional<Violation> check_ns_agreement(Cluster& cluster);
+std::optional<Violation> check_one_sr(Cluster& cluster);
+std::optional<Violation> check_lost_writes(Cluster& cluster);
+
+// Run every quiescence oracle, cheapest first; returns all violations
+// found (empty == clean run).
+std::vector<Violation> quiescence_oracles(Cluster& cluster);
+
+// Stateful oracle evaluated repeatedly during a run. Tracks per-site
+// session high-water marks (monotonicity) and the length of history
+// already scanned (NS write discipline), so each check() is incremental.
+class CheckpointOracle {
+ public:
+  // First check() against a cluster initializes the session marks.
+  std::optional<Violation> check(Cluster& cluster);
+
+ private:
+  std::vector<SessionNum> max_session_;
+  size_t scanned_txns_ = 0;
+};
+
+} // namespace ddbs

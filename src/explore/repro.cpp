@@ -1,0 +1,181 @@
+#include "explore/repro.h"
+
+#include "common/json.h"
+#include "common/report.h"
+
+namespace ddbs {
+namespace {
+
+// Inverse of write_config (report.cpp) for the fields it emits. Fields
+// absent from the document keep their Config defaults, so older artifacts
+// stay replayable as knobs are added -- the canonical report embeds the
+// effective planted_bug either way.
+bool parse_config(const json::JsonValue& v, Config* out, std::string* error) {
+  if (!v.is_object()) {
+    if (error != nullptr) *error = "config is not an object";
+    return false;
+  }
+  Config c = *out;
+  c.n_sites = static_cast<int>(v.num_or("n_sites", c.n_sites));
+  c.n_items = static_cast<int64_t>(
+      v.num_or("n_items", static_cast<double>(c.n_items)));
+  c.replication_degree = static_cast<int>(
+      v.num_or("replication_degree", c.replication_degree));
+  c.placement_seed = static_cast<uint64_t>(
+      v.num_or("placement_seed", static_cast<double>(c.placement_seed)));
+  c.spooler_copies = static_cast<int>(
+      v.num_or("spooler_copies", c.spooler_copies));
+  c.net_latency_min = static_cast<SimTime>(
+      v.num_or("net_latency_min", static_cast<double>(c.net_latency_min)));
+  c.net_latency_max = static_cast<SimTime>(
+      v.num_or("net_latency_max", static_cast<double>(c.net_latency_max)));
+  c.msg_loss_prob = v.num_or("msg_loss_prob", c.msg_loss_prob);
+  c.rpc_timeout = static_cast<SimTime>(
+      v.num_or("rpc_timeout", static_cast<double>(c.rpc_timeout)));
+  c.lock_timeout = static_cast<SimTime>(
+      v.num_or("lock_timeout", static_cast<double>(c.lock_timeout)));
+  c.txn_timeout = static_cast<SimTime>(
+      v.num_or("txn_timeout", static_cast<double>(c.txn_timeout)));
+  c.detector_interval = static_cast<SimTime>(
+      v.num_or("detector_interval", static_cast<double>(c.detector_interval)));
+  c.copier_concurrency = static_cast<int>(
+      v.num_or("copier_concurrency", c.copier_concurrency));
+  c.control_retry_limit = static_cast<int>(
+      v.num_or("control_retry_limit", c.control_retry_limit));
+  c.read_only_one_phase = v.bool_or("read_only_one_phase",
+                                    c.read_only_one_phase);
+  c.canonical_write_order = v.bool_or("canonical_write_order",
+                                      c.canonical_write_order);
+  c.detector_jitter = v.bool_or("detector_jitter", c.detector_jitter);
+  c.reconcile_probes = v.bool_or("reconcile_probes", c.reconcile_probes);
+  c.wal_checkpoint_threshold = static_cast<size_t>(v.num_or(
+      "wal_checkpoint_threshold",
+      static_cast<double>(c.wal_checkpoint_threshold)));
+  c.local_op_cost = static_cast<SimTime>(
+      v.num_or("local_op_cost", static_cast<double>(c.local_op_cost)));
+  c.trace_capacity = static_cast<size_t>(
+      v.num_or("trace_capacity", static_cast<double>(c.trace_capacity)));
+  c.span_capacity = static_cast<size_t>(
+      v.num_or("span_capacity", static_cast<double>(c.span_capacity)));
+  c.timeseries_bucket = static_cast<SimTime>(v.num_or(
+      "timeseries_bucket", static_cast<double>(c.timeseries_bucket)));
+
+  struct EnumField {
+    const char* key;
+    bool (*apply)(std::string_view, Config*);
+  };
+  static constexpr EnumField kEnums[] = {
+      {"write_scheme",
+       [](std::string_view s, Config* cc) {
+         return parse_write_scheme(s, &cc->write_scheme);
+       }},
+      {"recovery_scheme",
+       [](std::string_view s, Config* cc) {
+         return parse_recovery_scheme(s, &cc->recovery_scheme);
+       }},
+      {"outdated_strategy",
+       [](std::string_view s, Config* cc) {
+         return parse_outdated_strategy(s, &cc->outdated_strategy);
+       }},
+      {"copier_mode",
+       [](std::string_view s, Config* cc) {
+         return parse_copier_mode(s, &cc->copier_mode);
+       }},
+      {"unreadable_policy",
+       [](std::string_view s, Config* cc) {
+         return parse_unreadable_policy(s, &cc->unreadable_policy);
+       }},
+      {"planted_bug",
+       [](std::string_view s, Config* cc) {
+         return parse_planted_bug(s, &cc->planted_bug);
+       }},
+  };
+  for (const EnumField& f : kEnums) {
+    const json::JsonValue* field = v.get(f.key);
+    if (field == nullptr) continue;
+    if (!field->is_string() || !f.apply(field->str(), &c)) {
+      if (error != nullptr) {
+        *error = std::string("bad enum value for config.") + f.key;
+      }
+      return false;
+    }
+  }
+  *out = c;
+  return true;
+}
+
+} // namespace
+
+std::string to_json(const ReproArtifact& a) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("tool", "ddbs_explore");
+  w.kv("schema", 1);
+  w.kv("kind", "repro");
+  w.kv("seed", a.seed);
+  w.key("config");
+  write_config(w, a.opts.cfg);
+  w.key("options");
+  write_explore_options(w, a.opts);
+  w.key("schedule");
+  write_schedule(w, a.schedule);
+  w.key("violation");
+  w.begin_object();
+  w.kv("oracle", a.violation.oracle);
+  w.kv("at", static_cast<int64_t>(a.violation.at));
+  w.kv("detail", a.violation.detail);
+  w.end_object();
+  w.kv("report", a.report);
+  w.end_object();
+  return w.str();
+}
+
+bool parse_repro(std::string_view text, ReproArtifact* out,
+                 std::string* error) {
+  bool ok = false;
+  const json::JsonValue doc = json::parse(text, &ok);
+  if (!ok || !doc.is_object()) {
+    if (error != nullptr) *error = "not a JSON object";
+    return false;
+  }
+  if (doc.str_or("kind", "") != "repro") {
+    if (error != nullptr) *error = "kind != \"repro\"";
+    return false;
+  }
+  ReproArtifact a;
+  a.seed = static_cast<uint64_t>(doc.num_or("seed", 0));
+  const json::JsonValue* cfg = doc.get("config");
+  if (cfg == nullptr || !parse_config(*cfg, &a.opts.cfg, error)) {
+    if (error != nullptr && error->empty()) *error = "missing config";
+    return false;
+  }
+  if (const json::JsonValue* opts = doc.get("options"); opts != nullptr) {
+    if (!parse_explore_options(*opts, &a.opts)) {
+      if (error != nullptr) *error = "malformed options";
+      return false;
+    }
+  }
+  const json::JsonValue* sched = doc.get("schedule");
+  if (sched == nullptr || !parse_schedule(*sched, &a.schedule)) {
+    if (error != nullptr) *error = "missing or malformed schedule";
+    return false;
+  }
+  if (const json::JsonValue* viol = doc.get("violation"); viol != nullptr) {
+    a.violation.oracle = viol->str_or("oracle", "");
+    a.violation.at = static_cast<SimTime>(viol->num_or("at", 0));
+    a.violation.detail = viol->str_or("detail", "");
+  }
+  a.report = doc.str_or("report", "");
+  *out = std::move(a);
+  return true;
+}
+
+ReplayResult replay(const ReproArtifact& a) {
+  ReplayResult r;
+  r.run = run_schedule(a.opts, a.schedule, a.seed);
+  r.violated = r.run.violated;
+  r.byte_identical = !a.report.empty() && r.run.report == a.report;
+  return r;
+}
+
+} // namespace ddbs

@@ -1,0 +1,47 @@
+// Replayable repro artifacts: a self-contained JSON document capturing
+// everything needed to re-execute one failing exploration run -- the full
+// Config, the explorer options, the workload seed, the (shrunk) schedule,
+// the violation it produces, and the canonical per-run report. Replay
+// re-runs the schedule and byte-compares the fresh report against the
+// stored one, so an artifact that "reproduces" is proven to, not assumed.
+//
+// Schema (EXPERIMENTS.md documents it for humans):
+//   { "tool": "ddbs_explore", "schema": 1, "kind": "repro",
+//     "seed": <u64>, "config": {...}, "options": {...},
+//     "schedule": [...], "violation": {oracle, at, detail},
+//     "report": "<canonical run-report JSON, as a string>" }
+#pragma once
+
+#include <string>
+
+#include "explore/explorer.h"
+#include "explore/schedule.h"
+
+namespace ddbs {
+
+struct ReproArtifact {
+  ExploreOptions opts; // includes the Config
+  uint64_t seed = 0;
+  Schedule schedule;
+  Violation violation; // first violation of the recorded run
+  std::string report;  // canonical report of the recorded run
+};
+
+// Serialize an artifact (deterministic; suitable for corpus files).
+std::string to_json(const ReproArtifact& a);
+
+// Parse an artifact document. Returns false (with *error set when
+// non-null) on malformed input or unknown enum names.
+bool parse_repro(std::string_view text, ReproArtifact* out,
+                 std::string* error = nullptr);
+
+struct ReplayResult {
+  bool violated = false;       // replay hit a violation at all
+  bool byte_identical = false; // fresh report == stored report
+  ExploreRunResult run;        // the fresh run
+};
+
+// Re-execute the artifact's schedule and compare reports byte-for-byte.
+ReplayResult replay(const ReproArtifact& a);
+
+} // namespace ddbs

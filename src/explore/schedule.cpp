@@ -1,0 +1,215 @@
+#include "explore/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/random.h"
+
+namespace ddbs {
+
+const char* to_string(NemesisKind k) {
+  switch (k) {
+    case NemesisKind::kCrash: return "crash";
+    case NemesisKind::kReboot: return "reboot";
+    case NemesisKind::kPartition: return "partition";
+    case NemesisKind::kHeal: return "heal";
+    case NemesisKind::kDropBurst: return "drop-burst";
+    case NemesisKind::kLatencySkew: return "latency-skew";
+  }
+  return "?";
+}
+
+bool parse_nemesis_kind(std::string_view name, NemesisKind* out) {
+  for (NemesisKind k : {NemesisKind::kCrash, NemesisKind::kReboot,
+                        NemesisKind::kPartition, NemesisKind::kHeal,
+                        NemesisKind::kDropBurst, NemesisKind::kLatencySkew}) {
+    if (name == to_string(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+Schedule generate_schedule(const ScheduleParams& params,
+                           uint64_t schedule_seed) {
+  Rng rng(schedule_seed);
+  Schedule out;
+  if (params.n_sites <= 0 || params.max_actions < 1) return out;
+
+  // Track nominal up/down so crashes hit up sites and reboots down ones;
+  // at most one partition (isolating one site) is active at a time.
+  std::vector<bool> down(static_cast<size_t>(params.n_sites), false);
+  int down_count = 0;
+  SiteId isolated = kInvalidSite;
+
+  // Action times land in the first ~60% of the horizon so crashed sites
+  // have room to reboot, recover and drain copiers before quiescence.
+  const SimTime lo = params.horizon / 20;
+  const SimTime hi = std::max(lo + 1, params.horizon * 3 / 5);
+  std::vector<SimTime> times;
+  times.reserve(static_cast<size_t>(params.max_actions));
+  for (int i = 0; i < params.max_actions; ++i) {
+    times.push_back(rng.uniform(lo, hi));
+  }
+  std::sort(times.begin(), times.end());
+
+  // Schedules must survive a JSON round-trip bit-exactly (the repro
+  // contract), and the writer prints doubles with 6 significant digits --
+  // so quantize generated probabilities/factors to decimals that are
+  // exact at that precision.
+  // (round(v*s)/s with one correctly-rounded division lands on exactly
+  // the double strtod produces for the printed decimal.)
+  auto quantize = [](double v, double scale) {
+    return std::round(v * scale) / scale;
+  };
+
+  auto pick_site = [&](bool want_down) -> SiteId {
+    std::vector<SiteId> pool;
+    for (SiteId s = 0; s < params.n_sites; ++s) {
+      if (down[static_cast<size_t>(s)] == want_down) pool.push_back(s);
+    }
+    if (pool.empty()) return kInvalidSite;
+    return pool[static_cast<size_t>(
+        rng.uniform(0, static_cast<int64_t>(pool.size()) - 1))];
+  };
+
+  for (SimTime at : times) {
+    // Build the menu of kinds legal in the current nominal state.
+    std::vector<NemesisKind> menu;
+    if (params.n_sites - down_count > params.min_up_sites) {
+      menu.push_back(NemesisKind::kCrash);
+    }
+    if (down_count > 0) menu.push_back(NemesisKind::kReboot);
+    if (params.partitions) {
+      if (isolated == kInvalidSite && params.n_sites >= 3) {
+        menu.push_back(NemesisKind::kPartition);
+      }
+      if (isolated != kInvalidSite) menu.push_back(NemesisKind::kHeal);
+    }
+    if (params.drop_bursts) menu.push_back(NemesisKind::kDropBurst);
+    if (params.latency_skew) menu.push_back(NemesisKind::kLatencySkew);
+    if (menu.empty()) continue;
+
+    NemesisOp op;
+    op.at = at;
+    op.kind = menu[static_cast<size_t>(
+        rng.uniform(0, static_cast<int64_t>(menu.size()) - 1))];
+    switch (op.kind) {
+      case NemesisKind::kCrash:
+        op.site = pick_site(/*want_down=*/false);
+        if (op.site == kInvalidSite) continue;
+        down[static_cast<size_t>(op.site)] = true;
+        ++down_count;
+        break;
+      case NemesisKind::kReboot:
+        op.site = pick_site(/*want_down=*/true);
+        if (op.site == kInvalidSite) continue;
+        down[static_cast<size_t>(op.site)] = false;
+        --down_count;
+        break;
+      case NemesisKind::kPartition:
+        op.site = static_cast<SiteId>(rng.uniform(0, params.n_sites - 1));
+        isolated = op.site;
+        break;
+      case NemesisKind::kHeal:
+        isolated = kInvalidSite;
+        break;
+      case NemesisKind::kDropBurst:
+        op.duration = rng.uniform(20'000, 200'000);
+        op.prob = quantize(params.max_loss * rng.uniform01(), 1e4);
+        break;
+      case NemesisKind::kLatencySkew:
+        op.site = static_cast<SiteId>(rng.uniform(0, params.n_sites - 1));
+        op.duration = rng.uniform(50'000, 300'000);
+        op.factor =
+            quantize(2.0 + (params.max_skew - 2.0) * rng.uniform01(), 1e3);
+        break;
+    }
+    out.push_back(op);
+  }
+
+  // Close every open fault well before the horizon: heal the partition,
+  // then reboot still-down sites, so a correct protocol can converge by
+  // quiescence and the oracles judge the protocol, not the schedule.
+  if (isolated != kInvalidSite) {
+    NemesisOp heal;
+    heal.at = params.horizon * 7 / 10;
+    heal.kind = NemesisKind::kHeal;
+    out.push_back(heal);
+  }
+  SimTime reboot_at = params.horizon * 3 / 4;
+  for (SiteId s = 0; s < params.n_sites; ++s) {
+    if (!down[static_cast<size_t>(s)]) continue;
+    NemesisOp reboot;
+    reboot.at = reboot_at;
+    reboot.kind = NemesisKind::kReboot;
+    reboot.site = s;
+    out.push_back(reboot);
+    reboot_at += 10'000; // stagger so recoveries don't all sponsor at once
+  }
+  return out;
+}
+
+void write_schedule(JsonWriter& w, const Schedule& s) {
+  w.begin_array();
+  for (const NemesisOp& op : s) {
+    w.begin_object();
+    w.kv("at", static_cast<int64_t>(op.at));
+    w.kv("kind", to_string(op.kind));
+    if (op.site != kInvalidSite) w.kv("site", static_cast<int64_t>(op.site));
+    if (op.duration != 0) w.kv("duration", static_cast<int64_t>(op.duration));
+    if (op.prob != 0.0) w.kv("prob", op.prob);
+    if (op.factor != 1.0) w.kv("factor", op.factor);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+bool parse_schedule(const json::JsonValue& v, Schedule* out) {
+  if (!v.is_array()) return false;
+  Schedule s;
+  for (const json::JsonValue& e : v.arr()) {
+    if (!e.is_object()) return false;
+    NemesisOp op;
+    const json::JsonValue* kind = e.get("kind");
+    if (kind == nullptr || !kind->is_string() ||
+        !parse_nemesis_kind(kind->str(), &op.kind)) {
+      return false;
+    }
+    op.at = static_cast<SimTime>(e.num_or("at", 0));
+    op.site = static_cast<SiteId>(
+        e.num_or("site", static_cast<double>(kInvalidSite)));
+    op.duration = static_cast<SimTime>(e.num_or("duration", 0));
+    op.prob = e.num_or("prob", 0.0);
+    op.factor = e.num_or("factor", 1.0);
+    s.push_back(op);
+  }
+  *out = std::move(s);
+  return true;
+}
+
+std::string to_string(const NemesisOp& op) {
+  std::ostringstream os;
+  os << to_string(op.kind);
+  if (op.site != kInvalidSite) os << "(" << op.site << ")";
+  os << "@" << op.at / 1000 << "ms";
+  if (op.kind == NemesisKind::kDropBurst) {
+    os << "[p=" << op.prob << "," << op.duration / 1000 << "ms]";
+  } else if (op.kind == NemesisKind::kLatencySkew) {
+    os << "[x" << op.factor << "," << op.duration / 1000 << "ms]";
+  }
+  return os.str();
+}
+
+std::string to_string(const Schedule& s) {
+  std::ostringstream os;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) os << " ";
+    os << to_string(s[i]);
+  }
+  return os.str();
+}
+
+} // namespace ddbs

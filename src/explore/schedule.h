@@ -1,0 +1,83 @@
+// Nemesis fault schedules: the unit of search for the adversarial
+// explorer. A Schedule is an ordered list of timed fault actions (crash,
+// reboot, single-site partition, heal, message-drop burst, latency skew)
+// applied to one deterministic simulation; together with the config and
+// the workload seed it fully determines the execution, so a schedule that
+// violates an invariant is a *reproducible artifact*, not a flake.
+//
+// Schedules are generated randomly but seed-deterministically (one
+// schedule per schedule-seed), serialized to JSON for repro artifacts,
+// and shrunk by delta-debugging (shrink.h) -- which is why every action
+// is safe to apply out of context: crashing a down site, rebooting an up
+// site or healing a non-existent partition are no-ops at the Cluster /
+// Network layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/report.h"
+#include "common/types.h"
+
+namespace ddbs {
+
+enum class NemesisKind : uint8_t {
+  kCrash,       // fail-stop crash of `site`
+  kReboot,      // power `site` back on (recovery procedure runs)
+  kPartition,   // isolate `site` from every other site
+  kHeal,        // clear any active partition
+  kDropBurst,   // raise live-link message loss to `prob` for `duration`
+  kLatencySkew, // stretch latency to/from `site` by `factor` for `duration`
+};
+
+const char* to_string(NemesisKind k);
+bool parse_nemesis_kind(std::string_view name, NemesisKind* out);
+
+struct NemesisOp {
+  SimTime at = 0;
+  NemesisKind kind = NemesisKind::kCrash;
+  SiteId site = kInvalidSite; // crash/reboot/partition/skew target
+  SimTime duration = 0;       // drop-burst / skew window length
+  double prob = 0.0;          // drop-burst loss probability
+  double factor = 1.0;        // latency multiplier during a skew window
+
+  friend bool operator==(const NemesisOp&, const NemesisOp&) = default;
+};
+
+using Schedule = std::vector<NemesisOp>;
+
+// Knobs for the random generator. Defaults stay inside the paper's
+// failure model (fail-stop sites, lossy links, skewed detectors);
+// partitions are the Section-6 boundary and opt-in.
+struct ScheduleParams {
+  int n_sites = 5;
+  int max_actions = 8;          // actions drawn per schedule (>= 2)
+  SimTime horizon = 2'000'000;  // workload window the actions land in
+  bool partitions = false;      // include single-site partition/heal
+  bool drop_bursts = true;
+  bool latency_skew = true;
+  double max_loss = 0.25;       // burst loss ceiling (matches what the
+                                // message-loss tests prove survivable)
+  double max_skew = 24.0;       // latency multiplier ceiling; 24x the
+                                // default 1.5ms max crosses rpc_timeout
+  int min_up_sites = 1;         // never crash the last `min_up_sites`
+};
+
+// Deterministic: the same (params, schedule_seed) always yields the same
+// schedule. Generated schedules are *well-formed*: crashes target up
+// sites, reboots target down sites, every crashed site is rebooted and
+// any partition healed before the horizon, so a clean protocol must pass
+// every quiescence oracle.
+Schedule generate_schedule(const ScheduleParams& params,
+                           uint64_t schedule_seed);
+
+// JSON round-trip for repro artifacts (array of action objects).
+void write_schedule(JsonWriter& w, const Schedule& s);
+bool parse_schedule(const json::JsonValue& v, Schedule* out);
+
+// One-line human-readable form, e.g. "crash(2)@1200ms" -- progress logs.
+std::string to_string(const NemesisOp& op);
+std::string to_string(const Schedule& s);
+
+} // namespace ddbs

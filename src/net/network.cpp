@@ -33,22 +33,41 @@ uint64_t Network::incarnation(SiteId id) const {
   return sites_[static_cast<size_t>(id)].incarnation;
 }
 
-void Network::set_partition(const std::vector<std::vector<SiteId>>& groups) {
-  // Unmentioned sites land in unique negative-free groups after the named
-  // ones.
-  int next = 1;
-  for (auto& slot : sites_) slot.group = 0;
+bool Network::set_partition(const std::vector<std::vector<SiteId>>& groups) {
+  // Validate before mutating anything: an out-of-range SiteId or a site
+  // in two groups would otherwise silently produce a nonsensical topology
+  // (the old group assignment of the duplicate simply lost).
   std::vector<bool> assigned(sites_.size(), false);
   for (const auto& group : groups) {
     for (SiteId s : group) {
-      sites_[static_cast<size_t>(s)].group = next;
+      if (s < 0 || static_cast<size_t>(s) >= sites_.size()) {
+        DDBS_ERROR << "set_partition: site " << s << " out of range [0, "
+                   << sites_.size() << "); partition unchanged";
+        return false;
+      }
+      if (assigned[static_cast<size_t>(s)]) {
+        DDBS_ERROR << "set_partition: site " << s
+                   << " appears in more than one group; partition unchanged";
+        return false;
+      }
       assigned[static_cast<size_t>(s)] = true;
     }
+  }
+  // Unmentioned sites land in unique groups after the named ones.
+  int next = 1;
+  for (auto& slot : sites_) slot.group = 0;
+  for (const auto& group : groups) {
+    for (SiteId s : group) sites_[static_cast<size_t>(s)].group = next;
     ++next;
   }
   for (size_t i = 0; i < sites_.size(); ++i) {
     if (!assigned[i]) sites_[i].group = next++;
   }
+  return true;
+}
+
+void Network::set_loss_prob(double p) {
+  loss_prob_ = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
 }
 
 void Network::clear_partition() {

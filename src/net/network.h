@@ -36,12 +36,20 @@ class Network {
   // Network partitions (paper Section 6 scope boundary): sites in
   // different groups cannot exchange messages; in-flight messages crossing
   // the cut at delivery time are dropped. Sites not mentioned in any group
-  // form their own singleton group.
-  void set_partition(const std::vector<std::vector<SiteId>>& groups);
+  // form their own singleton group. Returns false -- leaving the current
+  // partition state untouched -- when a group names an out-of-range SiteId
+  // or a site appears in more than one group.
+  bool set_partition(const std::vector<std::vector<SiteId>>& groups);
   void clear_partition();
   bool reachable(SiteId a, SiteId b) const;
 
   LatencyModel& latency() { return latency_; }
+
+  // Runtime override of the live-link message-loss probability (the
+  // nemesis engine uses this for drop bursts). Values outside [0, 1] are
+  // clamped.
+  void set_loss_prob(double p);
+  double loss_prob() const { return loss_prob_; }
 
   // Counters for benches. A message discarded because its *sender* was
   // already dead never reached the wire: it counts in dropped_at_send only,

@@ -53,7 +53,7 @@ void ControlUpCoordinator::pick_sponsor() {
   auto alive = std::make_shared<std::vector<SiteId>>();
   for (SiteId s = 0; s < cfg_.n_sites; ++s) {
     if (s == self_) continue;
-    rpc_.send_request(
+    send_request(
         s, Ping{}, cfg_.rpc_timeout,
         [this, s, remaining, alive](Code code, const Payload* payload) {
           if (decided_) return;
@@ -179,7 +179,7 @@ void ControlUpCoordinator::collect_status(size_t pending) {
     req.txn = txn_;
     req.coordinator = self_;
     req.recovering_site = self_;
-    rpc_.send_request(
+    send_request(
         s, req, cfg_.lock_timeout + cfg_.rpc_timeout,
         [this, s, remaining, failed](Code code, const Payload* payload) {
           if (decided_) return;
@@ -221,7 +221,7 @@ void ControlUpCoordinator::collect_status(size_t pending) {
             creq.coordinator = self_;
             creq.recovering_site = self_;
             creq.clear_fail_locks = !others_down;
-            rpc_.send_request(
+            send_request(
                 s2, creq, cfg_.lock_timeout + cfg_.rpc_timeout,
                 [this, s2, rem2, failed2](Code c2, const Payload* p2) {
                   if (decided_) return;

@@ -63,7 +63,7 @@ void CopierCoordinator::try_source(size_t idx) {
   req.coordinator = self_;
   req.item = item_;
   req.expected_session = view_[static_cast<size_t>(src)];
-  rpc_.send_request(
+  send_request(
       src, req, cfg_.lock_timeout + cfg_.rpc_timeout,
       [this, idx, src](Code code, const Payload* payload) {
         if (decided_) return;
@@ -120,7 +120,7 @@ void CopierCoordinator::resolve_all_marked(size_t idx) {
   req.item = item_;
   req.expected_session = view_[static_cast<size_t>(src)];
   req.allow_unreadable = true;
-  rpc_.send_request(
+  send_request(
       src, req, cfg_.lock_timeout + cfg_.rpc_timeout,
       [this, idx, src](Code code, const Payload* payload) {
         if (decided_) return;
@@ -172,7 +172,7 @@ void CopierCoordinator::write_local(Value value, Version version) {
   req.value = value;
   req.is_copier_write = true;
   req.copier_version = version;
-  rpc_.send_request(
+  send_request(
       self_, req, cfg_.lock_timeout + cfg_.rpc_timeout,
       [this](Code code, const Payload* payload) {
         if (decided_) return;

@@ -64,6 +64,13 @@ void RecoveryManager::begin_recovery() {
     for (ItemId x : env_.cat->items_at(env_.self)) {
       if (env_.cat->sites_of(x).size() > 1) to_mark.push_back(x);
     }
+    // PLANTED BUG (explorer self-validation only): leave the highest
+    // hosted item unmarked, so a copy that missed updates while this site
+    // was down stays readable and stale -- the exact failure the mark-all
+    // step exists to prevent.
+    if (env_.cfg->planted_bug == PlantedBug::kSkipMark && !to_mark.empty()) {
+      to_mark.pop_back();
+    }
     dm_.mark_items(to_mark);
   }
   attempt_up(1);

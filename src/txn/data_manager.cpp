@@ -366,8 +366,15 @@ void DataManager::on_write(const Envelope& env) {
     reply_code(env, Code::kAborted);
     return;
   }
-  const Code c = admit(req.kind, req.expected_session,
-                       req.bypass_session_check);
+  Code c = admit(req.kind, req.expected_session, req.bypass_session_check);
+  // PLANTED BUG (explorer self-validation only): accept writes carrying a
+  // stale session number -- exactly the Section 3.2 rejection the paper's
+  // correctness argument needs on this path.
+  if (c == Code::kSessionMismatch &&
+      cfg_.planted_bug == PlantedBug::kSkipSessionCheck &&
+      state_.mode == SiteMode::kUp) {
+    c = Code::kOk;
+  }
   if (c != Code::kOk) {
     metrics_.inc(metrics_.id.dm_write_reject[static_cast<size_t>(c)]);
     if (c == Code::kSessionMismatch) {

@@ -38,7 +38,19 @@ CoordinatorBase::CoordinatorBase(TxnId txn, TxnKind kind,
 
 CoordinatorBase::~CoordinatorBase() {
   for (EventId id : timers_) sched_.cancel(id);
+  // Cancelling an already-answered request is a no-op, so the whole send
+  // history can be swept without tracking completion.
+  for (uint64_t id : rpcs_) rpc_.cancel_request(id);
   SpanLog::close(spans_, span_);
+}
+
+uint64_t CoordinatorBase::send_request(SiteId to, Payload payload,
+                                       SimTime timeout,
+                                       RpcEndpoint::ResponseCb cb) {
+  const uint64_t id =
+      rpc_.send_request(to, std::move(payload), timeout, std::move(cb));
+  rpcs_.push_back(id);
+  return id;
 }
 
 void CoordinatorBase::schedule(SimTime delay, EventFn fn) {
@@ -95,7 +107,7 @@ void CoordinatorBase::ns_read_step(std::shared_ptr<NsReadState> st,
   req.expected_session = st->expected;
   req.bypass_session_check = st->bypass;
   const SiteId at = st->at;
-  rpc_.send_request(
+  send_request(
       at, req, cfg_.lock_timeout + cfg_.rpc_timeout,
       [this, idx, at, st = std::move(st)](Code code,
                                           const Payload* payload) {
@@ -135,7 +147,7 @@ void CoordinatorBase::write_seq_step(std::shared_ptr<WriteSeqState> st,
   const SiteId to = st->writes[i].to;
   touch(to);
   const WriteReq req = st->writes[i].req;
-  rpc_.send_request(
+  send_request(
       to, req, cfg_.lock_timeout + cfg_.rpc_timeout,
       [this, to, i, st = std::move(st)](Code code, const Payload* payload) {
         if (decided_) return;
@@ -166,7 +178,7 @@ void CoordinatorBase::run_2pc(std::function<void(bool)> k) {
   req.coordinator = self_;
   req.participants.assign(participants_.begin(), participants_.end());
   for (SiteId p : req.participants) {
-    rpc_.send_request(
+    send_request(
         p, req, cfg_.rpc_timeout,
         [this, p](Code code, const Payload* payload) {
           if (decided_) return;
@@ -206,7 +218,7 @@ void CoordinatorBase::run_2pc(std::function<void(bool)> k) {
           acks_pending_ = participants_.size();
           all_acks_ok_ = true;
           for (SiteId q : participants_) {
-            rpc_.send_request(
+            send_request(
                 q, creq, cfg_.rpc_timeout,
                 [this, q](Code acode, const Payload* apayload) {
                   bool ok = false;
@@ -246,7 +258,7 @@ void CoordinatorBase::run_read_only_commit(std::function<void(bool)> k) {
   CommitReq creq;
   creq.txn = txn_;
   for (SiteId q : participants_) {
-    rpc_.send_request(q, creq, cfg_.rpc_timeout,
+    send_request(q, creq, cfg_.rpc_timeout,
                       [this, q](Code, const Payload*) {
                         if (q == self_) {
                           auto cb = std::move(commit_k_);
@@ -259,7 +271,7 @@ void CoordinatorBase::run_read_only_commit(std::function<void(bool)> k) {
 
 void CoordinatorBase::send_aborts() {
   for (SiteId p : participants_) {
-    rpc_.send_request(p, AbortReq{txn_}, cfg_.rpc_timeout,
+    send_request(p, AbortReq{txn_}, cfg_.rpc_timeout,
                       [](Code, const Payload*) {});
   }
 }
@@ -375,7 +387,7 @@ void UserTxnCoordinator::do_read(const LogicalOp& op, size_t candidate_idx) {
   req.coordinator = self_;
   req.item = op.item;
   req.expected_session = view_[static_cast<size_t>(target)];
-  rpc_.send_request(
+  send_request(
       target, req, cfg_.lock_timeout + cfg_.rpc_timeout,
       [this, op, candidate_idx, target](Code code, const Payload* payload) {
         if (decided_) return;
@@ -474,7 +486,7 @@ void UserTxnCoordinator::send_writes_parallel(
   for (auto& pw : writes) {
     const SiteId to = pw.to;
     touch(to);
-    rpc_.send_request(
+    send_request(
         to, std::move(pw.req), cfg_.lock_timeout + cfg_.rpc_timeout,
         [this, to, st](Code code, const Payload* payload) {
           if (decided_) return;

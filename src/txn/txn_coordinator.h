@@ -75,6 +75,16 @@ class CoordinatorBase {
   // Timer that is automatically cancelled when the coordinator dies.
   void schedule(SimTime delay, EventFn fn);
 
+  // All coordinator-originated requests go through this wrapper, which
+  // remembers the rpc ids so ~CoordinatorBase can cancel any still pending.
+  // The response/timeout callbacks capture `this`; once the coordinator is
+  // retired (erased by the TM one tick after its decision) a late callback
+  // would re-enter freed memory -- even the `if (decided_) return;` guard
+  // is a read of a dead object. Dropping them is exactly what the guard
+  // intended.
+  uint64_t send_request(SiteId to, Payload payload, SimTime timeout,
+                        RpcEndpoint::ResponseCb cb);
+
   // Read NS[0..n-1] at `at` in index order under shared locks, filling
   // view_ / view_versions_. k(false) on any failure (txn should abort).
   // Entries in `skip` are not read (and left 0 in view_): a type-2 control
@@ -191,6 +201,7 @@ class CoordinatorBase {
   SuspectFn suspect_;
   RetireFn retire_;
   std::vector<EventId> timers_;
+  std::vector<uint64_t> rpcs_; // every id this coordinator ever sent
   bool retired_ = false;
 
   // 2PC progress.

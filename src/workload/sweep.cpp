@@ -7,6 +7,7 @@
 #include "common/metrics.h"
 #include "common/report.h"
 #include "core/cluster.h"
+#include "explore/oracles.h"
 
 namespace ddbs {
 namespace {
@@ -50,12 +51,24 @@ SweepRun run_one(const SweepSpec& spec, size_t cell, uint64_t seed,
   SweepRun out;
   out.cell = cell;
   out.seed = seed;
+  out.completed = true;
 
   Cluster cluster(spec.cells[cell].cfg, seed);
   cluster.bootstrap();
   Runner runner(cluster, spec.params, seed);
   out.stats = runner.run();
   cluster.settle();
+  if (spec.check_oracles) {
+    // Give the failure detector time to declare any site crashed right at
+    // the end of the window (a crash is only reflected in NS once a type-2
+    // control transaction commits), then re-settle and judge.
+    cluster.run_until(cluster.now() +
+                      4 * spec.cells[cell].cfg.detector_interval);
+    cluster.settle();
+    for (const Violation& v : quiescence_oracles(cluster)) {
+      out.violations.push_back(to_string(v));
+    }
+  }
   out.converged = cluster.replicas_converged();
   events_total.fetch_add(cluster.events_executed(),
                          std::memory_order_relaxed);
@@ -67,6 +80,10 @@ SweepRun run_one(const SweepSpec& spec, size_t cell, uint64_t seed,
     run.scalars.emplace_back(s.name, s.get(out, spec));
   }
   run.scalars.emplace_back("converged", out.converged ? 1.0 : 0.0);
+  if (spec.check_oracles) {
+    run.scalars.emplace_back(
+        "oracle_violations", static_cast<double>(out.violations.size()));
+  }
   // No add_perf_scalars() here: wall-clock numbers would break the
   // serial-vs-parallel byte-identity contract.
   out.report_json = report.to_json();
@@ -90,34 +107,32 @@ SweepCellSummary summarize(const SweepSpec& spec, size_t cell,
         SweepScalar{s.name, h.mean(), h.percentile(50), h.percentile(99)});
   }
   for (size_t k = 0; k < n; ++k) {
-    if (runs[cell * n + k].converged) ++sum.converged;
+    const SweepRun& r = runs[cell * n + k];
+    if (r.completed) ++sum.completed;
+    if (r.converged) ++sum.converged;
+    if (!r.violations.empty()) ++sum.oracle_failures;
   }
   return sum;
 }
 
 } // namespace
 
-SweepResult run_sweep(const SweepSpec& spec, int threads) {
-  const size_t total =
-      spec.cells.size() * static_cast<size_t>(spec.seeds > 0 ? spec.seeds : 0);
-  SweepResult res;
-  res.runs.resize(total);
-  if (total == 0) return res;
-
-  const auto wall_start = std::chrono::steady_clock::now();
-  std::atomic<uint64_t> events_total{0};
+void run_parallel(size_t total, int threads,
+                  const std::function<void(size_t)>& fn,
+                  std::atomic<bool>* cancel) {
+  if (total == 0) return;
   std::atomic<size_t> next{0};
 
-  // Pull-based pool over a pre-sized results vector: run i always lands at
-  // index i, so scheduling order cannot leak into the output.
+  // Pull-based pool: job i always receives index i, so callers writing
+  // into a pre-sized results vector get scheduling-independent output.
   auto worker = [&]() {
     while (true) {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        return;
+      }
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) return;
-      const size_t cell = i / static_cast<size_t>(spec.seeds);
-      const uint64_t seed =
-          spec.seed_base + (i % static_cast<size_t>(spec.seeds));
-      res.runs[i] = run_one(spec, cell, seed, events_total);
+      fn(i);
     }
   };
 
@@ -130,6 +145,37 @@ SweepResult run_sweep(const SweepSpec& spec, int threads) {
     pool.reserve(n_workers);
     for (size_t t = 0; t < n_workers; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
+  }
+}
+
+SweepResult run_sweep(const SweepSpec& spec, int threads) {
+  const size_t total =
+      spec.cells.size() * static_cast<size_t>(spec.seeds > 0 ? spec.seeds : 0);
+  SweepResult res;
+  res.runs.resize(total);
+  if (total == 0) return res;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::atomic<uint64_t> events_total{0};
+  std::atomic<bool> cancel{false};
+
+  run_parallel(
+      total, threads,
+      [&](size_t i) {
+        const size_t cell = i / static_cast<size_t>(spec.seeds);
+        const uint64_t seed =
+            spec.seed_base + (i % static_cast<size_t>(spec.seeds));
+        res.runs[i] = run_one(spec, cell, seed, events_total);
+        if (spec.fail_fast && !res.runs[i].ok()) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
+      },
+      spec.fail_fast ? &cancel : nullptr);
+  // Label the runs fail_fast skipped so reports stay self-describing.
+  for (size_t i = 0; i < total; ++i) {
+    if (res.runs[i].completed) continue;
+    res.runs[i].cell = i / static_cast<size_t>(spec.seeds);
+    res.runs[i].seed = spec.seed_base + (i % static_cast<size_t>(spec.seeds));
   }
 
   res.wall_seconds =
@@ -161,6 +207,8 @@ std::string sweep_report_json(const SweepSpec& spec, const SweepResult& res,
     w.key("config");
     write_config(w, spec.cells[c].cfg);
     w.kv("converged_runs", static_cast<int64_t>(res.cells[c].converged));
+    w.kv("completed_runs", static_cast<int64_t>(res.cells[c].completed));
+    w.kv("oracle_failures", static_cast<int64_t>(res.cells[c].oracle_failures));
     w.key("aggregates");
     w.begin_object();
     for (const SweepScalar& s : res.cells[c].scalars) {
@@ -178,7 +226,14 @@ std::string sweep_report_json(const SweepSpec& spec, const SweepResult& res,
       const SweepRun& r = res.runs[c * n + k];
       w.begin_object();
       w.kv("seed", r.seed);
+      w.kv("completed", r.completed);
       w.kv("converged", r.converged);
+      if (!r.violations.empty()) {
+        w.key("violations");
+        w.begin_array();
+        for (const std::string& v : r.violations) w.value(v);
+        w.end_array();
+      }
       for (const RunScalars& s : kScalars) {
         w.kv(s.name, s.get(r, spec));
       }

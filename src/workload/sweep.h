@@ -10,6 +10,8 @@
 // deterministic cell-major order.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,17 @@
 #include "workload/runner.h"
 
 namespace ddbs {
+
+// The generic pull-based worker pool behind run_sweep, reusable by any
+// driver fanning independent deterministic jobs (ddbs_explore fans fault
+// schedules through it). Executes fn(i) for every i in [0, total) on
+// `threads` workers (clamped to [1, total]); job i always receives index
+// i, so callers writing results to res[i] get scheduling-independent
+// output. When `cancel` is non-null, workers stop claiming new indices
+// once it becomes true (jobs already started still finish).
+void run_parallel(size_t total, int threads,
+                  const std::function<void(size_t)>& fn,
+                  std::atomic<bool>* cancel = nullptr);
 
 // One cell of the sweep matrix: a labelled protocol configuration.
 struct SweepCell {
@@ -32,6 +45,15 @@ struct SweepSpec {
   // Also serialize each run's causal spans as Chrome trace_event JSON
   // (spans_json below). Off by default: span export is sizable.
   bool capture_spans = false;
+  // Run the explorer's quiescence oracles (convergence, NS agreement,
+  // lost-write, 1-SR) after each run; violations land in SweepRun. The
+  // extra cost is one settled-state scan per run.
+  bool check_oracles = true;
+  // Stop claiming new runs as soon as one run fails (oracle violation or
+  // non-convergence). Completed/skipped status is scheduling-dependent,
+  // so a fail-fast sweep trades byte-reproducibility of the aggregate
+  // report for time-to-first-failure.
+  bool fail_fast = false;
 };
 
 // Outcome of one (cell, seed) run. `report_json` (and `spans_json` when
@@ -41,10 +63,14 @@ struct SweepSpec {
 struct SweepRun {
   size_t cell = 0;
   uint64_t seed = 0;
+  bool completed = false; // false == skipped by fail_fast cancellation
   bool converged = false;
+  std::vector<std::string> violations; // oracle violations (stringified)
   RunnerStats stats;
   std::string report_json;
   std::string spans_json; // "" unless SweepSpec::capture_spans
+
+  bool ok() const { return completed && converged && violations.empty(); }
 };
 
 // Named scalar summarised across the seeds of one cell.
@@ -58,7 +84,9 @@ struct SweepScalar {
 struct SweepCellSummary {
   std::string label;
   std::vector<SweepScalar> scalars;
-  int converged = 0; // runs that reached replica convergence
+  int completed = 0;       // runs not skipped by fail_fast
+  int converged = 0;       // runs that reached replica convergence
+  int oracle_failures = 0; // runs with at least one oracle violation
 };
 
 struct SweepResult {

@@ -1,203 +1,25 @@
-// Minimal JSON parser shared by observability tests. Values are numbers
-// (as doubles), strings, bools, null, arrays and objects -- enough of
-// RFC 8259 to prove the library's hand-rolled writers produce well-formed,
-// correctly-escaped output. Parse errors fail the test via parse_checked.
+// Test-side shim over the library's minimal JSON parser (common/json.h):
+// the same implementation the adversarial explorer uses to read its repro
+// artifacts, plus a parse_checked that fails the test on malformed input.
 #pragma once
 
 #include <gtest/gtest.h>
 
-#include <cctype>
-#include <map>
-#include <memory>
 #include <string>
-#include <string_view>
-#include <variant>
-#include <vector>
+
+#include "common/json.h"
 
 namespace ddbs {
 namespace json_test {
 
-struct JsonValue;
-using JsonArray = std::vector<JsonValue>;
-using JsonObject = std::map<std::string, JsonValue>;
+using json::JsonArray;
+using json::JsonObject;
+using json::JsonValue;
 
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string,
-               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
-      v;
-
-  bool is_object() const {
-    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
-  }
-  bool is_array() const {
-    return std::holds_alternative<std::shared_ptr<JsonArray>>(v);
-  }
-  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
-  const JsonObject& obj() const {
-    return *std::get<std::shared_ptr<JsonObject>>(v);
-  }
-  const JsonArray& arr() const {
-    return *std::get<std::shared_ptr<JsonArray>>(v);
-  }
-  double num() const { return std::get<double>(v); }
-  const std::string& str() const { return std::get<std::string>(v); }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view s) : s_(s) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != s_.size()) ok = false;
-    return v;
-  }
-
-  bool ok = true;
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
-            s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    skip_ws();
-    return pos_ < s_.size() ? s_[pos_] : '\0';
-  }
-  bool eat(char c) {
-    if (peek() != c) {
-      ok = false;
-      return false;
-    }
-    ++pos_;
-    return true;
-  }
-
-  JsonValue value() {
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return JsonValue{string()};
-      case 't': return literal("true", JsonValue{true});
-      case 'f': return literal("false", JsonValue{false});
-      case 'n': return literal("null", JsonValue{nullptr});
-      default: return number();
-    }
-  }
-
-  JsonValue literal(std::string_view word, JsonValue v) {
-    skip_ws();
-    if (s_.compare(pos_, word.size(), word) != 0) {
-      ok = false;
-      return JsonValue{nullptr};
-    }
-    pos_ += word.size();
-    return v;
-  }
-
-  std::string string() {
-    std::string out;
-    if (!eat('"')) return out;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      char c = s_[pos_++];
-      if (c == '\\' && pos_ < s_.size()) {
-        const char esc = s_[pos_++];
-        switch (esc) {
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'u':
-            // Only \u00XX escapes are emitted (control characters).
-            if (pos_ + 4 <= s_.size()) {
-              out += static_cast<char>(
-                  std::stoi(std::string(s_.substr(pos_, 4)), nullptr, 16));
-              pos_ += 4;
-            } else {
-              ok = false;
-            }
-            break;
-          default: out += esc; break; // \" \\ \/
-        }
-      } else {
-        out += c;
-      }
-    }
-    if (pos_ >= s_.size()) {
-      ok = false;
-    } else {
-      ++pos_; // closing quote
-    }
-    return out;
-  }
-
-  JsonValue number() {
-    skip_ws();
-    const size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (start == pos_) {
-      ok = false;
-      return JsonValue{nullptr};
-    }
-    return JsonValue{std::stod(std::string(s_.substr(start, pos_ - start)))};
-  }
-
-  JsonValue array() {
-    auto out = std::make_shared<JsonArray>();
-    eat('[');
-    if (peek() == ']') {
-      ++pos_;
-      return JsonValue{out};
-    }
-    while (ok) {
-      out->push_back(value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      eat(']');
-      break;
-    }
-    return JsonValue{out};
-  }
-
-  JsonValue object() {
-    auto out = std::make_shared<JsonObject>();
-    eat('{');
-    if (peek() == '}') {
-      ++pos_;
-      return JsonValue{out};
-    }
-    while (ok) {
-      std::string k = string();
-      eat(':');
-      out->emplace(std::move(k), value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      eat('}');
-      break;
-    }
-    return JsonValue{out};
-  }
-
-  std::string_view s_;
-  size_t pos_ = 0;
-};
-
-inline JsonValue parse_checked(const std::string& json) {
-  JsonParser p(json);
-  JsonValue v = p.parse();
-  EXPECT_TRUE(p.ok) << "unparseable JSON: " << json.substr(0, 200);
+inline JsonValue parse_checked(const std::string& text) {
+  bool ok = false;
+  JsonValue v = json::parse(text, &ok);
+  EXPECT_TRUE(ok) << "unparseable JSON: " << text.substr(0, 200);
   return v;
 }
 

@@ -95,6 +95,92 @@ TEST(Partition, OneDirectionalIntegrationAfterHeal) {
   EXPECT_EQ(r.reads[0], 5007);
 }
 
+// Machine-generated fault schedules (the adversarial explorer) feed
+// arbitrary group lists to set_partition; invalid input must be rejected
+// atomically, leaving the previous partition state intact.
+TEST(Partition, SetPartitionValidatesGroups) {
+  Config cfg = cfg5();
+  Cluster cluster(cfg, 86);
+  cluster.bootstrap();
+  auto& net = cluster.network();
+
+  ASSERT_TRUE(net.set_partition({{0, 1}, {2, 3, 4}}));
+  ASSERT_FALSE(net.reachable(0, 2));
+
+  // A site in two groups is contradictory.
+  EXPECT_FALSE(net.set_partition({{0, 1}, {1, 2}}));
+  // Out-of-range site ids, both directions.
+  EXPECT_FALSE(net.set_partition({{0}, {1, 5}}));
+  EXPECT_FALSE(net.set_partition({{-1, 0}}));
+  // Duplicate within one group is the same contradiction.
+  EXPECT_FALSE(net.set_partition({{2, 2}}));
+
+  // Every rejection left the original cut in place.
+  EXPECT_TRUE(net.reachable(0, 1));
+  EXPECT_FALSE(net.reachable(0, 2));
+  EXPECT_TRUE(net.reachable(3, 4));
+
+  net.clear_partition();
+  EXPECT_TRUE(net.reachable(0, 2));
+}
+
+// A site reboots inside a partition where it can reach a sponsor (site 1)
+// but not the rest of the operational set: the type-1 control transaction
+// reads the NS vector from the sponsor, then its NS writes to the far
+// side time out, so the first attempt fails and the retry machinery is
+// mid-flight when the cut heals. Recovery then completes through further
+// type-1 attempts of the ordinary procedure -- crucially WITHOUT the
+// cold-start path (the site never concludes "total failure" and never
+// re-founds the cluster solo, because the sponsor kept answering pings).
+//
+// (A TOTAL cut would not pin this loop: a recovering site whose pings all
+// time out concludes total failure and cold-starts the cluster solo --
+// the split-brain boundary covered by the tests above.)
+// (Promoted from examples/partition_heal.cpp into a pinned regression.)
+TEST(Partition, HealDuringInFlightType1RetryLoop) {
+  Config cfg = cfg5();
+  Cluster cluster(cfg, 87);
+  cluster.bootstrap();
+
+  cluster.crash_site(0);
+  cluster.run_until(cluster.now() + 400'000); // type-2 declares site 0 down
+
+  // The majority keeps writing while site 0 is gone.
+  for (ItemId x = 0; x < 10; ++x) {
+    ASSERT_TRUE(cluster.run_txn(1, {{OpKind::kWrite, x, 9000 + x}}).committed);
+  }
+
+  // Milestone counters are reset when an episode restarts, so count
+  // type-1 attempts via the monotonic cluster-wide metric.
+  const int64_t attempts_before = cluster.metrics().get("control_up.attempts");
+  const int64_t cold_before = cluster.metrics().get("control_up.cold_start");
+
+  // Reboot with only the sponsor reachable.
+  ASSERT_TRUE(cluster.network().set_partition({{0, 1}, {2, 3, 4}}));
+  cluster.recover_site(0);
+  // Attempt 1 is in flight (sponsor read done, far-side NS writes timing
+  // out); the site is still mid-recovery.
+  cluster.run_until(cluster.now() + 60'000);
+  EXPECT_EQ(cluster.site(0).state().mode, SiteMode::kRecovering);
+  EXPECT_EQ(cluster.metrics().get("control_up.attempts") - attempts_before, 1);
+
+  // Heal while the retry loop is in flight.
+  cluster.network().clear_partition();
+  cluster.settle(120'000'000);
+
+  EXPECT_EQ(cluster.site(0).state().mode, SiteMode::kUp);
+  // The failed first attempt was retried across the heal...
+  EXPECT_GE(cluster.metrics().get("control_up.attempts") - attempts_before, 2);
+  // ...through the normal sponsored procedure, never the cold start.
+  EXPECT_EQ(cluster.metrics().get("control_up.cold_start") - cold_before, 0);
+  std::string why;
+  EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
+  // The recovered site serves the writes it missed during the cut.
+  auto r = cluster.run_txn(0, {{OpKind::kRead, 3, 0}});
+  ASSERT_TRUE(r.committed) << to_string(r.reason);
+  EXPECT_EQ(r.reads[0], 9003);
+}
+
 TEST(Partition, TransportSemantics) {
   Config cfg = cfg5();
   Cluster cluster(cfg, 85);

@@ -159,6 +159,46 @@ TEST(FailureDetector, OneVerifyChainInFlightPerSuspect) {
   EXPECT_GE(cluster.metrics().get("fd.declared_down"), 1);
 }
 
+// Failure injection under machine-generated schedules (the adversarial
+// explorer delta-debugs action lists, so any subset of a valid schedule
+// reaches the cluster): out-of-range sites are rejected, a crash aimed at
+// an already-down site is a no-op rather than a double power-off, and a
+// recover aimed at an up or mid-recovery site is equally inert.
+TEST(FailureInjection, CrashAndRecoverAreBoundsCheckedAndIdempotent) {
+  Config cfg;
+  cfg.n_sites = 3;
+  cfg.n_items = 12;
+  cfg.replication_degree = 2;
+  Cluster cluster(cfg, 91);
+  cluster.bootstrap();
+
+  EXPECT_FALSE(cluster.crash_site(-1));
+  EXPECT_FALSE(cluster.crash_site(3));
+  EXPECT_FALSE(cluster.recover_site(-1));
+  EXPECT_FALSE(cluster.recover_site(3));
+  EXPECT_FALSE(cluster.recover_site(0)); // up: nothing to power on
+
+  EXPECT_TRUE(cluster.crash_site(1));
+  EXPECT_FALSE(cluster.crash_site(1)); // already down: no-op
+
+  // Regression: a *scheduled* crash landing on an already-crashed site
+  // (two injectors aiming at the same target) must be absorbed silently;
+  // in release builds this used to reach Site::crash() in the wrong mode.
+  cluster.crash_site_at(cluster.now() + 10'000, 1);
+  cluster.crash_site_at(cluster.now() + 20'000, 1);
+  cluster.run_until(cluster.now() + 100'000);
+  EXPECT_EQ(cluster.site(1).state().mode, SiteMode::kDown);
+
+  EXPECT_TRUE(cluster.recover_site(1));
+  EXPECT_FALSE(cluster.recover_site(1)); // mid-recovery: no-op
+  cluster.settle();
+  EXPECT_EQ(cluster.site(1).state().mode, SiteMode::kUp);
+  std::string why;
+  EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
+  // The session advanced exactly once across the whole barrage.
+  EXPECT_EQ(cluster.site(1).state().session, 2u);
+}
+
 TEST(FailureDetector, NoFalseDeclarationsOnHealthyCluster) {
   Config cfg;
   cfg.n_sites = 5;

@@ -76,6 +76,62 @@ TEST(SweepDeterminism, SeedsProduceDistinctRuns) {
   EXPECT_EQ(res.runs[0].report_json, again.runs[0].report_json);
 }
 
+// One cell, planted skip-mark bug, and a crash window long enough for the
+// failure detector to declare the site down so stale writes accumulate,
+// with little traffic left after the recovery to paper over the unmarked
+// copy. Deterministic: seed 6 trips the convergence oracle.
+SweepSpec planted_spec() {
+  SweepSpec spec = small_spec();
+  spec.cells.resize(1);
+  spec.cells[0].cfg.planted_bug = PlantedBug::kSkipMark;
+  spec.seed_base = 1;
+  spec.seeds = 8;
+  spec.params.workload.ops_per_txn = 3; // match the ddbs_sweep CLI default
+  spec.params.duration = 800'000;
+  spec.params.schedule.clear();
+  spec.params.schedule.push_back(
+      FailureEvent{100'000, FailureEvent::What::kCrash, 1});
+  spec.params.schedule.push_back(
+      FailureEvent{600'000, FailureEvent::What::kRecover, 1});
+  return spec;
+}
+
+// The quiescence oracles wired into every sweep run: clean cells pass
+// with zero violations; a cell carrying a planted protocol bug must trip
+// at least one oracle, and fail-fast must then stop scheduling runs.
+TEST(SweepOracles, CleanCellsPassAndPlantedBugTrips) {
+  SweepSpec spec = small_spec();
+  spec.cells.resize(1);
+  const SweepResult clean = run_sweep(spec, 2);
+  for (const SweepRun& r : clean.runs) {
+    EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "not converged"
+                                                 : r.violations.front());
+  }
+  EXPECT_EQ(clean.cells[0].oracle_failures, 0);
+  EXPECT_EQ(clean.cells[0].completed, spec.seeds);
+
+  const SweepResult bad = run_sweep(planted_spec(), 2);
+  EXPECT_GT(bad.cells[0].oracle_failures, 0)
+      << "planted skip-mark bug escaped every oracle";
+}
+
+TEST(SweepOracles, FailFastStopsSchedulingAfterFirstFailure) {
+  SweepSpec spec = planted_spec();
+  spec.fail_fast = true;
+  // Serial execution makes the cutoff deterministic: everything after the
+  // first failing seed (6) is skipped.
+  const SweepResult res = run_sweep(spec, 1);
+  int completed = 0, failures = 0;
+  for (const SweepRun& r : res.runs) {
+    if (r.completed) ++completed;
+    if (!r.violations.empty()) ++failures;
+  }
+  ASSERT_GT(failures, 0) << "planted bug never tripped; cannot test cutoff";
+  EXPECT_LT(completed, spec.seeds);
+  // Skipped slots still identify themselves.
+  EXPECT_EQ(res.runs.back().seed, spec.seed_base + 7);
+}
+
 TEST(SweepDeterminism, SummariesCoverHeadlineScalars) {
   SweepSpec spec = small_spec();
   const SweepResult res = run_sweep(spec, 2);

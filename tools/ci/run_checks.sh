@@ -34,6 +34,23 @@ if [[ "$run_asan" == 1 ]]; then
   ctest --preset asan -j "$jobs"
 fi
 
+step "adversarial explorer smoke (planted-bug self-check + clean run)"
+# Self-validation: with a planted protocol bug the bounded exploration
+# must find a violation, shrink it, and verify the repro byte-for-byte
+# (nonzero exit otherwise). The same bounded run on the unmutated
+# protocol must find nothing. Repro artifacts land in explore-corpus/
+# for the workflow to archive when this gate fails.
+corpus="$repo/explore-corpus"
+rm -rf "$corpus"
+"$repo/build/tools/ddbs_explore" \
+  --planted-bug=skip-mark --schedules=6 --seeds=1 -j "$jobs" \
+  --sites=4 --items=40 --horizon-ms=1500 \
+  --shrink-budget=80 --max-shrinks=2 --corpus="$corpus" >/dev/null
+"$repo/build/tools/ddbs_explore" \
+  --schedules=4 --seeds=1 -j "$jobs" \
+  --sites=4 --items=40 --horizon-ms=1500 --corpus= >/dev/null
+rm -rf "$corpus"
+
 step "observability smoke (ddbs_sim -> ddbs_trace.py)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT

@@ -1,0 +1,360 @@
+// ddbs_explore -- adversarial schedule explorer CLI.
+//
+// Generates seed-deterministic nemesis schedules (crashes, reboots,
+// partitions, drop bursts, detector-timeout skew), fans (schedule x seed)
+// runs across the run_parallel worker pool, checks invariant oracles at
+// checkpoints and quiescence, delta-debugs every failing schedule to a
+// minimal action list, verifies each minimized repro replays
+// byte-identically, and writes the repro artifacts into a corpus
+// directory (schema: EXPERIMENTS.md).
+//
+// Exit status:
+//   0  clean protocol explored with zero violations, or -- under
+//      --planted-bug -- the planted bug was found, shrunk and its repro
+//      verified (self-check passed), or --replay reproduced its artifact
+//      byte-for-byte.
+//   1  violations found in an unmutated protocol; or a planted bug the
+//      explorer failed to find (self-check failed); or a replay mismatch.
+//
+// Examples:
+//   ddbs_explore --schedules=50 --seeds=2 -j 8 --corpus=corpus/
+//   ddbs_explore --planted-bug=skip-mark --schedules=12 -j 4
+//   ddbs_explore --replay=corpus/REPRO_sched7_seed1.json
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explore/explorer.h"
+#include "explore/repro.h"
+#include "explore/schedule.h"
+#include "explore/shrink.h"
+#include "workload/sweep.h"
+
+using namespace ddbs;
+
+namespace {
+
+struct Options {
+  ExploreOptions run;
+  ScheduleParams sched;
+  int schedules = 20;
+  int seeds = 1;
+  uint64_t seed_base = 1;
+  uint64_t schedule_seed_base = 1;
+  int threads = 1;
+  int shrink_budget = 200;
+  int max_shrinks = 8; // violations beyond this are reported, not shrunk
+  bool fail_fast = false;
+  std::string corpus = "explore-corpus";
+  std::string replay_path; // non-empty => replay mode
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [flags]\n"
+      "search space:\n"
+      "  --schedules=N         nemesis schedules to generate (default 20)\n"
+      "  --seeds=M             workload seeds per schedule (default 1)\n"
+      "  --seed-base=N         first workload seed (default 1)\n"
+      "  --schedule-seed-base=N first schedule seed (default 1)\n"
+      "  --max-actions=N       actions per generated schedule (default 8)\n"
+      "  --partitions          include partition/heal actions\n"
+      "  --no-drop-bursts      exclude message-drop bursts\n"
+      "  --no-skew             exclude latency-skew windows\n"
+      "run shape:\n"
+      "  --sites=N --items=N --degree=N --loss=F\n"
+      "  --horizon-ms=N        load+fault window (default 2000)\n"
+      "  --clients=N --ops=N --reads=F --zipf=F\n"
+      "  --planted-bug=NAME    none|skip-session-check|skip-mark\n"
+      "driver:\n"
+      "  -j N, --threads=N     worker threads (default 1)\n"
+      "  --fail-fast           stop scheduling runs after first violation\n"
+      "  --shrink-budget=N     max re-runs per shrink (default 200)\n"
+      "  --max-shrinks=N       violations to shrink (default 8)\n"
+      "  --corpus=DIR          minimized repro artifacts (default\n"
+      "                        explore-corpus; \"\" disables)\n"
+      "  --replay=FILE         replay one repro artifact and exit\n",
+      argv0);
+  std::exit(2);
+}
+
+bool parse_kv(const char* arg, const char* key, std::string* out) {
+  const size_t len = std::strlen(key);
+  if (std::strncmp(arg, key, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_kv(argv[i], "--schedules", &v)) {
+      o.schedules = std::stoi(v);
+    } else if (parse_kv(argv[i], "--seeds", &v)) {
+      o.seeds = std::stoi(v);
+    } else if (parse_kv(argv[i], "--seed-base", &v)) {
+      o.seed_base = std::stoull(v);
+    } else if (parse_kv(argv[i], "--schedule-seed-base", &v)) {
+      o.schedule_seed_base = std::stoull(v);
+    } else if (parse_kv(argv[i], "--max-actions", &v)) {
+      o.sched.max_actions = std::stoi(v);
+    } else if (std::strcmp(argv[i], "--partitions") == 0) {
+      o.sched.partitions = true;
+    } else if (std::strcmp(argv[i], "--no-drop-bursts") == 0) {
+      o.sched.drop_bursts = false;
+    } else if (std::strcmp(argv[i], "--no-skew") == 0) {
+      o.sched.latency_skew = false;
+    } else if (parse_kv(argv[i], "--sites", &v)) {
+      o.run.cfg.n_sites = std::stoi(v);
+    } else if (parse_kv(argv[i], "--items", &v)) {
+      o.run.cfg.n_items = std::stoll(v);
+    } else if (parse_kv(argv[i], "--degree", &v)) {
+      o.run.cfg.replication_degree = std::stoi(v);
+    } else if (parse_kv(argv[i], "--loss", &v)) {
+      o.run.cfg.msg_loss_prob = std::stod(v);
+    } else if (parse_kv(argv[i], "--horizon-ms", &v)) {
+      o.run.horizon = std::stoll(v) * 1000;
+    } else if (parse_kv(argv[i], "--clients", &v)) {
+      o.run.clients_per_site = std::stoi(v);
+    } else if (parse_kv(argv[i], "--ops", &v)) {
+      o.run.workload.ops_per_txn = std::stoi(v);
+    } else if (parse_kv(argv[i], "--reads", &v)) {
+      o.run.workload.read_fraction = std::stod(v);
+    } else if (parse_kv(argv[i], "--zipf", &v)) {
+      o.run.workload.zipf_theta = std::stod(v);
+    } else if (parse_kv(argv[i], "--planted-bug", &v)) {
+      if (!parse_planted_bug(v, &o.run.cfg.planted_bug)) usage(argv[0]);
+    } else if (parse_kv(argv[i], "--threads", &v)) {
+      o.threads = std::stoi(v);
+    } else if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) {
+      o.threads = std::stoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "-j", 2) == 0 && argv[i][2] != '\0') {
+      o.threads = std::stoi(argv[i] + 2);
+    } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
+      o.fail_fast = true;
+    } else if (parse_kv(argv[i], "--shrink-budget", &v)) {
+      o.shrink_budget = std::stoi(v);
+    } else if (parse_kv(argv[i], "--max-shrinks", &v)) {
+      o.max_shrinks = std::stoi(v);
+    } else if (parse_kv(argv[i], "--corpus", &v)) {
+      o.corpus = v;
+    } else if (parse_kv(argv[i], "--replay", &v)) {
+      o.replay_path = v;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (o.schedules < 1 || o.seeds < 1 || o.threads < 1 ||
+      o.sched.max_actions < 1 || o.shrink_budget < 1) {
+    usage(argv[0]);
+  }
+  o.sched.n_sites = o.run.cfg.n_sites;
+  o.sched.horizon = o.run.horizon;
+  return o;
+}
+
+int replay_artifact(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ddbs_explore: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ReproArtifact a;
+  std::string err;
+  if (!parse_repro(buf.str(), &a, &err)) {
+    std::fprintf(stderr, "ddbs_explore: %s: %s\n", path.c_str(), err.c_str());
+    return 1;
+  }
+  std::printf("replaying %s: seed %llu, %zu action%s\n  %s\n", path.c_str(),
+              static_cast<unsigned long long>(a.seed), a.schedule.size(),
+              a.schedule.size() == 1 ? "" : "s",
+              to_string(a.schedule).c_str());
+  const ReplayResult r = replay(a);
+  if (!r.violated) {
+    std::fprintf(stderr, "ddbs_explore: replay did NOT violate (expected"
+                 " %s)\n", a.violation.oracle.c_str());
+    return 1;
+  }
+  if (!r.byte_identical) {
+    std::fprintf(stderr, "ddbs_explore: replay violated but the report is"
+                 " not byte-identical to the artifact\n");
+    return 1;
+  }
+  std::printf("reproduced byte-for-byte: %s\n",
+              to_string(r.run.violations.front()).c_str());
+  return 0;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ddbs_explore: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+struct RunOutcome {
+  uint64_t schedule_seed = 0;
+  uint64_t seed = 0;
+  Schedule schedule;
+  ExploreRunResult result;
+  bool completed = false;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (!o.replay_path.empty()) return replay_artifact(o.replay_path);
+
+  const size_t total =
+      static_cast<size_t>(o.schedules) * static_cast<size_t>(o.seeds);
+  std::printf("ddbs_explore: %d schedule%s x %d seed%s = %zu runs on %d"
+              " thread%s (planted bug: %s)\n",
+              o.schedules, o.schedules == 1 ? "" : "s", o.seeds,
+              o.seeds == 1 ? "" : "s", total, o.threads,
+              o.threads == 1 ? "" : "s",
+              to_string(o.run.cfg.planted_bug));
+
+  std::vector<RunOutcome> outcomes(total);
+  std::atomic<bool> cancel{false};
+  std::mutex progress_mu;
+  run_parallel(
+      total, o.threads,
+      [&](size_t i) {
+        RunOutcome& out = outcomes[i];
+        out.schedule_seed =
+            o.schedule_seed_base + i / static_cast<size_t>(o.seeds);
+        out.seed = o.seed_base + i % static_cast<size_t>(o.seeds);
+        out.schedule = generate_schedule(o.sched, out.schedule_seed);
+        out.result = run_schedule(o.run, out.schedule, out.seed);
+        out.completed = true;
+        {
+          std::lock_guard<std::mutex> lock(progress_mu);
+          if (out.result.violated) {
+            std::printf("  sched %llu seed %llu: VIOLATION %s\n",
+                        static_cast<unsigned long long>(out.schedule_seed),
+                        static_cast<unsigned long long>(out.seed),
+                        to_string(out.result.violations.front()).c_str());
+          } else {
+            std::printf("  sched %llu seed %llu: ok (%zu actions, %lld"
+                        " committed)\n",
+                        static_cast<unsigned long long>(out.schedule_seed),
+                        static_cast<unsigned long long>(out.seed),
+                        out.schedule.size(),
+                        static_cast<long long>(out.result.committed));
+          }
+          std::fflush(stdout);
+        }
+        if (o.fail_fast && out.result.violated) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
+      },
+      o.fail_fast ? &cancel : nullptr);
+
+  // Shrink the failing schedules in deterministic index order, verify
+  // each minimized repro replays byte-identically, and write the corpus.
+  std::vector<size_t> failing;
+  size_t completed = 0;
+  for (size_t i = 0; i < total; ++i) {
+    if (outcomes[i].completed) ++completed;
+    if (outcomes[i].completed && outcomes[i].result.violated) {
+      failing.push_back(i);
+    }
+  }
+
+  int rc = 0;
+  int shrunk = 0, verified = 0;
+  if (!failing.empty() && !o.corpus.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(o.corpus, ec);
+    if (ec) {
+      std::fprintf(stderr, "ddbs_explore: cannot create %s: %s\n",
+                   o.corpus.c_str(), ec.message().c_str());
+      rc = 1;
+    }
+  }
+  for (size_t i : failing) {
+    if (shrunk >= o.max_shrinks) {
+      std::printf("  (skipping shrink of %zu further violation%s)\n",
+                  failing.size() - static_cast<size_t>(shrunk),
+                  failing.size() - static_cast<size_t>(shrunk) == 1 ? ""
+                                                                    : "s");
+      break;
+    }
+    RunOutcome& out = outcomes[i];
+    ++shrunk;
+    const ShrinkResult sr = shrink_schedule(o.run, out.schedule, out.seed,
+                                            o.shrink_budget);
+    std::printf("  shrink sched %llu seed %llu: %zu -> %zu actions in %d"
+                " runs%s\n    %s\n",
+                static_cast<unsigned long long>(out.schedule_seed),
+                static_cast<unsigned long long>(out.seed),
+                out.schedule.size(), sr.schedule.size(), sr.runs,
+                sr.minimal ? "" : " (budget exhausted)",
+                to_string(sr.schedule).c_str());
+    if (!sr.result.violated) {
+      std::fprintf(stderr, "ddbs_explore: shrink lost the violation"
+                   " (nondeterminism?)\n");
+      rc = 1;
+      continue;
+    }
+    ReproArtifact artifact;
+    artifact.opts = o.run;
+    artifact.seed = out.seed;
+    artifact.schedule = sr.schedule;
+    artifact.violation = sr.result.violations.front();
+    artifact.report = sr.result.report;
+    const ReplayResult rr = replay(artifact);
+    if (rr.violated && rr.byte_identical) {
+      ++verified;
+    } else {
+      std::fprintf(stderr, "ddbs_explore: minimized repro failed replay"
+                   " verification\n");
+      rc = 1;
+    }
+    if (!o.corpus.empty()) {
+      const std::string path = o.corpus + "/REPRO_sched" +
+                               std::to_string(out.schedule_seed) + "_seed" +
+                               std::to_string(out.seed) + ".json";
+      if (!write_file(path, to_json(artifact))) rc = 1;
+    }
+  }
+
+  std::printf("ddbs_explore: %zu/%zu runs, %zu violation%s, %d shrunk, %d"
+              " replay-verified\n",
+              completed, total, failing.size(),
+              failing.size() == 1 ? "" : "s", shrunk, verified);
+
+  if (o.run.cfg.planted_bug == PlantedBug::kNone) {
+    // Clean protocol: any violation is a finding (and a failure).
+    if (!failing.empty()) rc = 1;
+  } else {
+    // Self-check: the explorer must find the planted bug and produce at
+    // least one verified minimized repro.
+    if (failing.empty()) {
+      std::fprintf(stderr, "ddbs_explore: planted bug %s NOT found\n",
+                   to_string(o.run.cfg.planted_bug));
+      rc = 1;
+    } else if (verified == 0) {
+      std::fprintf(stderr, "ddbs_explore: planted bug found but no repro"
+                   " survived replay verification\n");
+      rc = 1;
+    }
+  }
+  return rc;
+}

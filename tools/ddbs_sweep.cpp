@@ -43,6 +43,8 @@ struct Options {
   std::string out = "SWEEP_ddbs.json";
   std::string per_run_dir; // "" = don't write per-run reports
   std::string spans_dir;   // "" = don't write per-run span dumps
+  bool fail_fast = false;
+  bool no_oracles = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -58,6 +60,10 @@ struct Options {
       "  --seeds=N             seeds per cell (default 4)\n"
       "  --seed-base=N         first seed (default 1)\n"
       "  -j N, --threads=N     worker threads (default 1)\n"
+      "  --fail-fast           stop scheduling runs after the first failure\n"
+      "  --no-oracles          skip the quiescence invariant oracles\n"
+      "  --planted-bug=NAME    protocol mutation for every cell\n"
+      "                        (none|skip-session-check|skip-mark)\n"
       "  --out=PATH            aggregate JSON report (default SWEEP_ddbs.json)\n"
       "  --per-run-dir=DIR     also write RUN_<cell>_seed<N>.json per run\n"
       "  --spans-dir=DIR       also write SPANS_<cell>_seed<N>.json per run\n"
@@ -153,6 +159,12 @@ Options parse(int argc, char** argv) {
     } else if (parse_kv(argv[i], "--recover", &v)) {
       o.schedule.push_back(
           parse_event(v, FailureEvent::What::kRecover, argv[0]));
+    } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
+      o.fail_fast = true;
+    } else if (std::strcmp(argv[i], "--no-oracles") == 0) {
+      o.no_oracles = true;
+    } else if (parse_kv(argv[i], "--planted-bug", &v)) {
+      if (!parse_planted_bug(v, &o.base.planted_bug)) usage(argv[0]);
     } else if (parse_kv(argv[i], "--out", &v)) {
       o.out = v;
     } else if (parse_kv(argv[i], "--per-run-dir", &v)) {
@@ -258,6 +270,8 @@ int main(int argc, char** argv) {
   spec.params.workload.zipf_theta = o.zipf;
   spec.params.schedule = o.schedule;
   spec.capture_spans = !o.spans_dir.empty();
+  spec.check_oracles = !o.no_oracles;
+  spec.fail_fast = o.fail_fast;
 
   for (const std::string& scheme : o.schemes) {
     for (const std::string& ws : o.write_schemes) {
@@ -329,11 +343,34 @@ int main(int argc, char** argv) {
     }
   }
   if (!write_file(o.out, sweep_report_json(spec, res, o.threads))) rc = 1;
+  // A sweep fails (nonzero exit) when any completed run missed replica
+  // convergence or tripped an invariant oracle. Runs skipped by
+  // --fail-fast are reported but judged only by the runs that did execute.
+  for (const SweepRun& r : res.runs) {
+    for (const std::string& v : r.violations) {
+      std::fprintf(stderr, "ddbs_sweep: %s seed %llu: ORACLE VIOLATION %s\n",
+                   spec.cells[r.cell].label.c_str(),
+                   static_cast<unsigned long long>(r.seed), v.c_str());
+    }
+  }
   for (const SweepCellSummary& cell : res.cells) {
-    if (cell.converged != o.seeds) {
-      std::fprintf(stderr, "ddbs_sweep: cell %s: %d/%d runs converged\n",
-                   cell.label.c_str(), cell.converged, o.seeds);
+    if (cell.converged != cell.completed) {
+      std::fprintf(stderr, "ddbs_sweep: cell %s: %d/%d completed runs"
+                   " converged\n",
+                   cell.label.c_str(), cell.converged, cell.completed);
       rc = 1;
+    }
+    if (cell.oracle_failures > 0) {
+      std::fprintf(stderr, "ddbs_sweep: cell %s: %d run%s violated an"
+                   " invariant oracle\n",
+                   cell.label.c_str(), cell.oracle_failures,
+                   cell.oracle_failures == 1 ? "" : "s");
+      rc = 1;
+    }
+    if (cell.completed != o.seeds) {
+      std::fprintf(stderr, "ddbs_sweep: cell %s: %d/%d runs skipped"
+                   " (--fail-fast)\n",
+                   cell.label.c_str(), o.seeds - cell.completed, o.seeds);
     }
   }
   return rc;
