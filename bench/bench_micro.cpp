@@ -45,6 +45,92 @@ void BM_LockManager_SharedFanIn(benchmark::State& state) {
 }
 BENCHMARK(BM_LockManager_SharedFanIn)->Arg(8)->Arg(64)->Arg(512);
 
+// Exclusive convoy: every release hands the lock to the next queued
+// waiter, so the grant/pump path dominates.
+void BM_LockManager_ContendedHandoff(benchmark::State& state) {
+  const int waiters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    LockManager lm;
+    lm.acquire(1, 3, LockMode::kExclusive, []() {});
+    for (int w = 0; w < waiters; ++w) {
+      lm.acquire(static_cast<TxnId>(w + 2), 3, LockMode::kExclusive,
+                 []() {});
+    }
+    for (int w = 0; w <= waiters; ++w) {
+      lm.release_all(static_cast<TxnId>(w + 1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (waiters + 1));
+}
+BENCHMARK(BM_LockManager_ContendedHandoff)->Arg(8)->Arg(64);
+
+// Lock-timeout churn: a deep waiter queue cancelled one request at a
+// time. Regression guard for the old deque scan, which made each cancel
+// O(queue depth).
+void BM_LockManager_CancelChurn(benchmark::State& state) {
+  const int waiters = static_cast<int>(state.range(0));
+  std::vector<LockManager::RequestId> rids(
+      static_cast<size_t>(waiters));
+  for (auto _ : state) {
+    LockManager lm;
+    lm.acquire(1, 3, LockMode::kExclusive, []() {});
+    for (int w = 0; w < waiters; ++w) {
+      rids[static_cast<size_t>(w)] = lm.acquire(
+          static_cast<TxnId>(w + 2), 3, LockMode::kExclusive, []() {});
+    }
+    // Middle-out order so unlinks hit interior queue nodes, not just ends.
+    for (int w = 0; w < waiters; w += 2) {
+      lm.cancel(rids[static_cast<size_t>(w)]);
+    }
+    for (int w = 1; w < waiters; w += 2) {
+      lm.cancel(rids[static_cast<size_t>(w)]);
+    }
+    lm.release_all(1);
+  }
+  state.SetItemsProcessed(state.iterations() * waiters);
+}
+BENCHMARK(BM_LockManager_CancelChurn)->Arg(8)->Arg(64)->Arg(512);
+
+// One transaction releasing exclusive locks on many items at once, each
+// with a successor waiting -- the shape of a large commit under load.
+void BM_LockManager_ReleaseFanOut(benchmark::State& state) {
+  const int items = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    LockManager lm;
+    for (int i = 0; i < items; ++i) {
+      lm.acquire(1, static_cast<ItemId>(i), LockMode::kExclusive, []() {});
+    }
+    for (int i = 0; i < items; ++i) {
+      lm.acquire(static_cast<TxnId>(100 + i), static_cast<ItemId>(i),
+                 LockMode::kExclusive, []() {});
+    }
+    lm.release_all(1);
+    for (int i = 0; i < items; ++i) {
+      lm.release_all(static_cast<TxnId>(100 + i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+}
+BENCHMARK(BM_LockManager_ReleaseFanOut)->Arg(16)->Arg(128);
+
+// The deadlock detector's edge harvest over a steadily contended table.
+void BM_LockManager_WaitEdges(benchmark::State& state) {
+  LockManager lm;
+  for (int i = 0; i < 32; ++i) {
+    lm.acquire(static_cast<TxnId>(i + 1), static_cast<ItemId>(i),
+               LockMode::kShared, []() {});
+    lm.acquire(static_cast<TxnId>(100 + i), static_cast<ItemId>(i),
+               LockMode::kExclusive, []() {});
+    lm.acquire(static_cast<TxnId>(200 + i), static_cast<ItemId>(i),
+               LockMode::kShared, []() {});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.wait_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_LockManager_WaitEdges);
+
 void BM_EventQueue_PushPop(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -191,6 +277,31 @@ void BM_EndToEnd_SimulatedTxn(benchmark::State& state) {
   state.SetLabel("simulated distributed txns per wall-clock second");
 }
 BENCHMARK(BM_EndToEnd_SimulatedTxn);
+
+// Ablation twin of BM_EndToEnd_SimulatedTxn with per-site operation
+// batching off: one RPC per physical op instead of one per destination.
+// The gap between the two is the batching win in host time.
+void BM_EndToEnd_SimulatedTxn_Unbatched(benchmark::State& state) {
+  Config cfg;
+  cfg.n_sites = 4;
+  cfg.n_items = 100;
+  cfg.replication_degree = 3;
+  cfg.record_history = false;
+  cfg.batch_physical_ops = false;
+  Cluster cluster(cfg, 5);
+  cluster.bootstrap();
+  WorkloadParams wp;
+  wp.ops_per_txn = 3;
+  WorkloadGen gen(cfg, wp, 5);
+  SiteId origin = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.run_txn(origin, gen.next()));
+    origin = static_cast<SiteId>((origin + 1) % 4);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("simulated distributed txns per wall-clock second");
+}
+BENCHMARK(BM_EndToEnd_SimulatedTxn_Unbatched);
 
 } // namespace
 } // namespace ddbs

@@ -117,6 +117,12 @@ struct Config {
   // Jitter the failure detector's period so concurrent type-2 control
   // transactions from different sites do not collide in lockstep.
   bool detector_jitter = true;
+  // Batch all physical operations a coordinator sends to the same
+  // destination site into one BatchReq envelope. Semantically neutral
+  // (the Section 3.2 session check is per-site, so one check covers the
+  // batch); off restores the one-RPC-per-operation path for differential
+  // testing.
+  bool batch_physical_ops = true;
   // Periodically probe NOMINALLY-DOWN sites; one that answers
   // "operational" has been falsely declared (fail-stop violated, e.g. a
   // healed partition) and is told to restart and re-integrate. This is the

@@ -25,6 +25,14 @@ class U64Table {
     }
   }
 
+  const V* find(uint64_t key) const {
+    if (size_ == 0) return nullptr;
+    for (size_t i = index_of(key);; i = (i + 1) & mask_) {
+      if (slots_[i].key == key) return &slots_[i].val;
+      if (slots_[i].key == 0) return nullptr;
+    }
+  }
+
   // Inserts a new key (must be nonzero and absent).
   void insert(uint64_t key, V val) {
     assert(key != 0);

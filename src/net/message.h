@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/small_vec.h"
 #include "common/types.h"
 
 namespace ddbs {
@@ -58,17 +59,64 @@ struct WriteReq {
   // per-item counter, so copies converge on identical tags.
   bool is_copier_write = false;
   Version copier_version;
-  std::vector<SiteId> missed_sites;
+  SiteVec missed_sites;
   // Every site this logical write targets (this one included); at commit
   // each participant drops missing-list entries (item, j) for j in here,
   // since a whole-item write makes every written copy current.
-  std::vector<SiteId> written_sites;
+  SiteVec written_sites;
 };
 
 struct WriteResp {
   TxnId txn = 0;
   ItemId item = 0;
   Code code = Code::kOk;
+};
+
+// ---- batched physical operations ----------------------------------------
+//
+// Every physical operation a coordinator sends to the same destination site
+// rides in one envelope. This is semantically equivalent to N individual
+// ReadReq/WriteReq because the session convention (paper Section 3.2) is
+// per-SITE: expected_session = ns_i[k] for destination k, so a single check
+// covers the whole batch. The DM still admits each operation individually
+// (a planted skip-session-check bug must keep applying to writes only) and
+// reports a per-operation code, so failure semantics match the unbatched
+// path operation for operation.
+
+enum class BatchOpKind : uint8_t { kRead, kWrite };
+
+struct BatchOp {
+  BatchOpKind op = BatchOpKind::kRead;
+  ItemId item = 0;
+  // Read fields.
+  bool allow_unreadable = false;
+  // Write fields (see WriteReq).
+  Value value = 0;
+  bool is_copier_write = false;
+  Version copier_version;
+  SiteVec missed_sites;
+  SiteVec written_sites;
+};
+
+struct BatchReq {
+  TxnId txn = 0;
+  TxnKind kind = TxnKind::kUser;
+  SiteId coordinator = kInvalidSite;
+  SessionNum expected_session = 0;
+  bool bypass_session_check = false;
+  std::vector<BatchOp> ops;
+};
+
+struct BatchOpResult {
+  Code code = Code::kOk;
+  Value value = 0;   // reads only
+  Version version;   // reads only
+};
+
+struct BatchResp {
+  TxnId txn = 0;
+  Code code = Code::kOk; // batch-level verdict: kOk iff every op succeeded
+  std::vector<BatchOpResult> results;
 };
 
 // One spooled update held for a down site (spooler baseline, Hammer &
@@ -202,11 +250,11 @@ struct SpoolTrimReq { // recovering site tells spoolers to drop its records
 // ---------------------------------------------------------------------------
 
 using Payload =
-    std::variant<ReadReq, ReadResp, WriteReq, WriteResp, StatusReadReq,
-                 StatusReadResp, StatusClearReq, StatusClearResp, PrepareReq,
-                 PrepareResp, CommitReq, AbortReq, AckResp, OutcomeQuery,
-                 OutcomeResp, Ping, Pong, SpoolFetchReq, SpoolFetchResp,
-                 SpoolTrimReq, DeclaredDown>;
+    std::variant<ReadReq, ReadResp, WriteReq, WriteResp, BatchReq, BatchResp,
+                 StatusReadReq, StatusReadResp, StatusClearReq,
+                 StatusClearResp, PrepareReq, PrepareResp, CommitReq, AbortReq,
+                 AckResp, OutcomeQuery, OutcomeResp, Ping, Pong, SpoolFetchReq,
+                 SpoolFetchResp, SpoolTrimReq, DeclaredDown>;
 
 struct Envelope {
   uint64_t rpc_id = 0;

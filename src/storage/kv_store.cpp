@@ -1,60 +1,114 @@
 #include "storage/kv_store.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace ddbs {
 
+const KvStore::Slot* KvStore::slot_of(ItemId item) const {
+  if (is_data_item(item)) {
+    const size_t i = static_cast<size_t>(item);
+    if (i >= data_.size() || !data_[i].present) return nullptr;
+    return &data_[i];
+  }
+  if (is_ns_item(item)) {
+    const size_t i = static_cast<size_t>(item - kNsBase);
+    if (i >= ns_.size() || !ns_[i].present) return nullptr;
+    return &ns_[i];
+  }
+  auto it = other_.find(item);
+  return it == other_.end() ? nullptr : &it->second;
+}
+
+KvStore::Slot& KvStore::ensure_slot(ItemId item, bool* created) {
+  Slot* s;
+  if (is_data_item(item)) {
+    const size_t i = static_cast<size_t>(item);
+    if (i >= data_.size()) data_.resize(i + 1);
+    s = &data_[i];
+  } else if (is_ns_item(item)) {
+    const size_t i = static_cast<size_t>(item - kNsBase);
+    if (i >= ns_.size()) ns_.resize(i + 1);
+    s = &ns_[i];
+  } else {
+    s = &other_[item];
+  }
+  *created = !s->present;
+  if (!s->present) {
+    s->present = true;
+    ++size_;
+  }
+  return *s;
+}
+
 void KvStore::create(ItemId item, Value initial) {
-  assert(!exists(item));
-  copies_.emplace(item, Copy{initial, Version{}, false});
+  bool created;
+  Slot& s = ensure_slot(item, &created);
+  assert(created && "create() of an existing copy");
+  (void)created;
+  s.copy = Copy{initial, Version{}, false};
 }
 
 const Copy* KvStore::find(ItemId item) const {
-  auto it = copies_.find(item);
-  return it == copies_.end() ? nullptr : &it->second;
+  const Slot* s = slot_of(item);
+  return s == nullptr ? nullptr : &s->copy;
 }
 
 void KvStore::install(ItemId item, Value value, Version version) {
-  auto& c = copies_[item];
-  c.value = value;
-  c.version = version;
-  c.unreadable = false;
+  bool created;
+  Slot& s = ensure_slot(item, &created);
+  if (!created && s.copy.unreadable) --unreadable_count_;
+  s.copy.value = value;
+  s.copy.version = version;
+  s.copy.unreadable = false;
 }
 
 void KvStore::mark_unreadable(ItemId item) {
-  auto it = copies_.find(item);
-  assert(it != copies_.end());
-  it->second.unreadable = true;
+  Slot* s = const_cast<Slot*>(slot_of(item));
+  assert(s != nullptr);
+  if (!s->copy.unreadable) {
+    s->copy.unreadable = true;
+    ++unreadable_count_;
+  }
 }
 
 void KvStore::clear_mark(ItemId item) {
-  auto it = copies_.find(item);
-  assert(it != copies_.end());
-  it->second.unreadable = false;
+  Slot* s = const_cast<Slot*>(slot_of(item));
+  assert(s != nullptr);
+  if (s->copy.unreadable) {
+    s->copy.unreadable = false;
+    --unreadable_count_;
+  }
 }
 
 std::vector<ItemId> KvStore::items() const {
   std::vector<ItemId> out;
-  out.reserve(copies_.size());
-  for (const auto& [id, c] : copies_) out.push_back(id);
-  std::sort(out.begin(), out.end());
+  out.reserve(size_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (data_[i].present) out.push_back(static_cast<ItemId>(i));
+  }
+  for (size_t i = 0; i < ns_.size(); ++i) {
+    if (ns_[i].present) out.push_back(kNsBase + static_cast<ItemId>(i));
+  }
+  for (const auto& [id, s] : other_) out.push_back(id);
   return out;
 }
 
 std::vector<ItemId> KvStore::unreadable_items() const {
   std::vector<ItemId> out;
-  for (const auto& [id, c] : copies_) {
-    if (c.unreadable) out.push_back(id);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (data_[i].present && data_[i].copy.unreadable) {
+      out.push_back(static_cast<ItemId>(i));
+    }
   }
-  std::sort(out.begin(), out.end());
+  for (size_t i = 0; i < ns_.size(); ++i) {
+    if (ns_[i].present && ns_[i].copy.unreadable) {
+      out.push_back(kNsBase + static_cast<ItemId>(i));
+    }
+  }
+  for (const auto& [id, s] : other_) {
+    if (s.copy.unreadable) out.push_back(id);
+  }
   return out;
-}
-
-size_t KvStore::unreadable_count() const {
-  size_t n = 0;
-  for (const auto& [id, c] : copies_) n += c.unreadable ? 1 : 0;
-  return n;
 }
 
 } // namespace ddbs

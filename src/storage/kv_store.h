@@ -3,10 +3,18 @@
 // volatile state -- locks, staged writes, status tables in volatile mode --
 // is lost). The unreadable mark of paper Section 3.2 lives here too, so a
 // crash during refresh can only leave copies pessimistically marked.
+//
+// Data items occupy the dense range [0, n_items), so their copies live in a
+// direct-indexed vector: the per-operation access on the DM hot path is one
+// bounds check and one array load, no hashing. NS copies (kNsBase + site)
+// get a small side vector indexed by site; anything else (nothing today)
+// falls back to an ordered map. Pointers returned by find() are invalidated
+// by create()/install() of a previously-absent item -- no caller holds one
+// across an install (they re-find after staging).
 #pragma once
 
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -25,7 +33,7 @@ class KvStore {
   // Create a copy with the initial database state (writer txn 0).
   void create(ItemId item, Value initial);
 
-  bool exists(ItemId item) const { return copies_.count(item) > 0; }
+  bool exists(ItemId item) const { return find(item) != nullptr; }
 
   const Copy* find(ItemId item) const;
 
@@ -36,13 +44,27 @@ class KvStore {
   void mark_unreadable(ItemId item);
   void clear_mark(ItemId item);
 
-  std::vector<ItemId> items() const;
-  std::vector<ItemId> unreadable_items() const;
-  size_t unreadable_count() const;
-  size_t size() const { return copies_.size(); }
+  std::vector<ItemId> items() const;            // ascending
+  std::vector<ItemId> unreadable_items() const; // ascending
+  size_t unreadable_count() const { return unreadable_count_; }
+  size_t size() const { return size_; }
 
  private:
-  std::unordered_map<ItemId, Copy> copies_;
+  struct Slot {
+    Copy copy;
+    bool present = false;
+  };
+
+  const Slot* slot_of(ItemId item) const;
+  // Returns the slot for `item`, materializing storage for it (grows the
+  // dense arrays; never shrinks). Sets *created when the slot was absent.
+  Slot& ensure_slot(ItemId item, bool* created);
+
+  std::vector<Slot> data_;          // data items, direct-indexed
+  std::vector<Slot> ns_;            // NS copies, indexed by site
+  std::map<ItemId, Slot> other_;    // anything outside the two dense ranges
+  size_t size_ = 0;
+  size_t unreadable_count_ = 0;
 };
 
 } // namespace ddbs

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/small_vec.h"
 #include "common/types.h"
 
 namespace ddbs {
@@ -23,7 +24,7 @@ struct WalWrite {
   Value value = 0;
   bool is_copier_write = false;
   Version copier_version;
-  std::vector<SiteId> missed_sites; // fail-lock/ML bookkeeping to redo
+  SiteVec missed_sites; // fail-lock/ML bookkeeping to redo
 };
 
 struct WalRecord {

@@ -51,6 +51,8 @@ void DataManager::handle_request(const Envelope& env) {
           on_read(env);
         } else if constexpr (std::is_same_v<T, WriteReq>) {
           on_write(env);
+        } else if constexpr (std::is_same_v<T, BatchReq>) {
+          on_batch(env);
         } else if constexpr (std::is_same_v<T, StatusReadReq>) {
           on_status_read(env);
         } else if constexpr (std::is_same_v<T, StatusClearReq>) {
@@ -243,41 +245,62 @@ void DataManager::schedule_deadlock_check() {
 }
 
 void DataManager::run_deadlock_check() {
-  const auto edges = lm_.wait_edges();
-  if (edges.empty()) return;
-  std::vector<DeadlockCandidate> candidates;
-  for (const auto& [txn, chains] : chains_) {
-    TxnKind kind = TxnKind::kUser;
-    if (const TxnCtx* c = find_ctx(txn)) {
-      kind = c->kind;
-    } else if (!chains.empty()) {
-      // Kind travels in the request payload for first-op transactions.
-      const Envelope& env = chains.front()->env;
-      if (const auto* r = std::get_if<ReadReq>(&env.payload)) {
-        kind = r->kind;
-      } else if (const auto* w = std::get_if<WriteReq>(&env.payload)) {
-        kind = w->kind;
-      } else {
-        kind = TxnKind::kControlUp; // status ops come from control txns
+  // The sweep itself is skippable, but the re-arm pattern below must stay
+  // identical in every path: re-arm decisions feed the deterministic event
+  // schedule, and the cheap paths must not perturb it.
+  const uint64_t epoch = lm_.wait_graph_epoch();
+  // No NEW wait edge appeared since a sweep that came back cycle-free:
+  // releases and cancels only remove edges, so no cycle can have formed --
+  // skip the graph walk. Covers the nobody-waiting case too (an empty
+  // graph counts as a clean sweep).
+  if (!lm_.has_waiters() || epoch != clean_wait_epoch_) {
+    const auto edges =
+        lm_.has_waiters() ? lm_.wait_edges()
+                          : std::vector<std::pair<TxnId, TxnId>>{};
+    std::vector<DeadlockCandidate> candidates;
+    if (!edges.empty()) {
+      for (const auto& [txn, chains] : chains_) {
+        TxnKind kind = TxnKind::kUser;
+        if (const TxnCtx* c = find_ctx(txn)) {
+          kind = c->kind;
+        } else if (!chains.empty()) {
+          // Kind travels in the request payload for first-op transactions.
+          const Envelope& env = chains.front()->env;
+          if (const auto* r = std::get_if<ReadReq>(&env.payload)) {
+            kind = r->kind;
+          } else if (const auto* w = std::get_if<WriteReq>(&env.payload)) {
+            kind = w->kind;
+          } else if (const auto* b = std::get_if<BatchReq>(&env.payload)) {
+            kind = b->kind;
+          } else {
+            kind = TxnKind::kControlUp; // status ops come from control txns
+          }
+        }
+        candidates.push_back(DeadlockCandidate{txn, kind});
       }
     }
-    candidates.push_back(DeadlockCandidate{txn, kind});
-  }
-  if (auto victim = DeadlockDetector::find_victim(edges, candidates)) {
-    metrics_.inc(metrics_.id.dm_deadlock_victim);
-    DDBS_DEBUG << "site " << self_ << " deadlock victim txn " << *victim;
-    fail_chains_of(*victim, Code::kDeadlockVictim);
+    if (auto victim = DeadlockDetector::find_victim(edges, candidates)) {
+      metrics_.inc(metrics_.id.dm_deadlock_victim);
+      DDBS_DEBUG << "site " << self_ << " deadlock victim txn " << *victim;
+      fail_chains_of(*victim, Code::kDeadlockVictim);
+      // Not clean: the survivors' edges were not re-examined.
+      clean_wait_epoch_ = ~0ull;
+    } else {
+      clean_wait_epoch_ = epoch;
+    }
   }
   // Keep checking while anyone is still waiting (cross-release cycles).
-  if (!chains_.empty()) {
-    deadlock_check_scheduled_ = true;
-    const uint64_t epoch = boot_epoch_;
-    sched_.after(kDeadlockRecheck, [this, epoch]() {
-      if (epoch != boot_epoch_) return;
-      deadlock_check_scheduled_ = false;
-      run_deadlock_check();
-    });
-  }
+  if (!chains_.empty()) rearm_deadlock_check();
+}
+
+void DataManager::rearm_deadlock_check() {
+  deadlock_check_scheduled_ = true;
+  const uint64_t epoch = boot_epoch_;
+  sched_.after(kDeadlockRecheck, [this, epoch]() {
+    if (epoch != boot_epoch_) return;
+    deadlock_check_scheduled_ = false;
+    run_deadlock_check();
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -419,6 +442,181 @@ void DataManager::on_write(const Envelope& env) {
                         r.item);
     rpc_.respond(env, WriteResp{r.txn, r.item, Code::kOk});
   });
+}
+
+// ---------------------------------------------------------------------------
+// batched physical operations
+//
+// One envelope carries every read/write the coordinator has for this site.
+// The session check is evaluated once (it is per-site, Section 3.2) but
+// applied per operation so the planted skip-session-check bug keeps its
+// write-path-only scope; every other admission decision (read-own-write,
+// missing copy, unreadable copy) is made per operation exactly as the
+// unbatched handlers make it. All locks the admitted operations need are
+// acquired through a single chain -- per-item strongest mode, first-use
+// order -- and the operations are then served in op order, so a read that
+// follows a write of the same item in the batch sees the staged value just
+// as it would have under sequential single-op RPCs. Reads that hit an
+// unreadable copy are NOT parked here (a parked batch would hold the other
+// operations' results hostage); they resolve to kUnreadable and the
+// coordinator falls back to a single ReadReq, which parks under kBlock.
+
+void DataManager::on_batch(const Envelope& env) {
+  const auto& req = std::get<BatchReq>(env.payload);
+  const size_t n = req.ops.size();
+  BatchResp resp;
+  resp.txn = req.txn;
+  resp.results.resize(n);
+  if (locally_aborted_.count(req.txn)) {
+    resp.code = Code::kAborted;
+    for (auto& r : resp.results) r.code = Code::kAborted;
+    rpc_.respond(env, std::move(resp));
+    return;
+  }
+  const Code session =
+      admit(req.kind, req.expected_session, req.bypass_session_check);
+  Code write_session = session;
+  // PLANTED BUG (explorer self-validation only): the mutation disables the
+  // Section 3.2 rejection on the write path only; batched reads must keep
+  // rejecting.
+  if (session == Code::kSessionMismatch &&
+      cfg_.planted_bug == PlantedBug::kSkipSessionCheck &&
+      state_.mode == SiteMode::kUp) {
+    write_session = Code::kOk;
+  }
+  if (session == Code::kSessionMismatch) {
+    Tracer::emit(tracer_, TraceKind::kSessionReject, self_, req.txn,
+                 static_cast<int64_t>(state_.session),
+                 static_cast<int64_t>(req.expected_session));
+    SpanLog::note_under(spans_, env.span, SpanKind::kSessionReject, self_,
+                        req.txn, static_cast<int64_t>(state_.session));
+  }
+  bool any_admitted = false;
+  for (size_t i = 0; i < n; ++i) {
+    const bool is_write = req.ops[i].op == BatchOpKind::kWrite;
+    const Code c = is_write ? write_session : session;
+    resp.results[i].code = c;
+    if (c == Code::kOk) {
+      any_admitted = true;
+    } else {
+      metrics_.inc(is_write
+                       ? metrics_.id.dm_write_reject[static_cast<size_t>(c)]
+                       : metrics_.id.dm_read_reject[static_cast<size_t>(c)]);
+    }
+  }
+  if (!any_admitted) {
+    resp.code = session;
+    rpc_.respond(env, std::move(resp));
+    return;
+  }
+
+  TxnCtx& ctx = ctx_of(req.txn, req.kind, req.coordinator);
+  const bool tracks_status =
+      cfg_.recovery_scheme == RecoveryScheme::kSpooler ||
+      cfg_.outdated_strategy == OutdatedStrategy::kFailLock ||
+      cfg_.outdated_strategy == OutdatedStrategy::kMissingList;
+  std::vector<std::pair<ItemId, LockMode>> locks;
+  std::vector<uint8_t> pending(n, 0); // 1 = resolve in the serve pass
+  auto add_lock = [&locks](ItemId item, LockMode mode) {
+    for (auto& [li, lm] : locks) {
+      if (li == item) {
+        if (mode == LockMode::kExclusive) lm = LockMode::kExclusive;
+        return;
+      }
+    }
+    locks.emplace_back(item, mode);
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const BatchOp& op = req.ops[i];
+    if (resp.results[i].code != Code::kOk) continue;
+    if (op.op == BatchOpKind::kWrite) {
+      add_lock(op.item, LockMode::kExclusive);
+      // See on_write: skipping a nominally-down copy touches the per-site
+      // status lock in shared mode.
+      if (tracks_status && is_data_item(op.item)) {
+        for (SiteId d : op.missed_sites) {
+          add_lock(status_item(d), LockMode::kShared);
+        }
+      }
+      pending[i] = 1;
+      continue;
+    }
+    // Read-own-write: staged by an earlier transaction chain, or by an
+    // earlier write op in this very batch (which holds the X lock either
+    // way) -- no S lock needed, resolved in op order during the serve pass.
+    bool own = ctx.writes.count(op.item) > 0;
+    for (size_t j = 0; !own && j < i; ++j) {
+      own = req.ops[j].op == BatchOpKind::kWrite &&
+            req.ops[j].item == op.item &&
+            resp.results[j].code == Code::kOk;
+    }
+    if (own) {
+      pending[i] = 1;
+      continue;
+    }
+    const Copy* copy = kv().find(op.item);
+    if (copy == nullptr) {
+      resp.results[i].code = Code::kNotFound;
+      continue;
+    }
+    if (is_data_item(op.item) && copy->unreadable &&
+        !req.bypass_session_check &&
+        !(op.allow_unreadable && req.kind == TxnKind::kCopier)) {
+      metrics_.inc(metrics_.id.dm_read_hit_unreadable);
+      // "a request for reading it triggers a copier transaction" (S. 3.2)
+      if (unreadable_hook_) unreadable_hook_(op.item);
+      resp.results[i].code = Code::kUnreadable;
+      continue;
+    }
+    add_lock(op.item, LockMode::kShared);
+    pending[i] = 1;
+  }
+
+  start_chain(
+      req.txn, env, std::move(locks),
+      [this, env, resp = std::move(resp),
+       pending = std::move(pending)]() mutable {
+        const auto& r = std::get<BatchReq>(env.payload);
+        TxnCtx& ctx = ctx_of(r.txn, r.kind, r.coordinator);
+        for (size_t i = 0; i < r.ops.size(); ++i) {
+          if (pending[i] == 0) continue;
+          const BatchOp& op = r.ops[i];
+          if (op.op == BatchOpKind::kWrite) {
+            StagedWrite w;
+            w.value = op.value;
+            w.is_copier = op.is_copier_write;
+            w.copier_version = op.copier_version;
+            w.missed = op.missed_sites;
+            w.written = op.written_sites;
+            ctx.writes[op.item] = std::move(w);
+            metrics_.inc(metrics_.id.dm_writes_staged);
+            SpanLog::note_under(spans_, env.span, SpanKind::kStage, self_,
+                                r.txn, op.item);
+            resp.results[i].code = Code::kOk;
+            continue;
+          }
+          auto wit = ctx.writes.find(op.item);
+          if (wit != ctx.writes.end()) {
+            // Read-own-write (not a database read; nothing recorded).
+            resp.results[i] =
+                BatchOpResult{Code::kOk, wit->second.value, Version{0, r.txn}};
+            continue;
+          }
+          const Copy* copy = kv().find(op.item);
+          assert(copy != nullptr);
+          metrics_.inc(metrics_.id.dm_reads);
+          resp.results[i] =
+              BatchOpResult{Code::kOk, copy->value, copy->version};
+        }
+        resp.code = Code::kOk;
+        for (const auto& res : resp.results) {
+          if (res.code != Code::kOk) {
+            resp.code = res.code;
+            break;
+          }
+        }
+        rpc_.respond(env, std::move(resp));
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -872,6 +1070,7 @@ void DataManager::crash() {
   parked_.clear();
   locally_aborted_.clear();
   deadlock_check_scheduled_ = false;
+  clean_wait_epoch_ = ~0ull;
 }
 
 void DataManager::boot() {
@@ -969,6 +1168,15 @@ void DataManager::reply_code(const Envelope& env, Code code) {
           rpc_.respond(env, ReadResp{payload.txn, payload.item, code, 0, {}});
         } else if constexpr (std::is_same_v<T, WriteReq>) {
           rpc_.respond(env, WriteResp{payload.txn, payload.item, code});
+        } else if constexpr (std::is_same_v<T, BatchReq>) {
+          // A failed lock chain fails the whole batch: nothing was staged
+          // or served, so every operation reports the chain's code.
+          BatchResp resp;
+          resp.txn = payload.txn;
+          resp.code = code;
+          resp.results.resize(payload.ops.size());
+          for (auto& r : resp.results) r.code = code;
+          rpc_.respond(env, std::move(resp));
         } else if constexpr (std::is_same_v<T, StatusReadReq>) {
           StatusReadResp resp;
           resp.txn = payload.txn;

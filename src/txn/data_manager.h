@@ -106,8 +106,8 @@ class DataManager {
     Value value = 0;
     bool is_copier = false;
     Version copier_version;
-    std::vector<SiteId> missed;
-    std::vector<SiteId> written;
+    SiteVec missed;
+    SiteVec written;
   };
 
   struct TxnCtx {
@@ -153,6 +153,7 @@ class DataManager {
   // ---- handlers ----
   void on_read(const Envelope& env);
   void on_write(const Envelope& env);
+  void on_batch(const Envelope& env);
   void on_status_read(const Envelope& env);
   void on_status_clear(const Envelope& env);
   void on_prepare(const Envelope& env);
@@ -177,6 +178,7 @@ class DataManager {
   void fail_chains_of(TxnId txn, Code code);
   void schedule_deadlock_check();
   void run_deadlock_check();
+  void rearm_deadlock_check();
 
   void serve_read(const Envelope& env);
   void finish_abort(TxnId txn, bool log_abort);
@@ -213,6 +215,10 @@ class DataManager {
   UnreadableHook unreadable_hook_;
   uint64_t next_chain_ = 1;
   bool deadlock_check_scheduled_ = false;
+  // Wait-graph epoch (LockManager::wait_graph_epoch) at the last sweep that
+  // found no cycle: while the epoch is unchanged no new wait edge appeared,
+  // so no new cycle can exist and the sweep is skipped.
+  uint64_t clean_wait_epoch_ = ~0ull;
   uint64_t boot_epoch_ = 0; // guards stale timer callbacks across crashes
 };
 

@@ -80,7 +80,68 @@ void CoordinatorBase::read_ns_vector(SiteId at, bool bypass,
   st->expected = expected_at;
   st->skip = skip;
   st->k = std::move(k);
+  if (cfg_.batch_physical_ops) {
+    ns_read_batched(std::move(st));
+    return;
+  }
   ns_read_step(std::move(st), 0);
+}
+
+// Batched variant: the whole NS vector travels in one BatchReq. The DM
+// serves the reads in index order under one lock chain, so lock order and
+// results match the sequential ladder; the first failing entry fails the
+// vector read exactly as the ladder's early-out does.
+void CoordinatorBase::ns_read_batched(std::shared_ptr<NsReadState> st) {
+  BatchReq req;
+  req.txn = txn_;
+  req.kind = kind_;
+  req.coordinator = self_;
+  req.expected_session = st->expected;
+  req.bypass_session_check = st->bypass;
+  std::vector<int> indices; // NS index per batch op
+  for (int idx = 0; idx < cfg_.n_sites; ++idx) {
+    if (std::find(st->skip.begin(), st->skip.end(),
+                  static_cast<SiteId>(idx)) != st->skip.end()) {
+      view_[static_cast<size_t>(idx)] = 0;
+      continue;
+    }
+    BatchOp op;
+    op.op = BatchOpKind::kRead;
+    op.item = ns_item(idx);
+    req.ops.push_back(std::move(op));
+    indices.push_back(idx);
+  }
+  if (req.ops.empty()) {
+    st->k(true);
+    return;
+  }
+  const SiteId at = st->at;
+  send_request(
+      at, std::move(req), cfg_.lock_timeout + cfg_.rpc_timeout,
+      [this, at, indices = std::move(indices),
+       st = std::move(st)](Code code, const Payload* payload) {
+        if (decided_) return;
+        if (code != Code::kOk) {
+          if (code == Code::kTimeout) suspect(at);
+          st->k(false);
+          return;
+        }
+        const auto& resp = std::get<BatchResp>(*payload);
+        if (resp.code != Code::kOk) {
+          st->k(false);
+          return;
+        }
+        for (size_t j = 0; j < indices.size(); ++j) {
+          const int idx = indices[j];
+          const ReadResp rr{txn_, ns_item(idx), Code::kOk,
+                            resp.results[j].value, resp.results[j].version};
+          record_read(at, ns_item(idx), rr);
+          view_[static_cast<size_t>(idx)] =
+              static_cast<SessionNum>(rr.value);
+          view_versions_[static_cast<size_t>(idx)] = rr.version;
+        }
+        st->k(true);
+      });
 }
 
 // Sequential, in index order: control transactions write NS entries in the
@@ -133,38 +194,91 @@ void CoordinatorBase::send_writes_seq(std::vector<PlannedWrite> writes,
                                       std::function<void(bool, Code)> k) {
   last_write_timeouts_.clear();
   auto st = std::make_shared<WriteSeqState>();
-  st->writes = std::move(writes);
+  for (auto& pw : writes) {
+    // A run of consecutive writes to one destination shares a BatchReq
+    // (same envelope-level session stamp required). Non-adjacent writes to
+    // the same site stay separate: collapsing them would reorder the
+    // caller's canonical send order.
+    WriteGroup* back = st->groups.empty() ? nullptr : &st->groups.back();
+    if (cfg_.batch_physical_ops && back != nullptr && back->to == pw.to &&
+        back->reqs.back().expected_session == pw.req.expected_session &&
+        back->reqs.back().bypass_session_check ==
+            pw.req.bypass_session_check) {
+      back->reqs.push_back(std::move(pw.req));
+    } else {
+      st->groups.push_back(WriteGroup{pw.to, {std::move(pw.req)}});
+    }
+  }
   st->k = std::move(k);
   write_seq_step(std::move(st), 0);
 }
 
 void CoordinatorBase::write_seq_step(std::shared_ptr<WriteSeqState> st,
                                      size_t i) {
-  if (i >= st->writes.size()) {
+  if (i >= st->groups.size()) {
     st->k(true, Code::kOk);
     return;
   }
-  const SiteId to = st->writes[i].to;
+  const WriteGroup& g = st->groups[i];
+  const SiteId to = g.to;
   touch(to);
-  const WriteReq req = st->writes[i].req;
+  if (g.reqs.size() == 1) {
+    const WriteReq req = g.reqs[0];
+    send_request(
+        to, req, cfg_.lock_timeout + cfg_.rpc_timeout,
+        [this, to, i, st = std::move(st)](Code code,
+                                          const Payload* payload) mutable {
+          if (decided_) return;
+          Code rc = code;
+          if (code == Code::kOk && payload != nullptr) {
+            rc = std::get<WriteResp>(*payload).code;
+          }
+          write_group_result(std::move(st), i, to, rc);
+        });
+    return;
+  }
+  BatchReq breq;
+  breq.txn = txn_;
+  breq.kind = g.reqs[0].kind;
+  breq.coordinator = self_;
+  breq.expected_session = g.reqs[0].expected_session;
+  breq.bypass_session_check = g.reqs[0].bypass_session_check;
+  breq.ops.reserve(g.reqs.size());
+  for (const WriteReq& w : g.reqs) {
+    BatchOp op;
+    op.op = BatchOpKind::kWrite;
+    op.item = w.item;
+    op.value = w.value;
+    op.is_copier_write = w.is_copier_write;
+    op.copier_version = w.copier_version;
+    op.missed_sites = w.missed_sites;
+    op.written_sites = w.written_sites;
+    breq.ops.push_back(std::move(op));
+  }
   send_request(
-      to, req, cfg_.lock_timeout + cfg_.rpc_timeout,
-      [this, to, i, st = std::move(st)](Code code, const Payload* payload) {
+      to, std::move(breq), cfg_.lock_timeout + cfg_.rpc_timeout,
+      [this, to, i, st = std::move(st)](Code code,
+                                        const Payload* payload) mutable {
         if (decided_) return;
         Code rc = code;
         if (code == Code::kOk && payload != nullptr) {
-          rc = std::get<WriteResp>(*payload).code;
+          rc = std::get<BatchResp>(*payload).code; // first failing op's code
         }
-        if (rc != Code::kOk) {
-          if (rc == Code::kTimeout) {
-            suspect(to);
-            last_write_timeouts_.push_back(to);
-          }
-          st->k(false, rc);
-          return;
-        }
-        write_seq_step(st, i + 1);
+        write_group_result(std::move(st), i, to, rc);
       });
+}
+
+void CoordinatorBase::write_group_result(std::shared_ptr<WriteSeqState> st,
+                                         size_t i, SiteId to, Code rc) {
+  if (rc != Code::kOk) {
+    if (rc == Code::kTimeout) {
+      suspect(to);
+      last_write_timeouts_.push_back(to);
+    }
+    st->k(false, rc);
+    return;
+  }
+  write_seq_step(std::move(st), i + 1);
 }
 
 void CoordinatorBase::run_2pc(std::function<void(bool)> k) {
@@ -335,28 +449,36 @@ void UserTxnCoordinator::start() {
                      abort_txn(Code::kAborted);
                      return;
                    }
-                   next_op();
+                   if (cfg_.batch_physical_ops) {
+                     run_batched_ops();
+                   } else {
+                     next_op();
+                   }
                  });
+}
+
+void UserTxnCoordinator::finish_ops() {
+  auto finish = [this](bool committed) {
+    if (committed) {
+      report_committed(std::move(read_values_));
+    } else {
+      report_aborted(Code::kAborted);
+    }
+  };
+  const bool read_only = std::none_of(
+      spec_.ops.begin(), spec_.ops.end(),
+      [](const LogicalOp& op) { return op.kind == OpKind::kWrite; });
+  if (read_only && cfg_.read_only_one_phase) {
+    run_read_only_commit(std::move(finish));
+  } else {
+    run_2pc(std::move(finish));
+  }
 }
 
 void UserTxnCoordinator::next_op() {
   if (decided_) return;
   if (op_idx_ >= spec_.ops.size()) {
-    auto finish = [this](bool committed) {
-      if (committed) {
-        report_committed(std::move(read_values_));
-      } else {
-        report_aborted(Code::kAborted);
-      }
-    };
-    const bool read_only = std::none_of(
-        spec_.ops.begin(), spec_.ops.end(),
-        [](const LogicalOp& op) { return op.kind == OpKind::kWrite; });
-    if (read_only && cfg_.read_only_one_phase) {
-      run_read_only_commit(std::move(finish));
-    } else {
-      run_2pc(std::move(finish));
-    }
+    finish_ops();
     return;
   }
   const LogicalOp& op = spec_.ops[op_idx_];
@@ -470,6 +592,277 @@ void UserTxnCoordinator::do_write(const LogicalOp& op) {
     // to any local wait-for graph -- bench_ablation measures the damage.
     send_writes_parallel(std::move(writes), std::move(done));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-transaction batching. Reads target their first candidate (the same
+// copy do_read(op, 0) would try), writes target every nominally-up copy;
+// everything bound for one site rides a single BatchReq. Batches go out in
+// ascending site order, sequentially under canonical_write_order, so
+// concurrent writers of one item still acquire its copies' X-locks in the
+// same global order as the unbatched path.
+
+void UserTxnCoordinator::run_batched_ops() {
+  auto st = std::make_shared<BatchRunState>();
+  size_t n_reads = 0;
+  auto batch_for = [&](SiteId to) -> SiteBatch& {
+    for (auto& b : st->batches) {
+      if (b.to == to) return b;
+    }
+    SiteBatch b;
+    b.to = to;
+    b.req.txn = txn_;
+    b.req.kind = kind_;
+    b.req.coordinator = self_;
+    b.req.expected_session = view_[static_cast<size_t>(to)];
+    st->batches.push_back(std::move(b));
+    return st->batches.back();
+  };
+  for (size_t i = 0; i < spec_.ops.size(); ++i) {
+    const LogicalOp& op = spec_.ops[i];
+    if (op.kind == OpKind::kRead) {
+      const auto cands =
+          read_candidates(cat_, cfg_.write_scheme, view_, op.item, self_);
+      if (cands.empty()) {
+        abort_txn(Code::kNoCopyAvailable);
+        return;
+      }
+      // A read that precedes this transaction's own write of the item
+      // cannot ride the batch (see BatchRunState::retries); it runs ahead
+      // of dispatch through the same candidate ladder. A read AFTER such
+      // a write stays in the batch: the DM's in-order serve hands it the
+      // staged value exactly as sequential execution would.
+      bool writes_before = false, writes_after = false;
+      for (size_t j = 0; j < spec_.ops.size(); ++j) {
+        if (spec_.ops[j].kind == OpKind::kWrite &&
+            spec_.ops[j].item == op.item) {
+          (j < i ? writes_before : writes_after) = true;
+        }
+      }
+      if (writes_after && !writes_before) {
+        st->retries.push_back(ReadRetry{op.item, n_reads++, 0});
+        continue;
+      }
+      SiteBatch& b = batch_for(cands[0]);
+      BatchOp bop;
+      bop.op = BatchOpKind::kRead;
+      bop.item = op.item;
+      b.req.ops.push_back(std::move(bop));
+      b.read_slot.push_back(n_reads++);
+    } else {
+      const WritePlan plan =
+          write_plan(cat_, cfg_.write_scheme, view_, op.item);
+      if (!plan.feasible) {
+        metrics_.inc(metrics_.id.txn_write_infeasible);
+        abort_txn(Code::kNoCopyAvailable);
+        return;
+      }
+      for (SiteId target : plan.targets) { // ascending (catalog order)
+        SiteBatch& b = batch_for(target);
+        BatchOp bop;
+        bop.op = BatchOpKind::kWrite;
+        bop.item = op.item;
+        bop.value = op.value;
+        bop.missed_sites = plan.missed;
+        bop.written_sites = plan.targets;
+        b.req.ops.push_back(std::move(bop));
+        b.read_slot.push_back(SIZE_MAX);
+      }
+    }
+  }
+  read_values_.assign(n_reads, 0);
+  if (!st->retries.empty()) {
+    retry_step(std::move(st)); // pre-write reads first; dispatch follows
+    return;
+  }
+  dispatch_batches(std::move(st));
+}
+
+void UserTxnCoordinator::dispatch_batches(std::shared_ptr<BatchRunState> st) {
+  st->dispatched = true;
+  st->retries.clear();
+  st->next_retry = 0;
+  if (st->batches.empty()) {
+    finish_ops();
+    return;
+  }
+  std::sort(st->batches.begin(), st->batches.end(),
+            [](const SiteBatch& a, const SiteBatch& b) { return a.to < b.to; });
+  DDBS_TRACE << "txn " << txn_ << " batched " << spec_.ops.size()
+             << " ops over " << st->batches.size() << " sites";
+  if (cfg_.canonical_write_order) {
+    batch_step(std::move(st), 0);
+    return;
+  }
+  // Ablation variant (see send_writes_parallel): per-site batches race.
+  st->pending = st->batches.size();
+  for (size_t i = 0; i < st->batches.size(); ++i) {
+    const SiteId to = st->batches[i].to;
+    touch(to);
+    BatchReq req = st->batches[i].req;
+    send_request(to, std::move(req), cfg_.lock_timeout + cfg_.rpc_timeout,
+                 [this, st, i](Code code, const Payload* payload) {
+                   if (decided_) return;
+                   if (!consume_batch_resp(*st, i, code, payload)) return;
+                   if (--st->pending == 0) retry_step(st);
+                 });
+  }
+}
+
+void UserTxnCoordinator::batch_step(std::shared_ptr<BatchRunState> st,
+                                    size_t i) {
+  if (i >= st->batches.size()) {
+    retry_step(std::move(st));
+    return;
+  }
+  const SiteId to = st->batches[i].to;
+  touch(to);
+  BatchReq req = st->batches[i].req;
+  send_request(to, std::move(req), cfg_.lock_timeout + cfg_.rpc_timeout,
+               [this, st = std::move(st), i](Code code,
+                                             const Payload* payload) mutable {
+                 if (decided_) return;
+                 if (!consume_batch_resp(*st, i, code, payload)) return;
+                 batch_step(std::move(st), i + 1);
+               });
+}
+
+// Fold one site's batch response into the run. Returns false when the
+// transaction aborted (a write failed -- WRITE is a conjunction over every
+// nominally-up copy, Section 2). Failed reads queue for the fallback
+// ladder instead: the *logical* read is a disjunction over candidates.
+bool UserTxnCoordinator::consume_batch_resp(BatchRunState& st, size_t i,
+                                            Code code,
+                                            const Payload* payload) {
+  const SiteBatch& b = st.batches[i];
+  const SiteId to = b.to;
+  const BatchResp* resp = nullptr;
+  if (code == Code::kOk && payload != nullptr) {
+    resp = &std::get<BatchResp>(*payload);
+  } else if (code == Code::kTimeout) {
+    suspect(to); // whole-RPC loss: every op below fails with kTimeout
+  }
+  bool suspected = code == Code::kTimeout;
+  for (size_t j = 0; j < b.req.ops.size(); ++j) {
+    const BatchOp& bop = b.req.ops[j];
+    const Code rc = resp != nullptr ? resp->results[j].code : code;
+    if (bop.op == BatchOpKind::kWrite) {
+      if (rc != Code::kOk) {
+        if (rc == Code::kTimeout && !suspected) suspect(to);
+        abort_txn(rc);
+        return false;
+      }
+      continue;
+    }
+    const size_t slot = b.read_slot[j];
+    switch (rc) {
+      case Code::kOk: {
+        const ReadResp rr{txn_, bop.item, Code::kOk, resp->results[j].value,
+                          resp->results[j].version};
+        record_read(to, bop.item, rr);
+        read_values_[slot] = rr.value;
+        break;
+      }
+      case Code::kUnreadable:
+        // Replay as a single ReadReq from candidate 0 (the same site):
+        // batches never park, but the single read does under kBlock, and
+        // under kRedirect the ladder walks on from there.
+        st.retries.push_back(ReadRetry{bop.item, slot, 0});
+        break;
+      case Code::kTimeout:
+        if (!suspected) {
+          suspect(to);
+          suspected = true;
+        }
+        metrics_.inc(metrics_.id.txn_read_failover);
+        st.retries.push_back(ReadRetry{bop.item, slot, 1});
+        break;
+      case Code::kSessionMismatch:
+      case Code::kSiteNotOperational:
+        // Our frozen view is stale for this site; READ is a disjunction,
+        // so try the next copy.
+        metrics_.inc(metrics_.id.txn_read_stale_view);
+        st.retries.push_back(ReadRetry{bop.item, slot, 1});
+        break;
+      default:
+        abort_txn(rc);
+        return false;
+    }
+  }
+  return true;
+}
+
+void UserTxnCoordinator::retry_step(std::shared_ptr<BatchRunState> st) {
+  if (decided_) return;
+  if (st->next_retry >= st->retries.size()) {
+    if (!st->dispatched) {
+      dispatch_batches(std::move(st));
+      return;
+    }
+    finish_ops();
+    return;
+  }
+  const ReadRetry& r = st->retries[st->next_retry];
+  read_cands_ =
+      read_candidates(cat_, cfg_.write_scheme, view_, r.item, self_);
+  retry_read(std::move(st), r.cand_start);
+}
+
+void UserTxnCoordinator::retry_read(std::shared_ptr<BatchRunState> st,
+                                    size_t candidate_idx) {
+  if (decided_) return;
+  if (candidate_idx >= read_cands_.size()) {
+    abort_txn(Code::kNoCopyAvailable);
+    return;
+  }
+  const ReadRetry& r = st->retries[st->next_retry];
+  const SiteId target = read_cands_[candidate_idx];
+  touch(target);
+  ReadReq req;
+  req.txn = txn_;
+  req.kind = kind_;
+  req.coordinator = self_;
+  req.item = r.item;
+  req.expected_session = view_[static_cast<size_t>(target)];
+  send_request(
+      target, req, cfg_.lock_timeout + cfg_.rpc_timeout,
+      [this, st = std::move(st), candidate_idx,
+       target](Code code, const Payload* payload) mutable {
+        if (decided_) return;
+        Code rc = code;
+        const ReadResp* resp = nullptr;
+        if (code == Code::kOk && payload != nullptr) {
+          resp = &std::get<ReadResp>(*payload);
+          rc = resp->code;
+        }
+        switch (rc) {
+          case Code::kOk: {
+            const ReadRetry& r = st->retries[st->next_retry];
+            record_read(target, r.item, *resp);
+            read_values_[r.slot] = resp->value;
+            ++st->next_retry;
+            retry_step(std::move(st));
+            return;
+          }
+          case Code::kUnreadable:
+            metrics_.inc(metrics_.id.txn_read_redirect);
+            retry_read(std::move(st), candidate_idx + 1);
+            return;
+          case Code::kTimeout:
+            suspect(target);
+            metrics_.inc(metrics_.id.txn_read_failover);
+            retry_read(std::move(st), candidate_idx + 1);
+            return;
+          case Code::kSessionMismatch:
+          case Code::kSiteNotOperational:
+            metrics_.inc(metrics_.id.txn_read_stale_view);
+            retry_read(std::move(st), candidate_idx + 1);
+            return;
+          default:
+            abort_txn(rc);
+            return;
+        }
+      });
 }
 
 void UserTxnCoordinator::send_writes_parallel(

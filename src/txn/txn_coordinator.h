@@ -101,7 +101,10 @@ class CoordinatorBase {
   // Send the writes ONE AT A TIME in the given order. All writers of the
   // same item use ascending site order, so X-locks on one item's copies are
   // acquired in a canonical global order and multi-site writer/writer
-  // deadlocks (invisible to local wait-for graphs) cannot form.
+  // deadlocks (invisible to local wait-for graphs) cannot form. With
+  // Config::batch_physical_ops, runs of consecutive same-destination writes
+  // travel in one BatchReq -- the run boundaries preserve the caller's send
+  // order, so the canonical global order is unchanged.
   // k(true) when all staged; k(false, code) on first failure (timeouts are
   // reported through suspect()).
   struct PlannedWrite {
@@ -120,12 +123,21 @@ class CoordinatorBase {
     std::vector<SiteId> skip;
     std::function<void(bool)> k;
   };
+  // One sequential send: a single WriteReq, or a BatchReq carrying a run of
+  // consecutive same-destination writes.
+  struct WriteGroup {
+    SiteId to = kInvalidSite;
+    std::vector<WriteReq> reqs;
+  };
   struct WriteSeqState {
-    std::vector<PlannedWrite> writes;
+    std::vector<WriteGroup> groups;
     std::function<void(bool, Code)> k;
   };
   void ns_read_step(std::shared_ptr<NsReadState> st, int idx);
+  void ns_read_batched(std::shared_ptr<NsReadState> st);
   void write_seq_step(std::shared_ptr<WriteSeqState> st, size_t i);
+  void write_group_result(std::shared_ptr<WriteSeqState> st, size_t i,
+                          SiteId to, Code rc);
 
   // Presumed-abort 2PC over participants_. k(true) fires once the decision
   // is commit AND the local participant has applied (self is always a
@@ -227,6 +239,48 @@ class UserTxnCoordinator : public CoordinatorBase {
   void do_write(const LogicalOp& op);
   void send_writes_parallel(std::vector<PlannedWrite> writes,
                             std::function<void(bool, Code)> k);
+  // Commit phase shared by the sequential and batched op loops.
+  void finish_ops();
+
+  // Whole-transaction batching (Config::batch_physical_ops): every logical
+  // op is planned against the frozen view up front and shipped as ONE
+  // BatchReq per destination site -- O(sites) scheduler events instead of
+  // O(ops x sites). Safe because the Section 3.2 session check is per-site:
+  // the batch is admitted or rejected under exactly the session number each
+  // single op would have carried. A failed write aborts (conjunction over
+  // nominally-up copies); a failed read falls back to the single-read
+  // candidate ladder, which can park on unreadable copies just as the
+  // unbatched path does.
+  struct ReadRetry {
+    ItemId item = 0;
+    size_t slot = 0;       // read-op ordinal (index into read_values_)
+    size_t cand_start = 0; // first candidate the fallback ladder tries
+  };
+  struct SiteBatch {
+    SiteId to = kInvalidSite;
+    BatchReq req;
+    std::vector<size_t> read_slot; // per op: ordinal, or SIZE_MAX for writes
+  };
+  struct BatchRunState {
+    std::vector<SiteBatch> batches;
+    // Before dispatch: reads that PRECEDE a write of the same item in op
+    // order. They must resolve before that write is staged anywhere --
+    // once it is, every copy's DM answers them with the staged value
+    // (read-own-write), and an unreadable-copy fallback would see the
+    // future instead of the pre-write value. After dispatch: reads whose
+    // batched attempt failed, walking the candidate ladder.
+    std::vector<ReadRetry> retries;
+    size_t next_retry = 0;
+    bool dispatched = false;
+    size_t pending = 0; // parallel (non-canonical-order) mode only
+  };
+  void run_batched_ops();
+  void dispatch_batches(std::shared_ptr<BatchRunState> st);
+  void batch_step(std::shared_ptr<BatchRunState> st, size_t i);
+  bool consume_batch_resp(BatchRunState& st, size_t i, Code code,
+                          const Payload* payload);
+  void retry_step(std::shared_ptr<BatchRunState> st);
+  void retry_read(std::shared_ptr<BatchRunState> st, size_t candidate_idx);
 
   TxnSpec spec_;
   size_t op_idx_ = 0;

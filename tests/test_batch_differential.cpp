@@ -1,0 +1,156 @@
+// Differential check for Config::batch_physical_ops: batching is a pure
+// transport optimization, so a scenario whose transactions run one at a
+// time (no concurrency for timing differences to reorder) must produce
+// byte-identical outcomes with the knob on and off -- same per-transaction
+// verdicts and read values, same final database image on every site, same
+// convergence verdict. The scenario crosses a crash/recover cycle so the
+// batched path exercises session rejection, missed-site bookkeeping and
+// the recovered site's refresh, not just the happy path.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/cluster.h"
+
+namespace ddbs {
+namespace {
+
+struct ScenarioDigest {
+  std::string txns;        // one line per transaction: verdict + reads
+  std::string final_state; // (item, site, value, version, unreadable) tuples
+  bool converged = false;
+
+  friend bool operator==(const ScenarioDigest&, const ScenarioDigest&) =
+      default;
+};
+
+void run_and_digest_txn(Cluster& cluster, std::ostringstream& out,
+                        SiteId origin, std::vector<LogicalOp> ops) {
+  const TxnResult res = cluster.run_txn(origin, std::move(ops));
+  out << (res.committed ? "C" : "A") << static_cast<int>(res.reason);
+  for (Value v : res.reads) out << "," << v;
+  out << "\n";
+  // Quiesce before the next transaction. Batching legitimately changes how
+  // much simulated time a transaction takes, so background work an earlier
+  // transaction kicked off (an on-demand copier refresh, say) would race
+  // differently against later transactions and shift which one loses a
+  // lock-timeout -- a timing artifact, not a semantic difference. Comparing
+  // quiescent schedules isolates the semantics.
+  cluster.settle();
+}
+
+ScenarioDigest run_scenario(Config cfg, uint64_t seed) {
+  cfg.n_sites = 4;
+  cfg.n_items = 30;
+  cfg.replication_degree = 3;
+  Cluster cluster(cfg, seed);
+  cluster.bootstrap();
+  std::ostringstream txns;
+
+  // Phase 1: healthy cluster. Multi-op transactions cover write fan-out,
+  // read-own-write inside one batch, and read-then-write of one item.
+  for (ItemId x = 0; x < 10; ++x) {
+    run_and_digest_txn(cluster, txns, x % 4,
+                       {{OpKind::kWrite, x, 100 + static_cast<Value>(x)},
+                        {OpKind::kRead, x, 0},
+                        {OpKind::kWrite, (x + 7) % 30, 200},
+                        {OpKind::kRead, (x + 3) % 30, 0}});
+  }
+  cluster.settle();
+
+  // Phase 2: site 1 down (declared by the detector); writes skip it and
+  // accumulate missed-update bookkeeping, reads fail over.
+  cluster.crash_site(1);
+  cluster.run_until(cluster.now() + 500'000);
+  for (ItemId x = 0; x < 30; x += 2) {
+    run_and_digest_txn(cluster, txns, (x / 2) % 4 == 1 ? 0 : (x / 2) % 4,
+                       {{OpKind::kWrite, x, 300 + static_cast<Value>(x)},
+                        {OpKind::kRead, (x + 1) % 30, 0}});
+  }
+  cluster.settle();
+
+  // Phase 3: recovery. A read-only pass first: each read of a stale copy
+  // triggers its on-demand refresh (redirecting or parking meanwhile), and
+  // the settle between transactions lets the refresh finish. The read-write
+  // pass then runs against readable copies. Folding the two would let a
+  // transaction race the copier its own read triggered -- a cross-site
+  // user/copier lock cycle that no local wait-for graph sees, broken by
+  // lock timeout with a timing-dependent loser.
+  cluster.recover_site(1);
+  cluster.settle();
+  for (ItemId x = 0; x < 30; x += 3) {
+    run_and_digest_txn(cluster, txns, 1, {{OpKind::kRead, x, 0}});
+  }
+  for (ItemId x = 0; x < 30; x += 3) {
+    run_and_digest_txn(cluster, txns, 1,
+                       {{OpKind::kRead, x, 0},
+                        {OpKind::kWrite, x, 400 + static_cast<Value>(x)}});
+  }
+  // Final sweep: under on-demand refresh a stale copy nobody reads stays
+  // unreadable (by design), so read every item once at the recovered site
+  // to drive the remaining refreshes before judging convergence.
+  for (ItemId x = 0; x < cfg.n_items; ++x) {
+    run_and_digest_txn(cluster, txns, 1, {{OpKind::kRead, x, 0}});
+  }
+  cluster.settle();
+
+  ScenarioDigest d;
+  d.txns = txns.str();
+  std::ostringstream fs;
+  for (ItemId x = 0; x < cfg.n_items; ++x) {
+    for (SiteId s : cluster.catalog().sites_of(x)) {
+      const Copy* c = cluster.site(s).stable().kv().find(x);
+      if (c != nullptr) {
+        fs << x << "@" << s << "=" << c->value << "/" << c->version.counter
+           << "/" << c->unreadable << "\n";
+      }
+    }
+  }
+  d.final_state = fs.str();
+  d.converged = cluster.replicas_converged();
+  return d;
+}
+
+void expect_identical(Config base, uint64_t seed) {
+  Config batched = base;
+  batched.batch_physical_ops = true;
+  Config unbatched = base;
+  unbatched.batch_physical_ops = false;
+  const ScenarioDigest on = run_scenario(batched, seed);
+  const ScenarioDigest off = run_scenario(unbatched, seed);
+  EXPECT_TRUE(on.converged);
+  EXPECT_EQ(on.txns, off.txns);
+  EXPECT_EQ(on.final_state, off.final_state);
+  EXPECT_EQ(on.converged, off.converged);
+}
+
+TEST(BatchDifferential, MarkAllStrategyIdenticalOutcomes) {
+  Config cfg;
+  cfg.outdated_strategy = OutdatedStrategy::kMarkAll;
+  expect_identical(cfg, 11);
+}
+
+TEST(BatchDifferential, MissingListRedirectIdenticalOutcomes) {
+  Config cfg;
+  cfg.outdated_strategy = OutdatedStrategy::kMissingList;
+  cfg.copier_mode = CopierMode::kOnDemand;
+  cfg.unreadable_policy = UnreadablePolicy::kRedirect;
+  expect_identical(cfg, 12);
+}
+
+TEST(BatchDifferential, FailLockBlockIdenticalOutcomes) {
+  Config cfg;
+  cfg.outdated_strategy = OutdatedStrategy::kFailLock;
+  cfg.copier_mode = CopierMode::kOnDemand;
+  cfg.unreadable_policy = UnreadablePolicy::kBlock;
+  expect_identical(cfg, 13);
+}
+
+TEST(BatchDifferential, SpoolerSchemeIdenticalOutcomes) {
+  Config cfg;
+  cfg.recovery_scheme = RecoveryScheme::kSpooler;
+  expect_identical(cfg, 14);
+}
+
+} // namespace
+} // namespace ddbs

@@ -149,6 +149,142 @@ TEST(LockManager, ClearDropsEverything) {
   EXPECT_TRUE(granted);
 }
 
+TEST(LockManager, QueuedUpgradeGrantedWhenSoleHolder) {
+  LockManager lm;
+  bool upgraded = false;
+  lm.acquire(1, 10, LockMode::kShared, []() {});
+  lm.acquire(2, 10, LockMode::kShared, []() {});
+  // Txn 1's upgrade queues (not sole holder). A later shared request from
+  // txn 3 queues behind the upgrade and must NOT jump it when txn 2
+  // releases -- the upgrade is first in FIFO order and incompatible with
+  // the grant of 3.
+  bool s3 = false;
+  lm.acquire(1, 10, LockMode::kExclusive, [&]() { upgraded = true; });
+  lm.acquire(3, 10, LockMode::kShared, [&]() { s3 = true; });
+  EXPECT_FALSE(upgraded);
+  EXPECT_FALSE(s3);
+  lm.release_all(2);
+  EXPECT_TRUE(upgraded); // sole holder now; upgraded in place
+  EXPECT_FALSE(s3);      // X held by 1
+  lm.release_all(1);
+  EXPECT_TRUE(s3);
+}
+
+TEST(LockManager, CancelAfterGrantIsRejected) {
+  LockManager lm;
+  lm.acquire(1, 10, LockMode::kExclusive, []() {});
+  bool granted = false;
+  const auto rid =
+      lm.acquire(2, 10, LockMode::kShared, [&]() { granted = true; });
+  ASSERT_NE(rid, 0u);
+  EXPECT_TRUE(lm.is_waiting(rid));
+  lm.release_all(1);
+  EXPECT_TRUE(granted);
+  // The waiter slot is recycled; the old id's generation no longer
+  // matches, so a late cancel (e.g. a stale lock-timeout timer) is a
+  // no-op even after the slot is reused by another waiter.
+  EXPECT_FALSE(lm.is_waiting(rid));
+  EXPECT_FALSE(lm.cancel(rid));
+  lm.acquire(3, 10, LockMode::kExclusive, []() {});
+  bool w4 = false;
+  const auto rid4 = lm.acquire(4, 10, LockMode::kShared, [&]() { w4 = true; });
+  ASSERT_NE(rid4, 0u);
+  EXPECT_NE(rid4, rid); // generation differs even if the slot is reused
+  EXPECT_FALSE(lm.cancel(rid));
+  EXPECT_TRUE(lm.is_waiting(rid4)); // stale cancel did not kill the new waiter
+  lm.release_all(3);
+  EXPECT_TRUE(w4);
+}
+
+TEST(LockManager, ReentrantAcquireFromGrantCallback) {
+  LockManager lm;
+  // The grant callback immediately acquires another lock (the DM's chain
+  // advance does exactly this) and even the SAME lock re-entrantly; both
+  // must be granted synchronously without corrupting the pump.
+  bool inner_same = false, inner_other = false, outer = false;
+  lm.acquire(1, 10, LockMode::kExclusive, []() {});
+  lm.acquire(2, 10, LockMode::kExclusive, [&]() {
+    outer = true;
+    lm.acquire(2, 10, LockMode::kShared, [&]() { inner_same = true; });
+    lm.acquire(2, 11, LockMode::kExclusive, [&]() { inner_other = true; });
+  });
+  EXPECT_FALSE(outer);
+  lm.release_all(1);
+  EXPECT_TRUE(outer);
+  EXPECT_TRUE(inner_same);
+  EXPECT_TRUE(inner_other);
+  EXPECT_TRUE(lm.holds(2, 10));
+  EXPECT_TRUE(lm.holds(2, 11));
+  EXPECT_EQ(lm.held_count(2), 2u);
+}
+
+TEST(LockManager, ReleaseAllWithManyWaitersAcrossItems) {
+  // Regression shape for the old O(queue-length) cancel/release scans: one
+  // txn holds many items, each with several waiters; release_all must
+  // grant every compatible head and leave no stragglers.
+  LockManager lm;
+  constexpr int kItems = 64;
+  int granted = 0;
+  for (int i = 0; i < kItems; ++i) {
+    lm.acquire(1, static_cast<ItemId>(i), LockMode::kExclusive, []() {});
+  }
+  for (int i = 0; i < kItems; ++i) {
+    lm.acquire(2 + static_cast<TxnId>(i), static_cast<ItemId>(i),
+               LockMode::kExclusive, [&]() { ++granted; });
+    lm.acquire(100 + static_cast<TxnId>(i), static_cast<ItemId>(i),
+               LockMode::kShared, [&]() { ++granted; });
+  }
+  EXPECT_EQ(granted, 0);
+  EXPECT_TRUE(lm.has_waiters());
+  lm.release_all(1);
+  EXPECT_EQ(granted, kItems); // one X waiter per item; S stays queued
+  for (int i = 0; i < kItems; ++i) {
+    lm.release_all(2 + static_cast<TxnId>(i));
+  }
+  EXPECT_EQ(granted, 2 * kItems);
+  EXPECT_FALSE(lm.has_waiters());
+}
+
+TEST(LockManager, WaitGraphEpochBumpsOnEnqueueOnly) {
+  LockManager lm;
+  const uint64_t e0 = lm.wait_graph_epoch();
+  lm.acquire(1, 10, LockMode::kExclusive, []() {});
+  EXPECT_EQ(lm.wait_graph_epoch(), e0); // synchronous grant: no new edge
+  const auto rid = lm.acquire(2, 10, LockMode::kShared, []() {});
+  const uint64_t e1 = lm.wait_graph_epoch();
+  EXPECT_NE(e1, e0);
+  lm.cancel(rid); // removals do not bump: they cannot create a cycle
+  EXPECT_EQ(lm.wait_graph_epoch(), e1);
+  lm.release_all(1);
+  EXPECT_EQ(lm.wait_graph_epoch(), e1);
+}
+
+TEST(LockManager, WaitEdgesSkipCompatibleSharedHolders) {
+  LockManager lm;
+  // S holders 1,2; queued X from 3; queued S from 4. Edges needed: 3->1,
+  // 3->2 (conflicting holders) and 4->3 (earlier incompatible waiter).
+  // 4->{1,2} would be redundant: 4's wait on the holders is transitively
+  // covered through 3, and dropping it is what keeps the status-item
+  // S-churn out of the deadlock sweep.
+  lm.acquire(1, 10, LockMode::kShared, []() {});
+  lm.acquire(2, 10, LockMode::kShared, []() {});
+  lm.acquire(3, 10, LockMode::kExclusive, []() {});
+  lm.acquire(4, 10, LockMode::kShared, []() {});
+  const auto edges = lm.wait_edges();
+  auto has = [&](TxnId a, TxnId b) {
+    for (const auto& [x, y] : edges) {
+      if (x == a && y == b) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(3, 1));
+  EXPECT_TRUE(has(3, 2));
+  EXPECT_TRUE(has(4, 3));
+  EXPECT_FALSE(has(4, 1));
+  EXPECT_FALSE(has(4, 2));
+  EXPECT_EQ(edges.size(), 3u);
+}
+
 // ---- deadlock detector ----
 
 TEST(Deadlock, FindsSimpleCycle) {

@@ -4,13 +4,20 @@
 # ddbs_trace.py -> compare_reports.py). Run from anywhere; everything is
 # anchored to the repo root. Exits non-zero on the first failure.
 #
-# Usage: tools/ci/run_checks.sh [--no-asan]
+# Usage: tools/ci/run_checks.sh [--no-asan] [--no-perf]
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 run_asan=1
-[[ "${1:-}" == "--no-asan" ]] && run_asan=0
+run_perf=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-asan) run_asan=0 ;;
+    --no-perf) run_perf=0 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
@@ -51,9 +58,31 @@ rm -rf "$corpus"
   --sites=4 --items=40 --horizon-ms=1500 --corpus= >/dev/null
 rm -rf "$corpus"
 
-step "observability smoke (ddbs_sim -> ddbs_trace.py)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+
+if [[ "$run_perf" == 1 ]]; then
+  step "perf gate (bench_micro vs committed baseline)"
+  # DDBS_PERF_BASELINE_DIR was born opt-in (see tools/CMakeLists.txt for
+  # the equivalent ctest wiring); here it defaults to the committed
+  # baseline so CI always runs the gate. The threshold is loose because
+  # CI hosts differ from the baseline's host -- this catches hot paths
+  # going accidentally quadratic, not few-percent drift (see
+  # tools/ci/baselines/README.md).
+  perf_baseline="${DDBS_PERF_BASELINE_DIR:-$repo/tools/ci/baselines}"
+  if [[ -f "$perf_baseline/BENCH_micro.json" ]]; then
+    DDBS_REPORT_DIR="$tmp" "$repo/build/bench/bench_micro" \
+      --benchmark_min_time=0.05 >/dev/null 2>&1
+    python3 "$repo/tools/compare_reports.py" \
+      --scalar events_per_sec \
+      --threshold "${DDBS_PERF_THRESHOLD:-50}" \
+      "$perf_baseline/BENCH_micro.json" "$tmp/BENCH_micro.json"
+  else
+    echo "no BENCH_micro.json under $perf_baseline; skipping"
+  fi
+fi
+
+step "observability smoke (ddbs_sim -> ddbs_trace.py)"
 "$repo/build/tools/ddbs_sim" \
   --duration-ms=3000 --crash=2@600 --recover=2@1500 \
   --report-out="$tmp/report.json" --spans-out="$tmp/spans.json" \
