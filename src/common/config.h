@@ -146,6 +146,11 @@ struct Config {
 
   // Verification.
   bool record_history = true; // feed the 1-SR checker (tests/examples)
+  // Attach the OnlineVerifier to the history recorder: the revised 1-STG
+  // is maintained incrementally as commits arrive and the consumed prefix
+  // can be pruned, bounding memory over arbitrarily long runs. Requires
+  // record_history.
+  bool online_verify = false;
   // Protocol mutation for explorer self-validation; kNone in real runs.
   PlantedBug planted_bug = PlantedBug::kNone;
 

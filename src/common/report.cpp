@@ -157,6 +157,7 @@ void write_config(JsonWriter& w, const Config& cfg) {
   w.kv("trace_capacity", static_cast<uint64_t>(cfg.trace_capacity));
   w.kv("span_capacity", static_cast<uint64_t>(cfg.span_capacity));
   w.kv("timeseries_bucket", cfg.timeseries_bucket);
+  w.kv("online_verify", cfg.online_verify);
   w.kv("planted_bug", to_string(cfg.planted_bug));
   w.end_object();
 }

@@ -5,7 +5,8 @@
 namespace ddbs {
 
 TimeSeries::TimeSeries(SimTime bucket_width, int n_sites)
-    : width_(bucket_width), n_sites_(n_sites) {}
+    : width_(bucket_width), n_sites_(n_sites),
+      site_up_(static_cast<size_t>(n_sites > 0 ? n_sites : 0), 1) {}
 
 void TimeSeries::bump(std::vector<int64_t>& v, SimTime at) {
   if (at < 0) return;
@@ -17,6 +18,9 @@ void TimeSeries::bump(std::vector<int64_t>& v, SimTime at) {
 
 void TimeSeries::on_trace(const TraceEvent& e) {
   if (width_ <= 0) return;
+  const auto site_ok = [&](SiteId s) {
+    return s >= 0 && static_cast<size_t>(s) < site_up_.size();
+  };
   switch (e.kind) {
     case TraceKind::kTxnCommit:
       // b carries the TxnKind; only user transactions count toward the
@@ -30,17 +34,26 @@ void TimeSeries::on_trace(const TraceEvent& e) {
       bump(rejects_, e.at);
       break;
     case TraceKind::kSiteCrash:
-      up_changes_.emplace_back(e.at, -1);
+      // A second crash before the site made it back to nominally-up (crash
+      // mid-recovery) must not decrement twice: the site was never counted
+      // up again in between.
+      if (site_ok(e.site) && site_up_[static_cast<size_t>(e.site)]) {
+        site_up_[static_cast<size_t>(e.site)] = 0;
+        up_changes_.emplace_back(e.at, -1);
+      }
       break;
     case TraceKind::kNominallyUp:
-      up_changes_.emplace_back(e.at, +1);
+      if (site_ok(e.site) && !site_up_[static_cast<size_t>(e.site)]) {
+        site_up_[static_cast<size_t>(e.site)] = 1;
+        up_changes_.emplace_back(e.at, +1);
+      }
       break;
     default:
       break;
   }
 }
 
-TimeSeriesData TimeSeries::data() const {
+TimeSeriesData TimeSeries::data(SimTime through) const {
   TimeSeriesData out;
   out.bucket_width = width_;
   if (width_ <= 0) return out;
@@ -51,6 +64,12 @@ TimeSeriesData TimeSeries::data() const {
       const size_t b = static_cast<size_t>(last / width_) + 1;
       n = std::max(n, std::min(b, kMaxBuckets));
     }
+  }
+  if (through > 0) {
+    // Cover the whole run: a quiet tail (or a final partial bucket with no
+    // events in it) still gets sites-up values.
+    const size_t b = static_cast<size_t>((through - 1) / width_) + 1;
+    n = std::max(n, std::min(b, kMaxBuckets));
   }
   out.commits = commits_;
   out.aborts = aborts_;
@@ -79,6 +98,7 @@ void TimeSeries::clear() {
   aborts_.clear();
   rejects_.clear();
   up_changes_.clear();
+  std::fill(site_up_.begin(), site_up_.end(), 1);
 }
 
 } // namespace ddbs

@@ -22,7 +22,11 @@ class TimeSeries : public TraceSink {
 
   void on_trace(const TraceEvent& e) override;
 
-  TimeSeriesData data() const;
+  // Bucketed curves. `through` extends the series to cover sim time
+  // [0, through) even when the tail buckets saw no events, so a quiet
+  // end-of-run (or a crash with no recovery) is represented instead of
+  // silently truncated. 0 keeps the legacy behaviour (last event wins).
+  TimeSeriesData data(SimTime through = 0) const;
   SimTime bucket_width() const { return width_; }
 
   void clear();
@@ -41,6 +45,10 @@ class TimeSeries : public TraceSink {
   // Operational-site transitions: (time, +1/-1). All sites count as up at
   // t=0 (bootstrap grants session 1 without a control transaction).
   std::vector<std::pair<SimTime, int>> up_changes_;
+  // Per-site operational flag, so repeated crash events against a site
+  // that never reached nominally-up again (crash mid-recovery) cannot
+  // double-decrement the sites-up curve.
+  std::vector<char> site_up_;
 };
 
 } // namespace ddbs

@@ -12,6 +12,10 @@ Cluster::Cluster(Config cfg, uint64_t seed)
       net_(sched_, cfg_, seed),
       cat_(Catalog::make(cfg_)) {
   recorder_.set_enabled(cfg_.record_history);
+  if (cfg_.record_history && cfg_.online_verify) {
+    verifier_ = std::make_unique<OnlineVerifier>(cfg_);
+    recorder_.set_sink(verifier_.get());
+  }
   tracer_.add_sink(&episodes_);
   tracer_.add_sink(&series_);
   sites_.reserve(static_cast<size_t>(cfg_.n_sites));
@@ -145,7 +149,7 @@ RunReport::Run& Cluster::report_run(RunReport& report,
   RunReport::capture_counters(run, metrics_);
   run.recoveries = recovery_timelines();
   run.episodes = episodes_.episodes();
-  run.series = series_.data();
+  run.series = series_.data(sched_.now());
   run.trace_recorded = static_cast<int64_t>(tracer_.recorded());
   run.trace_dropped = static_cast<int64_t>(tracer_.dropped());
   run.span_recorded = static_cast<int64_t>(spans_.recorded());

@@ -31,6 +31,7 @@
 #include "sim/span.h"
 #include "sim/trace.h"
 #include "verify/history.h"
+#include "verify/online_verifier.h"
 
 namespace ddbs {
 
@@ -89,6 +90,8 @@ class Cluster {
   const SpanLog& spans() const { return spans_; }
   const EpisodeTracker& episodes() const { return episodes_; }
   const TimeSeries& timeseries() const { return series_; }
+  // Non-null when cfg.online_verify (and record_history) are set.
+  OnlineVerifier* online_verifier() { return verifier_.get(); }
 
   // One RecoveryTimeline per site that has begun a recovery this run
   // (from the per-site milestone records), for JSON reports.
@@ -121,6 +124,7 @@ class Cluster {
       std::chrono::steady_clock::now();
   Metrics metrics_;
   HistoryRecorder recorder_;
+  std::unique_ptr<OnlineVerifier> verifier_;
   Scheduler sched_;
   Tracer tracer_{sched_, cfg_.trace_capacity};
   SpanLog spans_{sched_, cfg_.span_capacity};

@@ -15,7 +15,7 @@ class ScheduleRun {
   ScheduleRun(const ExploreOptions& opts, const Schedule& schedule,
               uint64_t seed)
       : opts_(opts), schedule_(schedule), seed_(seed),
-        cluster_(force_history(opts.cfg), seed) {}
+        cluster_(force_history(opts.cfg, opts.verify), seed) {}
 
   ExploreRunResult run() {
     cluster_.bootstrap();
@@ -31,7 +31,7 @@ class ScheduleRun {
          t += opts_.checkpoint_every) {
       const SimTime target = std::min(t, end_time_);
       cluster_.run_until(target);
-      if (auto v = checkpoint_.check(cluster_)) {
+      if (auto v = check_checkpoint()) {
         res.violations.push_back(*v);
         break;
       }
@@ -47,7 +47,7 @@ class ScheduleRun {
       cluster_.run_until(cluster_.now() +
                          4 * cluster_.config().detector_interval);
       cluster_.settle(opts_.settle_budget);
-      res.violations = quiescence_oracles(cluster_);
+      res.violations = check_quiescence();
     }
     res.violated = !res.violations.empty();
     res.submitted = submitted_;
@@ -58,9 +58,24 @@ class ScheduleRun {
   }
 
  private:
-  static Config force_history(Config cfg) {
+  static Config force_history(Config cfg, VerifyMode verify) {
     cfg.record_history = true; // one-sr + lost-write oracles need it
+    cfg.online_verify = verify == VerifyMode::kOnline;
     return cfg;
+  }
+
+  std::optional<Violation> check_checkpoint() {
+    if (OnlineVerifier* v = cluster_.online_verifier(); v != nullptr) {
+      return v->checkpoint(cluster_);
+    }
+    return checkpoint_.check(cluster_);
+  }
+
+  std::vector<Violation> check_quiescence() {
+    if (OnlineVerifier* v = cluster_.online_verifier(); v != nullptr) {
+      return v->quiescence(cluster_);
+    }
+    return quiescence_oracles(cluster_);
   }
 
   void arm_nemesis() {
@@ -233,6 +248,26 @@ class ScheduleRun {
 
 } // namespace
 
+const char* to_string(VerifyMode m) {
+  switch (m) {
+    case VerifyMode::kPostHoc: return "post-hoc";
+    case VerifyMode::kOnline: return "online";
+  }
+  return "?";
+}
+
+bool parse_verify_mode(std::string_view name, VerifyMode* out) {
+  if (name == "post-hoc") {
+    *out = VerifyMode::kPostHoc;
+    return true;
+  }
+  if (name == "online") {
+    *out = VerifyMode::kOnline;
+    return true;
+  }
+  return false;
+}
+
 ExploreRunResult run_schedule(const ExploreOptions& opts,
                               const Schedule& schedule, uint64_t seed) {
   ScheduleRun run(opts, schedule, seed);
@@ -246,6 +281,7 @@ void write_explore_options(JsonWriter& w, const ExploreOptions& opts) {
   w.kv("horizon", static_cast<int64_t>(opts.horizon));
   w.kv("checkpoint_every", static_cast<int64_t>(opts.checkpoint_every));
   w.kv("settle_budget", static_cast<int64_t>(opts.settle_budget));
+  w.kv("verify", to_string(opts.verify));
   w.key("workload");
   w.begin_object();
   w.kv("ops_per_txn", opts.workload.ops_per_txn);
@@ -269,6 +305,11 @@ bool parse_explore_options(const json::JsonValue& v, ExploreOptions* out) {
       v.num_or("checkpoint_every", static_cast<double>(o.checkpoint_every)));
   o.settle_budget = static_cast<SimTime>(
       v.num_or("settle_budget", static_cast<double>(o.settle_budget)));
+  if (const json::JsonValue* vm = v.get("verify"); vm != nullptr) {
+    if (!vm->is_string() || !parse_verify_mode(vm->str(), &o.verify)) {
+      return false;
+    }
+  }
   if (const json::JsonValue* wl = v.get("workload"); wl != nullptr) {
     if (!wl->is_object()) return false;
     o.workload.ops_per_txn = static_cast<int>(

@@ -28,6 +28,17 @@
 
 namespace ddbs {
 
+// Which verifier judges the run. kPostHoc is the legacy pair
+// (CheckpointOracle at checkpoints, quiescence_oracles at the end);
+// kOnline routes the same boundaries through the cluster's OnlineVerifier,
+// which maintains the 1-STG incrementally. The two must agree
+// byte-for-byte on every run report -- tests/test_online_differential.cpp
+// holds them to it.
+enum class VerifyMode : uint8_t { kPostHoc, kOnline };
+
+const char* to_string(VerifyMode m);
+bool parse_verify_mode(std::string_view name, VerifyMode* out);
+
 struct ExploreOptions {
   Config cfg;                         // cfg.record_history is forced on
   int clients_per_site = 1;
@@ -36,6 +47,7 @@ struct ExploreOptions {
   SimTime horizon = 2'000'000;        // load + fault window
   SimTime checkpoint_every = 250'000; // mid-run oracle cadence
   SimTime settle_budget = 60'000'000; // quiescence bound after the horizon
+  VerifyMode verify = VerifyMode::kPostHoc;
 };
 
 struct ExploreRunResult {

@@ -1,7 +1,7 @@
 #include "explore/oracles.h"
 
+#include <map>
 #include <sstream>
-#include <unordered_map>
 
 #include "core/cluster.h"
 #include "replication/session.h"
@@ -87,7 +87,10 @@ std::optional<Violation> check_lost_writes(Cluster& cluster) {
     Value value = 0;
     TxnId writer = 0;
   };
-  std::unordered_map<ItemId, Last> last;
+  // Ordered map: the first violation reported must not depend on hash
+  // iteration order, or the online verifier (which walks items in
+  // ascending id) could disagree byte-for-byte on which witness it picks.
+  std::map<ItemId, Last> last;
   for (const TxnRecord& t : cluster.history().view().txns) {
     for (const WriteEvent& w : t.writes) {
       if (!is_data_item(w.item) || w.copier_install) continue;

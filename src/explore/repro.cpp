@@ -59,6 +59,7 @@ bool parse_config(const json::JsonValue& v, Config* out, std::string* error) {
       v.num_or("span_capacity", static_cast<double>(c.span_capacity)));
   c.timeseries_bucket = static_cast<SimTime>(v.num_or(
       "timeseries_bucket", static_cast<double>(c.timeseries_bucket)));
+  c.online_verify = v.bool_or("online_verify", c.online_verify);
 
   struct EnumField {
     const char* key;

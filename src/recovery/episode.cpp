@@ -29,7 +29,11 @@ void EpisodeTracker::push_backlog(RecoveryEpisode& ep, SimTime at,
 
 void EpisodeTracker::close(SiteId s) {
   if (!has_open_[static_cast<size_t>(s)]) return;
-  finished_.push_back(std::move(open_[static_cast<size_t>(s)]));
+  if (finished_.size() < kMaxFinishedEpisodes) {
+    finished_.push_back(std::move(open_[static_cast<size_t>(s)]));
+  } else {
+    ++finished_dropped_;
+  }
   has_open_[static_cast<size_t>(s)] = 0;
 }
 
@@ -123,6 +127,7 @@ std::vector<RecoveryEpisode> EpisodeTracker::episodes() const {
 
 void EpisodeTracker::clear() {
   finished_.clear();
+  finished_dropped_ = 0;
   std::fill(has_open_.begin(), has_open_.end(), 0);
 }
 

@@ -28,6 +28,11 @@ class EpisodeTracker : public TraceSink {
   // order (marked incomplete). Deterministic for a fixed seed.
   std::vector<RecoveryEpisode> episodes() const;
 
+  // Episodes silently discarded once the finished list hit its cap (long
+  // soak runs crash/recover thousands of times; reports keep the earliest
+  // episodes plus this count instead of growing without bound).
+  uint64_t finished_dropped() const { return finished_dropped_; }
+
   void clear();
 
  private:
@@ -35,6 +40,9 @@ class EpisodeTracker : public TraceSink {
   // report; once full, the newest point keeps overwriting the last slot
   // so the curve always ends at the current state.
   static constexpr size_t kMaxBacklogPoints = 256;
+  // Cap on retained finished episodes (soak runs close one per
+  // crash/recover round; memory must stay bounded over millions of txns).
+  static constexpr size_t kMaxFinishedEpisodes = 4096;
 
   RecoveryEpisode& open_for(SiteId s);
   void push_backlog(RecoveryEpisode& ep, SimTime at, int64_t remaining);
@@ -43,6 +51,7 @@ class EpisodeTracker : public TraceSink {
   std::vector<RecoveryEpisode> finished_;
   std::vector<RecoveryEpisode> open_;
   std::vector<char> has_open_;
+  uint64_t finished_dropped_ = 0;
 };
 
 } // namespace ddbs

@@ -25,6 +25,24 @@ SimTime RecoveryManager::copier_retry_delay(int attempts) const {
   return (8 * env_.cfg->detector_interval) << shift;
 }
 
+SimTime RecoveryManager::type1_retry_delay(int attempt) const {
+  // Escalate AND de-phase. A fixed short backoff phase-locks the type-1
+  // with a concurrent type-2 declaration of this very site: both write
+  // the same NS copies, both retry on the same cadence after aborting
+  // each other on lock conflicts, and neither ever commits. The detector
+  // side already jitters; this side escalates (so a losing type-1 yields
+  // the NS locks for progressively longer) and adds a deterministic
+  // per-site, per-attempt skew so two recovering sites do not collide
+  // with each other either.
+  int shift = attempt / 4;
+  if (shift > kMaxBackoffShift) shift = kMaxBackoffShift;
+  const SimTime base = kRetryBackoff << shift;
+  uint64_t h = static_cast<uint64_t>(env_.self) * 0x9e3779b97f4a7c15ull +
+               static_cast<uint64_t>(attempt) * 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 31;
+  return base + static_cast<SimTime>(h % static_cast<uint64_t>(base));
+}
+
 RecoveryManager::RecoveryManager(const CoordinatorEnv& env, DataManager& dm,
                                  TransactionManager& tm)
     : env_(env), dm_(dm), tm_(tm) {}
@@ -122,9 +140,23 @@ void RecoveryManager::resolve_one(const WalRecord& rec, size_t target_idx) {
 
 void RecoveryManager::attempt_up(int attempt) {
   if (attempt > env_.cfg->control_retry_limit) {
+    // Never abandon. A site that stops retrying is stranded in
+    // kRecovering forever -- Site::recover() refuses a non-down site, so
+    // nothing can ever revive it, and transient NS-lock contention (a
+    // type-2 declaring this very site down, racing our type-1) turns
+    // into permanent unavailability. Instead: cool down long enough for
+    // the competing declaration to win its locks and commit, then
+    // restart the attempt cycle against the now-quiet NS copies.
     env_.metrics->inc(env_.metrics->id.rm_gave_up);
-    DDBS_WARN << "site " << env_.self << " recovery gave up after "
-              << attempt << " attempts";
+    DDBS_WARN << "site " << env_.self << " type-1 cycle exhausted after "
+              << attempt << " attempts; cooling down and restarting";
+    const uint64_t epoch = epoch_;
+    env_.sched->after(16 * env_.cfg->detector_interval +
+                          type1_retry_delay(attempt),
+                      [this, epoch]() {
+                        if (epoch != epoch_) return;
+                        attempt_up(1);
+                      });
     return;
   }
   ++ms_.type1_attempts;
@@ -143,8 +175,9 @@ void RecoveryManager::attempt_up(int attempt) {
       return;
     }
     // Conflict with another control transaction, or no operational site
-    // yet: back off and retry.
-    env_.sched->after(kRetryBackoff * (res.no_operational_site ? 4 : 1),
+    // yet: back off (escalating + skewed) and retry.
+    env_.sched->after(type1_retry_delay(attempt) *
+                          (res.no_operational_site ? 4 : 1),
                       [this, attempt, epoch]() {
                         if (epoch != epoch_) return;
                         attempt_up(attempt + 1);
@@ -165,7 +198,8 @@ void RecoveryManager::exclude_then_retry(std::vector<SiteId> dead,
         if (confirmed.empty()) {
           // False suspicion (contention): just retry the type-1 later.
           env_.metrics->inc(env_.metrics->id.rm_false_suspicion);
-          env_.sched->after(kRetryBackoff, [this, attempt, epoch]() {
+          env_.sched->after(type1_retry_delay(attempt),
+                            [this, attempt, epoch]() {
             if (epoch != epoch_) return;
             attempt_up(attempt + 1);
           });
@@ -189,10 +223,11 @@ void RecoveryManager::exclude_then_retry(std::vector<SiteId> dead,
                 exclude_then_retry(std::move(wider), attempt);
                 return;
               }
-              env_.sched->after(kRetryBackoff, [this, attempt, epoch]() {
-                if (epoch != epoch_) return;
-                attempt_up(attempt + 1);
-              });
+              env_.sched->after(type1_retry_delay(attempt),
+                                [this, attempt, epoch]() {
+                                  if (epoch != epoch_) return;
+                                  attempt_up(attempt + 1);
+                                });
             });
       });
 }

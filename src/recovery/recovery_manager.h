@@ -69,6 +69,9 @@ class RecoveryManager {
   }
   // Retry delay after `attempts` consecutive failures (escalating, capped).
   SimTime copier_retry_delay(int attempts) const;
+  // Type-1 retry delay: escalating, capped, with a deterministic per-site
+  // per-attempt skew that de-phases it from concurrent declarations.
+  SimTime type1_retry_delay(int attempt) const;
 
  private:
   void resolve_in_doubt();

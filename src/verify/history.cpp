@@ -1,6 +1,7 @@
 #include "verify/history.h"
 
 #include <algorithm>
+#include <cstddef>
 
 namespace ddbs {
 
@@ -26,16 +27,20 @@ void HistoryRecorder::set_kind(TxnId txn, TxnKind kind) {
 void HistoryRecorder::add_read(TxnId txn, SiteId site, ItemId item,
                                TxnId from_writer, uint64_t from_counter) {
   if (!enabled_) return;
-  record_of(txn).reads.push_back(
-      ReadEvent{site, item, from_writer, from_counter});
+  const bool late = committed_idx_.count(txn) > 0;
+  TxnRecord& rec = record_of(txn);
+  rec.reads.push_back(ReadEvent{site, item, from_writer, from_counter});
+  if (late && sink_ != nullptr) sink_->on_late_read(rec, rec.reads.back());
 }
 
 void HistoryRecorder::add_write(TxnId txn, SiteId site, ItemId item,
                                 uint64_t counter, Value value,
                                 bool copier_install) {
   if (!enabled_) return;
-  record_of(txn).writes.push_back(
-      WriteEvent{site, item, counter, value, copier_install});
+  const bool late = committed_idx_.count(txn) > 0;
+  TxnRecord& rec = record_of(txn);
+  rec.writes.push_back(WriteEvent{site, item, counter, value, copier_install});
+  if (late && sink_ != nullptr) sink_->on_late_write(rec, rec.writes.back());
 }
 
 void HistoryRecorder::commit(TxnId txn, SimTime at) {
@@ -55,11 +60,19 @@ void HistoryRecorder::commit(TxnId txn, SimTime at) {
   committed_idx_.emplace(txn, committed_.txns.size());
   committed_.txns.push_back(std::move(rec));
   sorted_ = false;
+  ++total_committed_;
+  if (sink_ != nullptr) sink_->on_commit(committed_.txns.back());
 }
 
 void HistoryRecorder::abort(TxnId txn) {
   if (!enabled_) return;
   pending_.erase(txn);
+}
+
+size_t HistoryRecorder::clear_pending() {
+  const size_t n = pending_.size();
+  pending_.clear();
+  return n;
 }
 
 const History& HistoryRecorder::view() const {
@@ -85,6 +98,20 @@ History HistoryRecorder::snapshot() const { return view(); }
 
 size_t HistoryRecorder::committed_count() const {
   return committed_.txns.size();
+}
+
+void HistoryRecorder::prune_committed_prefix(size_t n) {
+  if (n == 0) return;
+  view(); // establish the canonical (commit_time, txn) order first
+  if (n > committed_.txns.size()) n = committed_.txns.size();
+  committed_.txns.erase(committed_.txns.begin(),
+                        committed_.txns.begin() +
+                            static_cast<std::ptrdiff_t>(n));
+  committed_idx_.clear();
+  for (size_t i = 0; i < committed_.txns.size(); ++i) {
+    committed_idx_.emplace(committed_.txns[i].txn, i);
+  }
+  pruned_committed_ += n;
 }
 
 } // namespace ddbs

@@ -39,6 +39,21 @@ struct History {
   std::vector<TxnRecord> txns; // committed only, by commit time
 };
 
+// Observer of the recorder's committed-transaction stream. on_commit fires
+// with the full record as known at commit time; events that land on an
+// already-committed record afterwards (participant applies, WAL redo after
+// recovery, spool replay) arrive as on_late_*. A sink sees exactly the
+// same events a post-hoc pass over view() would, just incrementally --
+// which is what lets OnlineVerifier mirror the offline checkers while the
+// consumed prefix is pruned away.
+class HistorySink {
+ public:
+  virtual ~HistorySink() = default;
+  virtual void on_commit(const TxnRecord& rec) = 0;
+  virtual void on_late_read(const TxnRecord& rec, const ReadEvent& r) = 0;
+  virtual void on_late_write(const TxnRecord& rec, const WriteEvent& w) = 0;
+};
+
 class HistoryRecorder {
  public:
   void set_kind(TxnId txn, TxnKind kind);
@@ -52,6 +67,9 @@ class HistoryRecorder {
   bool enabled() const { return enabled_; }
   void set_enabled(bool e) { enabled_ = e; }
 
+  // At most one sink (the online verifier); nullptr detaches.
+  void set_sink(HistorySink* sink) { sink_ = sink; }
+
   // Committed transactions ordered by commit time, borrowed from the
   // recorder -- no copy. The reference stays valid until the next commit().
   // Checkers take `const History&`, so this is the preferred entry point.
@@ -62,6 +80,28 @@ class HistoryRecorder {
   History snapshot() const;
 
   size_t committed_count() const;
+
+  // Drops the first `n` records of view() (the prefix an online checker
+  // has fully consumed and acknowledged), bounding memory over long runs.
+  // Offline checkers that later call view() see only the retained suffix,
+  // so callers must prune only prefixes whose verdicts are already banked.
+  void prune_committed_prefix(size_t n);
+
+  // Records still buffered for in-flight (uncommitted) transactions. A
+  // settled cluster should hold none; the online verifier refuses to prune
+  // while any remain.
+  size_t pending_count() const { return pending_.size(); }
+
+  // Drops every in-flight record. Only sound at a settled boundary (no
+  // active coordinators anywhere): the survivors are then orphans of
+  // crashed coordinators, which presumed-abort 2PC can never commit, so
+  // they would otherwise pin the pending map forever. Returns the count.
+  size_t clear_pending();
+
+  // Total commits observed and records dropped by pruning, for reports and
+  // boundedness assertions: committed_count() == total - pruned.
+  uint64_t total_committed() const { return total_committed_; }
+  uint64_t pruned_committed() const { return pruned_committed_; }
 
  private:
   TxnRecord& record_of(TxnId txn);
@@ -76,6 +116,9 @@ class HistoryRecorder {
   mutable History committed_;
   mutable bool sorted_ = true;
   bool enabled_ = true;
+  HistorySink* sink_ = nullptr;
+  uint64_t total_committed_ = 0;
+  uint64_t pruned_committed_ = 0;
 };
 
 } // namespace ddbs

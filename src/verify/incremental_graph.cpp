@@ -1,0 +1,151 @@
+#include "verify/incremental_graph.h"
+
+#include <algorithm>
+
+namespace ddbs {
+
+IncrementalDigraph::Idx IncrementalDigraph::intern(TxnId n) {
+  auto [it, inserted] = index_.try_emplace(
+      n, static_cast<Idx>(nodes_.size()));
+  if (inserted) {
+    nodes_.push_back(n);
+    out_.emplace_back();
+    in_.emplace_back();
+    ord_.push_back(next_ord_++);
+    mark_.push_back(0);
+    parent_.push_back(0);
+  }
+  return it->second;
+}
+
+void IncrementalDigraph::add_node(TxnId n) { intern(n); }
+
+bool IncrementalDigraph::has_edge(TxnId from, TxnId to) const {
+  auto f = index_.find(from);
+  auto t = index_.find(to);
+  if (f == index_.end() || t == index_.end()) return false;
+  return edge_set_.count((static_cast<uint64_t>(f->second) << 32) |
+                         t->second) > 0;
+}
+
+bool IncrementalDigraph::add_edge(TxnId from, TxnId to) {
+  if (has_cycle()) return false; // already broken; verifier has halted
+  const Idx u = intern(from);
+  const Idx v = intern(to);
+  const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+  if (!edge_set_.insert(key).second) return true; // duplicate
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  ++edge_count_;
+  if (u == v) {
+    cycle_ = {from, from};
+    return false;
+  }
+  if (ord_[u] < ord_[v]) return true; // order already consistent
+  // Order violation: search the affected region [ord[v], ord[u]].
+  visited_f_.clear();
+  visited_b_.clear();
+  if (dfs_forward(v, u)) {
+    // v reaches u inside the region, so u -> v closed a cycle. Witness:
+    // u, then the forward path v .. u recovered from the DFS parents.
+    std::vector<Idx> path;
+    for (Idx w = u; w != v; w = parent_[w]) path.push_back(w);
+    path.push_back(v);
+    cycle_.clear();
+    cycle_.push_back(nodes_[u]);
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      cycle_.push_back(nodes_[*it]);
+    }
+    for (Idx w : visited_f_) mark_[w] = 0;
+    return false;
+  }
+  dfs_backward(u, v);
+  reorder(u, v);
+  return true;
+}
+
+bool IncrementalDigraph::dfs_forward(Idx v, Idx u) {
+  // Iterative DFS with explicit parents so the cycle witness can be
+  // reconstructed; bounded to nodes with ord <= ord[u].
+  const uint64_t bound = ord_[u];
+  std::vector<Idx> stack{v};
+  mark_[v] = 1;
+  visited_f_.push_back(v);
+  while (!stack.empty()) {
+    const Idx w = stack.back();
+    stack.pop_back();
+    for (Idx x : out_[w]) {
+      if (x == u) {
+        parent_[x] = w;
+        mark_[x] = 1;
+        visited_f_.push_back(x);
+        return true;
+      }
+      if (ord_[x] > bound || mark_[x]) continue;
+      mark_[x] = 1;
+      parent_[x] = w;
+      visited_f_.push_back(x);
+      stack.push_back(x);
+    }
+  }
+  return false;
+}
+
+void IncrementalDigraph::dfs_backward(Idx u, Idx v) {
+  const uint64_t bound = ord_[v];
+  std::vector<Idx> stack{u};
+  mark_[u] = 2;
+  visited_b_.push_back(u);
+  while (!stack.empty()) {
+    const Idx w = stack.back();
+    stack.pop_back();
+    for (Idx x : in_[w]) {
+      if (ord_[x] < bound || mark_[x]) continue;
+      mark_[x] = 2;
+      visited_b_.push_back(x);
+      stack.push_back(x);
+    }
+  }
+}
+
+void IncrementalDigraph::reorder(Idx /*u*/, Idx /*v*/) {
+  // Pearce-Kelly repair: the backward set (everything in the region that
+  // reaches u) must precede the forward set (everything v reaches).
+  // Reassign the union's existing order keys: backward nodes first, each
+  // group keeping its internal relative order.
+  auto by_ord = [this](Idx a, Idx b) { return ord_[a] < ord_[b]; };
+  std::sort(visited_b_.begin(), visited_b_.end(), by_ord);
+  std::sort(visited_f_.begin(), visited_f_.end(), by_ord);
+  std::vector<uint64_t> pool;
+  pool.reserve(visited_b_.size() + visited_f_.size());
+  for (Idx w : visited_b_) pool.push_back(ord_[w]);
+  for (Idx w : visited_f_) pool.push_back(ord_[w]);
+  std::sort(pool.begin(), pool.end());
+  size_t k = 0;
+  for (Idx w : visited_b_) {
+    ord_[w] = pool[k++];
+    mark_[w] = 0;
+  }
+  for (Idx w : visited_f_) {
+    ord_[w] = pool[k++];
+    mark_[w] = 0;
+  }
+}
+
+void IncrementalDigraph::clear() {
+  index_.clear();
+  nodes_.clear();
+  out_.clear();
+  in_.clear();
+  ord_.clear();
+  next_ord_ = 0;
+  edge_count_ = 0;
+  edge_set_.clear();
+  cycle_.clear();
+  visited_f_.clear();
+  visited_b_.clear();
+  mark_.clear();
+  parent_.clear();
+}
+
+} // namespace ddbs

@@ -1,0 +1,77 @@
+// Incremental directed-graph cycle detection for the online 1-STG
+// maintained by OnlineVerifier. Edges only ever arrive (the revised 1-STG
+// never removes an edge while a history prefix is live), so the classic
+// Pearce-Kelly algorithm applies: keep a topological order of the current
+// acyclic graph and, on an order-violating insertion, repair only the
+// affected region with a bounded forward/backward search. Amortized cost
+// is near-linear in edges for the append-mostly streams the verifier
+// feeds it, versus a full O(V+E) rebuild per check for Digraph.
+//
+// Once a cycle is inserted the graph stops maintaining the order (the
+// verifier halts at its first violation anyway) and exposes the witness.
+// clear() resets everything; the verifier calls it when the acknowledged
+// history prefix is pruned.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ddbs {
+
+class IncrementalDigraph {
+ public:
+  // Idempotent; nodes are also added implicitly by add_edge.
+  void add_node(TxnId n);
+
+  // Inserts the edge (duplicates and self-loops handled: a duplicate is a
+  // no-op, a self-loop is an immediate cycle). Returns true while the
+  // graph is still acyclic after the insertion.
+  bool add_edge(TxnId from, TxnId to);
+
+  bool has_cycle() const { return !cycle_.empty(); }
+
+  // The first cycle created, as a node sequence with first == last; empty
+  // when the graph is acyclic.
+  const std::vector<TxnId>& cycle() const { return cycle_; }
+
+  bool has_edge(TxnId from, TxnId to) const;
+  size_t node_count() const { return nodes_.size(); }
+  size_t edge_count() const { return edge_count_; }
+
+  void clear();
+
+ private:
+  using Idx = uint32_t;
+
+  Idx intern(TxnId n);
+
+  // Forward DFS from `v` through nodes with ord <= ord[u]. Fills
+  // visited_f_; returns true (and records the witness path) when `u` is
+  // reached, i.e. the new edge closed a cycle.
+  bool dfs_forward(Idx v, Idx u);
+  void dfs_backward(Idx u, Idx v);
+  void reorder(Idx u, Idx v);
+
+  std::unordered_map<TxnId, Idx> index_;
+  std::vector<TxnId> nodes_;              // Idx -> TxnId
+  std::vector<std::vector<Idx>> out_;
+  std::vector<std::vector<Idx>> in_;
+  std::vector<uint64_t> ord_;             // topological order key
+  uint64_t next_ord_ = 0;
+  size_t edge_count_ = 0;
+  std::unordered_set<uint64_t> edge_set_; // dedup key: from_idx<<32 | to_idx
+  std::vector<TxnId> cycle_;
+
+  // Scratch for the repair walk (kept to avoid re-allocating per edge).
+  std::vector<Idx> visited_f_;
+  std::vector<Idx> visited_b_;
+  std::vector<char> mark_;
+  std::vector<Idx> parent_;
+};
+
+} // namespace ddbs

@@ -1,0 +1,245 @@
+#include "verify/online_verifier.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/cluster.h"
+#include "verify/one_sr_checker.h"
+
+namespace ddbs {
+
+namespace {
+
+bool is_copierish(TxnKind kind) {
+  // Same exclusion as the offline checker: copiers and control
+  // transactions are not part of the one-copy serial history (Section 4.1).
+  return kind == TxnKind::kCopier || kind == TxnKind::kControlUp ||
+         kind == TxnKind::kControlDown;
+}
+
+Violation make_violation(const Cluster& cluster, std::string oracle,
+                         std::string detail) {
+  Violation v;
+  v.oracle = std::move(oracle);
+  v.detail = std::move(detail);
+  v.at = cluster.now();
+  return v;
+}
+
+} // namespace
+
+OnlineVerifier::OnlineVerifier(const Config& cfg) : cfg_(cfg) {}
+
+void OnlineVerifier::ingest_read(TxnId txn, const ReadEvent& r) {
+  if (!is_data_item(r.item)) return;
+  ItemState& st = items_[r.item];
+  // (i) READ-FROM: original writer -> reader (0 = initial state).
+  if (r.from_writer != 0 && r.from_writer != txn) {
+    graph_.add_edge(r.from_writer, txn);
+  }
+  // (iii) read-before: reader -> first writer ordered after the version it
+  // observed. Writers that are not known yet (still in flight, or applied
+  // late) re-target this via the retained reads in ingest_write.
+  auto nit = st.writers.upper_bound(r.from_counter);
+  if (nit != st.writers.end() && nit->second != txn) {
+    graph_.add_edge(txn, nit->second);
+  }
+  st.reads.emplace(r.from_counter, txn);
+}
+
+void OnlineVerifier::ingest_write(TxnId txn, const WriteEvent& w) {
+  if (!is_data_item(w.item) || w.copier_install) return;
+  ItemState& st = items_[w.item];
+  auto [it, inserted] = st.writers.emplace(w.counter, txn);
+  if (!inserted) return; // same version already known (multi-site apply)
+  if (w.counter >= last_write_[w.item].counter) {
+    last_write_[w.item] = LastWrite{w.counter, w.value, txn};
+  }
+  // (ii) write-order: splice into the chain. When the insertion is
+  // out-of-order (WAL redo, spool replay) the old prev -> next edge stays
+  // behind, but it is transitively implied by prev -> new -> next, so the
+  // graph remains cycle-equivalent to a fresh rebuild.
+  if (it != st.writers.begin()) {
+    const TxnId prev = std::prev(it)->second;
+    if (prev != txn) graph_.add_edge(prev, txn);
+  }
+  if (auto next = std::next(it); next != st.writers.end()) {
+    if (next->second != txn) graph_.add_edge(txn, next->second);
+  }
+  // Re-target read-before edges: a read that observed counter x gets its
+  // edge to the first writer after x, which this insertion just became
+  // for every x in [prev_counter, w.counter).
+  const uint64_t lo =
+      it == st.writers.begin() ? 0 : std::prev(it)->first;
+  for (auto rit = st.reads.lower_bound(lo),
+            rend = st.reads.lower_bound(w.counter);
+       rit != rend; ++rit) {
+    if (rit->second != txn) graph_.add_edge(rit->second, txn);
+  }
+}
+
+void OnlineVerifier::note_ns_write(const TxnRecord& rec, const WriteEvent& w) {
+  if (rec.kind == TxnKind::kControlUp || rec.kind == TxnKind::kControlDown) {
+    return;
+  }
+  if (!is_ns_item(w.item)) return;
+  for (const NsCandidate& c : ns_candidates_) {
+    if (c.txn == rec.txn) return; // first NS write per txn is the witness
+  }
+  ns_candidates_.push_back(
+      NsCandidate{rec.commit_time, rec.txn, rec.kind, w.item});
+}
+
+void OnlineVerifier::on_commit(const TxnRecord& rec) {
+  ++commits_seen_;
+  for (const WriteEvent& w : rec.writes) note_ns_write(rec, w);
+  if (is_copierish(rec.kind)) return;
+  graph_.add_node(rec.txn);
+  // Writes before reads, so a transaction's own installed version is in
+  // the writer chain before its reads look up their read-before target
+  // (the self-edge skip then matches the offline builder).
+  for (const WriteEvent& w : rec.writes) ingest_write(rec.txn, w);
+  for (const ReadEvent& r : rec.reads) ingest_read(rec.txn, r);
+}
+
+void OnlineVerifier::on_late_read(const TxnRecord& rec, const ReadEvent& r) {
+  if (is_copierish(rec.kind)) return;
+  ingest_read(rec.txn, r);
+}
+
+void OnlineVerifier::on_late_write(const TxnRecord& rec, const WriteEvent& w) {
+  note_ns_write(rec, w);
+  if (is_copierish(rec.kind)) return;
+  ingest_write(rec.txn, w);
+}
+
+std::optional<Violation> OnlineVerifier::checkpoint(Cluster& cluster) {
+  if (max_session_.empty()) {
+    max_session_.assign(static_cast<size_t>(cluster.n_sites()), 0);
+  }
+  // Session monotonicity, same scan as CheckpointOracle.
+  for (SiteId s = 0; s < cluster.n_sites(); ++s) {
+    const SiteState& st = cluster.site(s).state();
+    if (!st.operational()) continue;
+    SessionNum& hi = max_session_[static_cast<size_t>(s)];
+    if (st.session < hi) {
+      std::ostringstream os;
+      os << "site " << s << " runs session " << st.session
+         << " after having reached " << hi;
+      violated_ = true;
+      return make_violation(cluster, "session-monotonic", os.str());
+    }
+    hi = st.session;
+  }
+  // NS-write discipline from the event stream. Candidates are ordered the
+  // way the offline scan would meet them (commit time, then txn id) so the
+  // first reported witness matches CheckpointOracle's.
+  if (!ns_candidates_.empty()) {
+    std::sort(ns_candidates_.begin(), ns_candidates_.end(),
+              [](const NsCandidate& a, const NsCandidate& b) {
+                if (a.commit_time != b.commit_time)
+                  return a.commit_time < b.commit_time;
+                return a.txn < b.txn;
+              });
+    const NsCandidate& c = ns_candidates_.front();
+    std::ostringstream os;
+    os << to_string(c.kind) << " txn " << c.txn << " wrote NS["
+       << ns_site(c.item) << "]";
+    violated_ = true;
+    return make_violation(cluster, "ns-write-discipline", os.str());
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> OnlineVerifier::check_lost_writes_online(
+    Cluster& cluster) const {
+  // Same judgement as check_lost_writes, but against the incrementally
+  // maintained per-item maxima -- which survive pruning, so the oracle
+  // still covers the whole run after the records are gone.
+  for (const auto& [item, l] : last_write_) {
+    for (SiteId s : cluster.catalog().sites_of(item)) {
+      const Site& site = cluster.site(s);
+      if (!site.state().operational()) continue;
+      const Copy* c = site.stable().kv().find(item);
+      if (c == nullptr || c->unreadable) continue; // convergence's problem
+      if (c->version.counter < l.counter || c->value != l.value) {
+        std::ostringstream os;
+        os << "item " << item << " at site " << s << " holds value "
+           << c->value << " (counter " << c->version.counter
+           << ") but txn " << l.writer << " committed value " << l.value
+           << " (counter " << l.counter << ")";
+        return make_violation(cluster, "lost-write", os.str());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Violation> OnlineVerifier::quiescence(Cluster& cluster) {
+  std::vector<Violation> out;
+  if (auto v = check_convergence(cluster)) out.push_back(*v);
+  if (cfg_.recovery_scheme == RecoveryScheme::kSessionVector) {
+    if (auto v = check_ns_agreement(cluster)) out.push_back(*v);
+  }
+  if (auto v = check_lost_writes_online(cluster)) out.push_back(*v);
+  const bool inc_cycle = graph_.has_cycle();
+  if (!pruned_any_) {
+    // Full history still present: judge 1-SR with the canonical offline
+    // rebuild (byte-identical detail) and cross-check the incremental
+    // verdict against it. Divergence means one of the two is wrong.
+    const CheckReport rep = check_one_sr_graph(cluster.history().view());
+    if (!rep.ok) {
+      out.push_back(make_violation(cluster, "one-sr", rep.detail));
+    }
+    if (rep.ok == inc_cycle) {
+      std::ostringstream os;
+      os << "incremental 1-STG " << (inc_cycle ? "cyclic" : "acyclic")
+         << " but offline rebuild " << (rep.ok ? "acyclic" : "cyclic")
+         << " (" << graph_.node_count() << " nodes, "
+         << graph_.edge_count() << " edges vs " << rep.nodes << "/"
+         << rep.edges << ")";
+      out.push_back(make_violation(cluster, "verifier-divergence", os.str()));
+    }
+  } else if (inc_cycle) {
+    std::ostringstream os;
+    os << "1-STG cycle:";
+    for (TxnId t : graph_.cycle()) os << " " << t;
+    out.push_back(make_violation(cluster, "one-sr", os.str()));
+  }
+  if (!out.empty()) violated_ = true;
+  return out;
+}
+
+size_t OnlineVerifier::maybe_prune(Cluster& cluster) {
+  // Pruning is only sound at a boundary where nothing can ever reach back
+  // into the consumed prefix: verdicts clean, every site up and idle, no
+  // in-flight records, replicas converged (every copy at its maximum
+  // committed counter).
+  if (violated_ || graph_.has_cycle()) return 0;
+  if (!ns_candidates_.empty()) return 0; // unconsumed checkpoint evidence
+  HistoryRecorder& rec = cluster.history();
+  if (!rec.enabled()) return 0;
+  for (SiteId s = 0; s < cluster.n_sites(); ++s) {
+    Site& site = cluster.site(s);
+    if (site.state().mode != SiteMode::kUp) return 0;
+    if (site.tm().active_coordinators() > 0 ||
+        site.dm().active_txn_count() > 0 ||
+        site.dm().parked_read_count() > 0 || !site.rm().refresh_idle()) {
+      return 0;
+    }
+  }
+  if (!cluster.replicas_converged()) return 0;
+  // Any record still in flight at this boundary belongs to a coordinator
+  // that crashed mid-2PC; presumed abort means it can never commit, so it
+  // is dropped rather than left to pin the pending map forever.
+  rec.clear_pending();
+  const size_t n = rec.committed_count();
+  if (n == 0) return 0;
+  rec.prune_committed_prefix(n);
+  graph_.clear();
+  items_.clear();
+  pruned_any_ = true;
+  return n;
+}
+
+} // namespace ddbs

@@ -1,0 +1,137 @@
+#include "workload/soak.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/report.h"
+#include "core/cluster.h"
+#include "workload/runner.h"
+
+namespace ddbs {
+
+SoakResult run_soak(const SoakOptions& opts) {
+  Config cfg = opts.cfg;
+  cfg.record_history = true;
+  cfg.online_verify = true;
+  Cluster cluster(cfg, opts.seed);
+  cluster.bootstrap();
+  OnlineVerifier* verifier = cluster.online_verifier();
+
+  SoakResult res;
+  for (int round = 0; round < opts.rounds; ++round) {
+    RunnerParams params;
+    params.clients_per_site = opts.clients_per_site;
+    params.think_time = opts.think_time;
+    params.duration = opts.round_duration;
+    params.workload = opts.workload;
+    if (opts.crash_at >= 0 && cfg.n_sites > 0) {
+      const SiteId victim = static_cast<SiteId>(round % cfg.n_sites);
+      params.schedule.push_back(
+          FailureEvent{opts.crash_at, FailureEvent::What::kCrash, victim});
+      if (opts.recover_at > opts.crash_at) {
+        params.schedule.push_back(FailureEvent{
+            opts.recover_at, FailureEvent::What::kRecover, victim});
+      }
+    }
+    // Vary the client seed per round so rounds explore different
+    // interleavings instead of replaying the first one forever.
+    Runner runner(cluster, params,
+                  opts.seed + static_cast<uint64_t>(round) * 0x9e3779b9);
+    const RunnerStats stats = runner.run();
+    res.submitted += stats.submitted;
+    res.committed += stats.committed;
+    res.aborted += stats.aborted;
+    ++res.rounds_run;
+
+    // Round boundary: give the failure detector time to notice an
+    // end-of-window crash, settle, then judge and prune.
+    cluster.run_until(cluster.now() + 4 * cfg.detector_interval);
+    cluster.settle(opts.settle_budget);
+    res.max_retained_records = std::max(res.max_retained_records,
+                                        cluster.history().committed_count());
+    res.max_graph_nodes =
+        std::max(res.max_graph_nodes, verifier->graph_node_count());
+    if (auto v = verifier->checkpoint(cluster)) {
+      res.violations.push_back(*v);
+      break;
+    }
+    std::vector<Violation> vs = verifier->quiescence(cluster);
+    if (!vs.empty()) {
+      res.violations = std::move(vs);
+      break;
+    }
+    if (const size_t pruned = verifier->maybe_prune(cluster); pruned > 0) {
+      ++res.prunes;
+      res.records_pruned += pruned;
+    }
+    if (opts.target_committed > 0 &&
+        static_cast<uint64_t>(res.committed) >= opts.target_committed) {
+      break;
+    }
+  }
+  res.commits_verified = verifier->commits_seen();
+  return res;
+}
+
+int64_t peak_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  int64_t kb = -1;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoll(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+std::string soak_report_json(const std::string& label,
+                             const SoakOptions& opts, const SoakResult& res) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("tool", "ddbs_soak");
+  w.kv("schema", 1);
+  w.kv("label", label);
+  w.kv("seed", opts.seed);
+  w.key("config");
+  write_config(w, opts.cfg);
+  w.key("options");
+  w.begin_object();
+  w.kv("rounds", opts.rounds);
+  w.kv("round_duration", static_cast<int64_t>(opts.round_duration));
+  w.kv("clients_per_site", opts.clients_per_site);
+  w.kv("think_time", static_cast<int64_t>(opts.think_time));
+  w.kv("crash_at", static_cast<int64_t>(opts.crash_at));
+  w.kv("recover_at", static_cast<int64_t>(opts.recover_at));
+  w.kv("target_committed", opts.target_committed);
+  w.end_object();
+  w.kv("rounds_run", res.rounds_run);
+  w.kv("submitted", res.submitted);
+  w.kv("committed", res.committed);
+  w.kv("aborted", res.aborted);
+  w.kv("commits_verified", res.commits_verified);
+  w.kv("prunes", res.prunes);
+  w.kv("records_pruned", res.records_pruned);
+  w.kv("max_retained_records",
+       static_cast<uint64_t>(res.max_retained_records));
+  w.kv("max_graph_nodes", static_cast<uint64_t>(res.max_graph_nodes));
+  w.kv("violated", !res.violations.empty());
+  w.key("violations");
+  w.begin_array();
+  for (const Violation& v : res.violations) {
+    w.begin_object();
+    w.kv("oracle", v.oracle);
+    w.kv("at", static_cast<int64_t>(v.at));
+    w.kv("detail", v.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+} // namespace ddbs

@@ -65,7 +65,14 @@ SweepRun run_one(const SweepSpec& spec, size_t cell, uint64_t seed,
     cluster.run_until(cluster.now() +
                       4 * spec.cells[cell].cfg.detector_interval);
     cluster.settle();
-    for (const Violation& v : quiescence_oracles(cluster)) {
+    // Cells configured with online_verify route the same quiescence
+    // verdicts through the incremental verifier instead of the post-hoc
+    // scan; the two are byte-identical by the differential contract.
+    OnlineVerifier* verifier = cluster.online_verifier();
+    const std::vector<Violation> violations =
+        verifier != nullptr ? verifier->quiescence(cluster)
+                            : quiescence_oracles(cluster);
+    for (const Violation& v : violations) {
       out.violations.push_back(to_string(v));
     }
   }

@@ -89,7 +89,9 @@ TEST(EpisodeTracker, FoldsFullChainWithPhaseOrdering) {
   const int64_t want[] = {3, 2, 1, 0, 0};
   for (size_t i = 0; i < 5; ++i) {
     EXPECT_EQ(e.backlog[i].remaining, want[i]) << "point " << i;
-    if (i) EXPECT_GE(e.backlog[i].at, e.backlog[i - 1].at);
+    if (i) {
+      EXPECT_GE(e.backlog[i].at, e.backlog[i - 1].at);
+    }
   }
 }
 
@@ -212,6 +214,78 @@ TEST(EpisodeTracker, BacklogCurveCapsByOverwritingLastPoint) {
   EXPECT_EQ(eps[0].backlog.back().remaining, 0);
 }
 
+TEST(EpisodeTracker, SecondCrashAfterFullyCurrentOpensFreshEpisode) {
+  Fold f;
+  // Full recovery, then a second crash long after fully-current: the
+  // second episode must start clean (no carried-over milestones) and the
+  // first must stay closed and complete.
+  f.at(100'000, TraceKind::kSiteCrash, 1);
+  f.at(200'000, TraceKind::kRecoveryStarted, 1);
+  f.at(210'000, TraceKind::kControlUpStart, 1, 1);
+  f.at(300'000, TraceKind::kNominallyUp, 1, /*session*/ 2, /*marked*/ 1);
+  f.at(320'000, TraceKind::kCopierCommit, 1, 7);
+  f.at(320'000, TraceKind::kFullyCurrent, 1, 1);
+  f.at(800'000, TraceKind::kSiteCrash, 1);
+  f.at(900'000, TraceKind::kRecoveryStarted, 1);
+  f.at(910'000, TraceKind::kControlUpStart, 1, 1);
+  f.at(950'000, TraceKind::kNominallyUp, 1, /*session*/ 3, /*marked*/ 0);
+  f.at(950'000, TraceKind::kFullyCurrent, 1, 0);
+
+  const auto eps = f.run();
+  ASSERT_EQ(eps.size(), 2u);
+  EXPECT_TRUE(eps[0].complete);
+  EXPECT_EQ(eps[0].crash_at, 100'000);
+  EXPECT_EQ(eps[0].copier_commits, 1);
+  EXPECT_TRUE(eps[1].complete);
+  EXPECT_EQ(eps[1].crash_at, 800'000);
+  EXPECT_EQ(eps[1].nominally_up_at, 950'000);
+  EXPECT_EQ(eps[1].copier_commits, 0); // nothing leaked from episode 1
+  EXPECT_EQ(eps[1].session, 3);
+}
+
+TEST(EpisodeTracker, EpisodeStillOpenAtQuiescenceIsReportedIncomplete) {
+  Fold f;
+  // Crash with no recovery before the run ends: the open episode must
+  // still be visible (marked incomplete) rather than dropped.
+  f.at(100'000, TraceKind::kSiteCrash, 2);
+  f.at(200'000, TraceKind::kDetectorDeclare, 0, /*a=*/2);
+  f.at(250'000, TraceKind::kControlDownCommit, 0, /*a=*/2);
+
+  const auto eps = f.run();
+  ASSERT_EQ(eps.size(), 1u);
+  EXPECT_FALSE(eps[0].complete);
+  EXPECT_EQ(eps[0].site, 2);
+  EXPECT_EQ(eps[0].crash_at, 100'000);
+  EXPECT_EQ(eps[0].type2_commit_at, 250'000);
+  EXPECT_EQ(eps[0].nominally_up_at, kNoTime);
+  EXPECT_EQ(eps[0].fully_current_at, kNoTime);
+}
+
+TEST(EpisodeTracker, FinishedEpisodesAreCappedWithDropCount) {
+  Scheduler sched;
+  Tracer tracer(sched, 64);
+  EpisodeTracker eps(4);
+  tracer.add_sink(&eps);
+  // Soak-scale churn: far more completed episodes than the cap.
+  const uint64_t rounds = 4096 + 50;
+  SimTime t = 0;
+  for (uint64_t i = 0; i < rounds; ++i) {
+    sched.at(t += 1'000, [&]() { tracer.record(TraceKind::kSiteCrash, 1); });
+    sched.at(t += 1'000,
+             [&]() { tracer.record(TraceKind::kRecoveryStarted, 1); });
+    sched.at(t += 1'000,
+             [&]() { tracer.record(TraceKind::kNominallyUp, 1, 0, 2, 0); });
+    sched.at(t += 1'000,
+             [&]() { tracer.record(TraceKind::kFullyCurrent, 1, 0, 0, 0); });
+  }
+  sched.run_all();
+  EXPECT_EQ(eps.episodes().size(), 4096u);
+  EXPECT_EQ(eps.finished_dropped(), rounds - 4096);
+  eps.clear();
+  EXPECT_EQ(eps.finished_dropped(), 0u);
+  EXPECT_TRUE(eps.episodes().empty());
+}
+
 TEST(EpisodeTracker, StrayEventsWithoutOpenEpisodeAreIgnored) {
   Fold f;
   // Copier commits and type-1 starts on a healthy site must not conjure
@@ -278,6 +352,65 @@ TEST(TimeSeries, DerivesSitesUpFromCrashAndNominallyUp) {
   EXPECT_EQ(d.sites_up[2], 3); // site 4 crashed at 250ms
   EXPECT_EQ(d.sites_up[3], 3);
   EXPECT_EQ(d.sites_up[4], 4); // site 2 back at 450ms
+}
+
+TEST(TimeSeries, SecondCrashMidRecoveryDoesNotDoubleDecrement) {
+  Scheduler sched;
+  Tracer tracer(sched, 16);
+  TimeSeries ts(100'000, 4);
+  tracer.add_sink(&ts);
+
+  // Site 1 crashes, reboots, and crashes again BEFORE reaching
+  // nominally-up. site.cpp emits kSiteCrash unconditionally on the second
+  // fail-stop, which used to drive sites_up to 2 although only one site
+  // was ever down.
+  sched.at(150'000, [&]() { tracer.record(TraceKind::kSiteCrash, 1); });
+  sched.at(250'000, [&]() { tracer.record(TraceKind::kSiteCrash, 1); });
+  sched.at(450'000,
+           [&]() { tracer.record(TraceKind::kNominallyUp, 1, 0, 2, 0); });
+  sched.run_all();
+
+  const TimeSeriesData d = ts.data();
+  ASSERT_EQ(d.sites_up.size(), 5u);
+  EXPECT_EQ(d.sites_up[0], 4);
+  EXPECT_EQ(d.sites_up[1], 3);
+  EXPECT_EQ(d.sites_up[2], 3); // second crash of the same site: no change
+  EXPECT_EQ(d.sites_up[3], 3);
+  EXPECT_EQ(d.sites_up[4], 4);
+  // And a duplicate nominally-up cannot over-increment either.
+  tracer.record(TraceKind::kNominallyUp, 1, 0, 2, 0);
+  const TimeSeriesData d2 = ts.data();
+  EXPECT_EQ(d2.sites_up.back(), 4);
+}
+
+TEST(TimeSeries, ThroughExtendsQuietTailIntoPartialFinalBucket) {
+  Scheduler sched;
+  Tracer tracer(sched, 16);
+  TimeSeries ts(100'000, 3);
+  tracer.add_sink(&ts);
+
+  sched.at(50'000, [&]() {
+    tracer.record(TraceKind::kTxnCommit, 0, 1, 0,
+                  static_cast<int64_t>(TxnKind::kUser));
+  });
+  sched.at(150'000, [&]() { tracer.record(TraceKind::kSiteCrash, 2); });
+  sched.run_all();
+
+  // Legacy view truncates at the last event's bucket...
+  EXPECT_EQ(ts.data().sites_up.size(), 2u);
+  // ...but a run that kept simulating quietly until 470ms has buckets 2-4
+  // too, the last one partial. The crash (never recovered) must persist
+  // through the extended tail instead of vanishing with the truncation.
+  const TimeSeriesData d = ts.data(470'000);
+  ASSERT_EQ(d.sites_up.size(), 5u);
+  EXPECT_EQ(d.commits.size(), 5u);
+  EXPECT_EQ(d.sites_up[0], 3);
+  for (size_t b = 1; b < d.sites_up.size(); ++b) EXPECT_EQ(d.sites_up[b], 2);
+  EXPECT_EQ(d.commits[0], 1);
+  for (size_t b = 1; b < d.commits.size(); ++b) EXPECT_EQ(d.commits[b], 0);
+  // `through` on a bucket boundary must not add a trailing empty bucket.
+  EXPECT_EQ(ts.data(200'000).sites_up.size(), 2u);
+  EXPECT_EQ(ts.data(200'001).sites_up.size(), 3u);
 }
 
 TEST(TimeSeries, ZeroWidthDisablesRecording) {

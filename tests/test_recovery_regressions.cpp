@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "core/cluster.h"
+#include "workload/runner.h"
 
 namespace ddbs {
 namespace {
@@ -197,6 +198,79 @@ TEST(FailureInjection, CrashAndRecoverAreBoundsCheckedAndIdempotent) {
   EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
   // The session advanced exactly once across the whole barrage.
   EXPECT_EQ(cluster.site(1).state().session, 2u);
+}
+
+// Soak-surfaced liveness regression: a recovering site's type-1 control
+// transaction and a concurrent type-2 declaration OF THAT SITE write the
+// same NS copies. With a fixed 30 ms type-1 retry backoff the two
+// phase-locked -- each aborting the other on NS lock conflicts -- until
+// the type-1 exhausted control_retry_limit and gave up permanently,
+// stranding the site in kRecovering forever (Site::recover() refuses a
+// non-down site, so nothing could ever revive it). This exact
+// crash/recover cadence under spooler recovery reproduced the stranding
+// deterministically at round 2 (victim site 2).
+Config livelock_config() {
+  Config cfg;
+  cfg.n_sites = 4;
+  cfg.n_items = 100;
+  cfg.replication_degree = 3;
+  cfg.recovery_scheme = RecoveryScheme::kSpooler;
+  return cfg;
+}
+
+void run_livelock_rounds(Cluster& cluster) {
+  for (int round = 0; round < 3; ++round) {
+    RunnerParams params;
+    params.clients_per_site = 6;
+    params.duration = 5'000'000;
+    const SiteId victim = static_cast<SiteId>(round % 4);
+    params.schedule.push_back(
+        FailureEvent{200'000, FailureEvent::What::kCrash, victim});
+    params.schedule.push_back(
+        FailureEvent{1'200'000, FailureEvent::What::kRecover, victim});
+    Runner runner(cluster, params,
+                  42 + static_cast<uint64_t>(round) * 0x9e3779b9);
+    runner.run();
+    cluster.run_until(cluster.now() + 4 * cluster.config().detector_interval);
+    cluster.settle();
+  }
+}
+
+TEST(RecoveryLiveness, Type1DeclarationLivelockResolves) {
+  Cluster cluster(livelock_config(), 42);
+  cluster.bootstrap();
+  run_livelock_rounds(cluster);
+  // Before the fix: site 2 stuck kRecovering, session 0, rm.gave_up = 1,
+  // and every later settle() hit its time bound (~125 s of sim time per
+  // round). After: each round ends with the whole cluster up.
+  for (SiteId s = 0; s < 4; ++s) {
+    EXPECT_EQ(cluster.site(s).state().mode, SiteMode::kUp) << "site " << s;
+    EXPECT_GT(cluster.site(s).state().session, 0u) << "site " << s;
+  }
+  EXPECT_EQ(cluster.metrics().get("rm.recovered"), 3);
+  std::string why;
+  EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
+  // The escalating backoff resolves the collision inside one attempt
+  // cycle; the round boundary is reached on schedule, not via give-up.
+  EXPECT_LT(cluster.now(), 30'000'000);
+}
+
+TEST(RecoveryLiveness, ExhaustedType1CycleRestartsAfterCooldown) {
+  // Squeeze the retry limit so the lock collision exhausts the type-1
+  // cycle immediately: the old code would strand the site at the first
+  // gave-up; the cool-down restart must bring it up anyway.
+  Config cfg = livelock_config();
+  cfg.control_retry_limit = 1;
+  Cluster cluster(cfg, 42);
+  cluster.bootstrap();
+  run_livelock_rounds(cluster);
+  EXPECT_GE(cluster.metrics().get("rm.gave_up"), 1);
+  for (SiteId s = 0; s < 4; ++s) {
+    EXPECT_EQ(cluster.site(s).state().mode, SiteMode::kUp) << "site " << s;
+  }
+  EXPECT_EQ(cluster.metrics().get("rm.recovered"), 3);
+  std::string why;
+  EXPECT_TRUE(cluster.replicas_converged(&why)) << why;
 }
 
 TEST(FailureDetector, NoFalseDeclarationsOnHealthyCluster) {

@@ -4,17 +4,19 @@
 # ddbs_trace.py -> compare_reports.py). Run from anywhere; everything is
 # anchored to the repo root. Exits non-zero on the first failure.
 #
-# Usage: tools/ci/run_checks.sh [--no-asan] [--no-perf]
+# Usage: tools/ci/run_checks.sh [--no-asan] [--no-perf] [--no-soak]
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 run_asan=1
 run_perf=1
+run_soak=1
 for arg in "$@"; do
   case "$arg" in
     --no-asan) run_asan=0 ;;
     --no-perf) run_perf=0 ;;
+    --no-soak) run_soak=0 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -80,6 +82,19 @@ if [[ "$run_perf" == 1 ]]; then
   else
     echo "no BENCH_micro.json under $perf_baseline; skipping"
   fi
+fi
+
+if [[ "$run_soak" == 1 ]]; then
+  step "online-verifier soak smoke (>= 1M committed txns, bounded RSS)"
+  # Every outdated strategy plus the spooler baseline through repeated
+  # crash/recover rounds with the incremental verifier judging each round
+  # boundary and pruning the consumed history. Exit is nonzero on any
+  # invariant violation and (exit 3) if peak RSS exceeds the ceiling --
+  # the ceiling is what proves acknowledged-prefix pruning works.
+  "$repo/build/tools/ddbs_soak" \
+    --rounds=100 --round-ms=5000 --clients=6 --sites=4 --items=100 \
+    --target-committed=200000 --rss-limit-mb=512 -j "$jobs" \
+    --out="$tmp/SOAK_ci.json"
 fi
 
 step "observability smoke (ddbs_sim -> ddbs_trace.py)"

@@ -72,6 +72,10 @@ struct Options {
       "  --horizon-ms=N        load+fault window (default 2000)\n"
       "  --clients=N --ops=N --reads=F --zipf=F\n"
       "  --planted-bug=NAME    none|skip-session-check|skip-mark\n"
+      "  --verify=MODE         post-hoc|online (default post-hoc);\n"
+      "                        online streams commits through the\n"
+      "                        incremental 1-STG verifier instead of\n"
+      "                        rebuilding the graph at each check\n"
       "driver:\n"
       "  -j N, --threads=N     worker threads (default 1)\n"
       "  --fail-fast           stop scheduling runs after first violation\n"
@@ -133,6 +137,8 @@ Options parse(int argc, char** argv) {
       o.run.workload.zipf_theta = std::stod(v);
     } else if (parse_kv(argv[i], "--planted-bug", &v)) {
       if (!parse_planted_bug(v, &o.run.cfg.planted_bug)) usage(argv[0]);
+    } else if (parse_kv(argv[i], "--verify", &v)) {
+      if (!parse_verify_mode(v, &o.run.verify)) usage(argv[0]);
     } else if (parse_kv(argv[i], "--threads", &v)) {
       o.threads = std::stoi(v);
     } else if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) {

@@ -1,0 +1,231 @@
+// ddbs_soak -- long-horizon soak CLI with online incremental verification.
+//
+// Drives one long-lived cluster per cell through repeated
+// load/crash/recover rounds with the OnlineVerifier attached: the revised
+// 1-STG is maintained incrementally, every round boundary is judged by
+// the checkpoint + quiescence oracles, and the consumed history prefix is
+// pruned so memory stays bounded no matter how many transactions commit.
+// Cells (one per outdated strategy, plus the spooler baseline) fan out on
+// a thread pool; each cell is an independent deterministic simulation.
+//
+// Exit codes: 0 clean, 1 invariant violation, 2 usage, 3 RSS ceiling
+// exceeded.
+//
+// Examples:
+//   ddbs_soak --rounds=200 --round-ms=2000 --target-committed=2000000 -j 5
+//   ddbs_soak --cells=mark-all,spooler --rounds=20 --rss-limit-mb=512
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/soak.h"
+#include "workload/sweep.h"
+
+using namespace ddbs;
+
+namespace {
+
+struct CliOptions {
+  Config base;
+  std::vector<std::string> cells{"mark-all", "vcmp", "fail-lock",
+                                 "missing-list", "spooler"};
+  uint64_t seed = 1;
+  int threads = 1;
+  SoakOptions soak; // per-cell knobs (cfg/seed filled per cell)
+  int64_t rss_limit_kb = 0; // 0 = no ceiling
+  std::string out;          // "" = no report file
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [flags]\n"
+      "  --cells=A,B,..        mark-all|vcmp|fail-lock|missing-list|spooler\n"
+      "                        (default: all five)\n"
+      "  --rounds=N            crash/recover/load rounds per cell\n"
+      "  --round-ms=N          load window per round (sim ms)\n"
+      "  --crash-ms=N          crash offset within a round (-1 disables)\n"
+      "  --recover-ms=N        recover offset within a round\n"
+      "  --target-committed=N  stop a cell once N txns committed\n"
+      "  --clients=N --ops=N --reads=F --zipf=F\n"
+      "  --sites=N --items=N --degree=N\n"
+      "  --seed=N              base seed (cell index is mixed in)\n"
+      "  -j N, --threads=N     cells run in parallel\n"
+      "  --rss-limit-mb=N      fail (exit 3) if process VmHWM exceeds this\n"
+      "  --out=PATH            write the aggregate JSON report here\n",
+      argv0);
+  std::exit(2);
+}
+
+bool parse_kv(const char* arg, const char* key, std::string* out) {
+  const size_t len = std::strlen(key);
+  if (std::strncmp(arg, key, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> split_commas(const std::string& v) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= v.size()) {
+    const size_t comma = v.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(v.substr(start));
+      break;
+    }
+    out.push_back(v.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool apply_cell(Config& cfg, const std::string& cell) {
+  if (cell == "spooler") {
+    cfg.recovery_scheme = RecoveryScheme::kSpooler;
+    return true;
+  }
+  cfg.recovery_scheme = RecoveryScheme::kSessionVector;
+  if (cell == "mark-all") {
+    cfg.outdated_strategy = OutdatedStrategy::kMarkAll;
+  } else if (cell == "vcmp") {
+    cfg.outdated_strategy = OutdatedStrategy::kMarkAllVersionCmp;
+  } else if (cell == "fail-lock") {
+    cfg.outdated_strategy = OutdatedStrategy::kFailLock;
+  } else if (cell == "missing-list") {
+    cfg.outdated_strategy = OutdatedStrategy::kMissingList;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions o;
+  o.soak.rounds = 50;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_kv(argv[i], "--cells", &v)) {
+      o.cells = split_commas(v);
+    } else if (parse_kv(argv[i], "--rounds", &v)) {
+      o.soak.rounds = std::stoi(v);
+    } else if (parse_kv(argv[i], "--round-ms", &v)) {
+      o.soak.round_duration = std::stoll(v) * 1000;
+    } else if (parse_kv(argv[i], "--crash-ms", &v)) {
+      o.soak.crash_at = std::stoll(v) * 1000;
+    } else if (parse_kv(argv[i], "--recover-ms", &v)) {
+      o.soak.recover_at = std::stoll(v) * 1000;
+    } else if (parse_kv(argv[i], "--target-committed", &v)) {
+      o.soak.target_committed = std::stoull(v);
+    } else if (parse_kv(argv[i], "--clients", &v)) {
+      o.soak.clients_per_site = std::stoi(v);
+    } else if (parse_kv(argv[i], "--ops", &v)) {
+      o.soak.workload.ops_per_txn = std::stoi(v);
+    } else if (parse_kv(argv[i], "--reads", &v)) {
+      o.soak.workload.read_fraction = std::stod(v);
+    } else if (parse_kv(argv[i], "--zipf", &v)) {
+      o.soak.workload.zipf_theta = std::stod(v);
+    } else if (parse_kv(argv[i], "--sites", &v)) {
+      o.base.n_sites = std::stoi(v);
+    } else if (parse_kv(argv[i], "--items", &v)) {
+      o.base.n_items = std::stoll(v);
+    } else if (parse_kv(argv[i], "--degree", &v)) {
+      o.base.replication_degree = std::stoi(v);
+    } else if (parse_kv(argv[i], "--seed", &v)) {
+      o.seed = std::stoull(v);
+    } else if (parse_kv(argv[i], "--threads", &v)) {
+      o.threads = std::stoi(v);
+    } else if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) {
+      o.threads = std::stoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "-j", 2) == 0 && argv[i][2] != '\0') {
+      o.threads = std::stoi(argv[i] + 2);
+    } else if (parse_kv(argv[i], "--rss-limit-mb", &v)) {
+      o.rss_limit_kb = std::stoll(v) * 1024;
+    } else if (parse_kv(argv[i], "--out", &v)) {
+      o.out = v;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (o.soak.rounds < 1 || o.threads < 1 || o.cells.empty()) usage(argv[0]);
+  return o;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ddbs_soak: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions o = parse(argc, argv);
+
+  std::vector<SoakOptions> cells(o.cells.size());
+  for (size_t c = 0; c < o.cells.size(); ++c) {
+    cells[c] = o.soak;
+    cells[c].cfg = o.base;
+    cells[c].seed = o.seed + c * 1000003;
+    if (!apply_cell(cells[c].cfg, o.cells[c])) usage(argv[0]);
+  }
+
+  std::printf("ddbs_soak: %zu cell%s x %d rounds on %d thread%s\n",
+              cells.size(), cells.size() == 1 ? "" : "s", o.soak.rounds,
+              o.threads, o.threads == 1 ? "" : "s");
+
+  std::vector<SoakResult> results(cells.size());
+  run_parallel(cells.size(), o.threads,
+               [&](size_t c) { results[c] = run_soak(cells[c]); });
+
+  int rc = 0;
+  int64_t total_committed = 0;
+  uint64_t total_verified = 0;
+  for (size_t c = 0; c < cells.size(); ++c) {
+    const SoakResult& r = results[c];
+    total_committed += r.committed;
+    total_verified += r.commits_verified;
+    std::printf(
+        "  %-14s rounds %3d committed %10lld verified %10llu"
+        " prunes %4llu retained<= %zu nodes<= %zu %s\n",
+        o.cells[c].c_str(), r.rounds_run,
+        static_cast<long long>(r.committed),
+        static_cast<unsigned long long>(r.commits_verified),
+        static_cast<unsigned long long>(r.prunes), r.max_retained_records,
+        r.max_graph_nodes, r.ok() ? "OK" : "VIOLATION");
+    for (const Violation& v : r.violations) {
+      std::fprintf(stderr, "ddbs_soak: %s: VIOLATION %s\n",
+                   o.cells[c].c_str(), to_string(v).c_str());
+      rc = 1;
+    }
+  }
+  const int64_t rss = peak_rss_kb();
+  std::printf("total committed %lld, verified %llu, peak RSS %lld kB\n",
+              static_cast<long long>(total_committed),
+              static_cast<unsigned long long>(total_verified),
+              static_cast<long long>(rss));
+  if (o.rss_limit_kb > 0 && rss > o.rss_limit_kb) {
+    std::fprintf(stderr, "ddbs_soak: peak RSS %lld kB exceeds limit %lld kB\n",
+                 static_cast<long long>(rss),
+                 static_cast<long long>(o.rss_limit_kb));
+    rc = rc == 0 ? 3 : rc;
+  }
+
+  if (!o.out.empty()) {
+    std::string body = "{\n  \"tool\": \"ddbs_soak\",\n  \"cells\": [\n";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      body += soak_report_json(o.cells[c], cells[c], results[c]);
+      body += c + 1 < cells.size() ? ",\n" : "\n";
+    }
+    body += "  ],\n  \"peak_rss_kb\": " + std::to_string(rss) + "\n}\n";
+    if (!write_file(o.out, body)) rc = rc == 0 ? 1 : rc;
+  }
+  return rc;
+}

@@ -45,6 +45,7 @@ struct Options {
   std::string spans_dir;   // "" = don't write per-run span dumps
   bool fail_fast = false;
   bool no_oracles = false;
+  bool online_verify = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -62,6 +63,8 @@ struct Options {
       "  -j N, --threads=N     worker threads (default 1)\n"
       "  --fail-fast           stop scheduling runs after the first failure\n"
       "  --no-oracles          skip the quiescence invariant oracles\n"
+      "  --online-verify       record history and judge the quiescence\n"
+      "                        oracles with the incremental online verifier\n"
       "  --planted-bug=NAME    protocol mutation for every cell\n"
       "                        (none|skip-session-check|skip-mark)\n"
       "  --out=PATH            aggregate JSON report (default SWEEP_ddbs.json)\n"
@@ -163,6 +166,8 @@ Options parse(int argc, char** argv) {
       o.fail_fast = true;
     } else if (std::strcmp(argv[i], "--no-oracles") == 0) {
       o.no_oracles = true;
+    } else if (std::strcmp(argv[i], "--online-verify") == 0) {
+      o.online_verify = true;
     } else if (parse_kv(argv[i], "--planted-bug", &v)) {
       if (!parse_planted_bug(v, &o.base.planted_bug)) usage(argv[0]);
     } else if (parse_kv(argv[i], "--out", &v)) {
@@ -280,7 +285,10 @@ int main(int argc, char** argv) {
           for (const std::string& policy : o.policies) {
             SweepCell cell;
             cell.cfg = o.base;
-            cell.cfg.record_history = false; // perf runs, no checker feed
+            // Perf runs carry no checker feed unless the online verifier
+            // is requested (it needs the history event stream as input).
+            cell.cfg.record_history = o.online_verify;
+            cell.cfg.online_verify = o.online_verify;
             if (!apply_axis(cell.cfg, scheme, ws, strategy, copier, policy)) {
               usage(argv[0]);
             }
