@@ -78,6 +78,34 @@ bool parse_planted_bug(std::string_view name, PlantedBug* out);
 struct Config {
   // Topology.
   int n_sites = 5;
+
+  // Execution backend. n_threads == 1 runs the classic single-threaded
+  // deterministic DES (Cluster); n_threads > 1 selects the site-parallel
+  // backend (ParallelCluster): sites are split into n_threads contiguous
+  // shards, each driven by its own worker thread and private scheduler,
+  // with cross-shard envelopes flowing through SPSC mailbox rings under
+  // conservative epoch synchronization (lookahead = minimum network
+  // latency). The shard map is part of the *configuration*, not the
+  // backend: a single-threaded run with n_threads = 4 uses the 4-shard
+  // map for workload decisions (client failover stays shard-local), so
+  // it is event-for-event comparable with a real 4-thread run.
+  int n_threads = 1;
+  // Deterministic cross-backend event ordering. When set, every event
+  // carries a (origin, counter) key minted per site instead of a global
+  // insertion sequence, and the network samples latency/loss from a
+  // counter-keyed hash instead of a shared sequential RNG. Execution then
+  // depends only on per-site event streams -- never on how sites are
+  // interleaved across shards -- so the single-threaded DES and the
+  // parallel backend produce identical per-site histories and final
+  // states (tests/test_parallel_differential.cpp holds them to it).
+  // Forced on by the parallel backend; off preserves the legacy DES
+  // ordering bit-for-bit.
+  bool site_ordered_events = false;
+  // Override for the shard map's fan-out (0 = follow n_threads). Lets a
+  // single-threaded run (n_threads = 1) use the same shard map as an
+  // n-thread run for shard-aware workload decisions, which is what the
+  // differential tests compare against.
+  int workload_shards = 0;
   int64_t n_items = 200;
   int replication_degree = 3; // copies per logical item (capped at n_sites)
   uint64_t placement_seed = 42;
@@ -156,6 +184,19 @@ struct Config {
 
   int effective_replication() const {
     return replication_degree > n_sites ? n_sites : replication_degree;
+  }
+
+  // Shard map used by the parallel backend (and, for comparability, by
+  // shard-aware workload decisions in single-threaded runs): n_threads
+  // contiguous, balanced site ranges.
+  int shard_count() const {
+    int k = workload_shards > 0 ? workload_shards : n_threads;
+    if (k < 1) k = 1;
+    return k > n_sites ? (n_sites < 1 ? 1 : n_sites) : k;
+  }
+  int shard_of(SiteId s) const {
+    return static_cast<int>(static_cast<int64_t>(s) * shard_count() /
+                            n_sites);
   }
 };
 

@@ -83,6 +83,17 @@ void Metrics::clear() {
   for (auto& h : hist_vals_) h.clear();
 }
 
+void Metrics::merge_from(const Metrics& other) {
+  for (size_t i = 0; i < other.counter_count(); ++i) {
+    const int64_t v = other.counter_value(i);
+    if (v != 0) inc(counter(other.counter_name(i)), v);
+  }
+  for (size_t i = 0; i < other.hist_count(); ++i) {
+    const Histogram& h = other.hist_value(i);
+    if (h.count() > 0) hist(histogram(other.hist_name(i))).add_all(h);
+  }
+}
+
 std::string Metrics::summary() const {
   std::ostringstream os;
   // counter_index_ is sorted by name: deterministic output independent of

@@ -37,6 +37,12 @@ class Histogram {
     samples_.clear();
     sorted_ = false;
   }
+  // Append every sample of `other` (shard-merge at report time).
+  void add_all(const Histogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
 
  private:
   mutable std::vector<double> samples_;
@@ -129,6 +135,12 @@ class Metrics {
 
   // Zero every value; registrations (and thus handles) stay valid.
   void clear();
+
+  // Fold another instance's values into this one, matching by name (the
+  // parallel backend keeps one Metrics per shard -- zero hot-path cost --
+  // and aggregates here at report time). Names unknown to this instance
+  // are registered on the fly.
+  void merge_from(const Metrics& other);
 
   size_t counter_count() const { return counter_names_.size(); }
   std::string_view counter_name(size_t i) const { return counter_names_[i]; }

@@ -8,6 +8,18 @@
 
 namespace ddbs {
 
+// Stateless SplitMix64 finalizer: a high-quality 64-bit mix usable as a
+// counter-keyed hash. Unlike Rng it has no sequence state, so concurrent
+// callers hashing independent keys need no synchronization and the result
+// depends only on the key -- the parallel backend's network draws latency
+// and loss from mix_u64(seed ^ event_key) for exactly that reason.
+inline uint64_t mix_u64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}

@@ -158,6 +158,9 @@ void write_config(JsonWriter& w, const Config& cfg) {
   w.kv("span_capacity", static_cast<uint64_t>(cfg.span_capacity));
   w.kv("timeseries_bucket", cfg.timeseries_bucket);
   w.kv("online_verify", cfg.online_verify);
+  w.kv("n_threads", cfg.n_threads);
+  w.kv("site_ordered_events", cfg.site_ordered_events);
+  w.kv("workload_shards", cfg.workload_shards);
   w.kv("planted_bug", to_string(cfg.planted_bug));
   w.end_object();
 }

@@ -1,7 +1,6 @@
 #include "core/cluster.h"
 
 #include <cassert>
-#include <sstream>
 
 #include "common/logging.h"
 
@@ -18,6 +17,9 @@ Cluster::Cluster(Config cfg, uint64_t seed)
   }
   tracer_.add_sink(&episodes_);
   tracer_.add_sink(&series_);
+  // Per-site key lanes make this DES bit-compatible with the parallel
+  // backend's per-shard execution order (see sim/scheduler.h).
+  if (cfg_.site_ordered_events) sched_.enable_site_keys(cfg_.n_sites);
   sites_.reserve(static_cast<size_t>(cfg_.n_sites));
   for (SiteId s = 0; s < cfg_.n_sites; ++s) {
     sites_.push_back(std::make_unique<Site>(
@@ -27,7 +29,11 @@ Cluster::Cluster(Config cfg, uint64_t seed)
 }
 
 void Cluster::bootstrap(Value initial_value) {
-  for (auto& site : sites_) site->bootstrap_up(initial_value);
+  for (auto& site : sites_) {
+    if (sched_.site_keys()) sched_.set_context_site(site->id());
+    site->bootstrap_up(initial_value);
+  }
+  if (sched_.site_keys()) sched_.set_context_free();
 }
 
 void Cluster::submit(SiteId origin, std::vector<LogicalOp> ops,
@@ -35,8 +41,14 @@ void Cluster::submit(SiteId origin, std::vector<LogicalOp> ops,
   TxnSpec spec;
   spec.origin = origin;
   spec.ops = std::move(ops);
+  // Called from outside the simulation: the coordinator's first timers
+  // must mint in the origin site's lane, as they do on the parallel
+  // backend where submit lands on the owning shard.
+  const bool external = sched_.site_keys() && sched_.context_lane() < 2;
+  if (external) sched_.set_context_site(origin);
   sites_[static_cast<size_t>(origin)]->tm().submit_user(std::move(spec),
                                                         std::move(done));
+  if (external) sched_.set_context_free();
 }
 
 TxnResult Cluster::run_txn(SiteId origin, std::vector<LogicalOp> ops) {
@@ -67,7 +79,10 @@ bool Cluster::crash_site(SiteId s) {
   if (sites_[static_cast<size_t>(s)]->state().mode == SiteMode::kDown) {
     return false;
   }
+  const bool external = sched_.site_keys() && sched_.context_lane() < 2;
+  if (external) sched_.set_context_site(s);
   sites_[static_cast<size_t>(s)]->crash();
+  if (external) sched_.set_context_free();
   return true;
 }
 
@@ -80,67 +95,49 @@ bool Cluster::recover_site(SiteId s) {
   if (sites_[static_cast<size_t>(s)]->state().mode != SiteMode::kDown) {
     return false; // already up or mid-recovery: nothing to power on
   }
+  const bool external = sched_.site_keys() && sched_.context_lane() < 2;
+  if (external) sched_.set_context_site(s);
   sites_[static_cast<size_t>(s)]->recover();
+  if (external) sched_.set_context_free();
   return true;
 }
 
 void Cluster::crash_site_at(SimTime t, SiteId s) {
-  sched_.at(t, [this, s]() { crash_site(s); });
+  schedule_global(t, [this, s]() { crash_site(s); });
 }
 
 void Cluster::recover_site_at(SimTime t, SiteId s) {
-  sched_.at(t, [this, s]() { recover_site(s); });
+  schedule_global(t, [this, s]() { recover_site(s); });
 }
 
 void Cluster::settle(SimTime max_time) {
-  // Heuristic quiescence: advance in detector-interval slices until no
-  // transaction coordinators or DM contexts remain in flight anywhere and
-  // every recovering site has finished its refresh.
-  const SimTime deadline = sched_.now() + max_time;
-  while (sched_.now() < deadline) {
-    sched_.run_until(sched_.now() + cfg_.detector_interval);
-    bool busy = false;
-    for (const auto& site : sites_) {
-      if (site->tm().active_coordinators() > 0 ||
-          site->dm().active_txn_count() > 0 ||
-          site->dm().parked_read_count() > 0) {
-        busy = true;
-        break;
-      }
-      if (site->state().mode == SiteMode::kUp && !site->rm().refresh_idle()) {
-        busy = true;
-        break;
-      }
-      if (site->state().mode == SiteMode::kRecovering) {
-        busy = true;
-        break;
-      }
-    }
-    if (!busy) return;
+  runtime_impl::settle(*this, max_time);
+}
+
+EventId Cluster::post(SiteId site, SimTime at, EventFn fn) {
+  if (sched_.site_keys()) {
+    return sched_.at_keyed(at, sched_.mint_key(lane_of_site(site)),
+                           std::move(fn));
   }
-  DDBS_WARN << "settle() hit its time bound";
+  return sched_.at(at, std::move(fn));
+}
+
+EventId Cluster::post_after(SiteId site, SimTime delay, EventFn fn) {
+  return post(site, sched_.now() + delay, std::move(fn));
+}
+
+void Cluster::schedule_global(SimTime at, EventFn fn) {
+  if (sched_.site_keys()) {
+    // Lane 0 sorts before every same-time site event, matching the
+    // parallel backend where global actions run at the window boundary.
+    sched_.at_keyed(at, sched_.mint_key(kLaneGlobal), std::move(fn));
+    return;
+  }
+  sched_.at(at, std::move(fn));
 }
 
 std::vector<RecoveryTimeline> Cluster::recovery_timelines() const {
-  std::vector<RecoveryTimeline> out;
-  for (const auto& site : sites_) {
-    const RecoveryManager::Milestones& ms = site->rm().milestones();
-    if (ms.started == kNoTime) continue; // never recovered this run
-    RecoveryTimeline t;
-    t.site = site->id();
-    t.started = ms.started;
-    t.nominally_up = ms.nominally_up;
-    t.fully_current = ms.fully_current;
-    t.type1_attempts = ms.type1_attempts;
-    t.type2_rounds = ms.type2_rounds;
-    t.marked_unreadable = static_cast<int64_t>(ms.marked_unreadable);
-    t.copiers_run = static_cast<int64_t>(ms.copiers_run);
-    t.copier_retries = static_cast<int64_t>(ms.copier_retries);
-    t.totally_failed_items = static_cast<int64_t>(ms.totally_failed_items);
-    t.spool_replayed = static_cast<int64_t>(ms.spool_replayed);
-    out.push_back(t);
-  }
-  return out;
+  return runtime_impl::recovery_timelines(*this);
 }
 
 RunReport::Run& Cluster::report_run(RunReport& report,
@@ -177,43 +174,18 @@ void Cluster::add_perf_scalars(RunReport::Run& run) const {
   run.scalars.emplace_back("events_executed",
                            static_cast<double>(sched_.executed()));
   run.scalars.emplace_back("wall_ms", secs * 1e3);
+  // Host-side commit throughput (committed txns / wall second) -- the
+  // headline number the parallel backend is judged on; reported by both
+  // backends so scaling tables come from one code path.
+  run.scalars.emplace_back(
+      "commits_per_sec",
+      secs > 0 ? static_cast<double>(metrics_.get(metrics_.id.txn_committed)) /
+                     secs
+               : 0.0);
 }
 
 bool Cluster::replicas_converged(std::string* why) const {
-  for (ItemId x = 0; x < cfg_.n_items; ++x) {
-    bool have_ref = false;
-    Value ref_value = 0;
-    Version ref_version;
-    for (SiteId s : cat_.sites_of(x)) {
-      const Site& site = *sites_[static_cast<size_t>(s)];
-      if (site.state().mode != SiteMode::kUp) continue;
-      const Copy* c = site.stable().kv().find(x);
-      if (c == nullptr) continue;
-      if (c->unreadable) {
-        if (why != nullptr) {
-          std::ostringstream os;
-          os << "item " << x << " copy at up site " << s
-             << " still unreadable";
-          *why = os.str();
-        }
-        return false;
-      }
-      if (!have_ref) {
-        have_ref = true;
-        ref_value = c->value;
-        ref_version = c->version;
-      } else if (c->value != ref_value || !(c->version == ref_version)) {
-        if (why != nullptr) {
-          std::ostringstream os;
-          os << "item " << x << " diverges at site " << s << " (value "
-             << c->value << " vs " << ref_value << ")";
-          *why = os.str();
-        }
-        return false;
-      }
-    }
-  }
-  return true;
+  return runtime_impl::replicas_converged(*this, why);
 }
 
 } // namespace ddbs

@@ -23,6 +23,7 @@
 #include "common/metrics.h"
 #include "common/report.h"
 #include "common/timeseries.h"
+#include "core/runtime.h"
 #include "core/site.h"
 #include "net/network.h"
 #include "recovery/episode.h"
@@ -35,22 +36,22 @@
 
 namespace ddbs {
 
-class Cluster {
+class Cluster : public ClusterRuntime {
  public:
   Cluster(Config cfg, uint64_t seed);
 
   // Bring every site up at t=0 with all data items holding initial_value.
-  void bootstrap(Value initial_value = 0);
+  void bootstrap(Value initial_value = 0) override;
 
   // ---- workload ----
 
   // Submit asynchronously; `done` fires when the transaction finishes.
   void submit(SiteId origin, std::vector<LogicalOp> ops,
-              CoordinatorBase::DoneFn done);
+              CoordinatorBase::DoneFn done) override;
 
   // Submit and drive the simulation until this transaction finishes
   // (other scheduled activity advances too). Tests & examples.
-  TxnResult run_txn(SiteId origin, std::vector<LogicalOp> ops);
+  TxnResult run_txn(SiteId origin, std::vector<LogicalOp> ops) override;
 
   // ---- failure injection ----
 
@@ -58,32 +59,38 @@ class Cluster {
   // schedules: an out-of-range SiteId is rejected with a warning, crashing
   // an already-down site and recovering a site that is not down are
   // no-ops. Returns whether the action was applied.
-  bool crash_site(SiteId s);
-  bool recover_site(SiteId s);
-  void crash_site_at(SimTime t, SiteId s);
-  void recover_site_at(SimTime t, SiteId s);
-  bool valid_site(SiteId s) const {
-    return s >= 0 && s < cfg_.n_sites;
-  }
+  bool crash_site(SiteId s) override;
+  bool recover_site(SiteId s) override;
+  void crash_site_at(SimTime t, SiteId s) override;
+  void recover_site_at(SimTime t, SiteId s) override;
 
   // ---- time control ----
 
-  SimTime now() const { return sched_.now(); }
-  void run_until(SimTime t) { sched_.run_until(t); }
+  SimTime now() const override { return sched_.now(); }
+  SimTime local_now(SiteId) const override { return sched_.now(); }
+  void run_until(SimTime t) override { sched_.run_until(t); }
   // Run until the event queue only contains periodic detector noise or is
   // empty; bounded by max_time.
-  void settle(SimTime max_time = 60'000'000);
+  void settle(SimTime max_time = 60'000'000) override;
+
+  // ---- scheduling ----
+
+  EventId post(SiteId site, SimTime at, EventFn fn) override;
+  EventId post_after(SiteId site, SimTime delay, EventFn fn) override;
+  bool cancel(SiteId, EventId id) override { return sched_.cancel(id); }
+  void schedule_global(SimTime at, EventFn fn) override;
 
   // ---- introspection ----
 
-  Site& site(SiteId s) { return *sites_[static_cast<size_t>(s)]; }
-  int n_sites() const { return cfg_.n_sites; }
-  const Config& config() const { return cfg_; }
-  const Catalog& catalog() const { return cat_; }
+  Site& site(SiteId s) override { return *sites_[static_cast<size_t>(s)]; }
+  using ClusterRuntime::site;
+  const Config& config() const override { return cfg_; }
+  const Catalog& catalog() const override { return cat_; }
   Scheduler& scheduler() { return sched_; }
-  Network& network() { return net_; }
-  Metrics& metrics() { return metrics_; }
-  HistoryRecorder& history() { return recorder_; }
+  Network& network() override { return net_; }
+  Metrics& metrics() override { return metrics_; }
+  HistoryRecorder& history() override { return recorder_; }
+  using ClusterRuntime::history;
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
   SpanLog& spans() { return spans_; }
@@ -111,12 +118,17 @@ class Cluster {
   // a report run. Kept separate from report_run(): wall-clock scalars are
   // nondeterministic, and sweep per-run reports must stay bit-identical
   // across serial and parallel execution.
-  void add_perf_scalars(RunReport::Run& run) const;
+  void add_perf_scalars(RunReport::Run& run) const override;
 
   // True when every copy of every item is identical across its readable
   // (non-marked, up-site) replicas AND no unreadable copy remains at
   // operational sites. Quiescence check for tests.
-  bool replicas_converged(std::string* why = nullptr) const;
+  bool replicas_converged(std::string* why = nullptr) const override;
+
+  std::string spans_chrome_json() const override {
+    return spans_.to_chrome_json(&tracer_);
+  }
+  std::string trace_json() const override { return tracer_.to_json(); }
 
  private:
   Config cfg_;

@@ -1,0 +1,103 @@
+#include "core/runtime.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ddbs {
+namespace runtime_impl {
+
+void settle(ClusterRuntime& rt, SimTime max_time) {
+  // Heuristic quiescence: advance in detector-interval slices until no
+  // transaction coordinators or DM contexts remain in flight anywhere and
+  // every recovering site has finished its refresh.
+  const Config& cfg = rt.config();
+  const SimTime deadline = rt.now() + max_time;
+  while (rt.now() < deadline) {
+    rt.run_until(rt.now() + cfg.detector_interval);
+    bool busy = false;
+    for (SiteId s = 0; s < cfg.n_sites; ++s) {
+      Site& site = rt.site(s);
+      if (site.tm().active_coordinators() > 0 ||
+          site.dm().active_txn_count() > 0 ||
+          site.dm().parked_read_count() > 0) {
+        busy = true;
+        break;
+      }
+      if (site.state().mode == SiteMode::kUp && !site.rm().refresh_idle()) {
+        busy = true;
+        break;
+      }
+      if (site.state().mode == SiteMode::kRecovering) {
+        busy = true;
+        break;
+      }
+    }
+    if (!busy) return;
+  }
+  DDBS_WARN << "settle() hit its time bound";
+}
+
+bool replicas_converged(const ClusterRuntime& rt, std::string* why) {
+  const Config& cfg = rt.config();
+  for (ItemId x = 0; x < cfg.n_items; ++x) {
+    bool have_ref = false;
+    Value ref_value = 0;
+    Version ref_version;
+    for (SiteId s : rt.catalog().sites_of(x)) {
+      const Site& site = rt.site(s);
+      if (site.state().mode != SiteMode::kUp) continue;
+      const Copy* c = site.stable().kv().find(x);
+      if (c == nullptr) continue;
+      if (c->unreadable) {
+        if (why != nullptr) {
+          std::ostringstream os;
+          os << "item " << x << " copy at up site " << s
+             << " still unreadable";
+          *why = os.str();
+        }
+        return false;
+      }
+      if (!have_ref) {
+        have_ref = true;
+        ref_value = c->value;
+        ref_version = c->version;
+      } else if (c->value != ref_value || !(c->version == ref_version)) {
+        if (why != nullptr) {
+          std::ostringstream os;
+          os << "item " << x << " diverges at site " << s << " (value "
+             << c->value << " vs " << ref_value << ")";
+          *why = os.str();
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<RecoveryTimeline> recovery_timelines(const ClusterRuntime& rt) {
+  std::vector<RecoveryTimeline> out;
+  for (SiteId s = 0; s < rt.config().n_sites; ++s) {
+    Site& site = const_cast<ClusterRuntime&>(rt).site(s);
+    const RecoveryManager::Milestones& ms = site.rm().milestones();
+    if (ms.started == kNoTime) continue; // never recovered this run
+    RecoveryTimeline t;
+    t.site = site.id();
+    t.started = ms.started;
+    t.nominally_up = ms.nominally_up;
+    t.fully_current = ms.fully_current;
+    t.type1_attempts = ms.type1_attempts;
+    t.type2_rounds = ms.type2_rounds;
+    t.marked_unreadable = static_cast<int64_t>(ms.marked_unreadable);
+    t.copiers_run = static_cast<int64_t>(ms.copiers_run);
+    t.copier_retries = static_cast<int64_t>(ms.copier_retries);
+    t.totally_failed_items = static_cast<int64_t>(ms.totally_failed_items);
+    t.spool_replayed = static_cast<int64_t>(ms.spool_replayed);
+    out.push_back(t);
+  }
+  return out;
+}
+
+} // namespace runtime_impl
+} // namespace ddbs

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <memory>
 
-#include "core/cluster.h"
+#include "core/runtime.h"
+#include "verify/online_verifier.h"
 
 namespace ddbs {
 namespace {
@@ -15,11 +16,17 @@ class ScheduleRun {
   ScheduleRun(const ExploreOptions& opts, const Schedule& schedule,
               uint64_t seed)
       : opts_(opts), schedule_(schedule), seed_(seed),
-        cluster_(force_history(opts.cfg, opts.verify), seed) {}
+        cluster_(make_runtime(force_history(opts.cfg, opts.verify), seed)),
+        rt_(*cluster_) {
+    const int shards = rt_.config().shard_count();
+    submitted_.assign(static_cast<size_t>(shards), 0);
+    committed_.assign(static_cast<size_t>(shards), 0);
+    aborted_.assign(static_cast<size_t>(shards), 0);
+  }
 
   ExploreRunResult run() {
-    cluster_.bootstrap();
-    end_time_ = cluster_.now() + opts_.horizon;
+    rt_.bootstrap();
+    end_time_ = rt_.now() + opts_.horizon;
     arm_nemesis();
     spawn_clients();
 
@@ -27,10 +34,10 @@ class ScheduleRun {
     // violation ends the run immediately (deterministically) so the
     // shrinker sees the earliest observable failure.
     ExploreRunResult res;
-    for (SimTime t = cluster_.now() + opts_.checkpoint_every;;
+    for (SimTime t = rt_.now() + opts_.checkpoint_every;;
          t += opts_.checkpoint_every) {
       const SimTime target = std::min(t, end_time_);
-      cluster_.run_until(target);
+      rt_.run_until(target);
       if (auto v = check_checkpoint()) {
         res.violations.push_back(*v);
         break;
@@ -43,16 +50,16 @@ class ScheduleRun {
       // the failure detector time to declare any end-of-window crash (NS
       // reflects a crash only once a type-2 commits), then judge.
       clear_network_faults();
-      cluster_.settle(opts_.settle_budget);
-      cluster_.run_until(cluster_.now() +
-                         4 * cluster_.config().detector_interval);
-      cluster_.settle(opts_.settle_budget);
+      rt_.settle(opts_.settle_budget);
+      rt_.run_until(rt_.now() +
+                         4 * rt_.config().detector_interval);
+      rt_.settle(opts_.settle_budget);
       res.violations = check_quiescence();
     }
     res.violated = !res.violations.empty();
-    res.submitted = submitted_;
-    res.committed = committed_;
-    res.aborted = aborted_;
+    for (int64_t n : submitted_) res.submitted += n;
+    for (int64_t n : committed_) res.committed += n;
+    for (int64_t n : aborted_) res.aborted += n;
     res.report = render_report(res);
     return res;
   }
@@ -65,65 +72,68 @@ class ScheduleRun {
   }
 
   std::optional<Violation> check_checkpoint() {
-    if (OnlineVerifier* v = cluster_.online_verifier(); v != nullptr) {
-      return v->checkpoint(cluster_);
+    if (OnlineVerifier* v = rt_.online_verifier(); v != nullptr) {
+      return v->checkpoint(rt_);
     }
-    return checkpoint_.check(cluster_);
+    return checkpoint_.check(rt_);
   }
 
   std::vector<Violation> check_quiescence() {
-    if (OnlineVerifier* v = cluster_.online_verifier(); v != nullptr) {
-      return v->quiescence(cluster_);
+    if (OnlineVerifier* v = rt_.online_verifier(); v != nullptr) {
+      return v->quiescence(rt_);
     }
-    return quiescence_oracles(cluster_);
+    return quiescence_oracles(rt_);
   }
 
   void arm_nemesis() {
-    const SimTime start = cluster_.now();
+    const SimTime start = rt_.now();
     for (const NemesisOp& op : schedule_) {
-      cluster_.scheduler().at(start + op.at, [this, op]() { apply(op); });
+      // Nemesis actions are global control: they run in lane 0 on the DES
+      // and at a window boundary (workers parked) on the parallel backend.
+      rt_.schedule_global(start + op.at, [this, op]() { apply(op); });
     }
   }
 
   void apply(const NemesisOp& op) {
-    const Config& cfg = cluster_.config();
+    const Config& cfg = rt_.config();
     switch (op.kind) {
       case NemesisKind::kCrash:
-        cluster_.crash_site(op.site);
+        rt_.crash_site(op.site);
         break;
       case NemesisKind::kReboot:
-        cluster_.recover_site(op.site);
+        rt_.recover_site(op.site);
         break;
       case NemesisKind::kPartition: {
-        if (!cluster_.valid_site(op.site)) break;
+        if (!rt_.valid_site(op.site)) break;
         std::vector<SiteId> rest;
-        for (SiteId s = 0; s < cluster_.n_sites(); ++s) {
+        for (SiteId s = 0; s < rt_.n_sites(); ++s) {
           if (s != op.site) rest.push_back(s);
         }
-        if (cluster_.network().set_partition({{op.site}, rest})) {
+        if (rt_.network().set_partition({{op.site}, rest})) {
           isolated_ = op.site;
         }
         break;
       }
       case NemesisKind::kHeal:
-        cluster_.network().clear_partition();
+        rt_.network().clear_partition();
         isolated_ = kInvalidSite;
         break;
       case NemesisKind::kDropBurst:
-        cluster_.network().set_loss_prob(op.prob);
-        cluster_.scheduler().after(std::max<SimTime>(op.duration, 1), [this]() {
-          cluster_.network().set_loss_prob(cluster_.config().msg_loss_prob);
-        });
+        rt_.network().set_loss_prob(op.prob);
+        rt_.schedule_global(
+            rt_.now() + std::max<SimTime>(op.duration, 1), [this]() {
+              rt_.network().set_loss_prob(rt_.config().msg_loss_prob);
+            });
         break;
       case NemesisKind::kLatencySkew: {
-        if (!cluster_.valid_site(op.site)) break;
+        if (!rt_.valid_site(op.site)) break;
         const SimTime skewed_max = static_cast<SimTime>(
             static_cast<double>(cfg.net_latency_max) * op.factor);
         set_site_latency(op.site, cfg.net_latency_min, skewed_max);
         const SiteId site = op.site;
-        cluster_.scheduler().after(
-            std::max<SimTime>(op.duration, 1), [this, site]() {
-              const Config& c = cluster_.config();
+        rt_.schedule_global(
+            rt_.now() + std::max<SimTime>(op.duration, 1), [this, site]() {
+              const Config& c = rt_.config();
               set_site_latency(site, c.net_latency_min, c.net_latency_max);
             });
         break;
@@ -132,19 +142,19 @@ class ScheduleRun {
   }
 
   void set_site_latency(SiteId site, SimTime min_us, SimTime max_us) {
-    for (SiteId t = 0; t < cluster_.n_sites(); ++t) {
+    for (SiteId t = 0; t < rt_.n_sites(); ++t) {
       if (t == site) continue;
-      cluster_.network().latency().set_pair(site, t, min_us, max_us);
-      cluster_.network().latency().set_pair(t, site, min_us, max_us);
+      rt_.network().latency().set_pair(site, t, min_us, max_us);
+      rt_.network().latency().set_pair(t, site, min_us, max_us);
     }
   }
 
   void clear_network_faults() {
-    const Config& cfg = cluster_.config();
-    cluster_.network().clear_partition();
+    const Config& cfg = rt_.config();
+    rt_.network().clear_partition();
     isolated_ = kInvalidSite;
-    cluster_.network().set_loss_prob(cfg.msg_loss_prob);
-    for (SiteId s = 0; s < cluster_.n_sites(); ++s) {
+    rt_.network().set_loss_prob(cfg.msg_loss_prob);
+    for (SiteId s = 0; s < rt_.n_sites(); ++s) {
       set_site_latency(s, cfg.net_latency_min, cfg.net_latency_max);
     }
   }
@@ -153,10 +163,10 @@ class ScheduleRun {
 
   void spawn_clients() {
     uint64_t client_seed = seed_;
-    for (SiteId s = 0; s < cluster_.n_sites(); ++s) {
+    for (SiteId s = 0; s < rt_.n_sites(); ++s) {
       for (int c = 0; c < opts_.clients_per_site; ++c) {
         auto gen = std::make_shared<WorkloadGen>(
-            cluster_.config(), opts_.workload, ++client_seed * 0x9e37 + 17);
+            rt_.config(), opts_.workload, ++client_seed * 0x9e37 + 17);
         auto rng = std::make_shared<Rng>(client_seed ^ 0xc11e47);
         client_loop(s, gen, rng);
       }
@@ -164,41 +174,48 @@ class ScheduleRun {
   }
 
   bool submittable(SiteId s) {
-    return cluster_.site(s).state().operational() && s != isolated_;
+    return rt_.site(s).state().operational() && s != isolated_;
   }
+
+  int shard_of(SiteId s) const { return rt_.config().shard_of(s); }
 
   void client_loop(SiteId home, std::shared_ptr<WorkloadGen> gen,
                    std::shared_ptr<Rng> rng) {
-    if (cluster_.now() >= end_time_) return;
+    if (rt_.local_now(home) >= end_time_) return;
     SiteId origin = home;
     if (!submittable(origin)) {
+      // With an active shard map failover stays within the home shard
+      // (cross-shard submits would race on the parallel backend; the DES
+      // twin applies the same restriction to stay comparable).
+      const bool sharded = rt_.config().shard_count() > 1;
       std::vector<SiteId> ups;
-      for (SiteId s = 0; s < cluster_.n_sites(); ++s) {
+      for (SiteId s = 0; s < rt_.n_sites(); ++s) {
+        if (sharded && shard_of(s) != shard_of(home)) continue;
         if (submittable(s)) ups.push_back(s);
       }
       if (ups.empty()) {
-        cluster_.scheduler().after(10 * opts_.think_time,
-                                   [this, home, gen, rng]() {
-                                     client_loop(home, gen, rng);
-                                   });
+        rt_.post_after(home, 10 * opts_.think_time,
+                       [this, home, gen, rng]() {
+                         client_loop(home, gen, rng);
+                       });
         return;
       }
       origin = ups[static_cast<size_t>(
           rng->uniform(0, static_cast<int64_t>(ups.size()) - 1))];
     }
-    ++submitted_;
-    cluster_.submit(origin, gen->next(),
-                    [this, home, gen, rng](const TxnResult& res) {
-                      if (res.committed) {
-                        ++committed_;
-                      } else {
-                        ++aborted_;
-                      }
-                      cluster_.scheduler().after(
-                          opts_.think_time, [this, home, gen, rng]() {
-                            client_loop(home, gen, rng);
-                          });
-                    });
+    ++submitted_[static_cast<size_t>(shard_of(home))];
+    rt_.submit(origin, gen->next(),
+               [this, home, gen, rng](const TxnResult& res) {
+                 if (res.committed) {
+                   ++committed_[static_cast<size_t>(shard_of(home))];
+                 } else {
+                   ++aborted_[static_cast<size_t>(shard_of(home))];
+                 }
+                 rt_.post_after(
+                     home, opts_.think_time, [this, home, gen, rng]() {
+                       client_loop(home, gen, rng);
+                     });
+               });
   }
 
   // Canonical per-run report: everything in it is a deterministic function
@@ -209,7 +226,7 @@ class ScheduleRun {
     w.kv("tool", "ddbs_explore");
     w.kv("schema", 1);
     w.kv("seed", seed_);
-    w.kv("planted_bug", to_string(cluster_.config().planted_bug));
+    w.kv("planted_bug", to_string(rt_.config().planted_bug));
     w.kv("horizon", static_cast<int64_t>(opts_.horizon));
     w.key("schedule");
     write_schedule(w, schedule_);
@@ -237,13 +254,16 @@ class ScheduleRun {
   ExploreOptions opts_;
   Schedule schedule_;
   uint64_t seed_;
-  Cluster cluster_;
+  std::unique_ptr<ClusterRuntime> cluster_;
+  ClusterRuntime& rt_;
   CheckpointOracle checkpoint_;
   SiteId isolated_ = kInvalidSite;
   SimTime end_time_ = 0;
-  int64_t submitted_ = 0;
-  int64_t committed_ = 0;
-  int64_t aborted_ = 0;
+  // Per-shard counters: client callbacks run on shard threads under the
+  // parallel backend; each touches only its home shard's slot.
+  std::vector<int64_t> submitted_;
+  std::vector<int64_t> committed_;
+  std::vector<int64_t> aborted_;
 };
 
 } // namespace

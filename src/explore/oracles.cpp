@@ -3,7 +3,7 @@
 #include <map>
 #include <sstream>
 
-#include "core/cluster.h"
+#include "core/runtime.h"
 #include "replication/session.h"
 #include "verify/one_sr_checker.h"
 
@@ -17,7 +17,7 @@ std::string to_string(const Violation& v) {
 
 namespace {
 
-Violation make_violation(const Cluster& cluster, std::string oracle,
+Violation make_violation(const ClusterRuntime& cluster, std::string oracle,
                          std::string detail) {
   Violation v;
   v.oracle = std::move(oracle);
@@ -28,13 +28,13 @@ Violation make_violation(const Cluster& cluster, std::string oracle,
 
 } // namespace
 
-std::optional<Violation> check_convergence(Cluster& cluster) {
+std::optional<Violation> check_convergence(ClusterRuntime& cluster) {
   std::string why;
   if (cluster.replicas_converged(&why)) return std::nullopt;
   return make_violation(cluster, "convergence", why);
 }
 
-std::optional<Violation> check_ns_agreement(Cluster& cluster) {
+std::optional<Violation> check_ns_agreement(ClusterRuntime& cluster) {
   SessionVector ref;
   SiteId ref_site = kInvalidSite;
   for (SiteId s = 0; s < cluster.n_sites(); ++s) {
@@ -70,13 +70,13 @@ std::optional<Violation> check_ns_agreement(Cluster& cluster) {
   return std::nullopt;
 }
 
-std::optional<Violation> check_one_sr(Cluster& cluster) {
+std::optional<Violation> check_one_sr(ClusterRuntime& cluster) {
   const CheckReport rep = check_one_sr_graph(cluster.history().view());
   if (rep.ok) return std::nullopt;
   return make_violation(cluster, "one-sr", rep.detail);
 }
 
-std::optional<Violation> check_lost_writes(Cluster& cluster) {
+std::optional<Violation> check_lost_writes(ClusterRuntime& cluster) {
   // The authoritative final value of each item: across all committed
   // non-copier writes, the one with the highest version counter (writers
   // of one item are serialized under strict 2PL, so counters are strictly
@@ -121,7 +121,7 @@ std::optional<Violation> check_lost_writes(Cluster& cluster) {
   return std::nullopt;
 }
 
-std::vector<Violation> quiescence_oracles(Cluster& cluster) {
+std::vector<Violation> quiescence_oracles(ClusterRuntime& cluster) {
   std::vector<Violation> out;
   if (auto v = check_convergence(cluster)) out.push_back(*v);
   // NS agreement is a session-vector invariant; the spooler baseline
@@ -135,7 +135,7 @@ std::vector<Violation> quiescence_oracles(Cluster& cluster) {
   return out;
 }
 
-std::optional<Violation> CheckpointOracle::check(Cluster& cluster) {
+std::optional<Violation> CheckpointOracle::check(ClusterRuntime& cluster) {
   if (max_session_.empty()) {
     max_session_.assign(static_cast<size_t>(cluster.n_sites()), 0);
   }

@@ -28,7 +28,7 @@
 
 namespace ddbs {
 
-class Cluster;
+class ClusterRuntime;
 
 struct Violation {
   std::string oracle; // "convergence", "ns-agreement", "one-sr", ...
@@ -39,14 +39,14 @@ struct Violation {
 std::string to_string(const Violation& v);
 
 // Individual quiescence oracles; nullopt == invariant holds.
-std::optional<Violation> check_convergence(Cluster& cluster);
-std::optional<Violation> check_ns_agreement(Cluster& cluster);
-std::optional<Violation> check_one_sr(Cluster& cluster);
-std::optional<Violation> check_lost_writes(Cluster& cluster);
+std::optional<Violation> check_convergence(ClusterRuntime& cluster);
+std::optional<Violation> check_ns_agreement(ClusterRuntime& cluster);
+std::optional<Violation> check_one_sr(ClusterRuntime& cluster);
+std::optional<Violation> check_lost_writes(ClusterRuntime& cluster);
 
 // Run every quiescence oracle, cheapest first; returns all violations
 // found (empty == clean run).
-std::vector<Violation> quiescence_oracles(Cluster& cluster);
+std::vector<Violation> quiescence_oracles(ClusterRuntime& cluster);
 
 // Stateful oracle evaluated repeatedly during a run. Tracks per-site
 // session high-water marks (monotonicity) and the length of history
@@ -54,7 +54,7 @@ std::vector<Violation> quiescence_oracles(Cluster& cluster);
 class CheckpointOracle {
  public:
   // First check() against a cluster initializes the session marks.
-  std::optional<Violation> check(Cluster& cluster);
+  std::optional<Violation> check(ClusterRuntime& cluster);
 
  private:
   std::vector<SessionNum> max_session_;

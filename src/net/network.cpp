@@ -7,11 +7,35 @@
 namespace ddbs {
 
 Network::Network(Scheduler& sched, const Config& cfg, uint64_t seed)
-    : sched_(sched),
-      latency_(cfg.net_latency_min, cfg.net_latency_max, seed ^ 0xabcdef),
+    : latency_(cfg.net_latency_min, cfg.net_latency_max, seed ^ 0xabcdef),
       loss_rng_(seed ^ 0x1234567),
-      loss_prob_(cfg.msg_loss_prob) {
+      loss_seed_(seed ^ 0x1234567),
+      loss_prob_(cfg.msg_loss_prob),
+      det_(cfg.site_ordered_events) {
+  shards_.resize(1);
+  shards_[0].sched = &sched;
   sites_.resize(static_cast<size_t>(cfg.n_sites));
+  site_shard_.assign(static_cast<size_t>(cfg.n_sites), 0);
+}
+
+Network::Network(const std::vector<Scheduler*>& shard_scheds,
+                 const Config& cfg, uint64_t seed, CrossShardSink* sink)
+    : latency_(cfg.net_latency_min, cfg.net_latency_max, seed ^ 0xabcdef),
+      loss_rng_(seed ^ 0x1234567),
+      loss_seed_(seed ^ 0x1234567),
+      loss_prob_(cfg.msg_loss_prob),
+      det_(cfg.site_ordered_events),
+      sink_(sink) {
+  assert(static_cast<int>(shard_scheds.size()) == cfg.shard_count());
+  shards_.resize(shard_scheds.size());
+  for (size_t i = 0; i < shard_scheds.size(); ++i) {
+    shards_[i].sched = shard_scheds[i];
+  }
+  sites_.resize(static_cast<size_t>(cfg.n_sites));
+  site_shard_.resize(static_cast<size_t>(cfg.n_sites));
+  for (SiteId s = 0; s < cfg.n_sites; ++s) {
+    site_shard_[static_cast<size_t>(s)] = cfg.shard_of(s);
+  }
 }
 
 void Network::register_site(SiteId id, Handler handler) {
@@ -21,7 +45,12 @@ void Network::register_site(SiteId id, Handler handler) {
 
 void Network::set_alive(SiteId id, bool alive) {
   auto& slot = sites_[static_cast<size_t>(id)];
-  if (alive && !slot.alive) ++slot.incarnation;
+  if (alive && !slot.alive) {
+    ++slot.incarnation;
+    slot.inc_started =
+        shards_[static_cast<size_t>(site_shard_[static_cast<size_t>(id)])]
+            .sched->now();
+  }
   slot.alive = alive;
 }
 
@@ -79,52 +108,123 @@ bool Network::reachable(SiteId a, SiteId b) const {
          sites_[static_cast<size_t>(b)].group;
 }
 
+uint32_t Network::stash(Shard& sh, Envelope env, uint64_t dest_inc,
+                        SimTime sent_at) {
+  uint32_t idx;
+  if (!sh.inflight_free.empty()) {
+    idx = sh.inflight_free.back();
+    sh.inflight_free.pop_back();
+    sh.inflight[idx].env = std::move(env);
+    sh.inflight[idx].dest_inc = dest_inc;
+    sh.inflight[idx].sent_at = sent_at;
+  } else {
+    idx = static_cast<uint32_t>(sh.inflight.size());
+    sh.inflight.push_back(InFlight{std::move(env), dest_inc, sent_at});
+  }
+  return idx;
+}
+
 void Network::send(Envelope env) {
   assert(env.to >= 0 && static_cast<size_t>(env.to) < sites_.size());
+  const int src = site_shard_[static_cast<size_t>(env.from)];
+  Shard& sh = shards_[static_cast<size_t>(src)];
   if (!alive(env.from)) {
     // A dead sender emits nothing: not a wire-level send, not a drop.
-    ++dropped_at_send_;
+    ++sh.dropped_at_send;
     return;
   }
-  ++sent_;
+  ++sh.sent;
   if (!reachable(env.from, env.to)) {
-    ++dropped_;
+    ++sh.dropped;
     return;
   }
-  if (env.from != env.to && loss_prob_ > 0 && loss_rng_.bernoulli(loss_prob_)) {
-    ++dropped_;
+  if (det_) {
+    // Deterministic path: the delivery key orders the event AND salts the
+    // loss/latency draws, so the message's entire fate is a pure function
+    // of (seed, key) -- identical whichever thread executes the send.
+    // The key is minted in the sending site's lane even for lost
+    // messages, keeping the lane counters in lockstep across backends.
+    const EventKey key = sh.sched->mint_ambient_key();
+    if (env.from != env.to && loss_prob_ > 0 &&
+        static_cast<double>(mix_u64(loss_seed_ ^ key) >> 11) * 0x1.0p-53 <
+            loss_prob_) {
+      ++sh.dropped;
+      return;
+    }
+    const SimTime sent_at = sh.sched->now();
+    const SimTime arrival =
+        sent_at + latency_.sample_hashed(env.from, env.to, key);
+    const int dst = site_shard_[static_cast<size_t>(env.to)];
+    if (dst != src) {
+      sink_->forward(src, dst,
+                     RemoteMsg{std::move(env), arrival, sent_at, key});
+      return;
+    }
+    const uint32_t idx = stash(sh, std::move(env), 0, sent_at);
+    sh.sched->at_keyed(arrival, key,
+                       [this, src, idx]() { deliver(src, idx); });
+    return;
+  }
+  if (env.from != env.to && loss_prob_ > 0 &&
+      loss_rng_.bernoulli(loss_prob_)) {
+    ++sh.dropped;
     return;
   }
   const uint64_t dest_inc = incarnation(env.to);
   const SimTime delay = latency_.sample(env.from, env.to);
-  uint32_t idx;
-  if (!inflight_free_.empty()) {
-    idx = inflight_free_.back();
-    inflight_free_.pop_back();
-    inflight_[idx].env = std::move(env);
-    inflight_[idx].dest_inc = dest_inc;
-  } else {
-    idx = static_cast<uint32_t>(inflight_.size());
-    inflight_.push_back(InFlight{std::move(env), dest_inc});
-  }
-  sched_.after(delay, [this, idx]() { deliver(idx); });
+  const uint32_t idx = stash(sh, std::move(env), dest_inc, 0);
+  sh.sched->after(delay, [this, src, idx]() { deliver(src, idx); });
 }
 
-void Network::deliver(uint32_t slot) {
+void Network::enqueue_remote(int dst_shard, RemoteMsg msg) {
+  Shard& sh = shards_[static_cast<size_t>(dst_shard)];
+  const uint32_t idx = stash(sh, std::move(msg.env), 0, msg.sent_at);
+  sh.sched->at_keyed(msg.arrival, msg.key, [this, dst_shard, idx]() {
+    deliver(dst_shard, idx);
+  });
+}
+
+void Network::deliver(int shard, uint32_t slot) {
+  Shard& sh = shards_[static_cast<size_t>(shard)];
   // Move the message out of the slab before dispatch: the handler may send
   // (and thus allocate in-flight slots, invalidating references into
   // inflight_) re-entrantly.
-  Envelope env = std::move(inflight_[slot].env);
-  const uint64_t dest_inc = inflight_[slot].dest_inc;
-  inflight_free_.push_back(slot);
+  Envelope env = std::move(sh.inflight[slot].env);
+  const uint64_t dest_inc = sh.inflight[slot].dest_inc;
+  const SimTime sent_at = sh.inflight[slot].sent_at;
+  sh.inflight_free.push_back(slot);
   const SiteSlot& dest = sites_[static_cast<size_t>(env.to)];
-  if (!dest.alive || dest.incarnation != dest_inc ||
-      !reachable(env.from, env.to)) {
-    ++dropped_;
+  const bool stale_incarnation =
+      det_ ? sent_at < dest.inc_started : dest.incarnation != dest_inc;
+  if (!dest.alive || stale_incarnation || !reachable(env.from, env.to)) {
+    ++sh.dropped;
     return;
   }
   assert(dest.handler && "site registered no handler");
+  if (det_) {
+    // Work done by the handler belongs to the receiving site: retarget
+    // the ambient key-minting lane before dispatch.
+    sh.sched->set_context_site(env.to);
+  }
   dest.handler(env);
+}
+
+uint64_t Network::messages_sent() const {
+  uint64_t n = 0;
+  for (const Shard& sh : shards_) n += sh.sent;
+  return n;
+}
+
+uint64_t Network::messages_dropped() const {
+  uint64_t n = 0;
+  for (const Shard& sh : shards_) n += sh.dropped;
+  return n;
+}
+
+uint64_t Network::messages_dropped_at_send() const {
+  uint64_t n = 0;
+  for (const Shard& sh : shards_) n += sh.dropped_at_send;
+  return n;
 }
 
 } // namespace ddbs

@@ -1,6 +1,15 @@
 // Simulated network: delivers envelopes between sites with sampled latency,
 // drops anything addressed to (or queued for delivery at) a crashed site,
 // and never partitions -- the paper's failure model is fail-stop sites only.
+//
+// The network is shard-aware: under the parallel backend each site shard
+// runs on its own thread with a private Scheduler, and the Network keeps
+// per-shard in-flight slabs and counters so the send/deliver hot path
+// never touches another shard's state. A send whose destination lives on
+// a different shard is handed to the CrossShardSink (the ParallelCluster's
+// SPSC mailbox rings) instead of the local event queue; the owning shard
+// later re-injects it via enqueue_remote at an epoch boundary. With one
+// shard (the classic DES) everything stays on the single local path.
 #pragma once
 
 #include <functional>
@@ -14,11 +23,35 @@
 
 namespace ddbs {
 
+// A message crossing shards, carrying everything the destination shard
+// needs to re-inject it: the pre-sampled arrival time, the send time (for
+// the deterministic incarnation rule) and the pre-minted event key that
+// both orders the delivery and salted the latency/loss draws.
+struct RemoteMsg {
+  Envelope env;
+  SimTime arrival = 0;
+  SimTime sent_at = 0;
+  EventKey key = 0;
+};
+
+// Where cross-shard sends go; implemented by ParallelCluster with one
+// SPSC ring per (src, dst) shard pair.
+class CrossShardSink {
+ public:
+  virtual ~CrossShardSink() = default;
+  virtual void forward(int src_shard, int dst_shard, RemoteMsg msg) = 0;
+};
+
 class Network {
  public:
   using Handler = std::function<void(const Envelope&)>;
 
+  // Single-shard (classic DES) construction.
   Network(Scheduler& sched, const Config& cfg, uint64_t seed);
+  // Sharded construction: one scheduler per site shard, sites mapped to
+  // shards by cfg.shard_of. `sink` receives cross-shard sends.
+  Network(const std::vector<Scheduler*>& shard_scheds, const Config& cfg,
+          uint64_t seed, CrossShardSink* sink);
 
   void register_site(SiteId id, Handler handler);
 
@@ -28,6 +61,10 @@ class Network {
   // number so a message sent before a crash is never delivered into the
   // site's next life (the transport connection would have been reset).
   void send(Envelope env);
+
+  // Re-inject a cross-shard message on the owning shard's thread (called
+  // by the parallel backend's ring drain at a window boundary).
+  void enqueue_remote(int dst_shard, RemoteMsg msg);
 
   void set_alive(SiteId id, bool alive);
   bool alive(SiteId id) const;
@@ -51,19 +88,24 @@ class Network {
   void set_loss_prob(double p);
   double loss_prob() const { return loss_prob_; }
 
-  // Counters for benches. A message discarded because its *sender* was
-  // already dead never reached the wire: it counts in dropped_at_send only,
-  // not in sent or dropped, so message-overhead numbers aren't inflated by
-  // crash noise.
-  uint64_t messages_sent() const { return sent_; }
-  uint64_t messages_dropped() const { return dropped_; }
-  uint64_t messages_dropped_at_send() const { return dropped_at_send_; }
+  // Counters for benches, summed across shards. A message discarded
+  // because its *sender* was already dead never reached the wire: it
+  // counts in dropped_at_send only, not in sent or dropped, so
+  // message-overhead numbers aren't inflated by crash noise.
+  uint64_t messages_sent() const;
+  uint64_t messages_dropped() const;
+  uint64_t messages_dropped_at_send() const;
 
  private:
   struct SiteSlot {
     Handler handler;
     bool alive = false;
     uint64_t incarnation = 0;
+    // Simulated time the current incarnation started (last revival). The
+    // deterministic mode drops a message iff it was SENT before this --
+    // locally decidable at delivery without reading the destination's
+    // state from the sending shard.
+    SimTime inc_started = 0;
     int group = 0; // partition group; same group <=> reachable
   };
   // In-flight messages live in a recycled slab; the delivery event captures
@@ -73,20 +115,32 @@ class Network {
   struct InFlight {
     Envelope env;
     uint64_t dest_inc = 0;
+    SimTime sent_at = 0;
+  };
+  // Per-shard mutable state, cacheline-padded so shard threads never
+  // false-share. Shard 0 is the only shard in the classic DES.
+  struct alignas(64) Shard {
+    Scheduler* sched = nullptr;
+    std::vector<InFlight> inflight;
+    std::vector<uint32_t> inflight_free;
+    uint64_t sent = 0;
+    uint64_t dropped = 0;
+    uint64_t dropped_at_send = 0;
   };
 
-  void deliver(uint32_t slot);
+  uint32_t stash(Shard& sh, Envelope env, uint64_t dest_inc,
+                 SimTime sent_at);
+  void deliver(int shard, uint32_t slot);
 
-  Scheduler& sched_;
   LatencyModel latency_;
   Rng loss_rng_;
+  uint64_t loss_seed_;
   double loss_prob_;
+  bool det_; // cfg.site_ordered_events: keyed order + hashed sampling
+  CrossShardSink* sink_ = nullptr;
+  std::vector<Shard> shards_;
+  std::vector<int> site_shard_;
   std::vector<SiteSlot> sites_;
-  std::vector<InFlight> inflight_;
-  std::vector<uint32_t> inflight_free_;
-  uint64_t sent_ = 0;
-  uint64_t dropped_ = 0;
-  uint64_t dropped_at_send_ = 0;
 };
 
 } // namespace ddbs

@@ -1,7 +1,7 @@
 // Priority queue of timestamped events with stable FIFO ordering for equal
 // timestamps and O(1) cancellation.
 //
-// Layout: a 4-ary implicit heap of 16-byte {time, seq, slot} entries over a
+// Layout: a 4-ary implicit heap of 24-byte {time, key, slot} entries over a
 // generation-stamped slot slab that owns the callables. An EventId packs
 // (slot generation << 32 | slot index), so cancel() is a bounds check plus
 // a generation compare -- no hashing, no tombstone map. A cancelled slot's
@@ -11,10 +11,9 @@
 //
 // The slab is chunked (256 slots per chunk) so growth never move-relocates
 // a stored callable -- with a flat vector the InlineFn relocation per grow
-// was ~20% of push/pop cost. The FIFO tie-break seq is 32-bit with
-// wraparound-aware comparison: ties only matter between events at the SAME
-// timestamp, which are never 2^31 pushes apart. That keeps a heap entry at
-// 16 bytes, so the 4 children of a node share one cache line.
+// was ~20% of push/pop cost. The tie-break key's low half is a 32-bit
+// counter with wraparound-aware comparison: ties only matter between events
+// at the SAME timestamp, which are never 2^31 mints apart.
 //
 // push/pop/cancel are defined inline: they are the single hottest path in
 // the simulator and the call-per-event boundary was measurable.
@@ -33,9 +32,29 @@ namespace ddbs {
 using EventId = uint64_t; // (generation << 32) | slot index; 0 = invalid
 using EventFn = InlineFn;
 
+// Ordering key for same-time events. The high 32 bits are an *origin
+// lane* (0 = global control actions, 1 = context-free scheduling, site s =
+// s + 2), the low 32 bits a per-lane counter compared with the same
+// wraparound trick as the legacy FIFO seq. Keys minted per site instead of
+// per queue make the tie-break locally computable: the parallel backend's
+// shard queues and the single-threaded DES then order identical event sets
+// identically (see Scheduler). Legacy push() keys everything in lane 1
+// from the queue's own counter, which is exactly the old global FIFO.
+using EventKey = uint64_t;
+
+constexpr EventKey make_event_key(uint32_t lane, uint32_t counter) {
+  return (static_cast<EventKey>(lane) << 32) | counter;
+}
+
 class EventQueue {
  public:
   EventId push(SimTime at, EventFn fn) {
+    return push_keyed(at, make_event_key(1, next_seq_++), std::move(fn));
+  }
+
+  // Caller-supplied ordering key; see EventKey. Keys must be unique per
+  // (time, lane) -- the Scheduler's per-lane counters guarantee it.
+  EventId push_keyed(SimTime at, EventKey key, EventFn fn) {
     uint32_t idx;
     if (!free_.empty()) {
       idx = free_.back();
@@ -49,7 +68,7 @@ class EventQueue {
     Slot& s = slot(idx);
     s.live = true;
     s.fn = std::move(fn);
-    heap_.push_back(HeapEntry{at, next_seq_++, idx});
+    heap_.push_back(HeapEntry{at, key, idx});
     sift_up(heap_.size() - 1);
     ++live_;
     return make_id(s.gen, idx);
@@ -83,6 +102,7 @@ class EventQueue {
   struct Fired {
     SimTime time = 0;
     EventId id = 0;
+    EventKey key = 0;
     EventFn fn;
   };
   // Pops the earliest live event; requires !empty(). The callable is moved
@@ -93,7 +113,7 @@ class EventQueue {
     const HeapEntry top = heap_[0];
     pop_root();
     Slot& s = slot(top.slot);
-    Fired f{top.time, make_id(s.gen, top.slot), std::move(s.fn)};
+    Fired f{top.time, make_id(s.gen, top.slot), top.key, std::move(s.fn)};
     free_slot(top.slot);
     --live_;
     return f;
@@ -107,7 +127,7 @@ class EventQueue {
   };
   struct HeapEntry {
     SimTime time;
-    uint32_t seq; // FIFO tie-break at equal times (wraparound compare)
+    EventKey key; // (lane << 32) | counter tie-break at equal times
     uint32_t slot;
   };
   static constexpr uint32_t kChunkShift = 6;
@@ -123,9 +143,13 @@ class EventQueue {
 
   bool before(const HeapEntry& a, const HeapEntry& b) const {
     if (a.time != b.time) return a.time < b.time;
-    // seq wraps at 2^32; same-time events are never 2^31 pushes apart, so a
-    // signed difference orders them correctly across the wrap.
-    return static_cast<int32_t>(a.seq - b.seq) < 0;
+    const uint32_t la = static_cast<uint32_t>(a.key >> 32);
+    const uint32_t lb = static_cast<uint32_t>(b.key >> 32);
+    if (la != lb) return la < lb;
+    // The lane counter wraps at 2^32; same-time same-lane events are never
+    // 2^31 mints apart, so a signed difference orders them across the wrap.
+    return static_cast<int32_t>(static_cast<uint32_t>(a.key) -
+                                static_cast<uint32_t>(b.key)) < 0;
   }
 
   void free_slot(uint32_t idx) const {

@@ -18,12 +18,26 @@ class LatencyModel {
   // costs a fixed small constant.
   SimTime sample(SiteId from, SiteId to);
 
+  // Stateless variant: the draw is a pure function of (model seed, salt)
+  // instead of consuming the shared sequential RNG. Site-ordered mode
+  // salts with the delivery event's key, so the sample is identical no
+  // matter which thread sends or in what real-time order -- the keystone
+  // of cross-backend determinism.
+  SimTime sample_hashed(SiteId from, SiteId to, uint64_t salt) const;
+
   // Override the [min, max] band for one ordered pair.
   void set_pair(SiteId from, SiteId to, SimTime min_us, SimTime max_us);
+
+  // Smallest latency any cross-site message can draw under the current
+  // band and overrides: the conservative-PDES lookahead bound for the
+  // parallel backend's epoch windows. Cached; recomputed on set_pair.
+  SimTime floor_min() const { return floor_min_; }
 
  private:
   SimTime min_;
   SimTime max_;
+  SimTime floor_min_;
+  uint64_t seed_;
   Rng rng_;
   std::map<std::pair<SiteId, SiteId>, std::pair<SimTime, SimTime>> overrides_;
 };

@@ -32,7 +32,8 @@ SpanId SpanLog::begin(SpanKind kind, SiteId site, TxnId txn, int64_t arg) {
 
 SpanId SpanLog::begin_under(SpanId parent, SpanKind kind, SiteId site,
                             TxnId txn, int64_t arg) {
-  const SpanId id = next_span_++;
+  const SpanId id = next_span_;
+  next_span_ += stride_;
   record({sched_.now(), id, parent, kind, 0, site, txn, arg});
   return id;
 }

@@ -73,6 +73,14 @@ class SpanLog {
 
   SpanId current() const { return current_; }
 
+  // Partition the id space for per-shard logs: ids become
+  // offset + 1 + k * stride, so shard-local allocation stays globally
+  // unique without synchronization. Call before the first begin().
+  void set_id_stride(SpanId stride, SpanId offset) {
+    next_span_ = offset + 1;
+    stride_ = stride;
+  }
+
   // Null-safe helpers mirroring Tracer::emit.
   static SpanId open(SpanLog* log, SpanKind kind, SiteId site,
                      TxnId txn = 0, int64_t arg = 0) {
@@ -124,6 +132,7 @@ class SpanLog {
   std::vector<SpanEvent> ring_;
   uint64_t next_ = 0;     // total events recorded
   SpanId next_span_ = 1;  // deterministic id counter
+  SpanId stride_ = 1;     // id step (shard count when sharded)
   SpanId current_ = 0;    // ambient span (single-threaded sim)
 };
 

@@ -20,12 +20,14 @@ TxnRecord& HistoryRecorder::record_of(TxnId txn) {
 }
 
 void HistoryRecorder::set_kind(TxnId txn, TxnKind kind) {
+  MaybeLock lock(mu_.get());
   if (!enabled_) return;
   record_of(txn).kind = kind;
 }
 
 void HistoryRecorder::add_read(TxnId txn, SiteId site, ItemId item,
                                TxnId from_writer, uint64_t from_counter) {
+  MaybeLock lock(mu_.get());
   if (!enabled_) return;
   const bool late = committed_idx_.count(txn) > 0;
   TxnRecord& rec = record_of(txn);
@@ -36,6 +38,7 @@ void HistoryRecorder::add_read(TxnId txn, SiteId site, ItemId item,
 void HistoryRecorder::add_write(TxnId txn, SiteId site, ItemId item,
                                 uint64_t counter, Value value,
                                 bool copier_install) {
+  MaybeLock lock(mu_.get());
   if (!enabled_) return;
   const bool late = committed_idx_.count(txn) > 0;
   TxnRecord& rec = record_of(txn);
@@ -44,6 +47,7 @@ void HistoryRecorder::add_write(TxnId txn, SiteId site, ItemId item,
 }
 
 void HistoryRecorder::commit(TxnId txn, SimTime at) {
+  MaybeLock lock(mu_.get());
   if (!enabled_) return;
   if (auto it = committed_idx_.find(txn); it != committed_idx_.end()) {
     committed_.txns[it->second].commit_time = at; // re-commit: update time
@@ -65,17 +69,24 @@ void HistoryRecorder::commit(TxnId txn, SimTime at) {
 }
 
 void HistoryRecorder::abort(TxnId txn) {
+  MaybeLock lock(mu_.get());
   if (!enabled_) return;
   pending_.erase(txn);
 }
 
 size_t HistoryRecorder::clear_pending() {
+  MaybeLock lock(mu_.get());
   const size_t n = pending_.size();
   pending_.clear();
   return n;
 }
 
 const History& HistoryRecorder::view() const {
+  MaybeLock lock(mu_.get());
+  return view_locked();
+}
+
+const History& HistoryRecorder::view_locked() const {
   if (!sorted_) {
     // Commits are recorded in nondecreasing sim-time order, so this is a
     // near-sorted pass; ties broken by txn id for determinism.
@@ -101,8 +112,9 @@ size_t HistoryRecorder::committed_count() const {
 }
 
 void HistoryRecorder::prune_committed_prefix(size_t n) {
+  MaybeLock lock(mu_.get());
   if (n == 0) return;
-  view(); // establish the canonical (commit_time, txn) order first
+  view_locked(); // establish the canonical (commit_time, txn) order first
   if (n > committed_.txns.size()) n = committed_.txns.size();
   committed_.txns.erase(committed_.txns.begin(),
                         committed_.txns.begin() +

@@ -5,6 +5,8 @@
 // observer used by tests, examples and the anomaly demo.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -67,6 +69,15 @@ class HistoryRecorder {
   bool enabled() const { return enabled_; }
   void set_enabled(bool e) { enabled_ = e; }
 
+  // Parallel backend: sites on different shard threads record through one
+  // recorder, so serialize every mutation (and sink callback) behind a
+  // mutex. Off by default -- the single-threaded DES pays nothing but a
+  // predicted-false branch.
+  void set_thread_safe(bool on) {
+    if (on && !mu_) mu_ = std::make_unique<std::mutex>();
+    if (!on) mu_.reset();
+  }
+
   // At most one sink (the online verifier); nullptr detaches.
   void set_sink(HistorySink* sink) { sink_ = sink; }
 
@@ -105,6 +116,20 @@ class HistoryRecorder {
 
  private:
   TxnRecord& record_of(TxnId txn);
+  const History& view_locked() const;
+
+  // Lock mu_ if thread safety was requested; no-op otherwise.
+  struct MaybeLock {
+    explicit MaybeLock(std::mutex* m) : m_(m) {
+      if (m_ != nullptr) m_->lock();
+    }
+    ~MaybeLock() {
+      if (m_ != nullptr) m_->unlock();
+    }
+    MaybeLock(const MaybeLock&) = delete;
+    MaybeLock& operator=(const MaybeLock&) = delete;
+    std::mutex* m_;
+  };
 
   // In-flight transactions accumulate here; commit() moves the record into
   // committed_ (so a checker pass never re-copies the whole history) and
@@ -117,6 +142,7 @@ class HistoryRecorder {
   mutable bool sorted_ = true;
   bool enabled_ = true;
   HistorySink* sink_ = nullptr;
+  std::unique_ptr<std::mutex> mu_;
   uint64_t total_committed_ = 0;
   uint64_t pruned_committed_ = 0;
 };

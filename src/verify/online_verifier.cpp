@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "core/cluster.h"
+#include "core/runtime.h"
 #include "verify/one_sr_checker.h"
 
 namespace ddbs {
@@ -17,7 +17,7 @@ bool is_copierish(TxnKind kind) {
          kind == TxnKind::kControlDown;
 }
 
-Violation make_violation(const Cluster& cluster, std::string oracle,
+Violation make_violation(const ClusterRuntime& cluster, std::string oracle,
                          std::string detail) {
   Violation v;
   v.oracle = std::move(oracle);
@@ -113,7 +113,7 @@ void OnlineVerifier::on_late_write(const TxnRecord& rec, const WriteEvent& w) {
   ingest_write(rec.txn, w);
 }
 
-std::optional<Violation> OnlineVerifier::checkpoint(Cluster& cluster) {
+std::optional<Violation> OnlineVerifier::checkpoint(ClusterRuntime& cluster) {
   if (max_session_.empty()) {
     max_session_.assign(static_cast<size_t>(cluster.n_sites()), 0);
   }
@@ -152,7 +152,7 @@ std::optional<Violation> OnlineVerifier::checkpoint(Cluster& cluster) {
 }
 
 std::optional<Violation> OnlineVerifier::check_lost_writes_online(
-    Cluster& cluster) const {
+    ClusterRuntime& cluster) const {
   // Same judgement as check_lost_writes, but against the incrementally
   // maintained per-item maxima -- which survive pruning, so the oracle
   // still covers the whole run after the records are gone.
@@ -175,7 +175,7 @@ std::optional<Violation> OnlineVerifier::check_lost_writes_online(
   return std::nullopt;
 }
 
-std::vector<Violation> OnlineVerifier::quiescence(Cluster& cluster) {
+std::vector<Violation> OnlineVerifier::quiescence(ClusterRuntime& cluster) {
   std::vector<Violation> out;
   if (auto v = check_convergence(cluster)) out.push_back(*v);
   if (cfg_.recovery_scheme == RecoveryScheme::kSessionVector) {
@@ -210,7 +210,7 @@ std::vector<Violation> OnlineVerifier::quiescence(Cluster& cluster) {
   return out;
 }
 
-size_t OnlineVerifier::maybe_prune(Cluster& cluster) {
+size_t OnlineVerifier::maybe_prune(ClusterRuntime& cluster) {
   // Pruning is only sound at a boundary where nothing can ever reach back
   // into the consumed prefix: verdicts clean, every site up and idle, no
   // in-flight records, replicas converged (every copy at its maximum

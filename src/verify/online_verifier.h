@@ -43,7 +43,7 @@
 
 namespace ddbs {
 
-class Cluster;
+class ClusterRuntime;
 
 class OnlineVerifier : public HistorySink {
  public:
@@ -58,14 +58,14 @@ class OnlineVerifier : public HistorySink {
   // Mid-run boundary check: session monotonicity (live site state) and
   // NS-write discipline (streamed, so writes that land late on committed
   // records are not missed). First violation or nullopt.
-  std::optional<Violation> checkpoint(Cluster& cluster);
+  std::optional<Violation> checkpoint(ClusterRuntime& cluster);
 
   // Quiesced-cluster verdicts in quiescence_oracles order: convergence,
   // NS agreement (session-vector scheme only), lost writes, 1-SR. Also
   // cross-checks the incremental cycle verdict against a full
   // check_one_sr_graph rebuild while the history is unpruned; a mismatch
   // surfaces as a "verifier-divergence" violation.
-  std::vector<Violation> quiescence(Cluster& cluster);
+  std::vector<Violation> quiescence(ClusterRuntime& cluster);
 
   // O(1) view of the incremental 1-SR verdict, usable at any boundary.
   bool graph_has_cycle() const { return graph_.has_cycle(); }
@@ -75,7 +75,7 @@ class OnlineVerifier : public HistorySink {
 
   // Prune the fully-consumed history prefix when sound (see file
   // comment); returns the number of records dropped (0 == not eligible).
-  size_t maybe_prune(Cluster& cluster);
+  size_t maybe_prune(ClusterRuntime& cluster);
 
   bool pruned_any() const { return pruned_any_; }
   uint64_t commits_seen() const { return commits_seen_; }
@@ -106,7 +106,7 @@ class OnlineVerifier : public HistorySink {
   void ingest_read(TxnId txn, const ReadEvent& r);
   void ingest_write(TxnId txn, const WriteEvent& w);
   void note_ns_write(const TxnRecord& rec, const WriteEvent& w);
-  std::optional<Violation> check_lost_writes_online(Cluster& cluster) const;
+  std::optional<Violation> check_lost_writes_online(ClusterRuntime& cluster) const;
 
   Config cfg_;
   IncrementalDigraph graph_;

@@ -4,7 +4,7 @@
 
 namespace ddbs {
 
-Runner::Runner(Cluster& cluster, RunnerParams params, uint64_t seed)
+Runner::Runner(ClusterRuntime& cluster, RunnerParams params, uint64_t seed)
     : cluster_(cluster), params_(std::move(params)), seed_(seed) {}
 
 SiteId Runner::pick_origin(SiteId home, Rng& rng) const {
@@ -12,8 +12,16 @@ SiteId Runner::pick_origin(SiteId home, Rng& rng) const {
       cluster_.site(home).state().operational()) {
     return home;
   }
+  // With an active shard map a client may only fail over within its home
+  // shard: submitting to another shard's TM from this shard's thread
+  // would race on the parallel backend, and the DES twin must make the
+  // same (restricted) choice to stay comparable.
+  const Config& cfg = cluster_.config();
+  const bool sharded = cfg.shard_count() > 1;
+  const int home_shard = cfg.shard_of(home);
   std::vector<SiteId> ups;
   for (SiteId s = 0; s < cluster_.n_sites(); ++s) {
+    if (sharded && cfg.shard_of(s) != home_shard) continue;
     if (cluster_.site(s).state().operational()) ups.push_back(s);
   }
   if (ups.empty()) return home;
@@ -21,36 +29,37 @@ SiteId Runner::pick_origin(SiteId home, Rng& rng) const {
       rng.uniform(0, static_cast<int64_t>(ups.size()) - 1))];
 }
 
-void Runner::account(const TxnResult& res, SimTime started) {
+void Runner::account(SiteId home, const TxnResult& res, SimTime started) {
+  RunnerStats& st = slot(home);
   if (res.committed) {
-    ++stats_.committed;
-    stats_.commit_latency_us.add(
-        static_cast<double>(cluster_.now() - started));
+    ++st.committed;
+    st.commit_latency_us.add(
+        static_cast<double>(cluster_.local_now(home) - started));
   } else {
-    ++stats_.aborted;
-    ++stats_.abort_reasons[to_string(res.reason)];
+    ++st.aborted;
+    ++st.abort_reasons[to_string(res.reason)];
   }
 }
 
 void Runner::client_loop(SiteId home, std::shared_ptr<WorkloadGen> gen,
                          std::shared_ptr<Rng> rng) {
-  if (cluster_.now() >= end_time_) return;
+  if (cluster_.local_now(home) >= end_time_) return;
   const SiteId origin = pick_origin(home, *rng);
   if (!cluster_.site(origin).state().operational()) {
     // Nowhere to run: idle a while and re-check.
-    cluster_.scheduler().after(10 * params_.think_time,
-                               [this, home, gen, rng]() {
-                                 client_loop(home, gen, rng);
-                               });
+    cluster_.post_after(home, 10 * params_.think_time,
+                        [this, home, gen, rng]() {
+                          client_loop(home, gen, rng);
+                        });
     return;
   }
-  const SimTime started = cluster_.now();
-  ++stats_.submitted;
+  const SimTime started = cluster_.local_now(home);
+  ++slot(home).submitted;
   cluster_.submit(origin, gen->next(),
                   [this, home, gen, rng, started](const TxnResult& res) {
-                    account(res, started);
-                    cluster_.scheduler().after(
-                        params_.think_time, [this, home, gen, rng]() {
+                    account(home, res, started);
+                    cluster_.post_after(
+                        home, params_.think_time, [this, home, gen, rng]() {
                           client_loop(home, gen, rng);
                         });
                   });
@@ -64,7 +73,8 @@ void Runner::spawn_client(SiteId home, uint64_t seed) {
 }
 
 RunnerStats Runner::run() {
-  stats_ = RunnerStats{};
+  shard_stats_.assign(static_cast<size_t>(cluster_.config().shard_count()),
+                      RunnerStats{});
   const SimTime start = cluster_.now();
   end_time_ = start + params_.duration;
   for (const FailureEvent& ev : params_.schedule) {
@@ -83,7 +93,18 @@ RunnerStats Runner::run() {
   cluster_.run_until(end_time_);
   // Let in-flight transactions finish so accounting is complete.
   cluster_.settle();
-  return stats_;
+  // Fold the per-shard slots in shard order -- deterministic on both
+  // backends and identical to the DES twin's merge.
+  RunnerStats total;
+  for (RunnerStats& st : shard_stats_) {
+    total.submitted += st.submitted;
+    total.committed += st.committed;
+    total.aborted += st.aborted;
+    for (const auto& [reason, n] : st.abort_reasons)
+      total.abort_reasons[reason] += n;
+    total.commit_latency_us.add_all(st.commit_latency_us);
+  }
+  return total;
 }
 
 } // namespace ddbs

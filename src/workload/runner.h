@@ -1,8 +1,19 @@
-// Closed-loop workload driver over a Cluster: N clients per site, each
-// submitting the next transaction after a think time, with an optional
-// crash/recover schedule. Collects totals, latency and abort-reason
-// statistics; per-bucket availability timelines come from the cluster's
-// TimeSeries recorder (Config::timeseries_bucket), not from the runner.
+// Closed-loop workload driver over a ClusterRuntime: N clients per site,
+// each submitting the next transaction after a think time, with an
+// optional crash/recover schedule. Collects totals, latency and
+// abort-reason statistics; per-bucket availability timelines come from the
+// cluster's TimeSeries recorder (Config::timeseries_bucket), not from the
+// runner.
+//
+// Runs unchanged on the single-threaded DES and the parallel backend: all
+// client activity is scheduled through post_after() in the home site's
+// context, so on the parallel backend each client lives entirely on its
+// home shard's thread. Statistics land in per-shard slots (no shared
+// mutable state across threads) and are merged when run() returns. When
+// the shard map is active (Config::shard_count() > 1) client failover is
+// restricted to the home shard's sites -- a cross-shard submit would race,
+// and the restriction applies identically to the DES twin
+// (workload_shards) so the two backends make the same workload decisions.
 #pragma once
 
 #include <functional>
@@ -11,7 +22,7 @@
 #include <vector>
 
 #include "common/metrics.h"
-#include "core/cluster.h"
+#include "core/runtime.h"
 #include "workload/workload_gen.h"
 
 namespace ddbs {
@@ -53,7 +64,7 @@ struct RunnerStats {
 
 class Runner {
  public:
-  Runner(Cluster& cluster, RunnerParams params, uint64_t seed);
+  Runner(ClusterRuntime& cluster, RunnerParams params, uint64_t seed);
 
   // Runs the full scenario (blocking the simulated clock forward) and
   // returns the statistics.
@@ -64,13 +75,19 @@ class Runner {
   void client_loop(SiteId home, std::shared_ptr<WorkloadGen> gen,
                    std::shared_ptr<Rng> rng);
   SiteId pick_origin(SiteId home, Rng& rng) const;
-  void account(const TxnResult& res, SimTime started);
+  void account(SiteId home, const TxnResult& res, SimTime started);
+  RunnerStats& slot(SiteId home) {
+    return shard_stats_[static_cast<size_t>(
+        cluster_.config().shard_of(home))];
+  }
 
-  Cluster& cluster_;
+  ClusterRuntime& cluster_;
   RunnerParams params_;
   uint64_t seed_;
   SimTime end_time_ = 0;
-  RunnerStats stats_;
+  // One slot per workload shard; client callbacks only ever touch the slot
+  // of their home shard, so shard threads never contend. Merged by run().
+  std::vector<RunnerStats> shard_stats_;
 };
 
 } // namespace ddbs

@@ -5,7 +5,8 @@
 #include <cstring>
 
 #include "common/report.h"
-#include "core/cluster.h"
+#include "core/runtime.h"
+#include "verify/online_verifier.h"
 #include "workload/runner.h"
 
 namespace ddbs {
@@ -14,7 +15,8 @@ SoakResult run_soak(const SoakOptions& opts) {
   Config cfg = opts.cfg;
   cfg.record_history = true;
   cfg.online_verify = true;
-  Cluster cluster(cfg, opts.seed);
+  std::unique_ptr<ClusterRuntime> rt = make_runtime(cfg, opts.seed);
+  ClusterRuntime& cluster = *rt;
   cluster.bootstrap();
   OnlineVerifier* verifier = cluster.online_verifier();
 

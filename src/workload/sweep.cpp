@@ -6,7 +6,8 @@
 
 #include "common/metrics.h"
 #include "common/report.h"
-#include "core/cluster.h"
+#include "core/runtime.h"
+#include "verify/online_verifier.h"
 #include "explore/oracles.h"
 
 namespace ddbs {
@@ -53,7 +54,8 @@ SweepRun run_one(const SweepSpec& spec, size_t cell, uint64_t seed,
   out.seed = seed;
   out.completed = true;
 
-  Cluster cluster(spec.cells[cell].cfg, seed);
+  std::unique_ptr<ClusterRuntime> rt = make_runtime(spec.cells[cell].cfg, seed);
+  ClusterRuntime& cluster = *rt;
   cluster.bootstrap();
   Runner runner(cluster, spec.params, seed);
   out.stats = runner.run();
@@ -95,7 +97,7 @@ SweepRun run_one(const SweepSpec& spec, size_t cell, uint64_t seed,
   // serial-vs-parallel byte-identity contract.
   out.report_json = report.to_json();
   if (spec.capture_spans) {
-    out.spans_json = cluster.spans().to_chrome_json(&cluster.tracer());
+    out.spans_json = cluster.spans_chrome_json();
   }
   return out;
 }

@@ -1,6 +1,7 @@
 // Table/series printers and runner statistics helpers.
 #include <gtest/gtest.h>
 
+#include "core/cluster.h"
 #include "workload/runner.h"
 #include "workload/stats.h"
 

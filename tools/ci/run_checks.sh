@@ -4,17 +4,19 @@
 # ddbs_trace.py -> compare_reports.py). Run from anywhere; everything is
 # anchored to the repo root. Exits non-zero on the first failure.
 #
-# Usage: tools/ci/run_checks.sh [--no-asan] [--no-perf] [--no-soak]
+# Usage: tools/ci/run_checks.sh [--no-asan] [--no-tsan] [--no-perf] [--no-soak]
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 run_asan=1
+run_tsan=1
 run_perf=1
 run_soak=1
 for arg in "$@"; do
   case "$arg" in
     --no-asan) run_asan=0 ;;
+    --no-tsan) run_tsan=0 ;;
     --no-perf) run_perf=0 ;;
     --no-soak) run_soak=0 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
@@ -41,6 +43,20 @@ if [[ "$run_asan" == 1 ]]; then
 
   step "ASan+UBSan tests"
   ctest --preset asan -j "$jobs"
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  step "TSan build (preset: tsan)"
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$jobs"
+
+  step "TSan: parallel-backend tests (shard threads, rings, barrier)"
+  # The race surface is the site-parallel backend; running only its tests
+  # keeps the TSan job minutes, not hours. Any write outside the epoch
+  # protocol (ring slots, per-shard metrics, recorder callbacks) trips
+  # -fno-sanitize-recover and fails the gate.
+  ctest --preset tsan -j "$jobs" \
+    -R 'SpscRing|ShardedMetrics|ParallelRuntime|ParallelDifferential'
 fi
 
 step "adversarial explorer smoke (planted-bug self-check + clean run)"
@@ -95,6 +111,17 @@ if [[ "$run_soak" == 1 ]]; then
     --rounds=100 --round-ms=5000 --clients=6 --sites=4 --items=100 \
     --target-committed=200000 --rss-limit-mb=512 -j "$jobs" \
     --out="$tmp/SOAK_ci.json"
+
+  step "parallel-backend soak smoke (>= 1e5 committed txns, bounded RSS)"
+  # Same harness on the site-parallel backend: shard threads, mailbox
+  # rings and the epoch barrier under sustained crash/recover load, with
+  # the online verifier judging every round boundary. The RSS ceiling
+  # holds the per-shard rings/metrics/trace buffers to a bounded footprint.
+  "$repo/build/tools/ddbs_soak" \
+    --cells=missing-list --rounds=100 --round-ms=5000 --clients=6 \
+    --sites=8 --items=200 --threads=4 \
+    --target-committed=100000 --rss-limit-mb=512 \
+    --out="$tmp/SOAK_parallel_ci.json"
 fi
 
 step "observability smoke (ddbs_sim -> ddbs_trace.py)"

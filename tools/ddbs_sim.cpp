@@ -14,10 +14,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/cluster.h"
+#include "core/runtime.h"
 #include "verify/one_sr_checker.h"
 #include "workload/runner.h"
 #include "workload/stats.h"
@@ -72,7 +73,9 @@ struct Options {
       "                        to tools/ddbs_trace.py)\n"
       "  --trace-cap=N         trace ring capacity in events (default 16384)\n"
       "  --span-cap=N          span ring capacity in events (default 32768)\n"
-      "  --bucket-ms=N         time-series bucket width (default 250; 0 off)\n",
+      "  --bucket-ms=N         time-series bucket width (default 250; 0 off)\n"
+      "  --threads=N           worker threads; N>1 runs the site-parallel\n"
+      "                        backend (site-sharded, epoch-windowed)\n",
       argv0);
   std::exit(2);
 }
@@ -163,6 +166,8 @@ Options parse(int argc, char** argv) {
       o.cfg.span_capacity = static_cast<size_t>(std::stoull(v));
     } else if (parse_kv(argv[i], "--bucket-ms", &v)) {
       o.cfg.timeseries_bucket = std::stoll(v) * 1000;
+    } else if (parse_kv(argv[i], "--threads", &v)) {
+      o.cfg.n_threads = std::stoi(v);
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       o.verify = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -182,14 +187,16 @@ int main(int argc, char** argv) {
   cfg.record_history = o.verify;
 
   std::printf("ddbs_sim: %d sites, %lld items x%d, %s / %s / %s / %s, "
-              "seed %llu\n",
+              "seed %llu, %d thread%s\n",
               cfg.n_sites, static_cast<long long>(cfg.n_items),
               cfg.effective_replication(), to_string(cfg.recovery_scheme),
               to_string(cfg.outdated_strategy), to_string(cfg.copier_mode),
               to_string(cfg.unreadable_policy),
-              static_cast<unsigned long long>(o.seed));
+              static_cast<unsigned long long>(o.seed), cfg.n_threads,
+              cfg.n_threads == 1 ? "" : "s");
 
-  Cluster cluster(cfg, o.seed);
+  std::unique_ptr<ClusterRuntime> rt = make_runtime(cfg, o.seed);
+  ClusterRuntime& cluster = *rt;
   cluster.bootstrap();
 
   RunnerParams rp;
@@ -276,14 +283,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "trace: cannot write %s\n", o.trace_out.c_str());
       rc = 1;
     } else {
-      const std::string json = cluster.tracer().to_json();
+      const std::string json = cluster.trace_json();
       std::fwrite(json.data(), 1, json.size(), f);
       std::fclose(f);
-      std::printf("trace: wrote %s (%zu events, %llu recorded, %llu "
-                  "dropped)\n",
-                  o.trace_out.c_str(), cluster.tracer().size(),
-                  static_cast<unsigned long long>(cluster.tracer().recorded()),
-                  static_cast<unsigned long long>(cluster.tracer().dropped()));
+      std::printf("trace: wrote %s\n", o.trace_out.c_str());
     }
   }
   if (!o.spans_out.empty()) {
@@ -292,14 +295,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "spans: cannot write %s\n", o.spans_out.c_str());
       rc = 1;
     } else {
-      const std::string json =
-          cluster.spans().to_chrome_json(&cluster.tracer());
+      const std::string json = cluster.spans_chrome_json();
       std::fwrite(json.data(), 1, json.size(), f);
       std::fclose(f);
-      std::printf("spans: wrote %s (%llu recorded, %llu dropped)\n",
-                  o.spans_out.c_str(),
-                  static_cast<unsigned long long>(cluster.spans().recorded()),
-                  static_cast<unsigned long long>(cluster.spans().dropped()));
+      std::printf("spans: wrote %s\n", o.spans_out.c_str());
     }
   }
   return rc;

@@ -51,7 +51,9 @@ struct CliOptions {
       "  --clients=N --ops=N --reads=F --zipf=F\n"
       "  --sites=N --items=N --degree=N\n"
       "  --seed=N              base seed (cell index is mixed in)\n"
-      "  -j N, --threads=N     cells run in parallel\n"
+      "  --threads=N           worker threads per cluster (N>1 selects the\n"
+      "                        site-parallel backend inside each cell)\n"
+      "  -j N, --jobs=N        cells run in parallel\n"
       "  --rss-limit-mb=N      fail (exit 3) if process VmHWM exceeds this\n"
       "  --out=PATH            write the aggregate JSON report here\n",
       argv0);
@@ -136,6 +138,8 @@ CliOptions parse(int argc, char** argv) {
     } else if (parse_kv(argv[i], "--seed", &v)) {
       o.seed = std::stoull(v);
     } else if (parse_kv(argv[i], "--threads", &v)) {
+      o.base.n_threads = std::stoi(v);
+    } else if (parse_kv(argv[i], "--jobs", &v)) {
       o.threads = std::stoi(v);
     } else if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) {
       o.threads = std::stoi(argv[++i]);
@@ -149,7 +153,10 @@ CliOptions parse(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (o.soak.rounds < 1 || o.threads < 1 || o.cells.empty()) usage(argv[0]);
+  if (o.soak.rounds < 1 || o.threads < 1 || o.base.n_threads < 1 ||
+      o.cells.empty()) {
+    usage(argv[0]);
+  }
   return o;
 }
 
@@ -177,9 +184,12 @@ int main(int argc, char** argv) {
     if (!apply_cell(cells[c].cfg, o.cells[c])) usage(argv[0]);
   }
 
-  std::printf("ddbs_soak: %zu cell%s x %d rounds on %d thread%s\n",
-              cells.size(), cells.size() == 1 ? "" : "s", o.soak.rounds,
-              o.threads, o.threads == 1 ? "" : "s");
+  std::printf(
+      "ddbs_soak: %zu cell%s x %d rounds on %d job%s"
+      " (%d cluster thread%s)\n",
+      cells.size(), cells.size() == 1 ? "" : "s", o.soak.rounds, o.threads,
+      o.threads == 1 ? "" : "s", o.base.n_threads,
+      o.base.n_threads == 1 ? "" : "s");
 
   std::vector<SoakResult> results(cells.size());
   run_parallel(cells.size(), o.threads,

@@ -61,6 +61,8 @@ struct Options {
       "  --seeds=N             seeds per cell (default 4)\n"
       "  --seed-base=N         first seed (default 1)\n"
       "  -j N, --threads=N     worker threads (default 1)\n"
+      "  --cluster-threads=N   per-cluster worker threads; N>1 runs each\n"
+      "                        cell on the site-parallel backend\n"
       "  --fail-fast           stop scheduling runs after the first failure\n"
       "  --no-oracles          skip the quiescence invariant oracles\n"
       "  --online-verify       record history and judge the quiescence\n"
@@ -134,6 +136,8 @@ Options parse(int argc, char** argv) {
       o.seed_base = std::stoull(v);
     } else if (parse_kv(argv[i], "--threads", &v)) {
       o.threads = std::stoi(v);
+    } else if (parse_kv(argv[i], "--cluster-threads", &v)) {
+      o.base.n_threads = std::stoi(v);
     } else if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) {
       o.threads = std::stoi(argv[++i]);
     } else if (std::strncmp(argv[i], "-j", 2) == 0 && argv[i][2] != '\0') {
