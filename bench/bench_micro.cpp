@@ -4,6 +4,7 @@
 // that reports how fast the whole DES executes on the host.
 #include <benchmark/benchmark.h>
 
+#include "common/metrics.h"
 #include "common/report.h"
 #include "core/cluster.h"
 #include "net/rpc.h"
@@ -219,6 +220,91 @@ void BM_MissingList_AddRemove(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MissingList_AddRemove);
+
+// Latency samples with a long right tail, the shape commit latency and
+// lock waits actually have. Pre-generated so the benchmarks time the
+// histogram, not the RNG.
+std::vector<double> latency_samples(size_t n) {
+  Rng rng(17);
+  std::vector<double> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x = 50.0 + static_cast<double>(rng.uniform(0, 999));
+    if (rng.uniform(0, 99) < 5) x *= 100.0; // 5% tail out to ~100ms
+    v.push_back(x);
+  }
+  return v;
+}
+
+// Recording cost: log-bucketed Histogram (bounded memory, O(1) add)
+// vs the raw-sample ExactSamples it replaced on the metrics hot path.
+void BM_Histogram_Add(benchmark::State& state) {
+  const auto samples = latency_samples(4096);
+  Histogram h;
+  size_t i = 0;
+  for (auto _ : state) {
+    h.add(samples[i++ & 4095]);
+  }
+  benchmark::DoNotOptimize(h.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Histogram_Add);
+
+void BM_ExactSamples_Add(benchmark::State& state) {
+  const auto samples = latency_samples(4096);
+  ExactSamples h;
+  size_t i = 0;
+  for (auto _ : state) {
+    h.add(samples[i++ & 4095]);
+  }
+  benchmark::DoNotOptimize(h.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactSamples_Add);
+
+// Quantile extraction at report time: bucket interpolation over a fixed
+// bucket array vs nth_element over every raw sample ever recorded.
+void BM_Histogram_Percentile(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto samples = latency_samples(static_cast<size_t>(n));
+  Histogram h;
+  for (double v : samples) h.add(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.percentile(99.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Histogram_Percentile)->Arg(1024)->Arg(65536);
+
+void BM_ExactSamples_Percentile(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto samples = latency_samples(static_cast<size_t>(n));
+  ExactSamples h;
+  for (double v : samples) h.add(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.percentile(99.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactSamples_Percentile)->Arg(1024)->Arg(65536);
+
+// Shard merge at report time: bucket-wise addition of K shard-local
+// histograms, the path the parallel backend takes every report.
+void BM_Histogram_ShardMerge(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const auto samples = latency_samples(8192);
+  std::vector<Histogram> shard(static_cast<size_t>(shards));
+  for (size_t i = 0; i < samples.size(); ++i) {
+    shard[i % static_cast<size_t>(shards)].add(samples[i]);
+  }
+  for (auto _ : state) {
+    Histogram merged;
+    for (const Histogram& s : shard) merged.add_all(s);
+    benchmark::DoNotOptimize(merged.percentile(99.0));
+  }
+  state.SetItemsProcessed(state.iterations() * shards);
+}
+BENCHMARK(BM_Histogram_ShardMerge)->Arg(4)->Arg(16);
 
 void BM_Zipf_Sample(benchmark::State& state) {
   Rng rng(1);

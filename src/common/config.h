@@ -181,6 +181,13 @@ struct Config {
   bool online_verify = false;
   // Protocol mutation for explorer self-validation; kNone in real runs.
   PlantedBug planted_bug = PlantedBug::kNone;
+  // Watchdog self-validation: restore the historical type-1 retry
+  // behavior (fixed 30ms backoff, permanent give-up after
+  // control_retry_limit) that produced the NS-lock livelock fixed in an
+  // earlier PR. A recovery that exhausts its retries then strands the
+  // site in kRecovering forever -- exactly the signature the no-progress
+  // watchdog (common/telemetry.h) must catch. Never set in real runs.
+  bool planted_stall = false;
 
   int effective_replication() const {
     return replication_degree > n_sites ? n_sites : replication_degree;

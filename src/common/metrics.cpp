@@ -7,25 +7,63 @@
 
 namespace ddbs {
 
-void Histogram::sort_once() const {
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0) return min_;
+  if (p >= 100) return max_;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  double cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double next = cum + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      const double frac = (target - cum) / static_cast<double>(buckets_[i]);
+      const double v = bucket_lower(i) + frac * bucket_width(i);
+      // Edge buckets hold clamped outliers; the exact extremes bound the
+      // interpolation so estimates never leave the observed range.
+      return std::min(std::max(v, min_), max_);
+    }
+    cum = next;
+  }
+  return max_; // unreachable unless counts drift; stay safe
+}
+
+void Histogram::add_all(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.empty()) buckets_.assign(kBucketCount, 0);
+  for (size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+// ---------------------------------------------------------------------------
+
+void ExactSamples::sort_once() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
 }
 
-double Histogram::mean() const {
+double ExactSamples::mean() const {
   if (samples_.empty()) return 0;
   return sum() / static_cast<double>(samples_.size());
 }
 
-double Histogram::sum() const {
+double ExactSamples::sum() const {
   double s = 0;
   for (double v : samples_) s += v;
   return s;
 }
 
-double Histogram::percentile(double p) const {
+double ExactSamples::percentile(double p) const {
   if (samples_.empty()) return 0;
   sort_once(); // stays sorted until the next add() invalidates
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
@@ -35,14 +73,14 @@ double Histogram::percentile(double p) const {
   return samples_[lo] * (1 - frac) + samples_[hi] * frac;
 }
 
-double Histogram::max() const {
+double ExactSamples::max() const {
   if (samples_.empty()) return 0;
   double m = std::numeric_limits<double>::lowest();
   for (double v : samples_) m = std::max(m, v);
   return m;
 }
 
-double Histogram::min() const {
+double ExactSamples::min() const {
   if (samples_.empty()) return 0;
   double m = std::numeric_limits<double>::max();
   for (double v : samples_) m = std::min(m, v);
@@ -107,6 +145,7 @@ std::string Metrics::summary() const {
 MetricIds Metrics::register_all() {
   MetricIds m;
   auto c = [this](const char* name) { return counter(name); };
+  auto h = [this](const char* name) { return histogram(name); };
   auto family = [this](const char* prefix) {
     std::array<CounterHandle, kCodeCount> f;
     for (size_t i = 0; i < kCodeCount; ++i) {
@@ -185,6 +224,11 @@ MetricIds Metrics::register_all() {
   m.site_crashes = c("site.crashes");
   m.site_recovers = c("site.recovers");
   m.site_false_declaration_restart = c("site.false_declaration_restart");
+
+  m.h_commit_latency_us = h("txn.commit_latency_us");
+  m.h_lock_wait_us = h("dm.lock_wait_us");
+  m.h_rec_reboot_to_up_us = h("rm.reboot_to_up_us");
+  m.h_rec_up_to_current_us = h("rm.up_to_current_us");
   return m;
 }
 

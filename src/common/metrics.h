@@ -1,15 +1,25 @@
-// Counters and sample histograms collected by the cluster and reported by
+// Counters and latency histograms collected by the cluster and reported by
 // benches. Counters are *interned*: call sites register a name once (at
 // construction time) and receive a small integer handle; the hot-path
 // inc() is then a plain vector index, no per-call string hashing or map
 // walk. The names survive only for reporting.
 //
-// Histograms stay intentionally simple: benches are modest-sized, so they
-// keep raw samples and compute exact percentiles on demand.
+// Histogram is bounded and log-bucketed (HDR-style): 32 sub-buckets per
+// power-of-two octave, so memory is O(1) at any sample count and the
+// relative quantile error is at most 1/32 (~3.125%). count/sum/min/max are
+// tracked exactly on the side. Per-shard instances merge by bucket
+// addition, which is *exactly* equivalent to single-instance recording --
+// the property the parallel backend's report merge relies on.
+//
+// ExactSamples is the old raw-sample implementation, kept for cold paths
+// that aggregate a handful of heterogeneous scalars (sweep across-seed
+// summaries, where ratios near 1.0 would be wrecked by bucket granularity)
+// and as the bench_micro comparison baseline.
 #pragma once
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -23,6 +33,85 @@ namespace ddbs {
 
 class Histogram {
  public:
+  // 2^-kSubBits relative error; 32 sub-buckets per octave.
+  static constexpr int kSubBits = 5;
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBits;
+  // frexp exponent range [kMinExp, kMaxExp]: values from ~1e-6 (sub-µs
+  // fractions) up to ~9.2e18 (any int64 duration) land in a real bucket;
+  // outliers clamp into the edge buckets but keep exact min/max.
+  static constexpr int kMinExp = -20;
+  static constexpr int kMaxExp = 63;
+  static constexpr size_t kBucketCount =
+      static_cast<size_t>(kMaxExp - kMinExp + 1) * kSubBuckets;
+
+  void add(double v) {
+    if (buckets_.empty()) buckets_.assign(kBucketCount, 0);
+    ++buckets_[bucket_index(v)];
+    if (count_ == 0) {
+      min_ = max_ = v;
+    } else {
+      if (v < min_) min_ = v;
+      if (v > max_) max_ = v;
+    }
+    ++count_;
+    sum_ += v;
+  }
+  size_t count() const { return count_; }
+  // Exact (running sum), not bucket-derived. NOTE: float accumulation
+  // order makes sum/mean backend-dependent after a shard merge --
+  // deterministic reports must stick to count/min/max/percentile.
+  double mean() const { return count_ == 0 ? 0 : sum_ / static_cast<double>(count_); }
+  double sum() const { return sum_; }
+  // p in [0, 100]. Bucket-interpolated, clamped to [min, max]; p=0 and
+  // p=100 return the exact extremes. Empty histogram returns 0.
+  double percentile(double p) const;
+  double max() const { return count_ == 0 ? 0 : max_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  void clear() {
+    buckets_.clear();
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+  }
+  // Fold `other` in by bucket addition (shard-merge at report time).
+  // Exactly equivalent to having recorded other's samples here, except
+  // for float rounding in sum()/mean().
+  void add_all(const Histogram& other);
+
+ private:
+  static size_t bucket_index(double v) {
+    if (!(v > 0)) return 0; // zeros and negatives clamp into bucket 0
+    int e = 0;
+    double m = std::frexp(v, &e); // v = m * 2^e, m in [0.5, 1)
+    if (e < kMinExp) return 0;
+    if (e > kMaxExp) return kBucketCount - 1;
+    const auto sub = static_cast<size_t>((2.0 * m - 1.0) *
+                                         static_cast<double>(kSubBuckets));
+    return static_cast<size_t>(e - kMinExp) * kSubBuckets +
+           std::min(sub, kSubBuckets - 1);
+  }
+  static double bucket_lower(size_t idx) {
+    const int e = kMinExp + static_cast<int>(idx / kSubBuckets);
+    const double sub = static_cast<double>(idx % kSubBuckets);
+    return std::ldexp(1.0 + sub / static_cast<double>(kSubBuckets), e - 1);
+  }
+  static double bucket_width(size_t idx) {
+    const int e = kMinExp + static_cast<int>(idx / kSubBuckets);
+    return std::ldexp(1.0 / static_cast<double>(kSubBuckets), e - 1);
+  }
+
+  std::vector<uint64_t> buckets_; // empty until first add(): O(1) bounded
+  size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Raw-sample distribution with exact percentiles. Unbounded memory --
+// never on a per-event hot path; see the header comment.
+class ExactSamples {
+ public:
   void add(double v) {
     samples_.push_back(v);
     sorted_ = false; // invalidate here, not in percentile()
@@ -35,12 +124,6 @@ class Histogram {
   double sum() const;
   void clear() {
     samples_.clear();
-    sorted_ = false;
-  }
-  // Append every sample of `other` (shard-merge at report time).
-  void add_all(const Histogram& other) {
-    samples_.insert(samples_.end(), other.samples_.begin(),
-                    other.samples_.end());
     sorted_ = false;
   }
 
@@ -111,6 +194,12 @@ struct MetricIds {
 
   // site lifecycle
   CounterHandle site_crashes, site_recovers, site_false_declaration_restart;
+
+  // latency histograms (log-bucketed, merged bucket-wise at report time)
+  HistHandle h_commit_latency_us;   // user txn start -> commit
+  HistHandle h_lock_wait_us;        // contended lock acquisitions only
+  HistHandle h_rec_reboot_to_up_us; // recovery: reboot -> nominally up
+  HistHandle h_rec_up_to_current_us; // recovery: nominally up -> current
 };
 
 class Metrics {

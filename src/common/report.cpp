@@ -44,8 +44,10 @@ void JsonWriter::comma_and_indent(bool is_value) {
   if (!needs_comma_.empty()) {
     if (needs_comma_.back()) out_ += ",";
     needs_comma_.back() = true;
-    out_ += "\n";
-    out_.append(2 * needs_comma_.size(), ' ');
+    if (!compact_) {
+      out_ += "\n";
+      out_.append(2 * needs_comma_.size(), ' ');
+    }
   }
 }
 
@@ -59,7 +61,7 @@ void JsonWriter::end_object() {
   assert(!needs_comma_.empty());
   const bool had_members = needs_comma_.back();
   needs_comma_.pop_back();
-  if (had_members) {
+  if (had_members && !compact_) {
     out_ += "\n";
     out_.append(2 * needs_comma_.size(), ' ');
   }
@@ -76,7 +78,7 @@ void JsonWriter::end_array() {
   assert(!needs_comma_.empty());
   const bool had_members = needs_comma_.back();
   needs_comma_.pop_back();
-  if (had_members) {
+  if (had_members && !compact_) {
     out_ += "\n";
     out_.append(2 * needs_comma_.size(), ' ');
   }
@@ -162,6 +164,19 @@ void write_config(JsonWriter& w, const Config& cfg) {
   w.kv("site_ordered_events", cfg.site_ordered_events);
   w.kv("workload_shards", cfg.workload_shards);
   w.kv("planted_bug", to_string(cfg.planted_bug));
+  w.kv("planted_stall", cfg.planted_stall);
+  w.end_object();
+}
+
+void write_histogram(JsonWriter& w, const Histogram& h) {
+  w.begin_object();
+  w.kv("count", static_cast<uint64_t>(h.count()));
+  w.kv("min", h.min());
+  w.kv("max", h.max());
+  w.kv("p50", h.percentile(50));
+  w.kv("p90", h.percentile(90));
+  w.kv("p99", h.percentile(99));
+  w.kv("p999", h.percentile(99.9));
   w.end_object();
 }
 
@@ -261,11 +276,20 @@ void RunReport::capture_counters(Run& run, const Metrics& m) {
   }
 }
 
+void RunReport::capture_histograms(Run& run, const Metrics& m) {
+  for (size_t i = 0; i < m.hist_count(); ++i) {
+    if (m.hist_value(i).count() > 0) {
+      run.histograms.emplace_back(std::string(m.hist_name(i)),
+                                  m.hist_value(i));
+    }
+  }
+}
+
 std::string RunReport::to_json() const {
   JsonWriter w;
   w.begin_object();
   w.kv("bench", bench_);
-  w.kv("schema_version", 2);
+  w.kv("schema_version", 3);
   w.key("runs");
   w.begin_array();
   for (const Run& run : runs_) {
@@ -280,6 +304,13 @@ std::string RunReport::to_json() const {
     w.key("counters");
     w.begin_object();
     for (const auto& [k, v] : run.counters) w.kv(k, v);
+    w.end_object();
+    w.key("histograms");
+    w.begin_object();
+    for (const auto& [k, h] : run.histograms) {
+      w.key(k);
+      write_histogram(w, h);
+    }
     w.end_object();
     w.key("recoveries");
     w.begin_array();

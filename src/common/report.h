@@ -22,6 +22,11 @@ namespace ddbs {
 // escaped. Misuse (value outside a container) is a programming error.
 class JsonWriter {
  public:
+  JsonWriter() = default;
+  // compact = true emits no newlines or indentation -- one line total,
+  // for JSONL streams (telemetry) where record == line.
+  explicit JsonWriter(bool compact) : compact_(compact) {}
+
   void begin_object();
   void end_object();
   void begin_array();
@@ -60,6 +65,7 @@ class JsonWriter {
   std::string out_;
   std::vector<bool> needs_comma_; // per open container
   bool after_key_ = false;
+  bool compact_ = false;
 };
 
 // One site recovery, from crash detection to fully-current, in sim time.
@@ -131,6 +137,11 @@ class RunReport {
     Config cfg;
     std::vector<std::pair<std::string, double>> scalars;
     std::vector<std::pair<std::string, int64_t>> counters;
+    // Latency distributions (schema v3). Serialized as count/min/max and
+    // bucket-derived percentiles only -- never mean/sum, whose float
+    // accumulation order differs between the single-instance DES and the
+    // shard-merged parallel backend.
+    std::vector<std::pair<std::string, Histogram>> histograms;
     std::vector<RecoveryTimeline> recoveries;
     std::vector<RecoveryEpisode> episodes;
     TimeSeriesData series;
@@ -148,6 +159,8 @@ class RunReport {
 
   // Capture every non-zero counter from `m` into the run.
   static void capture_counters(Run& run, const Metrics& m);
+  // Capture every non-empty histogram from `m` into the run.
+  static void capture_histograms(Run& run, const Metrics& m);
 
   std::string to_json() const;
 
@@ -166,6 +179,9 @@ class RunReport {
 
 // Serialize one Config as a JSON object (shared by report + sim tool).
 void write_config(JsonWriter& w, const Config& cfg);
+// Serialize one histogram's deterministic view: count, exact min/max and
+// bucket-derived percentiles (no mean/sum -- see Run::histograms).
+void write_histogram(JsonWriter& w, const Histogram& h);
 void write_timeline(JsonWriter& w, const RecoveryTimeline& t);
 void write_episode(JsonWriter& w, const RecoveryEpisode& e);
 void write_time_series(JsonWriter& w, const TimeSeriesData& s);

@@ -127,13 +127,21 @@ EventId Cluster::post_after(SiteId site, SimTime delay, EventFn fn) {
 }
 
 void Cluster::schedule_global(SimTime at, EventFn fn) {
+  // Count the action while queued (no cancel path exists for globals) so
+  // pending_site_events() can exclude it -- the parallel backend keeps
+  // globals outside the shard queues entirely.
+  ++pending_globals_;
+  auto wrapped = [this, fn = std::move(fn)]() mutable {
+    --pending_globals_;
+    fn();
+  };
   if (sched_.site_keys()) {
     // Lane 0 sorts before every same-time site event, matching the
     // parallel backend where global actions run at the window boundary.
-    sched_.at_keyed(at, sched_.mint_key(kLaneGlobal), std::move(fn));
+    sched_.at_keyed(at, sched_.mint_key(kLaneGlobal), std::move(wrapped));
     return;
   }
-  sched_.at(at, std::move(fn));
+  sched_.at(at, std::move(wrapped));
 }
 
 std::vector<RecoveryTimeline> Cluster::recovery_timelines() const {
@@ -144,6 +152,7 @@ RunReport::Run& Cluster::report_run(RunReport& report,
                                     std::string label) const {
   RunReport::Run& run = report.add_run(std::move(label), cfg_);
   RunReport::capture_counters(run, metrics_);
+  RunReport::capture_histograms(run, metrics_);
   run.recoveries = recovery_timelines();
   run.episodes = episodes_.episodes();
   run.series = series_.data(sched_.now());
@@ -152,6 +161,18 @@ RunReport::Run& Cluster::report_run(RunReport& report,
   run.span_recorded = static_cast<int64_t>(spans_.recorded());
   run.span_dropped = static_cast<int64_t>(spans_.dropped());
   return run;
+}
+
+std::vector<TraceEvent> Cluster::trace_tail(size_t n) const {
+  std::vector<TraceEvent> all = tracer_.snapshot();
+  if (all.size() > n) all.erase(all.begin(), all.end() - static_cast<long>(n));
+  return all;
+}
+
+std::vector<SpanEvent> Cluster::span_tail(size_t n) const {
+  std::vector<SpanEvent> all = spans_.snapshot();
+  if (all.size() > n) all.erase(all.begin(), all.end() - static_cast<long>(n));
+  return all;
 }
 
 double Cluster::events_per_sec() const {

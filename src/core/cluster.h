@@ -130,6 +130,14 @@ class Cluster : public ClusterRuntime {
   }
   std::string trace_json() const override { return tracer_.to_json(); }
 
+  // Pending events minus the not-yet-fired global control actions, which
+  // on the parallel backend live outside the shard queues entirely.
+  uint64_t pending_site_events() const override {
+    return sched_.pending() - pending_globals_;
+  }
+  std::vector<TraceEvent> trace_tail(size_t n) const override;
+  std::vector<SpanEvent> span_tail(size_t n) const override;
+
  private:
   Config cfg_;
   std::chrono::steady_clock::time_point wall_start_ =
@@ -145,6 +153,9 @@ class Cluster : public ClusterRuntime {
   Network net_;
   Catalog cat_;
   std::vector<std::unique_ptr<Site>> sites_;
+  // Scheduled-but-unfired schedule_global() actions; subtracted from the
+  // queue depth so pending_site_events() matches the parallel backend.
+  uint64_t pending_globals_ = 0;
 };
 
 } // namespace ddbs

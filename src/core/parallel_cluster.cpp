@@ -353,6 +353,7 @@ RunReport::Run& ParallelCluster::report_run(RunReport& report,
   Metrics agg;
   for (const auto& sh : shards_) agg.merge_from(sh->metrics);
   RunReport::capture_counters(run, agg);
+  RunReport::capture_histograms(run, agg);
   run.recoveries = recovery_timelines();
 
   std::vector<RecoveryEpisode> eps;
@@ -500,6 +501,44 @@ std::string ParallelCluster::trace_json() const {
   }
   out += "\n]\n";
   return out;
+}
+
+uint64_t ParallelCluster::pending_site_events() const {
+  // Shard queues hold scheduled site events; rings hold cross-shard sends
+  // a gop produced since the last drain. Globals live in gops_ and are
+  // excluded, mirroring the DES's pending_globals_ subtraction.
+  uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->sched.pending();
+  for (const auto& r : rings_) n += r->size();
+  return n;
+}
+
+std::vector<TraceEvent> ParallelCluster::trace_tail(size_t n) const {
+  std::vector<TraceEvent> all;
+  for (const auto& sh : shards_) {
+    std::vector<TraceEvent> one = sh->tracer.snapshot();
+    all.insert(all.end(), one.begin(), one.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.at < b.at;
+                   });
+  if (all.size() > n) all.erase(all.begin(), all.end() - static_cast<long>(n));
+  return all;
+}
+
+std::vector<SpanEvent> ParallelCluster::span_tail(size_t n) const {
+  std::vector<SpanEvent> all;
+  for (const auto& sh : shards_) {
+    std::vector<SpanEvent> one = sh->spans.snapshot();
+    all.insert(all.end(), one.begin(), one.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.at < b.at;
+                   });
+  if (all.size() > n) all.erase(all.begin(), all.end() - static_cast<long>(n));
+  return all;
 }
 
 std::unique_ptr<ClusterRuntime> make_runtime(const Config& cfg,

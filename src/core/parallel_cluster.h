@@ -110,6 +110,12 @@ class ParallelCluster : public ClusterRuntime, private CrossShardSink {
   std::string spans_chrome_json() const override;
   std::string trace_json() const override;
 
+  // Shard queue depths plus undrained mailbox-ring messages: the parallel
+  // mirror of the DES's (pending - queued globals). Driving thread only.
+  uint64_t pending_site_events() const override;
+  std::vector<TraceEvent> trace_tail(size_t n) const override;
+  std::vector<SpanEvent> span_tail(size_t n) const override;
+
   int shard_count() const { return n_shards_; }
 
  private:

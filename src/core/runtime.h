@@ -32,6 +32,8 @@
 #include "net/network.h"
 #include "replication/catalog.h"
 #include "sim/scheduler.h"
+#include "sim/span.h"
+#include "sim/trace.h"
 #include "verify/history.h"
 
 namespace ddbs {
@@ -112,6 +114,20 @@ class ClusterRuntime {
   // The structured trace ring as a JSON array (shards concatenated in
   // shard order on the parallel backend).
   virtual std::string trace_json() const = 0;
+
+  // ---- live telemetry hooks (common/telemetry.h) ----
+  // Pending simulation events attributable to site activity. Excludes
+  // lane-0 global control events on the DES and counts undrained
+  // mailbox-ring messages on the parallel backend, so the two backends
+  // agree at every global barrier time -- the value may appear in the
+  // deterministic telemetry JSONL.
+  virtual uint64_t pending_site_events() const = 0;
+  // The most recent `n` retained trace events, oldest first (shards merged
+  // by timestamp on the parallel backend). Diagnostic bundles only.
+  virtual std::vector<TraceEvent> trace_tail(size_t n) const = 0;
+  // The most recent `n` retained span events, oldest first (shards merged
+  // by timestamp on the parallel backend). Diagnostic bundles only.
+  virtual std::vector<SpanEvent> span_tail(size_t n) const = 0;
 };
 
 // Construct the backend selected by cfg.n_threads: Cluster when 1,

@@ -50,6 +50,7 @@ class Site {
   TransactionManager& tm() { return *tm_; }
   RecoveryManager& rm() { return *rm_; }
   FailureDetector& detector() { return *fd_; }
+  const RpcEndpoint& rpc() const { return rpc_; }
 
  private:
   SiteId id_;

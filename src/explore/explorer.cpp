@@ -26,6 +26,13 @@ class ScheduleRun {
 
   ExploreRunResult run() {
     rt_.bootstrap();
+    std::unique_ptr<TelemetryStream> stream;
+    if (opts_.capture_telemetry) {
+      TelemetryOptions topts = opts_.telemetry;
+      topts.include_host = false; // keep replay byte-identity
+      stream = std::make_unique<TelemetryStream>(rt_, topts);
+      stream->start();
+    }
     end_time_ = rt_.now() + opts_.horizon;
     arm_nemesis();
     spawn_clients();
@@ -61,6 +68,10 @@ class ScheduleRun {
     for (int64_t n : committed_) res.committed += n;
     for (int64_t n : aborted_) res.aborted += n;
     res.report = render_report(res);
+    if (stream) {
+      stream->stop();
+      res.telemetry_jsonl = stream->jsonl();
+    }
     return res;
   }
 

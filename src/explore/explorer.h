@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/telemetry.h"
 #include "explore/oracles.h"
 #include "explore/schedule.h"
 #include "workload/workload_gen.h"
@@ -48,6 +49,11 @@ struct ExploreOptions {
   SimTime checkpoint_every = 250'000; // mid-run oracle cadence
   SimTime settle_budget = 60'000'000; // quiescence bound after the horizon
   VerifyMode verify = VerifyMode::kPostHoc;
+  // Buffer the run's telemetry JSONL into ExploreRunResult. Deliberately
+  // NOT part of the repro artifact round-trip: capturing telemetry does
+  // not perturb the run, so replays stay byte-identical either way.
+  bool capture_telemetry = false;
+  TelemetryOptions telemetry;
 };
 
 struct ExploreRunResult {
@@ -57,6 +63,7 @@ struct ExploreRunResult {
   int64_t committed = 0;
   int64_t aborted = 0;
   std::string report; // canonical JSON; byte-identical on replay
+  std::string telemetry_jsonl; // "" unless ExploreOptions::capture_telemetry
 };
 
 // Execute `schedule` against a fresh cluster seeded with `seed`.

@@ -26,6 +26,9 @@ SimTime RecoveryManager::copier_retry_delay(int attempts) const {
 }
 
 SimTime RecoveryManager::type1_retry_delay(int attempt) const {
+  // Watchdog self-validation: the historical fixed backoff, which
+  // phase-locks against a concurrent type-2 on the same NS copies.
+  if (env_.cfg->planted_stall) return kRetryBackoff;
   // Escalate AND de-phase. A fixed short backoff phase-locks the type-1
   // with a concurrent type-2 declaration of this very site: both write
   // the same NS copies, both retry on the same cadence after aborting
@@ -148,6 +151,13 @@ void RecoveryManager::attempt_up(int attempt) {
     // the competing declaration to win its locks and commit, then
     // restart the attempt cycle against the now-quiet NS copies.
     env_.metrics->inc(env_.metrics->id.rm_gave_up);
+    if (env_.cfg->planted_stall) {
+      // Historical behavior: stop retrying. The site is now stranded in
+      // kRecovering forever -- the stall the watchdog must catch.
+      DDBS_WARN << "site " << env_.self << " type-1 cycle exhausted after "
+                << attempt << " attempts; giving up (planted stall)";
+      return;
+    }
     DDBS_WARN << "site " << env_.self << " type-1 cycle exhausted after "
               << attempt << " attempts; cooling down and restarting";
     const uint64_t epoch = epoch_;
@@ -239,6 +249,8 @@ void RecoveryManager::become_up(SessionNum session, size_t replayed) {
   env_.state->mode = SiteMode::kUp;
   env_.state->session = session;
   env_.metrics->inc(env_.metrics->id.rm_recovered);
+  env_.metrics->hist(env_.metrics->id.h_rec_reboot_to_up_us)
+      .add(static_cast<double>(ms_.nominally_up - ms_.started));
   Tracer::emit(env_.tracer, TraceKind::kNominallyUp, env_.self, 0,
                static_cast<int64_t>(session),
                static_cast<int64_t>(ms_.marked_unreadable));
@@ -411,6 +423,8 @@ void RecoveryManager::maybe_fully_current() {
   if (dm_.kv().unreadable_count() != 0) return; // on-demand leftovers
   ms_.fully_current = env_.sched->now();
   env_.metrics->inc(env_.metrics->id.rm_fully_current);
+  env_.metrics->hist(env_.metrics->id.h_rec_up_to_current_us)
+      .add(static_cast<double>(ms_.fully_current - ms_.nominally_up));
   Tracer::emit(env_.tracer, TraceKind::kFullyCurrent, env_.self, 0,
                static_cast<int64_t>(ms_.copiers_run));
   SpanLog::close(env_.spans, span_);

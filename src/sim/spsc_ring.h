@@ -80,13 +80,26 @@ class SpscRing {
            !spilled_.load(std::memory_order_acquire);
   }
 
+  // Messages currently queued (ring + spill). Exact only while both ends
+  // are quiet -- i.e. on the driving thread with the workers parked, which
+  // is where the telemetry queue-depth probe runs.
+  size_t size() const {
+    size_t n = head_.load(std::memory_order_acquire) -
+               tail_.load(std::memory_order_acquire);
+    if (spilled_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(spill_mu_);
+      n += spill_.size();
+    }
+    return n;
+  }
+
  private:
   std::vector<T> slots_;
   size_t mask_ = 0;
   alignas(64) std::atomic<size_t> head_{0};
   alignas(64) std::atomic<size_t> tail_{0};
   std::atomic<bool> spilled_{false};
-  std::mutex spill_mu_;
+  mutable std::mutex spill_mu_;
   std::vector<T> spill_;
 };
 

@@ -169,6 +169,7 @@ void DataManager::advance_chain(const std::shared_ptr<Chain>& chain) {
     }
     // Must wait.
     chain->rid = rid;
+    if (chain->wait_started == kNoTime) chain->wait_started = sched_.now();
     if (chain->wait_span == 0 && spans_ != nullptr) {
       // Lock-wait span under the requesting coordinator: the first real
       // wait opens it, chain resolution (either way) closes it.
@@ -210,6 +211,11 @@ void DataManager::advance_chain(const std::shared_ptr<Chain>& chain) {
   if (chain->timer != 0) {
     sched_.cancel(chain->timer);
     chain->timer = 0;
+  }
+  if (chain->wait_started != kNoTime) {
+    metrics_.hist(metrics_.id.h_lock_wait_us)
+        .add(static_cast<double>(sched_.now() - chain->wait_started));
+    chain->wait_started = kNoTime;
   }
   SpanLog::close(spans_, chain->wait_span);
   chain->wait_span = 0;

@@ -148,6 +148,10 @@ class DataManager {
     // wait, closed when the chain resolves either way.
     SpanId parent_span = 0;
     SpanId wait_span = 0;
+    // First real wait's start time (kNoTime = never blocked), feeding the
+    // dm.lock_wait_us histogram when the chain completes. Contended path
+    // only: synchronously granted chains never touch it.
+    SimTime wait_started = kNoTime;
   };
 
   // ---- handlers ----

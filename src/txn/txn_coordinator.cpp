@@ -22,7 +22,8 @@ CoordinatorBase::CoordinatorBase(TxnId txn, TxnKind kind,
       metrics_(*env.metrics),
       recorder_(env.recorder),
       tracer_(env.tracer),
-      spans_(env.spans) {
+      spans_(env.spans),
+      started_(env.sched->now()) {
   view_.assign(static_cast<size_t>(cfg_.n_sites), 0);
   view_versions_.assign(static_cast<size_t>(cfg_.n_sites), Version{});
   if (recorder_) recorder_->set_kind(txn_, kind_);
@@ -415,6 +416,10 @@ void CoordinatorBase::report_aborted(Code reason) {
 
 void CoordinatorBase::report_committed(std::vector<Value> reads) {
   metrics_.inc(metrics_.id.txn_committed);
+  if (kind_ == TxnKind::kUser) {
+    metrics_.hist(metrics_.id.h_commit_latency_us)
+        .add(static_cast<double>(sched_.now() - started_));
+  }
   trace(TraceKind::kTxnCommit, 0, static_cast<int64_t>(kind_));
   if (done_) {
     TxnResult res;

@@ -196,6 +196,9 @@ class CoordinatorBase {
     }
   }
 
+  // Construction time, for the commit-latency histogram (user txns only).
+  const SimTime started_;
+
   std::set<SiteId> participants_;
   SessionVector view_;
   std::vector<Version> view_versions_;

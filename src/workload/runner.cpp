@@ -1,5 +1,6 @@
 #include "workload/runner.h"
 
+#include <algorithm>
 #include <memory>
 
 namespace ddbs {
@@ -90,12 +91,26 @@ RunnerStats Runner::run() {
       spawn_client(s, ++client_seed * 0x9e37 + 17);
     }
   }
-  cluster_.run_until(end_time_);
-  // Let in-flight transactions finish so accounting is complete.
-  cluster_.settle();
+  bool stopped = false;
+  if (params_.stop_check) {
+    const SimTime poll = params_.stop_poll > 0 ? params_.stop_poll
+                                               : params_.duration;
+    for (SimTime t = start; t < end_time_ && !stopped;) {
+      t = std::min(t + poll, end_time_);
+      cluster_.run_until(t);
+      stopped = params_.stop_check();
+    }
+  } else {
+    cluster_.run_until(end_time_);
+  }
+  // Let in-flight transactions finish so accounting is complete -- unless
+  // the stop predicate fired, in which case the cluster is presumed stuck
+  // and settle() would just burn the whole budget.
+  if (!stopped) cluster_.settle();
   // Fold the per-shard slots in shard order -- deterministic on both
   // backends and identical to the DES twin's merge.
   RunnerStats total;
+  total.stopped_early = stopped;
   for (RunnerStats& st : shard_stats_) {
     total.submitted += st.submitted;
     total.committed += st.committed;

@@ -41,6 +41,14 @@ struct RunnerParams {
   std::vector<FailureEvent> schedule;
   // Clients at a down site fail over to an operational one when true.
   bool client_failover = true;
+  // Polled at `stop_poll` sim-time boundaries while the load window runs;
+  // returning true ends the run immediately (the final settle() is
+  // skipped, since a stopped run is by definition not quiescing). The
+  // poll happens at identical sim times on both backends, so enabling it
+  // does not perturb the DES-twin contract. Used by the watchdog: the
+  // telemetry tick flags the stall, the next poll aborts the run.
+  std::function<bool()> stop_check;
+  SimTime stop_poll = 250'000;
 };
 
 struct RunnerStats {
@@ -49,6 +57,7 @@ struct RunnerStats {
   int64_t aborted = 0;
   std::map<std::string, int64_t> abort_reasons;
   Histogram commit_latency_us;
+  bool stopped_early = false; // stop_check fired before the window ended
 
   double commit_ratio() const {
     return submitted == 0 ? 0.0

@@ -21,6 +21,27 @@ SoakResult run_soak(const SoakOptions& opts) {
   OnlineVerifier* verifier = cluster.online_verifier();
 
   SoakResult res;
+
+  // One telemetry stream spans all rounds; the RSS ceiling rides its tick
+  // so a memory blow-up trips during the offending round. The ceiling is
+  // process-wide (VmHWM), shared by parallel cells like before.
+  const bool want_telemetry = opts.enable_telemetry || opts.rss_limit_kb > 0 ||
+                              opts.telemetry.watchdog;
+  std::unique_ptr<TelemetryStream> stream;
+  bool rss_tripped = false;
+  if (want_telemetry) {
+    TelemetryOptions topts = opts.telemetry;
+    if (opts.rss_limit_kb > 0) topts.include_host = true;
+    stream = std::make_unique<TelemetryStream>(cluster, topts);
+    stream->set_output(opts.telemetry_out);
+    stream->on_tick = [&](const TelemetryStream&) {
+      if (opts.rss_limit_kb > 0 && peak_rss_kb() > opts.rss_limit_kb) {
+        rss_tripped = true;
+      }
+    };
+    stream->start();
+  }
+
   for (int round = 0; round < opts.rounds; ++round) {
     RunnerParams params;
     params.clients_per_site = opts.clients_per_site;
@@ -38,6 +59,10 @@ SoakResult run_soak(const SoakOptions& opts) {
     }
     // Vary the client seed per round so rounds explore different
     // interleavings instead of replaying the first one forever.
+    if (stream) {
+      params.stop_check = [&]() { return stream->stalled() || rss_tripped; };
+      params.stop_poll = opts.telemetry.interval;
+    }
     Runner runner(cluster, params,
                   opts.seed + static_cast<uint64_t>(round) * 0x9e3779b9);
     const RunnerStats stats = runner.run();
@@ -45,6 +70,7 @@ SoakResult run_soak(const SoakOptions& opts) {
     res.committed += stats.committed;
     res.aborted += stats.aborted;
     ++res.rounds_run;
+    if (stats.stopped_early) break; // stall or RSS ceiling: stop mid-soak
 
     // Round boundary: give the failure detector time to notice an
     // end-of-window crash, settle, then judge and prune.
@@ -73,22 +99,15 @@ SoakResult run_soak(const SoakOptions& opts) {
     }
   }
   res.commits_verified = verifier->commits_seen();
-  return res;
-}
-
-int64_t peak_rss_kb() {
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return -1;
-  char line[256];
-  int64_t kb = -1;
-  while (std::fgets(line, sizeof line, f) != nullptr) {
-    if (std::strncmp(line, "VmHWM:", 6) == 0) {
-      kb = std::strtoll(line + 6, nullptr, 10);
-      break;
-    }
+  if (stream) {
+    stream->stop();
+    res.stalls = stream->stalls();
+    res.bundle_json = stream->bundle_json();
+    res.telemetry_jsonl = stream->jsonl();
+    res.telemetry_ticks = stream->ticks();
+    res.rss_exceeded = rss_tripped;
   }
-  std::fclose(f);
-  return kb;
+  return res;
 }
 
 std::string soak_report_json(const std::string& label,
@@ -122,6 +141,18 @@ std::string soak_report_json(const std::string& label,
        static_cast<uint64_t>(res.max_retained_records));
   w.kv("max_graph_nodes", static_cast<uint64_t>(res.max_graph_nodes));
   w.kv("violated", !res.violations.empty());
+  w.kv("stalled", res.stalled());
+  w.key("stalls");
+  w.begin_array();
+  for (const StallEvent& e : res.stalls) {
+    w.begin_object();
+    w.kv("at", static_cast<int64_t>(e.at));
+    w.kv("reason", e.reason);
+    w.kv("site", static_cast<int64_t>(e.site));
+    w.kv("value", e.value);
+    w.end_object();
+  }
+  w.end_array();
   w.key("violations");
   w.begin_array();
   for (const Violation& v : res.violations) {

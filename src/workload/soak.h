@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/telemetry.h"
 #include "explore/oracles.h"
 #include "workload/workload_gen.h"
 
@@ -34,6 +35,17 @@ struct SoakOptions {
   SimTime settle_budget = 60'000'000;
   // Stop once this many transactions have committed (0 = run all rounds).
   uint64_t target_committed = 0;
+
+  // Live telemetry + watchdog (common/telemetry.h). One stream is armed
+  // for the whole soak and ticks through every round; a watchdog stall
+  // ends the soak mid-round via the Runner's stop_check.
+  bool enable_telemetry = false;
+  TelemetryOptions telemetry;
+  std::ostream* telemetry_out = nullptr; // live JSONL sink (may be null)
+  // RSS ceiling, checked on every telemetry tick so a blow-up trips
+  // DURING the round that caused it, not at the post-run summary. 0 = off.
+  // Implies telemetry even when enable_telemetry is false.
+  int64_t rss_limit_kb = 0;
 };
 
 struct SoakResult {
@@ -47,16 +59,19 @@ struct SoakResult {
   size_t max_retained_records = 0; // high-water mark of retained history
   size_t max_graph_nodes = 0;      // high-water mark of live 1-STG nodes
   std::vector<Violation> violations; // first violation ends the soak
+  // Watchdog verdicts (empty on a clean run) and the diagnostic bundle
+  // frozen when the first stall was declared.
+  std::vector<StallEvent> stalls;
+  std::string bundle_json;
+  std::string telemetry_jsonl; // buffered stream (when telemetry enabled)
+  bool rss_exceeded = false;   // the per-tick RSS ceiling tripped
+  uint64_t telemetry_ticks = 0;
 
   bool ok() const { return violations.empty(); }
+  bool stalled() const { return !stalls.empty(); }
 };
 
 SoakResult run_soak(const SoakOptions& opts);
-
-// Peak resident set (VmHWM) of this process in kB from /proc/self/status;
-// -1 when unavailable (non-Linux). Process-wide, so parallel soak cells
-// share one ceiling.
-int64_t peak_rss_kb();
 
 // Canonical JSON for one soak cell. Deterministic (no wall-clock/RSS
 // numbers) so parallel cells serialize identically to serial runs.

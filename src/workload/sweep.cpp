@@ -57,6 +57,13 @@ SweepRun run_one(const SweepSpec& spec, size_t cell, uint64_t seed,
   std::unique_ptr<ClusterRuntime> rt = make_runtime(spec.cells[cell].cfg, seed);
   ClusterRuntime& cluster = *rt;
   cluster.bootstrap();
+  std::unique_ptr<TelemetryStream> stream;
+  if (spec.capture_telemetry) {
+    TelemetryOptions topts = spec.telemetry;
+    topts.include_host = false; // keep the serial/parallel byte contract
+    stream = std::make_unique<TelemetryStream>(cluster, topts);
+    stream->start();
+  }
   Runner runner(cluster, spec.params, seed);
   out.stats = runner.run();
   cluster.settle();
@@ -99,6 +106,10 @@ SweepRun run_one(const SweepSpec& spec, size_t cell, uint64_t seed,
   if (spec.capture_spans) {
     out.spans_json = cluster.spans_chrome_json();
   }
+  if (stream) {
+    stream->stop();
+    out.telemetry_jsonl = stream->jsonl();
+  }
   return out;
 }
 
@@ -108,7 +119,10 @@ SweepCellSummary summarize(const SweepSpec& spec, size_t cell,
   sum.label = spec.cells[cell].label;
   const size_t n = static_cast<size_t>(spec.seeds);
   for (const RunScalars& s : kScalars) {
-    Histogram h;
+    // ExactSamples, not Histogram: these are a handful of heterogeneous
+    // scalars (ratios near 1.0, throughputs in the 1e3 range) where log
+    // buckets would cost real precision for zero memory benefit.
+    ExactSamples h;
     for (size_t k = 0; k < n; ++k) {
       h.add(s.get(runs[cell * n + k], spec));
     }

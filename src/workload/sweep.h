@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/telemetry.h"
 #include "workload/runner.h"
 
 namespace ddbs {
@@ -45,6 +46,11 @@ struct SweepSpec {
   // Also serialize each run's causal spans as Chrome trace_event JSON
   // (spans_json below). Off by default: span export is sizable.
   bool capture_spans = false;
+  // Buffer each run's telemetry JSONL (telemetry_jsonl below). The stream
+  // carries no host-side fields here, so it keeps the serial-vs-parallel
+  // byte-identity contract.
+  bool capture_telemetry = false;
+  TelemetryOptions telemetry;
   // Run the explorer's quiescence oracles (convergence, NS agreement,
   // lost-write, 1-SR) after each run; violations land in SweepRun. The
   // extra cost is one settled-state scan per run.
@@ -68,7 +74,8 @@ struct SweepRun {
   std::vector<std::string> violations; // oracle violations (stringified)
   RunnerStats stats;
   std::string report_json;
-  std::string spans_json; // "" unless SweepSpec::capture_spans
+  std::string spans_json;     // "" unless SweepSpec::capture_spans
+  std::string telemetry_jsonl; // "" unless SweepSpec::capture_telemetry
 
   bool ok() const { return completed && converged && violations.empty(); }
 };

@@ -82,8 +82,21 @@ TEST(Zipf, SkewPrefersLowIndices) {
   EXPECT_GT(counts[0], counts[10]);
 }
 
-TEST(Histogram, PercentilesExact) {
+TEST(Histogram, PercentilesWithinBucketError) {
   Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  // p=0 / p=100 return the exact tracked extremes; interior quantiles are
+  // bucket-interpolated with relative error <= 2^-kSubBits (~3.125%).
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_NEAR(h.percentile(50), 50.5, 50.5 * 0.04);
+  EXPECT_NEAR(h.percentile(90), 90.0, 90.0 * 0.04);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9); // mean stays exact (running sum)
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(ExactSamples, PercentilesExact) {
+  ExactSamples h;
   for (int i = 1; i <= 100; ++i) h.add(i);
   EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
   EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);

@@ -76,6 +76,43 @@ rm -rf "$corpus"
   --sites=4 --items=40 --horizon-ms=1500 --corpus= >/dev/null
 rm -rf "$corpus"
 
+step "watchdog self-test (planted NS-lock stall caught, clean run quiet)"
+# Self-validation of the no-progress watchdog. --planted-stall restores
+# the historical fixed type-1 retry backoff + permanent give-up; with the
+# retry cycle squeezed to one attempt the NS-lock collision strands the
+# recovering site, and the watchdog must catch it (exit 4) within the
+# bounded recovery budget and freeze a diagnostic bundle carrying the
+# livelock signature. The same squeeze WITHOUT the planted flag must run
+# clean. Bundles land in watchdog-bundles/ for the workflow to archive
+# when this gate fails; the directory is removed on success.
+bundles="$repo/watchdog-bundles"
+rm -rf "$bundles"; mkdir -p "$bundles"
+stall_flags=(--sites=4 --items=100 --degree=3 --scheme=spooler --clients=6
+             --ops=3 --duration-ms=4000 --seed=42 --crash=2@200
+             --recover=2@300 --retry-limit=1 --watchdog
+             --watchdog-recovery-ms=2500)
+rc=0
+"$repo/build/tools/ddbs_sim" "${stall_flags[@]}" --planted-stall \
+  --bundle-out="$bundles/planted.json" >/dev/null 2>&1 || rc=$?
+if [[ "$rc" != 4 ]]; then
+  echo "watchdog self-test: planted stall NOT caught (exit $rc, want 4)" >&2
+  exit 1
+fi
+for key in '"waits_for"' '"ns_lock_holders"' '"ns_vector"' '"trace_tail"'; do
+  grep -q "$key" "$bundles/planted.json" || {
+    echo "watchdog self-test: bundle missing $key" >&2; exit 1; }
+done
+if ! "$repo/build/tools/ddbs_sim" "${stall_flags[@]}" \
+    --bundle-out="$bundles/clean.json" >/dev/null 2>&1; then
+  echo "watchdog self-test: fixed-backoff run stalled or failed" >&2
+  exit 1
+fi
+if [[ -f "$bundles/clean.json" ]]; then
+  echo "watchdog self-test: clean run unexpectedly wrote a bundle" >&2
+  exit 1
+fi
+rm -rf "$bundles"
+
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -105,11 +142,14 @@ if [[ "$run_soak" == 1 ]]; then
   # Every outdated strategy plus the spooler baseline through repeated
   # crash/recover rounds with the incremental verifier judging each round
   # boundary and pruning the consumed history. Exit is nonzero on any
-  # invariant violation and (exit 3) if peak RSS exceeds the ceiling --
-  # the ceiling is what proves acknowledged-prefix pruning works.
+  # invariant violation, (exit 3) if peak RSS exceeds the ceiling -- the
+  # ceiling is what proves acknowledged-prefix pruning works -- and
+  # (exit 4) if the no-progress watchdog sees a stall: a clean default
+  # config must produce zero stall events.
   "$repo/build/tools/ddbs_soak" \
     --rounds=100 --round-ms=5000 --clients=6 --sites=4 --items=100 \
     --target-committed=200000 --rss-limit-mb=512 -j "$jobs" \
+    --watchdog --bundle-out="$tmp/soak_bundle" \
     --out="$tmp/SOAK_ci.json"
 
   step "parallel-backend soak smoke (>= 1e5 committed txns, bounded RSS)"
@@ -128,9 +168,11 @@ step "observability smoke (ddbs_sim -> ddbs_trace.py)"
 "$repo/build/tools/ddbs_sim" \
   --duration-ms=3000 --crash=2@600 --recover=2@1500 \
   --report-out="$tmp/report.json" --spans-out="$tmp/spans.json" \
-  --trace-out="$tmp/trace.json" >/dev/null
+  --trace-out="$tmp/trace.json" \
+  --telemetry-out="$tmp/telemetry.jsonl" >/dev/null
 python3 "$repo/tools/ddbs_trace.py" "$tmp/report.json" >/dev/null
 python3 "$repo/tools/ddbs_trace.py" "$tmp/spans.json" >/dev/null
+python3 "$repo/tools/ddbs_trace.py" "$tmp/telemetry.jsonl" --tail 8 >/dev/null
 # A report must never regress against itself.
 python3 "$repo/tools/compare_reports.py" \
   --scalar throughput_txn_s "$tmp/report.json" "$tmp/report.json" >/dev/null

@@ -15,6 +15,13 @@ Options:
 Runs are matched by label; a scalar absent from either side of a matched
 run is skipped and reported as added/removed rather than treated as an
 error (new benches and new report fields shouldn't fail old baselines).
+Schema v3 runs additionally carry a "histograms" object (log-bucketed
+latency stats); each histogram statistic is flattened into a synthetic
+scalar named "<histogram>.<stat>" (e.g. "commit_latency_us.p99") so it
+can be gated with --scalar --lower-is-better, and histograms new to the
+current report surface as added scalars, not failures. Comparing a v3
+report against a v2 baseline therefore stays green until a shared scalar
+actually regresses.
 Exits 1 when any compared scalar regressed by more than the threshold,
 0 otherwise -- including when nothing was comparable at all, which is the
 expected state right after a schema change. Stdlib only -- usable straight
@@ -26,6 +33,16 @@ import json
 import sys
 
 
+def flatten(run):
+    scalars = dict(run.get("scalars", {}))
+    for name, stats in run.get("histograms", {}).items():
+        if not isinstance(stats, dict):
+            continue
+        for stat, value in stats.items():
+            scalars[f"{name}.{stat}"] = value
+    return scalars
+
+
 def load_runs(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -34,7 +51,10 @@ def load_runs(path):
         sys.exit(f"compare_reports: cannot read {path}: {e}")
     if not isinstance(doc, dict):
         sys.exit(f"compare_reports: {path} is not a run report object")
-    return {run["label"]: run.get("scalars", {}) for run in doc.get("runs", [])}
+    version = doc.get("schema_version")
+    if version is not None and version not in (1, 2, 3):
+        sys.exit(f"compare_reports: {path}: unknown schema_version {version}")
+    return version, {run["label"]: flatten(run) for run in doc.get("runs", [])}
 
 
 def main():
@@ -49,8 +69,12 @@ def main():
     args = ap.parse_args()
     scalars = args.scalar or ["events_per_sec"]
 
-    base = load_runs(args.baseline)
-    cur = load_runs(args.current)
+    base_version, base = load_runs(args.baseline)
+    cur_version, cur = load_runs(args.current)
+    if base_version != cur_version:
+        print(f"  note: schema_version {base_version} -> {cur_version} "
+              f"(fields added by the newer schema are compared only when "
+              f"both sides have them)")
 
     compared = 0
     regressions = []

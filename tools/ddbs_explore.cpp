@@ -52,7 +52,8 @@ struct Options {
   int max_shrinks = 8; // violations beyond this are reported, not shrunk
   bool fail_fast = false;
   std::string corpus = "explore-corpus";
-  std::string replay_path; // non-empty => replay mode
+  std::string replay_path;   // non-empty => replay mode
+  std::string telemetry_dir; // "" = don't write per-run telemetry JSONL
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -83,7 +84,9 @@ struct Options {
       "  --max-shrinks=N       violations to shrink (default 8)\n"
       "  --corpus=DIR          minimized repro artifacts (default\n"
       "                        explore-corpus; \"\" disables)\n"
-      "  --replay=FILE         replay one repro artifact and exit\n",
+      "  --replay=FILE         replay one repro artifact and exit\n"
+      "  --telemetry-dir=DIR   write TEL_sched<S>_seed<N>.jsonl per run\n"
+      "  --telemetry-interval-ms=N  telemetry tick period (default 250)\n",
       argv0);
   std::exit(2);
 }
@@ -155,6 +158,11 @@ Options parse(int argc, char** argv) {
       o.corpus = v;
     } else if (parse_kv(argv[i], "--replay", &v)) {
       o.replay_path = v;
+    } else if (parse_kv(argv[i], "--telemetry-dir", &v)) {
+      o.telemetry_dir = v;
+      o.run.capture_telemetry = true;
+    } else if (parse_kv(argv[i], "--telemetry-interval-ms", &v)) {
+      o.run.telemetry.interval = std::stoll(v) * 1000;
     } else {
       usage(argv[0]);
     }
@@ -271,6 +279,23 @@ int main(int argc, char** argv) {
         }
       },
       o.fail_fast ? &cancel : nullptr);
+
+  if (!o.telemetry_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(o.telemetry_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "ddbs_explore: cannot create %s: %s\n",
+                   o.telemetry_dir.c_str(), ec.message().c_str());
+    } else {
+      for (const RunOutcome& out : outcomes) {
+        if (!out.completed || out.result.telemetry_jsonl.empty()) continue;
+        const std::string path = o.telemetry_dir + "/TEL_sched" +
+                                 std::to_string(out.schedule_seed) + "_seed" +
+                                 std::to_string(out.seed) + ".jsonl";
+        write_file(path, out.result.telemetry_jsonl);
+      }
+    }
+  }
 
   // Shrink the failing schedules in deterministic index order, verify
   // each minimized repro replays byte-identically, and write the corpus.

@@ -11,13 +11,19 @@
 //   ddbs_sim --strategy=missing-list --copier=on-demand --policy=redirect
 //            --crash=1@500 --recover=1@2000 --verify
 //   ddbs_sim --scheme=spooler --crash=3@800 --recover=3@3000
+//   ddbs_sim --telemetry-out=tel.jsonl --watchdog --bundle-out=stall.json
+//
+// Exit codes: 0 clean, 1 divergence/verify failure, 2 usage, 4 watchdog
+// stall (diagnostic bundle written when --bundle-out is given).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "core/runtime.h"
 #include "verify/one_sr_checker.h"
 #include "workload/runner.h"
@@ -42,6 +48,14 @@ struct Options {
   std::string report_out; // JSON run report path ("" = off)
   std::string trace_out;  // JSON trace-event dump path ("" = off)
   std::string spans_out;  // Chrome trace_event span dump path ("" = off)
+  std::string telemetry_out; // live telemetry JSONL path ("-" = stdout)
+  TelemetryOptions telemetry;
+  bool watchdog = false;
+  // Partition-based fault injection: isolate one site from every other at
+  // a given time, optionally healing later. kInvalidSite = off.
+  SiteId isolate_site = kInvalidSite;
+  SimTime isolate_at = 0;
+  SimTime heal_at = -1;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -75,7 +89,21 @@ struct Options {
       "  --span-cap=N          span ring capacity in events (default 32768)\n"
       "  --bucket-ms=N         time-series bucket width (default 250; 0 off)\n"
       "  --threads=N           worker threads; N>1 runs the site-parallel\n"
-      "                        backend (site-sharded, epoch-windowed)\n",
+      "                        backend (site-sharded, epoch-windowed)\n"
+      "  --telemetry-out=PATH  stream live telemetry JSONL (- = stdout)\n"
+      "  --telemetry-interval-ms=N  tick period (default 250)\n"
+      "  --telemetry-host      include host-side fields (rss_kb);\n"
+      "                        breaks cross-backend byte-identity\n"
+      "  --watchdog            abort with exit 4 when progress stalls\n"
+      "  --watchdog-no-commit-ms=N    no-commit budget (default 2000)\n"
+      "  --watchdog-recovery-ms=N     recovery-phase budget (default 8000)\n"
+      "  --watchdog-retries=N         type-1 retry budget (default 64)\n"
+      "  --bundle-out=PATH     write the stall diagnostic bundle here\n"
+      "  --retry-limit=N       type-1 give-up threshold (config knob)\n"
+      "  --planted-stall       re-enable the historical fixed NS-lock retry\n"
+      "                        backoff + permanent give-up (watchdog demo)\n"
+      "  --isolate=S@MS        partition site S away from everyone at MS\n"
+      "  --heal=MS             dissolve the partition at MS\n",
       argv0);
   std::exit(2);
 }
@@ -168,6 +196,33 @@ Options parse(int argc, char** argv) {
       o.cfg.timeseries_bucket = std::stoll(v) * 1000;
     } else if (parse_kv(argv[i], "--threads", &v)) {
       o.cfg.n_threads = std::stoi(v);
+    } else if (parse_kv(argv[i], "--telemetry-out", &v)) {
+      o.telemetry_out = v;
+    } else if (parse_kv(argv[i], "--telemetry-interval-ms", &v)) {
+      o.telemetry.interval = std::stoll(v) * 1000;
+    } else if (parse_kv(argv[i], "--watchdog-no-commit-ms", &v)) {
+      o.telemetry.no_commit_budget = std::stoll(v) * 1000;
+    } else if (parse_kv(argv[i], "--watchdog-recovery-ms", &v)) {
+      o.telemetry.recovery_phase_budget = std::stoll(v) * 1000;
+    } else if (parse_kv(argv[i], "--watchdog-retries", &v)) {
+      o.telemetry.control_retry_budget = std::stoll(v);
+    } else if (parse_kv(argv[i], "--bundle-out", &v)) {
+      o.telemetry.bundle_path = v;
+    } else if (parse_kv(argv[i], "--retry-limit", &v)) {
+      o.cfg.control_retry_limit = std::stoi(v);
+    } else if (parse_kv(argv[i], "--isolate", &v)) {
+      const size_t at = v.find('@');
+      if (at == std::string::npos) usage(argv[0]);
+      o.isolate_site = static_cast<SiteId>(std::stol(v.substr(0, at)));
+      o.isolate_at = std::stoll(v.substr(at + 1)) * 1000;
+    } else if (parse_kv(argv[i], "--heal", &v)) {
+      o.heal_at = std::stoll(v) * 1000;
+    } else if (std::strcmp(argv[i], "--telemetry-host") == 0) {
+      o.telemetry.include_host = true;
+    } else if (std::strcmp(argv[i], "--watchdog") == 0) {
+      o.watchdog = true;
+    } else if (std::strcmp(argv[i], "--planted-stall") == 0) {
+      o.cfg.planted_stall = true;
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       o.verify = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -199,6 +254,41 @@ int main(int argc, char** argv) {
   ClusterRuntime& cluster = *rt;
   cluster.bootstrap();
 
+  TelemetryOptions topts = o.telemetry;
+  topts.watchdog = o.watchdog;
+  std::ofstream telemetry_file;
+  std::unique_ptr<TelemetryStream> stream;
+  if (!o.telemetry_out.empty() || o.watchdog) {
+    stream = std::make_unique<TelemetryStream>(cluster, topts);
+    if (!o.telemetry_out.empty() && o.telemetry_out != "-") {
+      telemetry_file.open(o.telemetry_out);
+      if (!telemetry_file) {
+        std::fprintf(stderr, "telemetry: cannot write %s\n",
+                     o.telemetry_out.c_str());
+        return 2;
+      }
+      stream->set_output(&telemetry_file);
+    }
+    stream->start();
+  }
+
+  if (o.isolate_site != kInvalidSite) {
+    // One group holding everyone else; the isolated site falls out into
+    // its own singleton group.
+    const SiteId victim = o.isolate_site;
+    cluster.schedule_global(o.isolate_at, [&cluster, victim]() {
+      std::vector<SiteId> rest;
+      for (SiteId s = 0; s < cluster.n_sites(); ++s) {
+        if (s != victim) rest.push_back(s);
+      }
+      cluster.network().set_partition({rest});
+    });
+    if (o.heal_at >= 0) {
+      cluster.schedule_global(o.heal_at,
+                              [&cluster]() { cluster.network().clear_partition(); });
+    }
+  }
+
   RunnerParams rp;
   rp.clients_per_site = o.clients;
   rp.duration = o.duration;
@@ -206,9 +296,36 @@ int main(int argc, char** argv) {
   rp.workload.read_fraction = o.read_fraction;
   rp.workload.zipf_theta = o.zipf;
   rp.schedule = o.schedule;
+  if (stream) {
+    TelemetryStream* sp = stream.get();
+    rp.stop_check = [sp]() { return sp->stalled(); };
+    rp.stop_poll = topts.interval;
+  }
   Runner runner(cluster, rp, o.seed);
   const RunnerStats stats = runner.run();
-  cluster.settle();
+  if (!stats.stopped_early) cluster.settle();
+
+  if (stream) {
+    stream->stop();
+    if (o.telemetry_out == "-") std::fwrite(stream->jsonl().data(), 1,
+                                            stream->jsonl().size(), stdout);
+    if (stream->stalled()) {
+      for (const StallEvent& e : stream->stalls()) {
+        std::fprintf(stderr,
+                     "ddbs_sim: watchdog STALL at t=%lld: %s (site %d, "
+                     "value %lld)\n",
+                     static_cast<long long>(e.at), e.reason.c_str(),
+                     static_cast<int>(e.site),
+                     static_cast<long long>(e.value));
+      }
+      if (topts.bundle_path.empty()) {
+        std::fprintf(stderr,
+                     "ddbs_sim: pass --bundle-out=PATH to keep the "
+                     "diagnostic bundle\n");
+      }
+      return 4;
+    }
+  }
 
   TablePrinter t("results");
   t.set_header({"metric", "value"});

@@ -9,17 +9,23 @@
 // a thread pool; each cell is an independent deterministic simulation.
 //
 // Exit codes: 0 clean, 1 invariant violation, 2 usage, 3 RSS ceiling
-// exceeded.
+// exceeded, 4 watchdog stall.
+//
+// The RSS ceiling is sampled on the telemetry tick inside each round, so
+// a memory blow-up aborts the round that caused it instead of only being
+// noticed at the end-of-run summary.
 //
 // Examples:
 //   ddbs_soak --rounds=200 --round-ms=2000 --target-committed=2000000 -j 5
 //   ddbs_soak --cells=mark-all,spooler --rounds=20 --rss-limit-mb=512
+//   ddbs_soak --watchdog --telemetry-out=soak_tel
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "workload/soak.h"
 #include "workload/sweep.h"
 
@@ -36,6 +42,8 @@ struct CliOptions {
   SoakOptions soak; // per-cell knobs (cfg/seed filled per cell)
   int64_t rss_limit_kb = 0; // 0 = no ceiling
   std::string out;          // "" = no report file
+  std::string telemetry_prefix; // per-cell JSONL: PREFIX.<cell>.jsonl
+  std::string bundle_prefix;    // per-cell stall bundle: PREFIX.<cell>.json
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -54,8 +62,16 @@ struct CliOptions {
       "  --threads=N           worker threads per cluster (N>1 selects the\n"
       "                        site-parallel backend inside each cell)\n"
       "  -j N, --jobs=N        cells run in parallel\n"
-      "  --rss-limit-mb=N      fail (exit 3) if process VmHWM exceeds this\n"
-      "  --out=PATH            write the aggregate JSON report here\n",
+      "  --rss-limit-mb=N      fail (exit 3) if process VmHWM exceeds this;\n"
+      "                        sampled on the telemetry tick inside rounds\n"
+      "  --out=PATH            write the aggregate JSON report here\n"
+      "  --telemetry           buffer per-cell telemetry JSONL\n"
+      "  --telemetry-out=PFX   write it to PFX.<cell>.jsonl per cell\n"
+      "  --telemetry-interval-ms=N  tick period (default 250)\n"
+      "  --watchdog            abort a stalling cell (exit 4)\n"
+      "  --watchdog-no-commit-ms=N --watchdog-recovery-ms=N\n"
+      "  --watchdog-retries=N  stall budgets (common/telemetry.h)\n"
+      "  --bundle-out=PFX      stall bundles to PFX.<cell>.json\n",
       argv0);
   std::exit(2);
 }
@@ -149,6 +165,23 @@ CliOptions parse(int argc, char** argv) {
       o.rss_limit_kb = std::stoll(v) * 1024;
     } else if (parse_kv(argv[i], "--out", &v)) {
       o.out = v;
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      o.soak.enable_telemetry = true;
+    } else if (parse_kv(argv[i], "--telemetry-out", &v)) {
+      o.telemetry_prefix = v;
+      o.soak.enable_telemetry = true;
+    } else if (parse_kv(argv[i], "--telemetry-interval-ms", &v)) {
+      o.soak.telemetry.interval = std::stoll(v) * 1000;
+    } else if (std::strcmp(argv[i], "--watchdog") == 0) {
+      o.soak.telemetry.watchdog = true;
+    } else if (parse_kv(argv[i], "--watchdog-no-commit-ms", &v)) {
+      o.soak.telemetry.no_commit_budget = std::stoll(v) * 1000;
+    } else if (parse_kv(argv[i], "--watchdog-recovery-ms", &v)) {
+      o.soak.telemetry.recovery_phase_budget = std::stoll(v) * 1000;
+    } else if (parse_kv(argv[i], "--watchdog-retries", &v)) {
+      o.soak.telemetry.control_retry_budget = std::stoll(v);
+    } else if (parse_kv(argv[i], "--bundle-out", &v)) {
+      o.bundle_prefix = v;
     } else {
       usage(argv[0]);
     }
@@ -181,6 +214,7 @@ int main(int argc, char** argv) {
     cells[c] = o.soak;
     cells[c].cfg = o.base;
     cells[c].seed = o.seed + c * 1000003;
+    cells[c].rss_limit_kb = o.rss_limit_kb;
     if (!apply_cell(cells[c].cfg, o.cells[c])) usage(argv[0]);
   }
 
@@ -214,6 +248,33 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "ddbs_soak: %s: VIOLATION %s\n",
                    o.cells[c].c_str(), to_string(v).c_str());
       rc = 1;
+    }
+    for (const StallEvent& e : r.stalls) {
+      std::fprintf(stderr,
+                   "ddbs_soak: %s: watchdog STALL at t=%lld: %s (site %d, "
+                   "value %lld)\n",
+                   o.cells[c].c_str(), static_cast<long long>(e.at),
+                   e.reason.c_str(), static_cast<int>(e.site),
+                   static_cast<long long>(e.value));
+    }
+    if (r.stalled()) {
+      if (!o.bundle_prefix.empty() && !r.bundle_json.empty()) {
+        write_file(o.bundle_prefix + "." + o.cells[c] + ".json",
+                   r.bundle_json);
+      }
+      rc = rc == 0 ? 4 : rc;
+    }
+    if (r.rss_exceeded) {
+      std::fprintf(stderr,
+                   "ddbs_soak: %s: RSS ceiling tripped mid-round "
+                   "(limit %lld kB)\n",
+                   o.cells[c].c_str(),
+                   static_cast<long long>(o.rss_limit_kb));
+      rc = rc == 0 ? 3 : rc;
+    }
+    if (!o.telemetry_prefix.empty() && !r.telemetry_jsonl.empty()) {
+      write_file(o.telemetry_prefix + "." + o.cells[c] + ".jsonl",
+                 r.telemetry_jsonl);
     }
   }
   const int64_t rss = peak_rss_kb();

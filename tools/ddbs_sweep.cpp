@@ -43,6 +43,8 @@ struct Options {
   std::string out = "SWEEP_ddbs.json";
   std::string per_run_dir; // "" = don't write per-run reports
   std::string spans_dir;   // "" = don't write per-run span dumps
+  std::string telemetry_dir; // "" = don't write per-run telemetry JSONL
+  SimTime telemetry_interval = 250'000;
   bool fail_fast = false;
   bool no_oracles = false;
   bool online_verify = false;
@@ -73,6 +75,9 @@ struct Options {
       "  --per-run-dir=DIR     also write RUN_<cell>_seed<N>.json per run\n"
       "  --spans-dir=DIR       also write SPANS_<cell>_seed<N>.json per run\n"
       "                        (Chrome trace_event JSON of the causal spans)\n"
+      "  --telemetry-dir=DIR   also write TEL_<cell>_seed<N>.jsonl per run\n"
+      "                        (live telemetry stream; see EXPERIMENTS.md)\n"
+      "  --telemetry-interval-ms=N  telemetry tick period (default 250)\n"
       "scenario (same meaning as ddbs_sim):\n"
       "  --sites=N --items=N --degree=N --loss=F\n"
       "  --duration-ms=N --clients=N --ops=N --reads=F --zipf=F\n"
@@ -180,6 +185,10 @@ Options parse(int argc, char** argv) {
       o.per_run_dir = v;
     } else if (parse_kv(argv[i], "--spans-dir", &v)) {
       o.spans_dir = v;
+    } else if (parse_kv(argv[i], "--telemetry-dir", &v)) {
+      o.telemetry_dir = v;
+    } else if (parse_kv(argv[i], "--telemetry-interval-ms", &v)) {
+      o.telemetry_interval = std::stoll(v) * 1000;
     } else {
       usage(argv[0]);
     }
@@ -279,6 +288,8 @@ int main(int argc, char** argv) {
   spec.params.workload.zipf_theta = o.zipf;
   spec.params.schedule = o.schedule;
   spec.capture_spans = !o.spans_dir.empty();
+  spec.capture_telemetry = !o.telemetry_dir.empty();
+  spec.telemetry.interval = o.telemetry_interval;
   spec.check_oracles = !o.no_oracles;
   spec.fail_fast = o.fail_fast;
 
@@ -328,7 +339,7 @@ int main(int argc, char** argv) {
               res.events_per_sec() / 1e6);
 
   int rc = 0;
-  for (const std::string& dir : {o.per_run_dir, o.spans_dir}) {
+  for (const std::string& dir : {o.per_run_dir, o.spans_dir, o.telemetry_dir}) {
     if (dir.empty()) continue;
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
@@ -352,6 +363,14 @@ int main(int argc, char** argv) {
                                spec.cells[r.cell].label + "_seed" +
                                std::to_string(r.seed) + ".json";
       if (!write_file(path, r.spans_json)) rc = 1;
+    }
+  }
+  if (!o.telemetry_dir.empty()) {
+    for (const SweepRun& r : res.runs) {
+      const std::string path = o.telemetry_dir + "/TEL_" +
+                               spec.cells[r.cell].label + "_seed" +
+                               std::to_string(r.seed) + ".jsonl";
+      if (!write_file(path, r.telemetry_jsonl)) rc = 1;
     }
   }
   if (!write_file(o.out, sweep_report_json(spec, res, o.threads))) rc = 1;

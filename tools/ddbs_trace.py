@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Analyze ddbs observability output: run reports or Chrome span dumps.
+"""Analyze ddbs observability output: run reports, Chrome span dumps,
+or live-telemetry JSONL streams.
 
 Usage:
-  ddbs_trace.py FILE [--width N]
+  ddbs_trace.py FILE [--width N] [--tail N]
 
 FILE is auto-detected:
   * a run report written by --report-out (JSON object with "runs"):
@@ -12,7 +13,11 @@ FILE is auto-detected:
     bucket);
   * a Chrome trace_event span dump written by --spans-out (JSON object
     with "traceEvents"): prints per-kind span statistics (count, mean /
-    max duration, total time) and the per-site event volume.
+    max duration, total time) and the per-site event volume;
+  * a telemetry stream written by --telemetry-out (JSONL, one interval
+    snapshot per line): prints an ASCII commit-rate / backlog timeline
+    with per-tick site modes, and any watchdog stall events. --tail N
+    limits the timeline to the last N ticks (stalls always shown).
 
 Stdlib only -- usable straight from CTest or CI.
 """
@@ -128,6 +133,46 @@ def report_mode(doc, width):
     return 0
 
 
+# ---- telemetry mode -------------------------------------------------------
+
+def mode_glyph(mode):
+    return {"up": "U", "recovering": "R", "down": "_"}.get(mode, "?")
+
+
+def telemetry_mode(lines, width, tail):
+    ticks = [o for o in lines if "stall" not in o]
+    stalls = [o["stall"] for o in lines if "stall" in o]
+    interval = ticks[1]["t"] - ticks[0]["t"] if len(ticks) >= 2 else 0
+    span = f", {fmt_at(ticks[0]['t'])}..{fmt_at(ticks[-1]['t'])}" \
+        if ticks else ""
+    print(f"telemetry: {len(ticks)} tick(s) every {fmt_us(interval)}"
+          f"{span}, {len(stalls)} stall event(s)")
+    shown = ticks[-tail:] if tail and tail > 0 else ticks
+    if len(shown) < len(ticks):
+        print(f"  (showing last {len(shown)} of {len(ticks)} ticks)")
+    if shown:
+        peak = max((t.get("commit_rate", 0) for t in shown), default=0) or 1
+        stall_ts = {s.get("at") for s in stalls}
+        print(f"  {'t':>8} {'commit/s':>9} {'abort/s':>8} {'queue':>6} "
+              f"{'backlog':>7} sites  commit rate")
+        for t in shown:
+            sites = t.get("sites", [])
+            modes = "".join(mode_glyph(s.get("mode", "?")) for s in sites)
+            backlog = sum(s.get("backlog", 0) for s in sites)
+            rate = t.get("commit_rate", 0)
+            bar = "#" * int(round(rate / peak * width))
+            mark = "  << STALL" if t.get("t") in stall_ts else ""
+            print(f"  {t['t'] / 1e6:7.2f}s {rate:9d} "
+                  f"{t.get('abort_rate', 0):8d} "
+                  f"{t.get('queue_depth', 0):6d} {backlog:7d} "
+                  f"{modes:<5}  {bar}{mark}")
+        print("  sites: U=up R=recovering _=down")
+    for s in stalls:
+        print(f"  STALL at {fmt_at(s.get('at'))}: {s.get('reason', '?')} "
+              f"(site {s.get('site')}, value {s.get('value')})")
+    return 0
+
+
 # ---- spans mode -----------------------------------------------------------
 
 def spans_mode(doc, width):
@@ -175,20 +220,40 @@ def main():
     ap.add_argument("file")
     ap.add_argument("--width", type=int, default=40,
                     help="max bar width for ASCII charts (default 40)")
+    ap.add_argument("--tail", type=int, default=0,
+                    help="telemetry mode: show only the last N ticks "
+                         "(default 0 = all)")
     args = ap.parse_args()
 
     try:
         with open(args.file, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, ValueError) as e:
+            text = f.read()
+    except OSError as e:
         sys.exit(f"ddbs_trace: cannot read {args.file}: {e}")
+
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        # Not a single JSON document: try telemetry JSONL, one object
+        # per line as written by --telemetry-out.
+        try:
+            lines = [json.loads(ln) for ln in text.splitlines() if ln.strip()]
+        except ValueError as e:
+            sys.exit(f"ddbs_trace: cannot parse {args.file}: {e}")
+        if lines and all(isinstance(o, dict) and "t" in o for o in lines):
+            return telemetry_mode(lines, args.width, args.tail)
+        sys.exit(f"ddbs_trace: {args.file} is not a telemetry JSONL stream")
 
     if isinstance(doc, dict) and "runs" in doc:
         return report_mode(doc, args.width)
     if isinstance(doc, dict) and "traceEvents" in doc:
         return spans_mode(doc, args.width)
+    if isinstance(doc, dict) and "t" in doc:
+        # A single-line telemetry stream parses as one JSON object.
+        return telemetry_mode([doc], args.width, args.tail)
     sys.exit(f"ddbs_trace: {args.file} is neither a run report "
-             f"(\"runs\") nor a Chrome trace (\"traceEvents\")")
+             f"(\"runs\"), a Chrome trace (\"traceEvents\"), nor a "
+             f"telemetry stream")
 
 
 if __name__ == "__main__":
