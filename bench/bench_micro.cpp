@@ -10,6 +10,7 @@
 #include "net/rpc.h"
 #include "recovery/status_tables.h"
 #include "sim/event_queue.h"
+#include "storage/wal.h"
 #include "txn/lock_manager.h"
 #include "verify/one_sr_checker.h"
 #include "workload/workload_gen.h"
@@ -208,6 +209,62 @@ void BM_Rpc_RequestResponse(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Rpc_RequestResponse);
+
+// A WAL that has been running for a while: `backlog` resolved txns
+// already in the log, a small window of live prepares on top. Via the
+// open-prepare index, in_doubt() costs O(live prepares) no matter how
+// deep the backlog (the timing must stay flat across Args), and
+// truncate_resolved() finds its survivors in O(live) -- what remains is
+// only the unavoidable O(dropped) cost of freeing the dropped records.
+// Before the index both rescanned (and re-matched) the full log.
+Wal synthetic_wal(int backlog, int live) {
+  Wal wal;
+  auto prepare = [](TxnId txn, int i) {
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kPrepare;
+    rec.txn = txn;
+    WalWrite w;
+    w.item = static_cast<ItemId>(i % 64);
+    w.value = 1;
+    rec.writes.push_back(std::move(w));
+    return rec;
+  };
+  for (int i = 0; i < backlog; ++i) {
+    const TxnId txn = static_cast<TxnId>(i + 1);
+    wal.append(prepare(txn, i));
+    WalRecord res;
+    res.kind =
+        i % 3 == 0 ? WalRecord::Kind::kAbort : WalRecord::Kind::kCommit;
+    res.txn = txn;
+    wal.append(std::move(res));
+  }
+  for (int i = 0; i < live; ++i) {
+    wal.append(prepare(static_cast<TxnId>(backlog + i + 1), i));
+  }
+  return wal;
+}
+
+void BM_Wal_InDoubt(benchmark::State& state) {
+  const Wal wal = synthetic_wal(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal.in_doubt());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Wal_InDoubt)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Wal_TruncateResolved(benchmark::State& state) {
+  const int backlog = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Wal wal = synthetic_wal(backlog, 8);
+    state.ResumeTiming();
+    wal.truncate_resolved();
+    benchmark::DoNotOptimize(wal.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Wal_TruncateResolved)->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_MissingList_AddRemove(benchmark::State& state) {
   StatusTable t;

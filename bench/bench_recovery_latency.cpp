@@ -22,16 +22,19 @@ struct Point {
   SimTime to_operational = 0;
   SimTime to_current = 0; // == to_operational for the spooler
   size_t work_items = 0;  // replayed records / refreshed copies
+  SimTime reboot_replay = 0; // checkpoint read + redo replay (durable only)
+  int64_t replay_records = 0;
 };
 
-Point run_case(RecoveryScheme scheme, int64_t updates, uint64_t seed,
-               RunReport& report) {
+Point run_case(RecoveryScheme scheme, StorageEngineKind engine,
+               int64_t updates, uint64_t seed, RunReport& report) {
   Config cfg;
   cfg.n_sites = 5;
   cfg.n_items = 400;
   cfg.replication_degree = 3;
   cfg.recovery_scheme = scheme;
   cfg.outdated_strategy = OutdatedStrategy::kMissingList;
+  cfg.storage_engine = engine;
   Cluster cluster(cfg, seed);
   cluster.bootstrap();
   cluster.crash_site(2);
@@ -52,14 +55,26 @@ Point run_case(RecoveryScheme scheme, int64_t updates, uint64_t seed,
                  t0;
   p.work_items = scheme == RecoveryScheme::kSpooler ? ms.spool_replayed
                                                     : ms.marked_unreadable;
+  for (const RecoveryEpisode& ep : cluster.episodes().episodes()) {
+    if (ep.site == 2 && ep.reboot_at != kNoTime &&
+        ep.replay_done_at != kNoTime) {
+      p.reboot_replay = ep.replay_done_at - ep.reboot_at;
+      p.replay_records = ep.replay_records;
+    }
+  }
 
   RunReport::Run& run = cluster.report_run(
-      report, std::string(to_string(scheme)) + "_u" + std::to_string(updates));
+      report, std::string(to_string(scheme)) + "_" + to_string(engine) +
+                  "_u" + std::to_string(updates));
   run.scalars.emplace_back("updates_missed", static_cast<double>(updates));
   run.scalars.emplace_back("to_operational_us",
                            static_cast<double>(p.to_operational));
   run.scalars.emplace_back("to_current_us", static_cast<double>(p.to_current));
   run.scalars.emplace_back("work_items", static_cast<double>(p.work_items));
+  run.scalars.emplace_back("reboot_replay_us",
+                           static_cast<double>(p.reboot_replay));
+  run.scalars.emplace_back("replay_records",
+                           static_cast<double>(p.replay_records));
   cluster.add_perf_scalars(run);
   return p;
 }
@@ -70,29 +85,41 @@ int main() {
   std::printf("E2: recovery latency vs outage update volume, 5 sites,\n"
               "400 items, degree 3, missing-list identification.\n");
   RunReport report("recovery_latency");
-  TablePrinter table("Table 2: time to resume operation after recovery");
-  table.set_header({"updates missed", "scheme", "work items",
-                    "t operational", "t fully current"});
-  SeriesPrinter fig("Figure 1: time-to-operational (us) vs missed updates",
-                    {"updates", "session_vector_us", "spooler_us"});
-  for (int64_t updates : {25, 100, 400, 1000, 2000}) {
-    const Point sv =
-        run_case(RecoveryScheme::kSessionVector, updates, 42, report);
-    const Point sp = run_case(RecoveryScheme::kSpooler, updates, 42, report);
-    table.add_row({TablePrinter::integer(updates), "session-vector",
-                   TablePrinter::integer(static_cast<int64_t>(sv.work_items)),
-                   TablePrinter::ms(static_cast<double>(sv.to_operational)),
-                   TablePrinter::ms(static_cast<double>(sv.to_current))});
-    table.add_row({TablePrinter::integer(updates), "spooler-redo",
-                   TablePrinter::integer(static_cast<int64_t>(sp.work_items)),
-                   TablePrinter::ms(static_cast<double>(sp.to_operational)),
-                   TablePrinter::ms(static_cast<double>(sp.to_current))});
-    fig.add_point({static_cast<double>(updates),
-                   static_cast<double>(sv.to_operational),
-                   static_cast<double>(sp.to_operational)});
+  for (StorageEngineKind engine :
+       {StorageEngineKind::kInMemory, StorageEngineKind::kDurable}) {
+    TablePrinter table(
+        std::string("Table 2: time to resume operation after recovery (") +
+        to_string(engine) + " storage)");
+    table.set_header({"updates missed", "scheme", "work items",
+                      "t operational", "t fully current", "reboot replay"});
+    SeriesPrinter fig(
+        std::string("Figure 1: time-to-operational (us) vs missed updates, ") +
+            to_string(engine) + " storage",
+        {"updates", "session_vector_us", "spooler_us"});
+    for (int64_t updates : {25, 100, 400, 1000, 2000}) {
+      const Point sv = run_case(RecoveryScheme::kSessionVector, engine,
+                                updates, 42, report);
+      const Point sp =
+          run_case(RecoveryScheme::kSpooler, engine, updates, 42, report);
+      table.add_row(
+          {TablePrinter::integer(updates), "session-vector",
+           TablePrinter::integer(static_cast<int64_t>(sv.work_items)),
+           TablePrinter::ms(static_cast<double>(sv.to_operational)),
+           TablePrinter::ms(static_cast<double>(sv.to_current)),
+           TablePrinter::ms(static_cast<double>(sv.reboot_replay))});
+      table.add_row(
+          {TablePrinter::integer(updates), "spooler-redo",
+           TablePrinter::integer(static_cast<int64_t>(sp.work_items)),
+           TablePrinter::ms(static_cast<double>(sp.to_operational)),
+           TablePrinter::ms(static_cast<double>(sp.to_current)),
+           TablePrinter::ms(static_cast<double>(sp.reboot_replay))});
+      fig.add_point({static_cast<double>(updates),
+                     static_cast<double>(sv.to_operational),
+                     static_cast<double>(sp.to_operational)});
+    }
+    table.print();
+    fig.print();
   }
-  table.print();
-  fig.print();
   report.write();
   std::printf(
       "\nExpected shape: the session-vector site is operational after a\n"

@@ -1,5 +1,7 @@
 #include "baselines/spooler.h"
 
+#include "storage/storage_sink.h"
+
 namespace ddbs {
 
 void SpoolTable::add(SiteId for_site, const SpoolRecord& rec) {
@@ -7,6 +9,7 @@ void SpoolTable::add(SiteId for_site, const SpoolRecord& rec) {
   auto it = per_item.find(rec.item);
   if (it == per_item.end() || it->second.version < rec.version) {
     per_item[rec.item] = rec;
+    if (sink_ != nullptr) sink_->on_spool_add(for_site, rec);
   }
 }
 
@@ -19,7 +22,9 @@ std::vector<SpoolRecord> SpoolTable::records_for(SiteId site) const {
   return out;
 }
 
-void SpoolTable::trim(SiteId site) { spool_.erase(site); }
+void SpoolTable::trim(SiteId site) {
+  if (spool_.erase(site) > 0 && sink_ != nullptr) sink_->on_spool_trim(site);
+}
 
 size_t SpoolTable::total_records() const {
   size_t n = 0;

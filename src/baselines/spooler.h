@@ -18,6 +18,8 @@
 
 namespace ddbs {
 
+class StorageSink;
+
 class SpoolTable {
  public:
   // Keep rec if it is newer than what is already spooled for (site, item).
@@ -30,8 +32,15 @@ class SpoolTable {
   size_t total_records() const;
   size_t records_count_for(SiteId site) const;
 
+  // Mutation observer (durable engine); null = no notifications.
+  void set_sink(StorageSink* sink) { sink_ = sink; }
+  // Drop everything (durable-engine crash discards the RAM image). Not a
+  // sink-visible mutation.
+  void wipe() { spool_.clear(); }
+
  private:
   std::map<SiteId, std::map<ItemId, SpoolRecord>> spool_;
+  StorageSink* sink_ = nullptr;
 };
 
 } // namespace ddbs

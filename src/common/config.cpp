@@ -44,6 +44,14 @@ const char* to_string(UnreadablePolicy p) {
   return "?";
 }
 
+const char* to_string(StorageEngineKind k) {
+  switch (k) {
+    case StorageEngineKind::kInMemory: return "in-memory";
+    case StorageEngineKind::kDurable: return "durable";
+  }
+  return "?";
+}
+
 const char* to_string(PlantedBug b) {
   switch (b) {
     case PlantedBug::kNone: return "none";
@@ -94,6 +102,11 @@ bool parse_copier_mode(std::string_view name, CopierMode* out) {
 bool parse_unreadable_policy(std::string_view name, UnreadablePolicy* out) {
   return parse_enum(name, out,
                     {UnreadablePolicy::kBlock, UnreadablePolicy::kRedirect});
+}
+
+bool parse_storage_engine(std::string_view name, StorageEngineKind* out) {
+  return parse_enum(name, out,
+                    {StorageEngineKind::kInMemory, StorageEngineKind::kDurable});
 }
 
 bool parse_planted_bug(std::string_view name, PlantedBug* out) {

@@ -44,6 +44,12 @@ enum class UnreadablePolicy : uint8_t {
   kRedirect, // DM rejects; the TM retries at another readable copy
 };
 
+// Which stable-storage implementation backs a site (src/storage/durable/).
+enum class StorageEngineKind : uint8_t {
+  kInMemory, // legacy instantaneous stable storage: zero disk events
+  kDurable,  // checkpoint + redo-log engine over the simulated disk
+};
+
 // Deliberate protocol mutations for self-validating the adversarial
 // explorer (tools/ddbs_explore --planted-bug): each drops one safety
 // mechanism the paper's correctness argument depends on, and the explorer
@@ -63,6 +69,7 @@ const char* to_string(RecoveryScheme s);
 const char* to_string(OutdatedStrategy s);
 const char* to_string(CopierMode m);
 const char* to_string(UnreadablePolicy p);
+const char* to_string(StorageEngineKind k);
 const char* to_string(PlantedBug b);
 
 // Inverse of the to_string pairs above, for parsing CLI flags and repro
@@ -73,6 +80,7 @@ bool parse_recovery_scheme(std::string_view name, RecoveryScheme* out);
 bool parse_outdated_strategy(std::string_view name, OutdatedStrategy* out);
 bool parse_copier_mode(std::string_view name, CopierMode* out);
 bool parse_unreadable_policy(std::string_view name, UnreadablePolicy* out);
+bool parse_storage_engine(std::string_view name, StorageEngineKind* out);
 bool parse_planted_bug(std::string_view name, PlantedBug* out);
 
 struct Config {
@@ -160,6 +168,22 @@ struct Config {
   // WAL checkpointing: truncate resolved records when the log exceeds
   // this many records (0 disables).
   size_t wal_checkpoint_threshold = 256;
+
+  // Stable-storage backend. kInMemory keeps the legacy instantaneous
+  // stable image (reboot costs ~zero events); kDurable routes every
+  // stable mutation through a redo log + fuzzy checkpoints on the
+  // simulated disk, and reboot becomes load-checkpoint + replay-suffix.
+  StorageEngineKind storage_engine = StorageEngineKind::kInMemory;
+  // Durable engine: snapshot a checkpoint once this many redo records
+  // have accumulated since the last one (0 = never; reboot then replays
+  // the entire log).
+  int64_t checkpoint_interval = 2048;
+  // Simulated disk device, one per site: each op costs a fixed seek
+  // latency plus transfer time at `disk_bandwidth_mbps` (1 MB/s == 1
+  // byte/us), with up to `disk_queue_depth` ops in service concurrently.
+  SimTime disk_latency_us = 100;
+  int64_t disk_bandwidth_mbps = 200;
+  int disk_queue_depth = 4;
 
   // Local processing cost per physical operation (microseconds).
   SimTime local_op_cost = 50;

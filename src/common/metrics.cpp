@@ -225,10 +225,25 @@ MetricIds Metrics::register_all() {
   m.site_recovers = c("site.recovers");
   m.site_false_declaration_restart = c("site.false_declaration_restart");
 
+  m.disk_reads = c("disk.reads");
+  m.disk_writes = c("disk.writes");
+  m.disk_read_bytes = c("disk.read_bytes");
+  m.disk_write_bytes = c("disk.write_bytes");
+  m.storage_checkpoints = c("storage.checkpoints");
+  m.storage_checkpoint_dropped = c("storage.checkpoint_dropped");
+  m.storage_log_records = c("storage.log_records");
+  m.storage_log_truncated = c("storage.log_truncated");
+  m.rec_replay_batches = c("rec.replay_batches");
+  m.rec_refresh_skipped = c("rec.refresh_skipped");
+
   m.h_commit_latency_us = h("txn.commit_latency_us");
   m.h_lock_wait_us = h("dm.lock_wait_us");
   m.h_rec_reboot_to_up_us = h("rm.reboot_to_up_us");
   m.h_rec_up_to_current_us = h("rm.up_to_current_us");
+  m.h_disk_read_us = h("disk.read_us");
+  m.h_disk_write_us = h("disk.write_us");
+  m.h_rec_replay_records = h("rec.replay_records");
+  m.h_rec_replay_us = h("rec.replay_us");
   return m;
 }
 

@@ -195,11 +195,20 @@ struct MetricIds {
   // site lifecycle
   CounterHandle site_crashes, site_recovers, site_false_declaration_restart;
 
+  // simulated disk device + durable storage engine
+  CounterHandle disk_reads, disk_writes, disk_read_bytes, disk_write_bytes;
+  CounterHandle storage_checkpoints, storage_checkpoint_dropped,
+      storage_log_records, storage_log_truncated;
+  CounterHandle rec_replay_batches, rec_refresh_skipped;
+
   // latency histograms (log-bucketed, merged bucket-wise at report time)
   HistHandle h_commit_latency_us;   // user txn start -> commit
   HistHandle h_lock_wait_us;        // contended lock acquisitions only
   HistHandle h_rec_reboot_to_up_us; // recovery: reboot -> nominally up
   HistHandle h_rec_up_to_current_us; // recovery: nominally up -> current
+  HistHandle h_disk_read_us, h_disk_write_us; // queue wait + service
+  HistHandle h_rec_replay_records; // redo records replayed per reboot
+  HistHandle h_rec_replay_us;      // reboot replay phase duration
 };
 
 class Metrics {

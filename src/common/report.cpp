@@ -155,6 +155,11 @@ void write_config(JsonWriter& w, const Config& cfg) {
   w.kv("detector_jitter", cfg.detector_jitter);
   w.kv("reconcile_probes", cfg.reconcile_probes);
   w.kv("wal_checkpoint_threshold", cfg.wal_checkpoint_threshold);
+  w.kv("storage_engine", to_string(cfg.storage_engine));
+  w.kv("checkpoint_interval", cfg.checkpoint_interval);
+  w.kv("disk_latency_us", cfg.disk_latency_us);
+  w.kv("disk_bandwidth_mbps", cfg.disk_bandwidth_mbps);
+  w.kv("disk_queue_depth", cfg.disk_queue_depth);
   w.kv("local_op_cost", cfg.local_op_cost);
   w.kv("trace_capacity", static_cast<uint64_t>(cfg.trace_capacity));
   w.kv("span_capacity", static_cast<uint64_t>(cfg.span_capacity));
@@ -210,6 +215,8 @@ void write_episode(JsonWriter& w, const RecoveryEpisode& e) {
   w.time_or_null(e.type2_commit_at);
   w.key("reboot_at");
   w.time_or_null(e.reboot_at);
+  w.key("replay_done_at");
+  w.time_or_null(e.replay_done_at);
   w.key("nominally_up_at");
   w.time_or_null(e.nominally_up_at);
   w.key("fully_current_at");
@@ -224,8 +231,10 @@ void write_episode(JsonWriter& w, const RecoveryEpisode& e) {
     }
   };
   dur("declared_to_type2_us", e.declared_down_at, e.type2_commit_at);
+  dur("reboot_replay_us", e.reboot_at, e.replay_done_at);
   dur("reboot_to_nominally_up_us", e.reboot_at, e.nominally_up_at);
   dur("nominally_up_to_current_us", e.nominally_up_at, e.fully_current_at);
+  w.kv("replay_records", e.replay_records);
   w.kv("type1_attempts", e.type1_attempts);
   w.kv("type2_rounds", e.type2_rounds);
   w.kv("session", e.session);

@@ -102,9 +102,12 @@ struct RecoveryEpisode {
   SimTime crash_at = kNoTime;
   SimTime declared_down_at = kNoTime; // first type-2 declaration observed
   SimTime type2_commit_at = kNoTime;  // type-2 excluding this site committed
-  SimTime reboot_at = kNoTime;        // recovery procedure began
+  SimTime reboot_at = kNoTime;        // site powered on
+  SimTime replay_done_at = kNoTime;   // storage reboot replay finished
+                                      // (kNoTime: instantaneous engine)
   SimTime nominally_up_at = kNoTime;  // type-1 control txn committed
   SimTime fully_current_at = kNoTime; // last unreadable copy refreshed
+  int64_t replay_records = 0;         // redo records replayed at reboot
   int64_t type1_attempts = 0;
   int64_t type2_rounds = 0;
   int64_t session = 0;            // session number granted by the type-1

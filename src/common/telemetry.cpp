@@ -95,6 +95,14 @@ void TelemetryStream::tick(SimTime at) {
     w.kv("type1_attempts",
          static_cast<int64_t>(site.rm().milestones().type1_attempts));
     w.kv("rpc_pending", static_cast<uint64_t>(site.rpc().pending_count()));
+    // Storage-reboot progress (always zero under the in-memory engine and
+    // outside the replay window, so the field set stays schema-stable).
+    const StorageEngine& eng = site.storage_engine();
+    if (eng.replaying()) {
+      w.kv("replaying", true);
+      w.kv("replay_done", eng.replay_done());
+      w.kv("replay_total", eng.replay_total());
+    }
     w.end_object();
   }
   w.end_array();

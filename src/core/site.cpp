@@ -17,6 +17,14 @@ Site::Site(SiteId id, const Config& cfg, Scheduler& sched, Network& net,
       metrics_(metrics),
       tracer_(tracer),
       rpc_(id, net, sched) {
+  if (cfg_.storage_engine == StorageEngineKind::kDurable) {
+    disk_ = std::make_unique<DiskModel>(sched_, cfg_, metrics_);
+    engine_ = std::make_unique<DurableEngine>(id_, cfg_, sched_, *disk_,
+                                              stable_, metrics_, tracer);
+  } else {
+    engine_ = std::make_unique<InMemoryEngine>();
+  }
+  stable_.set_engine(engine_.get());
   rpc_.set_span_log(spans);
   CoordinatorEnv env;
   env.self = id_;
@@ -99,6 +107,10 @@ void Site::crash() {
   tm_->crash();
   dm_->crash();
   rm_->on_crash();
+  // Last, after every component finished its teardown mutations: the
+  // durable engine discards the RAM image of stable state here (the
+  // in-memory engine keeps it, as the legacy model always did).
+  engine_->on_crash();
   state_.mode = SiteMode::kDown;
   state_.session = 0;
 }
@@ -108,11 +120,19 @@ void Site::recover() {
   DDBS_INFO << "site " << id_ << " powering up at " << sched_.now();
   metrics_.inc(metrics_.id.site_recovers);
   Tracer::emit(tracer_, TraceKind::kSiteRecover, id_);
-  net_.set_alive(id_, true);
   state_.mode = SiteMode::kRecovering;
   state_.session = 0; // as[k] = 0: control transactions only (step 1)
-  dm_->boot();
-  rm_->begin_recovery();
+  // The storage engine rebuilds the stable image first (checkpoint load +
+  // redo replay under the durable engine; inline under in-memory). The
+  // site stays network-dark until the image is consistent -- a rebooting
+  // machine answers no queries, and in particular must not answer an
+  // OutcomeQuery from a half-rebuilt outcome table.
+  engine_->reboot([this]() {
+    if (state_.mode != SiteMode::kRecovering) return; // crashed mid-replay
+    net_.set_alive(id_, true);
+    dm_->boot();
+    rm_->begin_recovery();
+  });
 }
 
 } // namespace ddbs

@@ -13,6 +13,8 @@
 #include "recovery/recovery_manager.h"
 #include "replication/catalog.h"
 #include "replication/session.h"
+#include "sim/disk_model.h"
+#include "storage/durable/durable_engine.h"
 #include "storage/stable_storage.h"
 #include "txn/data_manager.h"
 #include "txn/transaction_manager.h"
@@ -46,6 +48,8 @@ class Site {
   const SiteState& state() const { return state_; }
   StableStorage& stable() { return stable_; }
   const StableStorage& stable() const { return stable_; }
+  StorageEngine& storage_engine() { return *engine_; }
+  const StorageEngine& storage_engine() const { return *engine_; }
   DataManager& dm() { return *dm_; }
   TransactionManager& tm() { return *tm_; }
   RecoveryManager& rm() { return *rm_; }
@@ -63,6 +67,10 @@ class Site {
 
   SiteState state_;
   StableStorage stable_;
+  // Device + engine must outlive stable_'s users and are per-site, so the
+  // parallel backend's per-shard schedulers drive them transparently.
+  std::unique_ptr<DiskModel> disk_;
+  std::unique_ptr<StorageEngine> engine_;
   RpcEndpoint rpc_;
   std::unique_ptr<DataManager> dm_;
   std::unique_ptr<TransactionManager> tm_;

@@ -51,6 +51,14 @@ bool parse_config(const json::JsonValue& v, Config* out, std::string* error) {
   c.wal_checkpoint_threshold = static_cast<size_t>(v.num_or(
       "wal_checkpoint_threshold",
       static_cast<double>(c.wal_checkpoint_threshold)));
+  c.checkpoint_interval = static_cast<int64_t>(v.num_or(
+      "checkpoint_interval", static_cast<double>(c.checkpoint_interval)));
+  c.disk_latency_us = static_cast<SimTime>(
+      v.num_or("disk_latency_us", static_cast<double>(c.disk_latency_us)));
+  c.disk_bandwidth_mbps = static_cast<int64_t>(v.num_or(
+      "disk_bandwidth_mbps", static_cast<double>(c.disk_bandwidth_mbps)));
+  c.disk_queue_depth = static_cast<int>(
+      v.num_or("disk_queue_depth", c.disk_queue_depth));
   c.local_op_cost = static_cast<SimTime>(
       v.num_or("local_op_cost", static_cast<double>(c.local_op_cost)));
   c.trace_capacity = static_cast<size_t>(
@@ -85,6 +93,10 @@ bool parse_config(const json::JsonValue& v, Config* out, std::string* error) {
       {"unreadable_policy",
        [](std::string_view s, Config* cc) {
          return parse_unreadable_policy(s, &cc->unreadable_policy);
+       }},
+      {"storage_engine",
+       [](std::string_view s, Config* cc) {
+         return parse_storage_engine(s, &cc->storage_engine);
        }},
       {"planted_bug",
        [](std::string_view s, Config* cc) {

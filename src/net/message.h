@@ -216,6 +216,14 @@ struct OutcomeResp {
   std::vector<std::pair<ItemId, uint64_t>> new_counters; // when committed
 };
 
+// A participant that learned the outcome late (cooperative termination or
+// in-doubt replay on reboot) tells the coordinator, so the coordinator can
+// garbage-collect its durable OutcomeRec once every participant has acked.
+struct OutcomeAck {
+  TxnId txn = 0;
+  SiteId from = kInvalidSite;
+};
+
 // ---- failure detector -----------------------------------------------------
 
 struct Ping {};
@@ -253,8 +261,8 @@ using Payload =
     std::variant<ReadReq, ReadResp, WriteReq, WriteResp, BatchReq, BatchResp,
                  StatusReadReq, StatusReadResp, StatusClearReq,
                  StatusClearResp, PrepareReq, PrepareResp, CommitReq, AbortReq,
-                 AckResp, OutcomeQuery, OutcomeResp, Ping, Pong, SpoolFetchReq,
-                 SpoolFetchResp, SpoolTrimReq, DeclaredDown>;
+                 AckResp, OutcomeQuery, OutcomeResp, OutcomeAck, Ping, Pong,
+                 SpoolFetchReq, SpoolFetchResp, SpoolTrimReq, DeclaredDown>;
 
 struct Envelope {
   uint64_t rpc_id = 0;

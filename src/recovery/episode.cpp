@@ -73,6 +73,24 @@ void EpisodeTracker::on_trace(const TraceEvent& e) {
       if (ep.type2_commit_at == kNoTime) ep.type2_commit_at = e.at;
       break;
     }
+    case TraceKind::kSiteRecover: {
+      // Power-on. Under the durable engine this precedes kRecoveryStarted
+      // by the whole storage replay; under the in-memory engine both fire
+      // at the same instant, so reboot_at is unchanged there.
+      if (!in_range(e.site)) return;
+      RecoveryEpisode& ep = open_for(e.site);
+      if (ep.reboot_at == kNoTime) ep.reboot_at = e.at;
+      break;
+    }
+    case TraceKind::kReplayDone: {
+      if (!in_range(e.site) || !has_open_[static_cast<size_t>(e.site)]) return;
+      RecoveryEpisode& ep = open_[static_cast<size_t>(e.site)];
+      if (ep.replay_done_at == kNoTime) {
+        ep.replay_done_at = e.at;
+        ep.replay_records = e.a;
+      }
+      break;
+    }
     case TraceKind::kRecoveryStarted: {
       if (!in_range(e.site)) return;
       RecoveryEpisode& ep = open_for(e.site);

@@ -1,0 +1,38 @@
+#include "sim/disk_model.h"
+
+#include <algorithm>
+
+namespace ddbs {
+
+void DiskModel::submit(Op op, int64_t bytes, std::function<void()> done) {
+  const int64_t b = bytes < 0 ? 0 : bytes;
+  // First-free channel; ties break toward the lowest index, so channel
+  // selection depends only on the submit order (deterministic).
+  size_t best = 0;
+  for (size_t i = 1; i < channel_free_.size(); ++i) {
+    if (channel_free_[i] < channel_free_[best]) best = i;
+  }
+  const SimTime now = sched_.now();
+  const SimTime start = std::max(now, channel_free_[best]);
+  const SimTime complete = start + service_time(b);
+  channel_free_[best] = complete;
+  const SimTime total = complete - now;
+
+  if (op == Op::kRead) {
+    metrics_.inc(metrics_.id.disk_reads);
+    metrics_.inc(metrics_.id.disk_read_bytes, b);
+    metrics_.hist(metrics_.id.h_disk_read_us).add(static_cast<double>(total));
+  } else {
+    metrics_.inc(metrics_.id.disk_writes);
+    metrics_.inc(metrics_.id.disk_write_bytes, b);
+    metrics_.hist(metrics_.id.h_disk_write_us).add(static_cast<double>(total));
+  }
+
+  const uint64_t epoch = epoch_;
+  sched_.after(total, [this, epoch, done = std::move(done)]() {
+    if (epoch != epoch_) return; // controller reset while in flight
+    done();
+  });
+}
+
+} // namespace ddbs

@@ -1,0 +1,69 @@
+// Deterministic simulated disk device, one per site.
+//
+// Each operation costs a fixed per-op latency (seek + controller) plus
+// transfer time at `disk_bandwidth_mbps` (1 MB/s == 1 byte/us), and up to
+// `disk_queue_depth` operations are in service concurrently; excess ops
+// queue behind the earliest-free channel. Completions are ordinary DES
+// events minted through Scheduler::after() in the caller's ambient
+// context, so I/O issued from a site's execution context lands in that
+// site's event lane -- the DES <-> ParallelCluster byte-identity contract
+// (sim/scheduler.h) holds without any disk-specific plumbing.
+//
+// reset() models the device controller dying with the host: every
+// in-flight completion is invalidated (epoch guard) and the channels go
+// idle. What the *medium* retains across a reset is the storage engine's
+// business, not the device's.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "sim/scheduler.h"
+
+namespace ddbs {
+
+class DiskModel {
+ public:
+  enum class Op : uint8_t { kRead, kWrite };
+
+  DiskModel(Scheduler& sched, const Config& cfg, Metrics& metrics)
+      : sched_(sched),
+        metrics_(metrics),
+        latency_us_(cfg.disk_latency_us < 0 ? 0 : cfg.disk_latency_us),
+        bandwidth_mbps_(cfg.disk_bandwidth_mbps),
+        channel_free_(
+            static_cast<size_t>(cfg.disk_queue_depth < 1 ? 1
+                                                         : cfg.disk_queue_depth),
+            0) {}
+
+  // Enqueue one operation; `done` fires when it completes (queue wait +
+  // latency + transfer). The recorded disk.{read,write}_us sample is the
+  // full submit-to-completion time, queue wait included.
+  void submit(Op op, int64_t bytes, std::function<void()> done);
+
+  // Crash: pending completions never fire, channels go idle.
+  void reset() {
+    ++epoch_;
+    std::fill(channel_free_.begin(), channel_free_.end(), 0);
+  }
+
+  SimTime service_time(int64_t bytes) const {
+    const int64_t b = bytes < 0 ? 0 : bytes;
+    const SimTime transfer =
+        bandwidth_mbps_ > 0 ? (b + bandwidth_mbps_ - 1) / bandwidth_mbps_ : 0;
+    return latency_us_ + transfer;
+  }
+
+ private:
+  Scheduler& sched_;
+  Metrics& metrics_;
+  SimTime latency_us_;
+  int64_t bandwidth_mbps_;
+  std::vector<SimTime> channel_free_; // per-channel earliest-idle time
+  uint64_t epoch_ = 0;
+};
+
+} // namespace ddbs

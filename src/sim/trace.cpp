@@ -24,6 +24,7 @@ const char* to_string(TraceKind k) {
     case TraceKind::kCopierStarved: return "copier_starved";
     case TraceKind::kSiteCrash: return "site_crash";
     case TraceKind::kSiteRecover: return "site_recover";
+    case TraceKind::kReplayDone: return "replay_done";
   }
   return "?";
 }

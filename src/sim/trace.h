@@ -37,6 +37,8 @@ enum class TraceKind : uint8_t {
   kCopierStarved, // a = item id, b = escalated delay (us)
   kSiteCrash,     // site failed (fail-stop)
   kSiteRecover,   // site rebooted (not yet operational)
+  kReplayDone,    // storage-engine reboot replay finished;
+                  // a = redo records replayed, b = duration (us)
 };
 
 const char* to_string(TraceKind k);

@@ -1,0 +1,167 @@
+// Checkpoint + redo-log storage engine over the simulated disk.
+//
+// Every stable mutation (KV create/install/mark/clear, WAL append and
+// truncate, 2PC outcome records, spool updates, session-counter advances)
+// arrives through the StorageSink hooks and becomes one redo record. The
+// journal model is *durable at append*: a record is on the medium the
+// moment it is appended, and flush() is the latency model for the write
+// barrier (a group-commit style disk write of the bytes appended since
+// the last barrier), not a correctness gate. This keeps crash semantics
+// simple -- no unflushed-tail loss -- while making every barrier and
+// every reboot pay honest device time.
+//
+// Checkpoints are fuzzy in the operational sense: once
+// `checkpoint_interval` redo records accumulate, the engine snapshots the
+// current RAM image at log position L and writes it to disk in the
+// background while the site keeps running and appending. When the write
+// completes, the log prefix [0, L) is truncated; a crash mid-write simply
+// drops the in-flight checkpoint (storage.checkpoint_dropped) and the
+// previous one stays authoritative.
+//
+// Crash wipes the RAM image (it is a cache of the device). Reboot reads
+// the checkpoint image, installs it, then replays the redo-log suffix in
+// fixed-size batches -- each batch one disk read plus an apply -- before
+// invoking the caller's continuation. The site stays network-dark for the
+// whole replay: a rebooting machine does not answer queries, and in
+// particular cannot answer an OutcomeQuery from a half-rebuilt outcome
+// table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "sim/disk_model.h"
+#include "sim/trace.h"
+#include "storage/stable_storage.h"
+
+namespace ddbs {
+
+class DurableEngine final : public StorageEngine, public StorageSink {
+ public:
+  DurableEngine(SiteId self, const Config& cfg, Scheduler& sched,
+                DiskModel& disk, StableStorage& stable, Metrics& metrics,
+                Tracer* tracer)
+      : self_(self),
+        cfg_(cfg),
+        sched_(sched),
+        disk_(disk),
+        stable_(stable),
+        metrics_(metrics),
+        tracer_(tracer) {}
+
+  // ---- StorageEngine ------------------------------------------------------
+
+  const char* name() const override { return "durable"; }
+  void flush(std::function<void()> done) override;
+  void on_crash() override;
+  void reboot(std::function<void()> done) override;
+  StorageSink* sink() override { return this; }
+  bool replaying() const override { return replaying_; }
+  int64_t replay_done() const override { return replay_done_; }
+  int64_t replay_total() const override { return replay_total_; }
+
+  // ---- StorageSink (mutation journal) -------------------------------------
+
+  void on_kv_create(ItemId item, Value v) override;
+  void on_kv_install(ItemId item, Value v, const Version& ver) override;
+  void on_kv_mark(ItemId item) override;
+  void on_kv_clear_mark(ItemId item) override;
+  void on_wal_append(const WalRecord& rec) override;
+  void on_wal_truncate(size_t dropped) override;
+  void on_outcome(TxnId txn, const OutcomeRec& rec) override;
+  void on_forget_outcome(TxnId txn) override;
+  void on_spool_add(SiteId for_site, const SpoolRecord& rec) override;
+  void on_spool_trim(SiteId for_site) override;
+  void on_session_advance(SessionNum n) override;
+
+  // Introspection for tests.
+  size_t log_size() const { return log_.size(); }
+  bool has_checkpoint() const { return has_ckpt_; }
+  bool checkpoint_in_flight() const { return ckpt_in_flight_; }
+
+ private:
+  // Redo records replayed per disk read at reboot.
+  static constexpr size_t kReplayBatch = 64;
+  // Modeled size floor of any device transfer (one sector).
+  static constexpr int64_t kSectorBytes = 512;
+
+  struct RedoRecord {
+    enum class Kind : uint8_t {
+      kKvCreate,
+      kKvInstall,
+      kKvMark,
+      kKvClearMark,
+      kWalAppend,
+      kWalTruncate,
+      kOutcome,
+      kForgetOutcome,
+      kSpoolAdd,
+      kSpoolTrim,
+      kSession,
+    };
+    Kind kind = Kind::kKvCreate;
+    ItemId item = 0;
+    Value value = 0;
+    Version version;
+    WalRecord wal;       // kWalAppend
+    TxnId txn = 0;       // kOutcome / kForgetOutcome
+    OutcomeRec outcome;  // kOutcome
+    SiteId spool_site = kInvalidSite;
+    SpoolRecord spool;   // kSpoolAdd
+    SessionNum session = 0;
+  };
+
+  // Full image snapshot at one log position; what a checkpoint writes.
+  struct Checkpoint {
+    KvStore kv;
+    std::vector<WalRecord> wal;
+    SpoolTable spool;
+    std::unordered_map<TxnId, OutcomeRec> outcomes;
+    SessionNum session = 0;
+    int64_t bytes = kSectorBytes; // modeled on-disk image size
+  };
+
+  static int64_t bytes_of(const WalRecord& rec);
+  static int64_t bytes_of(const RedoRecord& rec);
+  int64_t image_bytes() const;
+
+  void append(RedoRecord rec);
+  void maybe_checkpoint();
+  void install_image();
+  void apply(const RedoRecord& rec);
+  void replay_batch(size_t idx, std::function<void()> done);
+  void finish_replay(std::function<void()> done);
+
+  SiteId self_;
+  const Config& cfg_;
+  Scheduler& sched_;
+  DiskModel& disk_;
+  StableStorage& stable_;
+  Metrics& metrics_;
+  Tracer* tracer_;
+
+  // The medium: last durable checkpoint + redo suffix appended since.
+  // Both survive on_crash(); only in-flight device work dies.
+  Checkpoint ckpt_;
+  bool has_ckpt_ = false;
+  std::vector<RedoRecord> log_;
+
+  bool suspended_ = false;      // replay/restore in progress: do not journal
+  bool ckpt_in_flight_ = false; // a checkpoint image write is on the device
+  size_t ckpt_cut_ = 0;         // log position the pending checkpoint covers
+  Checkpoint pending_;          // image being written
+  int64_t unflushed_bytes_ = 0; // appended since the last flush barrier
+
+  bool replaying_ = false;
+  int64_t replay_done_ = 0;
+  int64_t replay_total_ = 0;
+  SimTime replay_start_ = 0;
+
+  uint64_t epoch_ = 0; // bumped at crash; in-flight continuations die
+};
+
+} // namespace ddbs

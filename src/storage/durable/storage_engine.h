@@ -1,0 +1,61 @@
+// Stable-storage backend interface. A Site owns exactly one engine and
+// attaches it to its StableStorage facade; the engine decides what
+// "durable" costs:
+//
+//   InMemoryEngine  the legacy model -- every mutation is instantly
+//                   durable, flush()/reboot() complete inline and
+//                   schedule zero events, so default-config runs are
+//                   byte-identical to the pre-engine code.
+//   DurableEngine   (durable_engine.h) journals every mutation to a
+//                   simulated disk, takes fuzzy checkpoints, and rebuilds
+//                   the RAM image at reboot by reading the checkpoint and
+//                   replaying the redo-log suffix as real multi-event
+//                   work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "storage/storage_sink.h"
+
+namespace ddbs {
+
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  virtual const char* name() const = 0;
+
+  // Durability barrier: `done` runs once every mutation observed so far
+  // is on the device. The classic use is gating a participant's yes-vote
+  // on its prepare record being written.
+  virtual void flush(std::function<void()> done) = 0;
+
+  // Fail-stop crash: drop in-flight device work and whatever part of the
+  // RAM image the engine treats as a cache of the device.
+  virtual void on_crash() {}
+
+  // Power-on: rebuild the RAM image; `done` runs when it is consistent
+  // and the site may start talking to the world again.
+  virtual void reboot(std::function<void()> done) = 0;
+
+  // The mutation observer to wire into KvStore/Wal/SpoolTable, or null
+  // when the engine does not watch mutations (in-memory).
+  virtual StorageSink* sink() { return nullptr; }
+
+  // Replay progress of the current reboot, for telemetry. An engine with
+  // instantaneous reboot reports 0/0 and never replays.
+  virtual bool replaying() const { return false; }
+  virtual int64_t replay_done() const { return 0; }
+  virtual int64_t replay_total() const { return 0; }
+};
+
+// Legacy instantaneous stable storage.
+class InMemoryEngine final : public StorageEngine {
+ public:
+  const char* name() const override { return "in-memory"; }
+  void flush(std::function<void()> done) override { done(); }
+  void reboot(std::function<void()> done) override { done(); }
+};
+
+} // namespace ddbs

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "storage/storage_sink.h"
+
 namespace ddbs {
 
 const KvStore::Slot* KvStore::slot_of(ItemId item) const {
@@ -46,6 +48,7 @@ void KvStore::create(ItemId item, Value initial) {
   assert(created && "create() of an existing copy");
   (void)created;
   s.copy = Copy{initial, Version{}, false};
+  if (sink_ != nullptr) sink_->on_kv_create(item, initial);
 }
 
 const Copy* KvStore::find(ItemId item) const {
@@ -60,6 +63,7 @@ void KvStore::install(ItemId item, Value value, Version version) {
   s.copy.value = value;
   s.copy.version = version;
   s.copy.unreadable = false;
+  if (sink_ != nullptr) sink_->on_kv_install(item, value, version);
 }
 
 void KvStore::mark_unreadable(ItemId item) {
@@ -68,6 +72,7 @@ void KvStore::mark_unreadable(ItemId item) {
   if (!s->copy.unreadable) {
     s->copy.unreadable = true;
     ++unreadable_count_;
+    if (sink_ != nullptr) sink_->on_kv_mark(item);
   }
 }
 
@@ -77,7 +82,16 @@ void KvStore::clear_mark(ItemId item) {
   if (s->copy.unreadable) {
     s->copy.unreadable = false;
     --unreadable_count_;
+    if (sink_ != nullptr) sink_->on_kv_clear_mark(item);
   }
+}
+
+void KvStore::wipe() {
+  data_.clear();
+  ns_.clear();
+  other_.clear();
+  size_ = 0;
+  unreadable_count_ = 0;
 }
 
 std::vector<ItemId> KvStore::items() const {

@@ -22,6 +22,8 @@
 
 namespace ddbs {
 
+class StorageSink;
+
 struct Copy {
   Value value = 0;
   Version version;         // tag of the writing transaction
@@ -49,6 +51,12 @@ class KvStore {
   size_t unreadable_count() const { return unreadable_count_; }
   size_t size() const { return size_; }
 
+  // Mutation observer (durable engine); null = no notifications.
+  void set_sink(StorageSink* sink) { sink_ = sink; }
+  // Drop every copy (a durable-engine crash discards the RAM image; the
+  // checkpoint + log rebuild it at reboot). Not a sink-visible mutation.
+  void wipe();
+
  private:
   struct Slot {
     Copy copy;
@@ -65,6 +73,7 @@ class KvStore {
   std::map<ItemId, Slot> other_;    // anything outside the two dense ranges
   size_t size_ = 0;
   size_t unreadable_count_ = 0;
+  StorageSink* sink_ = nullptr;
 };
 
 } // namespace ddbs

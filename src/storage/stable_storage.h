@@ -3,15 +3,25 @@
 // stable storage so that the next time the site recovers, a new session
 // number can be assigned correctly", Section 3.1), plus ownership of the
 // WAL and the stable KV image.
+//
+// A StorageEngine (storage/durable/storage_engine.h) sits behind this
+// facade. The in-memory engine keeps the legacy behavior -- mutations are
+// instantly durable, flush()/reboot() complete inline, zero events. The
+// durable engine observes every mutation through the StorageSink hooks,
+// journals it to the simulated disk, discards the RAM image at crash and
+// rebuilds it at reboot from checkpoint + redo-log replay.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "baselines/spooler.h"
+#include "common/small_vec.h"
 #include "common/types.h"
+#include "storage/durable/storage_engine.h"
 #include "storage/kv_store.h"
 #include "storage/wal.h"
 
@@ -24,13 +34,21 @@ namespace ddbs {
 struct OutcomeRec {
   bool committed = false;
   std::vector<std::pair<ItemId, uint64_t>> new_counters; // committed only
+  // Participants that have not yet durably acknowledged applying this
+  // outcome (coordinator records only). The record may be forgotten once
+  // this empties -- no participant can still be in doubt about the txn.
+  SiteVec unacked;
 };
 
 class StableStorage {
  public:
   // Allocates the next session number (monotonic within this site's
   // history) and durably advances the counter.
-  SessionNum next_session_number() { return ++session_counter_; }
+  SessionNum next_session_number() {
+    ++session_counter_;
+    if (sink_ != nullptr) sink_->on_session_advance(session_counter_);
+    return session_counter_;
+  }
   SessionNum last_session_number() const { return session_counter_; }
 
   KvStore& kv() { return kv_; }
@@ -40,14 +58,85 @@ class StableStorage {
   SpoolTable& spool() { return spool_; }
 
   void record_outcome(TxnId txn, OutcomeRec rec) {
-    outcomes_[txn] = std::move(rec);
+    OutcomeRec& slot = outcomes_[txn];
+    slot = std::move(rec);
+    if (sink_ != nullptr) sink_->on_outcome(txn, slot);
   }
   const OutcomeRec* find_outcome(TxnId txn) const {
     auto it = outcomes_.find(txn);
     return it == outcomes_.end() ? nullptr : &it->second;
   }
-  void forget_outcome(TxnId txn) { outcomes_.erase(txn); }
+  void forget_outcome(TxnId txn) {
+    if (outcomes_.erase(txn) > 0 && sink_ != nullptr) {
+      sink_->on_forget_outcome(txn);
+    }
+  }
   size_t outcome_count() const { return outcomes_.size(); }
+
+  // Drop `from` from the record's unacked set; forgets the record once
+  // every participant has acknowledged (outcome-GC, the bound on
+  // outcomes_ growth). Returns true if a record was found.
+  bool ack_outcome(TxnId txn, SiteId from) {
+    auto it = outcomes_.find(txn);
+    if (it == outcomes_.end()) return false;
+    SiteVec& unacked = it->second.unacked;
+    for (size_t i = 0; i < unacked.size(); ++i) {
+      if (unacked[i] == from) {
+        for (size_t j = i + 1; j < unacked.size(); ++j) {
+          unacked[j - 1] = unacked[j];
+        }
+        unacked.pop_back();
+        if (sink_ != nullptr) sink_->on_outcome(txn, it->second);
+        break;
+      }
+    }
+    if (unacked.empty()) forget_outcome(txn);
+    return true;
+  }
+
+  // ---- storage engine plumbing -------------------------------------------
+
+  // Attach the backing engine (owned by the Site) and wire its mutation
+  // sink into every component. Call once, before any mutation.
+  void set_engine(StorageEngine* engine) {
+    engine_ = engine;
+    sink_ = engine == nullptr ? nullptr : engine->sink();
+    kv_.set_sink(sink_);
+    wal_.set_sink(sink_);
+    spool_.set_sink(sink_);
+  }
+  StorageEngine* engine() { return engine_; }
+  const StorageEngine* engine() const { return engine_; }
+
+  // Durability barrier: `done` runs once everything appended so far is on
+  // the device. Inline (and free) under the in-memory engine.
+  void flush(std::function<void()> done) {
+    if (engine_ != nullptr) {
+      engine_->flush(std::move(done));
+    } else {
+      done();
+    }
+  }
+
+  // ---- durable-engine crash/restore hooks --------------------------------
+
+  // Discard the whole RAM image (crash under the durable engine: the RAM
+  // copy of stable state is a cache of the device, not the truth).
+  void wipe_image() {
+    kv_.wipe();
+    wal_.wipe();
+    spool_.wipe();
+    outcomes_.clear();
+    session_counter_ = 0;
+  }
+  // Checkpoint restore: overwrite image pieces wholesale (no sink echo).
+  void restore_session_counter(SessionNum n) { session_counter_ = n; }
+  void restore_outcomes(std::unordered_map<TxnId, OutcomeRec> outcomes) {
+    outcomes_ = std::move(outcomes);
+  }
+  const std::unordered_map<TxnId, OutcomeRec>& outcomes() const {
+    return outcomes_;
+  }
 
  private:
   SessionNum session_counter_ = 0;
@@ -55,6 +144,8 @@ class StableStorage {
   Wal wal_;
   SpoolTable spool_;
   std::unordered_map<TxnId, OutcomeRec> outcomes_;
+  StorageEngine* engine_ = nullptr;
+  StorageSink* sink_ = nullptr;
 };
 
 } // namespace ddbs

@@ -1,0 +1,42 @@
+// Observer interface over every stable-storage mutation of one site.
+//
+// KvStore / Wal / SpoolTable / StableStorage call the matching hook right
+// after applying each mutation; the durable storage engine
+// (storage/durable/) implements the interface and turns the stream into
+// redo-log records. All hooks default to no-ops and the sink pointer is
+// null under the in-memory engine, so the legacy path pays one null check
+// per mutation and schedules zero events.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace ddbs {
+
+struct WalRecord;
+struct OutcomeRec;
+struct SpoolRecord;
+
+class StorageSink {
+ public:
+  virtual ~StorageSink() = default;
+
+  virtual void on_kv_create(ItemId, Value) {}
+  virtual void on_kv_install(ItemId, Value, const Version&) {}
+  virtual void on_kv_mark(ItemId) {}
+  virtual void on_kv_clear_mark(ItemId) {}
+
+  virtual void on_wal_append(const WalRecord&) {}
+  virtual void on_wal_truncate(size_t /*dropped*/) {}
+
+  virtual void on_outcome(TxnId, const OutcomeRec&) {}
+  virtual void on_forget_outcome(TxnId) {}
+
+  virtual void on_spool_add(SiteId, const SpoolRecord&) {}
+  virtual void on_spool_trim(SiteId) {}
+
+  virtual void on_session_advance(SessionNum) {}
+};
+
+} // namespace ddbs

@@ -1,37 +1,61 @@
 #include "storage/wal.h"
 
-#include <unordered_set>
+#include <algorithm>
+
+#include "storage/storage_sink.h"
 
 namespace ddbs {
 
-void Wal::append(WalRecord rec) { records_.push_back(std::move(rec)); }
+void Wal::append(WalRecord rec) {
+  if (rec.kind == WalRecord::Kind::kPrepare) {
+    open_prepares_.emplace(rec.txn, static_cast<uint32_t>(records_.size()));
+  } else {
+    open_prepares_.erase(rec.txn);
+  }
+  records_.push_back(std::move(rec));
+  if (sink_ != nullptr) sink_->on_wal_append(records_.back());
+}
 
 std::vector<WalRecord> Wal::in_doubt() const {
-  std::unordered_set<TxnId> resolved;
-  for (const auto& r : records_) {
-    if (r.kind != WalRecord::Kind::kPrepare) resolved.insert(r.txn);
-  }
+  std::vector<uint32_t> live;
+  live.reserve(open_prepares_.size());
+  for (const auto& [txn, idx] : open_prepares_) live.push_back(idx);
+  std::sort(live.begin(), live.end()); // log order
   std::vector<WalRecord> out;
-  for (const auto& r : records_) {
-    if (r.kind == WalRecord::Kind::kPrepare && !resolved.count(r.txn)) {
-      out.push_back(r);
-    }
-  }
+  out.reserve(live.size());
+  for (uint32_t idx : live) out.push_back(records_[idx]);
   return out;
 }
 
 void Wal::truncate_resolved() {
-  std::unordered_set<TxnId> resolved;
-  for (const auto& r : records_) {
-    if (r.kind != WalRecord::Kind::kPrepare) resolved.insert(r.txn);
-  }
+  if (open_prepares_.size() == records_.size()) return; // nothing resolved
+  std::vector<uint32_t> live;
+  live.reserve(open_prepares_.size());
+  for (const auto& [txn, idx] : open_prepares_) live.push_back(idx);
+  std::sort(live.begin(), live.end());
   std::vector<WalRecord> keep;
-  for (auto& r : records_) {
-    if (r.kind == WalRecord::Kind::kPrepare && !resolved.count(r.txn)) {
-      keep.push_back(std::move(r));
+  keep.reserve(live.size());
+  for (uint32_t idx : live) keep.push_back(std::move(records_[idx]));
+  const size_t dropped = records_.size() - keep.size();
+  records_ = std::move(keep);
+  open_prepares_.clear();
+  for (uint32_t i = 0; i < records_.size(); ++i) {
+    open_prepares_.emplace(records_[i].txn, i);
+  }
+  if (sink_ != nullptr && dropped > 0) sink_->on_wal_truncate(dropped);
+}
+
+void Wal::restore(std::vector<WalRecord> records) {
+  records_ = std::move(records);
+  open_prepares_.clear();
+  for (uint32_t i = 0; i < records_.size(); ++i) {
+    const WalRecord& r = records_[i];
+    if (r.kind == WalRecord::Kind::kPrepare) {
+      open_prepares_.emplace(r.txn, i);
+    } else {
+      open_prepares_.erase(r.txn);
     }
   }
-  records_ = std::move(keep);
 }
 
 } // namespace ddbs

@@ -4,10 +4,14 @@
 // protocol -- the paper assumes this "transaction resolution" layer exists
 // (Section 1); we build it.
 //
-// The log is an in-memory vector standing in for a durable device: it
-// survives crash() (the DM's volatile state does not). Commit/abort records
-// for resolved transactions let it be checkpointed down to just the live
-// prefix.
+// The log is an in-memory vector standing in for a durable device (the
+// durable storage engine journals it for real through the StorageSink
+// hooks). Commit/abort records for resolved transactions let it be
+// checkpointed down to just the live prefix.
+//
+// An open-prepare index (txn -> log position of the unresolved kPrepare
+// record) is maintained on append, so in_doubt() and truncate_resolved()
+// cost O(live prepares), not O(log); the full log is never rescanned.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +22,8 @@
 #include "common/types.h"
 
 namespace ddbs {
+
+class StorageSink;
 
 struct WalWrite {
   ItemId item = 0;
@@ -49,8 +55,20 @@ class Wal {
   size_t size() const { return records_.size(); }
   const std::vector<WalRecord>& records() const { return records_; }
 
+  // Mutation observer (durable engine); null = no notifications.
+  void set_sink(StorageSink* sink) { sink_ = sink; }
+  // Replace the whole log (durable-engine checkpoint restore). Rebuilds
+  // the open-prepare index; not a sink-visible mutation.
+  void restore(std::vector<WalRecord> records);
+  void wipe() { restore({}); }
+
  private:
   std::vector<WalRecord> records_;
+  // Unresolved kPrepare records: txn -> index into records_. Every
+  // non-prepare append resolves its txn, so this holds exactly the
+  // in-doubt set at all times.
+  std::unordered_map<TxnId, uint32_t> open_prepares_;
+  StorageSink* sink_ = nullptr;
 };
 
 } // namespace ddbs

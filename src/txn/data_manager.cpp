@@ -65,6 +65,8 @@ void DataManager::handle_request(const Envelope& env) {
           on_abort(env);
         } else if constexpr (std::is_same_v<T, OutcomeQuery>) {
           on_outcome_query(env);
+        } else if constexpr (std::is_same_v<T, OutcomeAck>) {
+          on_outcome_ack(env);
         } else if constexpr (std::is_same_v<T, Ping>) {
           on_ping(env);
         } else if constexpr (std::is_same_v<T, SpoolFetchReq>) {
@@ -705,6 +707,7 @@ void DataManager::on_prepare(const Envelope& env) {
     return;
   }
   ctx->participants = req.participants;
+  bool forced_log = false;
   if (!ctx->prepared) {
     ctx->prepared = true;
     if (ctx->activity_timer != 0) {
@@ -723,6 +726,7 @@ void DataManager::on_prepare(const Envelope& env) {
       }
       stable_.wal().append(std::move(rec));
       ctx->logged_prepare = true;
+      forced_log = true;
     }
     arm_termination_timer(req.txn);
   }
@@ -733,6 +737,19 @@ void DataManager::on_prepare(const Envelope& env) {
     const Copy* copy = kv().find(item);
     resp.version_counters.emplace_back(item,
                                        copy ? copy->version.counter : 0);
+  }
+  if (forced_log) {
+    // The yes vote is a promise that the prepare record is on the medium:
+    // force the log before answering. The in-memory engine completes the
+    // flush inline, so this is exactly the old synchronous respond there;
+    // the durable engine charges a group-commit disk write first. Read-only
+    // participants skip the force (nothing was logged).
+    const uint64_t epoch = boot_epoch_;
+    stable_.flush([this, env, resp = std::move(resp), epoch]() mutable {
+      if (epoch != boot_epoch_) return; // crashed while the flush was queued
+      rpc_.respond(env, std::move(resp));
+    });
+    return;
   }
   rpc_.respond(env, std::move(resp));
 }
@@ -806,7 +823,10 @@ void DataManager::apply_commit(
   // participants that logged a prepare (i.e. can be in doubt) need them.
   // Recording for read-only participants would grow stable storage by one
   // entry per read transaction with nobody ever asking.
-  if (ctx.logged_prepare) {
+  // Never clobber an existing record: when this site also coordinated the
+  // transaction, the decision record is already there and carries the
+  // unacked-participant set that drives outcome GC.
+  if (ctx.logged_prepare && stable_.find_outcome(txn) == nullptr) {
     OutcomeRec rec;
     rec.committed = true;
     rec.new_counters = counters;
@@ -833,8 +853,12 @@ void DataManager::install_write(TxnId writer, ItemId item,
       }
       metrics_.inc(metrics_.id.dm_copier_installs);
     } else {
+      // §5 version-number short-circuit: the resident version dominates the
+      // copier's payload, so the refresh write is skipped entirely -- only
+      // the unreadable mark (if any) is cleared.
       if (kv().exists(item)) kv().clear_mark(item);
       metrics_.inc(metrics_.id.dm_copier_skipped_current);
+      metrics_.inc(metrics_.id.rec_refresh_skipped);
     }
     unpark_reads(item);
     return;
@@ -903,7 +927,9 @@ void DataManager::finish_abort(TxnId txn, bool log_abort) {
       stable_.wal().append(WalRecord{WalRecord::Kind::kAbort, txn, ctx.kind,
                                      ctx.coordinator, {}, {}});
     }
-    stable_.record_outcome(txn, OutcomeRec{false, {}});
+    if (stable_.find_outcome(txn) == nullptr) {
+      stable_.record_outcome(txn, OutcomeRec{false, {}});
+    }
   }
   ctxs_.erase(it);
   lm_.release_all(txn);
@@ -966,12 +992,18 @@ void DataManager::run_termination(TxnId txn, size_t participant_idx) {
         if (c == nullptr || !c->prepared) return;
         if (code == Code::kOk && payload != nullptr) {
           const auto& resp = std::get<OutcomeResp>(*payload);
+          // apply_commit/finish_abort erase the ctx; capture the
+          // coordinator first so the late ack can still be addressed.
+          const SiteId coord = c->coordinator;
           if (resp.outcome == Outcome::kCommitted) {
             apply_commit(*c, resp.new_counters);
             metrics_.inc(metrics_.id.dm_termination_committed);
+            send_outcome_ack(txn, coord);
             return;
           }
           if (resp.outcome == Outcome::kAborted) {
+            // Presumed abort: the coordinator keeps no abort record, so
+            // there is nothing to ack.
             finish_abort(txn, /*log_abort=*/true);
             metrics_.inc(metrics_.id.dm_termination_aborted);
             return;
@@ -995,6 +1027,24 @@ void DataManager::on_outcome_query(const Envelope& env) {
     resp.outcome = Outcome::kUnknown;
   }
   rpc_.respond(env, std::move(resp));
+}
+
+void DataManager::on_outcome_ack(const Envelope& env) {
+  const auto& req = std::get<OutcomeAck>(env.payload);
+  stable_.ack_outcome(req.txn, req.from);
+  rpc_.respond(env, AckResp{req.txn, Code::kOk});
+}
+
+void DataManager::send_outcome_ack(TxnId txn, SiteId coordinator) {
+  if (coordinator == self_) {
+    stable_.ack_outcome(txn, self_);
+    return;
+  }
+  if (coordinator == kInvalidSite) return;
+  // Fire-and-forget: a lost ack merely delays the coordinator's outcome GC
+  // (the record stays answerable, which is the safe direction).
+  rpc_.send_request(coordinator, OutcomeAck{txn, self_}, cfg_.rpc_timeout,
+                    [](Code, const Payload*) {});
 }
 
 // ---------------------------------------------------------------------------
@@ -1141,8 +1191,11 @@ void DataManager::resolve_in_doubt(
   stable_.wal().append(WalRecord{WalRecord::Kind::kCommit, rec.txn,
                                  rec.txn_kind, rec.coordinator, {},
                                  new_counters});
-  stable_.record_outcome(rec.txn, OutcomeRec{true, new_counters});
+  if (stable_.find_outcome(rec.txn) == nullptr) {
+    stable_.record_outcome(rec.txn, OutcomeRec{true, new_counters});
+  }
   metrics_.inc(metrics_.id.dm_indoubt_committed);
+  send_outcome_ack(rec.txn, rec.coordinator);
 }
 
 // ---------------------------------------------------------------------------

@@ -164,11 +164,15 @@ class DataManager {
   void on_commit(const Envelope& env);
   void on_abort(const Envelope& env);
   void on_outcome_query(const Envelope& env);
+  void on_outcome_ack(const Envelope& env);
   void on_ping(const Envelope& env);
   void on_spool_fetch(const Envelope& env);
   void on_spool_trim(const Envelope& env);
 
   // ---- helpers ----
+  // Tell the coordinator we durably learned this outcome (so it can erase
+  // us from the decision record's unacked set). Local when we coordinated.
+  void send_outcome_ack(TxnId txn, SiteId coordinator);
   TxnCtx& ctx_of(TxnId txn, TxnKind kind, SiteId coordinator);
   TxnCtx* find_ctx(TxnId txn);
   // Admission: mode + session checks shared by read/write/status ops.

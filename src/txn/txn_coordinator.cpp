@@ -287,6 +287,7 @@ void CoordinatorBase::run_2pc(std::function<void(bool)> k) {
   commit_k_ = std::move(k);
   votes_pending_ = participants_.size();
   any_no_ = false;
+  write_participants_.clear();
   last_2pc_timeouts_.clear();
   PrepareReq req;
   req.txn = txn_;
@@ -301,6 +302,11 @@ void CoordinatorBase::run_2pc(std::function<void(bool)> k) {
           if (code == Code::kOk && payload != nullptr) {
             const auto& resp = std::get<PrepareResp>(*payload);
             yes = resp.vote_yes;
+            if (yes && !resp.version_counters.empty()) {
+              // Voted yes with staged writes: logged a prepare, can be in
+              // doubt, must ack the decision before we may forget it.
+              write_participants_.push_back(p);
+            }
             for (const auto& [item, ctr] : resp.version_counters) {
               auto& slot = max_counters_[item];
               if (ctr > slot) slot = ctr;
@@ -328,10 +334,11 @@ void CoordinatorBase::run_2pc(std::function<void(bool)> k) {
           for (const auto& [item, ctr] : max_counters_) {
             creq.new_counters.emplace_back(item, ctr + 1);
           }
-          stable_.record_outcome(txn_, OutcomeRec{true, creq.new_counters});
+          OutcomeRec decision{true, creq.new_counters};
+          for (SiteId q : write_participants_) decision.unacked.push_back(q);
+          stable_.record_outcome(txn_, std::move(decision));
           if (recorder_) recorder_->commit(txn_, sched_.now());
           acks_pending_ = participants_.size();
-          all_acks_ok_ = true;
           for (SiteId q : participants_) {
             send_request(
                 q, creq, cfg_.rpc_timeout,
@@ -341,16 +348,18 @@ void CoordinatorBase::run_2pc(std::function<void(bool)> k) {
                     const auto& ack = std::get<AckResp>(*apayload);
                     ok = ack.code == Code::kOk;
                   }
-                  if (!ok) all_acks_ok_ = false;
+                  // A positive ack means the participant durably applied
+                  // the outcome; erase it from the decision record's
+                  // unacked set. The record is forgotten when the set
+                  // empties. Missing acks (crash, timeout) keep the record
+                  // answerable for the eventual OutcomeQuery/OutcomeAck.
+                  if (ok) stable_.ack_outcome(txn_, q);
                   if (q == self_) {
                     // Local apply done: the caller may proceed.
                     auto cb = std::move(commit_k_);
                     if (cb) cb(true);
                   }
-                  if (--acks_pending_ == 0) {
-                    if (all_acks_ok_) stable_.forget_outcome(txn_);
-                    retire_later();
-                  }
+                  if (--acks_pending_ == 0) retire_later();
                 });
           }
           if (participants_.count(self_) == 0) {

@@ -223,8 +223,11 @@ class CoordinatorBase {
   size_t votes_pending_ = 0;
   bool any_no_ = false;
   std::map<ItemId, uint64_t> max_counters_;
+  // Participants that reported staged writes in their yes vote: exactly the
+  // sites that can later be in doubt, i.e. the unacked set of the durable
+  // decision record (outcome GC erases them as their acks arrive).
+  std::vector<SiteId> write_participants_;
   size_t acks_pending_ = 0;
-  bool all_acks_ok_ = true;
   std::function<void(bool)> commit_k_;
 };
 

@@ -312,6 +312,21 @@ TEST(ParallelDifferential, OnDemandRedirectIdenticalState) {
   expect_backends_identical(cfg, 23);
 }
 
+// The DES <-> parallel byte-identity contract must survive the durable
+// engine: disk completions are ordinary lane events minted through the
+// ambient context, so journaling, checkpoints and multi-event reboot
+// replay reorder nothing across backends.
+TEST(ParallelDifferential, DurableEngineIdenticalState) {
+  Config cfg;
+  cfg.n_sites = 8;
+  cfg.n_items = 24;
+  cfg.replication_degree = 3;
+  cfg.storage_engine = StorageEngineKind::kDurable;
+  cfg.checkpoint_interval = 64; // checkpoints fire mid-scenario
+  cfg.n_threads = 4;
+  expect_backends_identical(cfg, 24);
+}
+
 // ----------------------------------------------- explorer differential
 
 // Whole nemesis runs, judged by the invariant oracles, must replay
@@ -369,6 +384,17 @@ TEST(ParallelDifferential, ExplorerPartitionReportByteIdentical) {
   };
   expect_reports_identical(explorer_cfg(), schedule, 35,
                            VerifyMode::kPostHoc);
+}
+
+TEST(ParallelDifferential, ExplorerDurableCrashRebootReportByteIdentical) {
+  Config cfg = explorer_cfg();
+  cfg.storage_engine = StorageEngineKind::kDurable;
+  cfg.checkpoint_interval = 64;
+  const Schedule schedule = {
+      {200'000, NemesisKind::kCrash, 1, 0, 0.0, 1.0},
+      {700'000, NemesisKind::kReboot, 1, 0, 0.0, 1.0},
+  };
+  expect_reports_identical(cfg, schedule, 39, VerifyMode::kPostHoc);
 }
 
 TEST(ParallelDifferential, ExplorerSpoolerReportByteIdentical) {

@@ -218,7 +218,7 @@ Config livelock_config() {
   return cfg;
 }
 
-void run_livelock_rounds(Cluster& cluster) {
+void run_livelock_rounds(Cluster& cluster, uint64_t seed = 42) {
   for (int round = 0; round < 3; ++round) {
     RunnerParams params;
     params.clients_per_site = 6;
@@ -229,7 +229,7 @@ void run_livelock_rounds(Cluster& cluster) {
     params.schedule.push_back(
         FailureEvent{1'200'000, FailureEvent::What::kRecover, victim});
     Runner runner(cluster, params,
-                  42 + static_cast<uint64_t>(round) * 0x9e3779b9);
+                  seed + static_cast<uint64_t>(round) * 0x9e3779b9);
     runner.run();
     cluster.run_until(cluster.now() + 4 * cluster.config().detector_interval);
     cluster.settle();
@@ -261,9 +261,12 @@ TEST(RecoveryLiveness, ExhaustedType1CycleRestartsAfterCooldown) {
   // gave-up; the cool-down restart must bring it up anyway.
   Config cfg = livelock_config();
   cfg.control_retry_limit = 1;
-  Cluster cluster(cfg, 42);
+  // Seed 43: the lock collision still exhausts the one-attempt cycle under
+  // the current message cadence (late OutcomeAck traffic shifted phases
+  // enough that seed 42 no longer collides).
+  Cluster cluster(cfg, 43);
   cluster.bootstrap();
-  run_livelock_rounds(cluster);
+  run_livelock_rounds(cluster, 43);
   EXPECT_GE(cluster.metrics().get("rm.gave_up"), 1);
   for (SiteId s = 0; s < 4; ++s) {
     EXPECT_EQ(cluster.site(s).state().mode, SiteMode::kUp) << "site " << s;

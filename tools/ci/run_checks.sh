@@ -162,6 +162,19 @@ if [[ "$run_soak" == 1 ]]; then
     --sites=8 --items=200 --threads=4 \
     --target-committed=100000 --rss-limit-mb=512 \
     --out="$tmp/SOAK_parallel_ci.json"
+
+  step "durable-engine soak smoke (>= 1e5 committed txns, bounded RSS)"
+  # Checkpoint + redo-log storage under sustained crash/recover churn:
+  # every commit pays journal/flush device time, every reboot is a real
+  # checkpoint read + batched redo replay, and checkpoints keep truncating
+  # the log. The RSS ceiling is the proof that the redo log, the pending
+  # checkpoint images and the acked-outcome table all stay bounded.
+  "$repo/build/tools/ddbs_soak" \
+    --cells=mark-all,missing-list --rounds=100 --round-ms=5000 --clients=6 \
+    --sites=4 --items=100 --storage-engine=durable \
+    --checkpoint-interval=2048 \
+    --target-committed=100000 --rss-limit-mb=512 -j "$jobs" \
+    --out="$tmp/SOAK_durable_ci.json"
 fi
 
 step "observability smoke (ddbs_sim -> ddbs_trace.py)"

@@ -70,6 +70,9 @@ struct Options {
       "  --no-skew             exclude latency-skew windows\n"
       "run shape:\n"
       "  --sites=N --items=N --degree=N --loss=F\n"
+      "  --storage-engine=in-memory|durable\n"
+      "  --checkpoint-interval=N --disk-latency-us=N --disk-bw-mbps=N\n"
+      "  --disk-queue-depth=N  durable-engine device knobs\n"
       "  --horizon-ms=N        load+fault window (default 2000)\n"
       "  --clients=N --ops=N --reads=F --zipf=F\n"
       "  --planted-bug=NAME    none|skip-session-check|skip-mark\n"
@@ -128,6 +131,16 @@ Options parse(int argc, char** argv) {
       o.run.cfg.replication_degree = std::stoi(v);
     } else if (parse_kv(argv[i], "--loss", &v)) {
       o.run.cfg.msg_loss_prob = std::stod(v);
+    } else if (parse_kv(argv[i], "--storage-engine", &v)) {
+      if (!parse_storage_engine(v, &o.run.cfg.storage_engine)) usage(argv[0]);
+    } else if (parse_kv(argv[i], "--checkpoint-interval", &v)) {
+      o.run.cfg.checkpoint_interval = std::stoll(v);
+    } else if (parse_kv(argv[i], "--disk-latency-us", &v)) {
+      o.run.cfg.disk_latency_us = std::stoll(v);
+    } else if (parse_kv(argv[i], "--disk-bw-mbps", &v)) {
+      o.run.cfg.disk_bandwidth_mbps = std::stoll(v);
+    } else if (parse_kv(argv[i], "--disk-queue-depth", &v)) {
+      o.run.cfg.disk_queue_depth = std::stoi(v);
     } else if (parse_kv(argv[i], "--horizon-ms", &v)) {
       o.run.horizon = std::stoll(v) * 1000;
     } else if (parse_kv(argv[i], "--clients", &v)) {

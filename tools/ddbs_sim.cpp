@@ -76,6 +76,12 @@ struct Options {
       "  --copier=eager|on-demand\n"
       "  --policy=block|redirect\n"
       "  --loss=F              message loss probability (default 0)\n"
+      "  --storage-engine=in-memory|durable (default in-memory)\n"
+      "  --checkpoint-interval=N  redo records between fuzzy checkpoints\n"
+      "                        (durable engine; 0 = never; default 2048)\n"
+      "  --disk-latency-us=N   per-op disk latency (default 100)\n"
+      "  --disk-bw-mbps=N      disk bandwidth MB/s (default 200)\n"
+      "  --disk-queue-depth=N  concurrent device channels (default 4)\n"
       "  --crash=S@MS          crash site S at MS milliseconds (repeatable)\n"
       "  --recover=S@MS        recover site S at MS milliseconds\n"
       "  --verify              run the Section-4 serializability checkers\n"
@@ -152,6 +158,16 @@ Options parse(int argc, char** argv) {
       o.zipf = std::stod(v);
     } else if (parse_kv(argv[i], "--loss", &v)) {
       o.cfg.msg_loss_prob = std::stod(v);
+    } else if (parse_kv(argv[i], "--storage-engine", &v)) {
+      if (!parse_storage_engine(v, &o.cfg.storage_engine)) usage(argv[0]);
+    } else if (parse_kv(argv[i], "--checkpoint-interval", &v)) {
+      o.cfg.checkpoint_interval = std::stoll(v);
+    } else if (parse_kv(argv[i], "--disk-latency-us", &v)) {
+      o.cfg.disk_latency_us = std::stoll(v);
+    } else if (parse_kv(argv[i], "--disk-bw-mbps", &v)) {
+      o.cfg.disk_bandwidth_mbps = std::stoll(v);
+    } else if (parse_kv(argv[i], "--disk-queue-depth", &v)) {
+      o.cfg.disk_queue_depth = std::stoi(v);
     } else if (parse_kv(argv[i], "--scheme", &v)) {
       o.cfg.recovery_scheme = v == "spooler" ? RecoveryScheme::kSpooler
                                              : RecoveryScheme::kSessionVector;

@@ -58,6 +58,9 @@ struct CliOptions {
       "  --target-committed=N  stop a cell once N txns committed\n"
       "  --clients=N --ops=N --reads=F --zipf=F\n"
       "  --sites=N --items=N --degree=N\n"
+      "  --storage-engine=in-memory|durable (default in-memory)\n"
+      "  --checkpoint-interval=N --disk-latency-us=N --disk-bw-mbps=N\n"
+      "  --disk-queue-depth=N  durable-engine device knobs\n"
       "  --seed=N              base seed (cell index is mixed in)\n"
       "  --threads=N           worker threads per cluster (N>1 selects the\n"
       "                        site-parallel backend inside each cell)\n"
@@ -151,6 +154,16 @@ CliOptions parse(int argc, char** argv) {
       o.base.n_items = std::stoll(v);
     } else if (parse_kv(argv[i], "--degree", &v)) {
       o.base.replication_degree = std::stoi(v);
+    } else if (parse_kv(argv[i], "--storage-engine", &v)) {
+      if (!parse_storage_engine(v, &o.base.storage_engine)) usage(argv[0]);
+    } else if (parse_kv(argv[i], "--checkpoint-interval", &v)) {
+      o.base.checkpoint_interval = std::stoll(v);
+    } else if (parse_kv(argv[i], "--disk-latency-us", &v)) {
+      o.base.disk_latency_us = std::stoll(v);
+    } else if (parse_kv(argv[i], "--disk-bw-mbps", &v)) {
+      o.base.disk_bandwidth_mbps = std::stoll(v);
+    } else if (parse_kv(argv[i], "--disk-queue-depth", &v)) {
+      o.base.disk_queue_depth = std::stoi(v);
     } else if (parse_kv(argv[i], "--seed", &v)) {
       o.seed = std::stoull(v);
     } else if (parse_kv(argv[i], "--threads", &v)) {

@@ -31,6 +31,8 @@ struct Options {
   std::vector<std::string> strategies{"mark-all"};
   std::vector<std::string> copiers{"eager"};
   std::vector<std::string> policies{"block"};
+  std::vector<std::string> engines{"in-memory"};
+  std::vector<std::string> checkpoint_intervals{""}; // "" = config default
   uint64_t seed_base = 1;
   int seeds = 4;
   int threads = 1;
@@ -59,6 +61,9 @@ struct Options {
       "  --strategy=A,B,..     mark-all|vcmp|fail-lock|missing-list\n"
       "  --copier=A,B          eager|on-demand\n"
       "  --policy=A,B          block|redirect\n"
+      "  --storage-engine=A,B  in-memory|durable\n"
+      "  --checkpoint-interval=N,M  redo records between fuzzy checkpoints\n"
+      "                        (durable engine; 0 = never)\n"
       "sweep control:\n"
       "  --seeds=N             seeds per cell (default 4)\n"
       "  --seed-base=N         first seed (default 1)\n"
@@ -135,6 +140,16 @@ Options parse(int argc, char** argv) {
       o.copiers = split_commas(v);
     } else if (parse_kv(argv[i], "--policy", &v)) {
       o.policies = split_commas(v);
+    } else if (parse_kv(argv[i], "--storage-engine", &v)) {
+      o.engines = split_commas(v);
+    } else if (parse_kv(argv[i], "--checkpoint-interval", &v)) {
+      o.checkpoint_intervals = split_commas(v);
+    } else if (parse_kv(argv[i], "--disk-latency-us", &v)) {
+      o.base.disk_latency_us = std::stoll(v);
+    } else if (parse_kv(argv[i], "--disk-bw-mbps", &v)) {
+      o.base.disk_bandwidth_mbps = std::stoll(v);
+    } else if (parse_kv(argv[i], "--disk-queue-depth", &v)) {
+      o.base.disk_queue_depth = std::stoi(v);
     } else if (parse_kv(argv[i], "--seeds", &v)) {
       o.seeds = std::stoi(v);
     } else if (parse_kv(argv[i], "--seed-base", &v)) {
@@ -199,7 +214,10 @@ Options parse(int argc, char** argv) {
 
 bool apply_axis(Config& cfg, const std::string& scheme,
                 const std::string& write_scheme, const std::string& strategy,
-                const std::string& copier, const std::string& policy) {
+                const std::string& copier, const std::string& policy,
+                const std::string& engine, const std::string& ckpt) {
+  if (!parse_storage_engine(engine, &cfg.storage_engine)) return false;
+  if (!ckpt.empty()) cfg.checkpoint_interval = std::stoll(ckpt);
   if (scheme == "session-vector") {
     cfg.recovery_scheme = RecoveryScheme::kSessionVector;
   } else if (scheme == "spooler") {
@@ -246,7 +264,8 @@ bool apply_axis(Config& cfg, const std::string& scheme,
 std::string cell_label(const Options& o, const std::string& scheme,
                        const std::string& write_scheme,
                        const std::string& strategy, const std::string& copier,
-                       const std::string& policy) {
+                       const std::string& policy, const std::string& engine,
+                       const std::string& ckpt) {
   std::string label;
   auto add = [&label](const std::vector<std::string>& axis,
                       const std::string& v) {
@@ -259,6 +278,11 @@ std::string cell_label(const Options& o, const std::string& scheme,
   add(o.strategies, strategy);
   add(o.copiers, copier);
   add(o.policies, policy);
+  add(o.engines, engine);
+  if (o.checkpoint_intervals.size() > 1) {
+    if (!label.empty()) label += '+';
+    label += "ckpt" + ckpt;
+  }
   return label.empty() ? strategy : label;
 }
 
@@ -298,17 +322,24 @@ int main(int argc, char** argv) {
       for (const std::string& strategy : o.strategies) {
         for (const std::string& copier : o.copiers) {
           for (const std::string& policy : o.policies) {
-            SweepCell cell;
-            cell.cfg = o.base;
-            // Perf runs carry no checker feed unless the online verifier
-            // is requested (it needs the history event stream as input).
-            cell.cfg.record_history = o.online_verify;
-            cell.cfg.online_verify = o.online_verify;
-            if (!apply_axis(cell.cfg, scheme, ws, strategy, copier, policy)) {
-              usage(argv[0]);
+            for (const std::string& engine : o.engines) {
+              for (const std::string& ckpt : o.checkpoint_intervals) {
+                SweepCell cell;
+                cell.cfg = o.base;
+                // Perf runs carry no checker feed unless the online
+                // verifier is requested (it needs the history event
+                // stream as input).
+                cell.cfg.record_history = o.online_verify;
+                cell.cfg.online_verify = o.online_verify;
+                if (!apply_axis(cell.cfg, scheme, ws, strategy, copier,
+                                policy, engine, ckpt)) {
+                  usage(argv[0]);
+                }
+                cell.label = cell_label(o, scheme, ws, strategy, copier,
+                                        policy, engine, ckpt);
+                spec.cells.push_back(std::move(cell));
+              }
             }
-            cell.label = cell_label(o, scheme, ws, strategy, copier, policy);
-            spec.cells.push_back(std::move(cell));
           }
         }
       }
