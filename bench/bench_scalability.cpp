@@ -4,11 +4,13 @@
 // nominally-up site (NS writes + status reads), and every user transaction
 // reads an n-entry local vector. This bench measures both ends: recovery
 // latency / message cost vs n, and steady-state throughput vs n.
+#include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "common/report.h"
 #include "core/cluster.h"
+#include "replication/catalog.h"
 #include "workload/runner.h"
 #include "workload/stats.h"
 
@@ -72,6 +74,105 @@ Row run_case(int sites, uint64_t seed, RunReport& report) {
   return row;
 }
 
+// ---- E8b: footprint-proportional session protocol at scale ----
+//
+// Same cluster shape, no failures, 64-256 sites: the number that matters
+// is host-side commits/sec (wall clock), because the dense protocol's
+// per-transaction cost is n_sites NS reads through the lock manager while
+// the sparse one touches only the transaction's host set (<= ops x degree
+// entries). Sim-time throughput barely moves -- the NS batch is one
+// loopback message either way -- so the dense column burns wall clock, not
+// simulated latency.
+
+struct ScaleRow {
+  double commits_s_wall = 0; // committed txns / wall second (workload only)
+  double ns_reads_per_txn = 0;
+  double catalog_mb = 0;
+  double tput_sim = 0; // sim-time txn/s, for reference
+};
+
+ScaleRow run_scale_case(int sites, bool sparse, uint64_t seed,
+                        RunReport& report) {
+  Config cfg;
+  cfg.n_sites = sites;
+  cfg.n_items = 40 * sites;
+  cfg.replication_degree = 3;
+  cfg.footprint_ns = sparse;
+  // This workload has no failures, so relax the detector cadence: the
+  // probe mesh is O(n_sites^2) pings per interval, pure background noise
+  // here, and at 50 ms it drowns the per-transaction cost under test.
+  cfg.detector_interval = 500'000;
+  Cluster cluster(cfg, seed);
+  cluster.bootstrap();
+  const int64_t ns0 =
+      cluster.metrics().get(cluster.metrics().id.txn_ns_reads);
+
+  RunnerParams rp;
+  rp.clients_per_site = 1;
+  rp.think_time = 4'000;
+  rp.duration = 600'000;
+  // Short read-leaning transactions (2 ops, 70% reads): the common OLTP
+  // shape, and the regime where per-transaction fixed cost (2PC fan-out,
+  // write replication) is smallest -- what remains is dominated by the
+  // session read, which is the cost under comparison here.
+  rp.workload.ops_per_txn = 2;
+  rp.workload.read_fraction = 0.7;
+  Runner runner(cluster, rp, seed);
+  const auto wall0 = std::chrono::steady_clock::now();
+  const RunnerStats stats = runner.run();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  ScaleRow row;
+  row.commits_s_wall =
+      wall_s > 0 ? static_cast<double>(stats.committed) / wall_s : 0.0;
+  const int64_t ns_reads =
+      cluster.metrics().get(cluster.metrics().id.txn_ns_reads) - ns0;
+  row.ns_reads_per_txn =
+      stats.submitted > 0
+          ? static_cast<double>(ns_reads) /
+                static_cast<double>(stats.submitted)
+          : 0.0;
+  row.catalog_mb =
+      static_cast<double>(cluster.catalog().bytes()) / (1024.0 * 1024.0);
+  row.tput_sim = stats.throughput_per_sec(rp.duration);
+
+  RunReport::Run& run = cluster.report_run(
+      report, std::string(sparse ? "sparse" : "dense") + "_sites" +
+                  std::to_string(sites));
+  run.scalars.emplace_back("sites", static_cast<double>(sites));
+  run.scalars.emplace_back("workload_commits_per_sec", row.commits_s_wall);
+  run.scalars.emplace_back("ns_reads_per_txn", row.ns_reads_per_txn);
+  run.scalars.emplace_back("throughput_txn_s", row.tput_sim);
+  cluster.add_perf_scalars(run);
+  return row;
+}
+
+// Catalog capacity headline: CSR placement for 1M items x 256 sites,
+// build time and resident bytes. No simulation -- this bounds the memory
+// a large-scale cluster pays for placement alone.
+void catalog_capacity_row(RunReport& report) {
+  Config cfg;
+  cfg.n_sites = 256;
+  cfg.n_items = 1'000'000;
+  cfg.replication_degree = 3;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Catalog cat = Catalog::make(cfg);
+  const double build_ms =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count() *
+      1e3;
+  const double mb = static_cast<double>(cat.bytes()) / (1024.0 * 1024.0);
+  std::printf("\nCatalog capacity: 1M items x 256 sites (degree 3) -> "
+              "%.1f MB CSR, built in %.0f ms\n",
+              mb, build_ms);
+  RunReport::Run& run = report.add_run("catalog_1m_items", cfg);
+  run.scalars.emplace_back("catalog_bytes",
+                           static_cast<double>(cat.bytes()));
+  run.scalars.emplace_back("catalog_build_ms", build_ms);
+}
+
 } // namespace
 
 int main() {
@@ -91,6 +192,32 @@ int main() {
                    static_cast<int64_t>(row.recovery_msgs))});
   }
   t.print();
+
+  TablePrinter t8b("Table 8b: footprint-proportional sessions, 64-256 sites");
+  t8b.set_header({"sites", "protocol", "commits/s (wall)", "ns reads/txn",
+                  "sim txn/s", "catalog MB"});
+  double dense128 = 0, sparse128 = 0;
+  for (int sites : {64, 128, 256}) {
+    for (bool sparse : {false, true}) {
+      const ScaleRow row = run_scale_case(
+          sites, sparse, 800 + static_cast<uint64_t>(sites), report);
+      if (sites == 128) (sparse ? sparse128 : dense128) = row.commits_s_wall;
+      t8b.add_row({TablePrinter::integer(sites),
+                   sparse ? "sparse" : "dense",
+                   TablePrinter::num(row.commits_s_wall, 0),
+                   TablePrinter::num(row.ns_reads_per_txn, 1),
+                   TablePrinter::num(row.tput_sim, 0),
+                   TablePrinter::num(row.catalog_mb, 2)});
+    }
+  }
+  t8b.print();
+  if (dense128 > 0) {
+    std::printf("\n128-site speedup, sparse over dense: %.2fx "
+                "(%.0f vs %.0f commits/s wall)\n",
+                sparse128 / dense128, sparse128, dense128);
+  }
+  catalog_capacity_row(report);
+
   std::printf(
       "\nExpected shape: throughput grows with sites (more clients, more\n"
       "coordinators); p50 stays flat (the NS snapshot is n loopback reads\n"

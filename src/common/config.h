@@ -159,6 +159,16 @@ struct Config {
   // batch); off restores the one-RPC-per-operation path for differential
   // testing.
   bool batch_physical_ops = true;
+  // Footprint-proportional session protocol: user transactions and copiers
+  // read/freeze only the NS entries of sites hosting their read/write set
+  // (their host set), so per-transaction NS cost is O(touched sites), not
+  // O(n_sites). Semantically neutral -- the Section 3.2 per-site check
+  // only ever consults ns_i[k] for sites whose copies the transaction
+  // physically touches, and any such site is in the host set by
+  // construction. Off restores the dense full-vector read for differential
+  // testing. Control transactions always freeze the full vector (they make
+  // claims about every site).
+  bool footprint_ns = true;
   // Periodically probe NOMINALLY-DOWN sites; one that answers
   // "operational" has been falsely declared (fail-stop violated, e.g. a
   // healed partition) and is told to restart and re-integrate. This is the

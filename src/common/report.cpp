@@ -151,6 +151,7 @@ void write_config(JsonWriter& w, const Config& cfg) {
   w.kv("copier_concurrency", cfg.copier_concurrency);
   w.kv("control_retry_limit", cfg.control_retry_limit);
   w.kv("read_only_one_phase", cfg.read_only_one_phase);
+  w.kv("footprint_ns", cfg.footprint_ns);
   w.kv("canonical_write_order", cfg.canonical_write_order);
   w.kv("detector_jitter", cfg.detector_jitter);
   w.kv("reconcile_probes", cfg.reconcile_probes);

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <initializer_list>
 #include <new>
+#include <span>
 #include <type_traits>
 #include <vector>
 
@@ -37,6 +38,13 @@ class SmallVec {
   SmallVec(const std::vector<T>& v) { assign(v.begin(), v.end()); }
 
   SmallVec& operator=(const std::vector<T>& v) {
+    assign(v.begin(), v.end());
+    return *this;
+  }
+
+  SmallVec(std::span<const T> v) { assign(v.begin(), v.end()); }
+
+  SmallVec& operator=(std::span<const T> v) {
     assign(v.begin(), v.end());
     return *this;
   }

@@ -203,6 +203,10 @@ void Cluster::add_perf_scalars(RunReport::Run& run) const {
       secs > 0 ? static_cast<double>(metrics_.get(metrics_.id.txn_committed)) /
                      secs
                : 0.0);
+  // Resident size of the CSR placement arrays: the cost of knowing where
+  // every copy lives, which the 64-256 site sweeps track against n_items.
+  run.scalars.emplace_back("catalog_bytes",
+                           static_cast<double>(cat_.bytes()));
 }
 
 bool Cluster::replicas_converged(std::string* why) const {

@@ -449,6 +449,8 @@ void ParallelCluster::add_perf_scalars(RunReport::Run& run) const {
   run.scalars.emplace_back(
       "commits_per_sec",
       secs > 0 ? static_cast<double>(committed) / secs : 0.0);
+  run.scalars.emplace_back("catalog_bytes",
+                           static_cast<double>(cat_.bytes()));
 }
 
 std::string ParallelCluster::spans_chrome_json() const {

@@ -44,6 +44,11 @@ bool parse_config(const json::JsonValue& v, Config* out, std::string* error) {
       v.num_or("control_retry_limit", c.control_retry_limit));
   c.read_only_one_phase = v.bool_or("read_only_one_phase",
                                     c.read_only_one_phase);
+  // Absent means the artifact predates the footprint-proportional session
+  // protocol: it was recorded under dense full-vector NS reads, and only
+  // that protocol replays it byte-identically (the sparse one sends fewer
+  // events, shifting every downstream timestamp).
+  c.footprint_ns = v.bool_or("footprint_ns", false);
   c.canonical_write_order = v.bool_or("canonical_write_order",
                                       c.canonical_write_order);
   c.detector_jitter = v.bool_or("detector_jitter", c.detector_jitter);

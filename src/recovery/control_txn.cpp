@@ -101,7 +101,7 @@ void ControlUpCoordinator::bootstrap_cold_start() {
   // only copy lives here cannot have missed anything and stay readable.
   std::vector<ItemId> to_mark;
   for (ItemId x : cat_.items_at(self_)) {
-    if (cat_.sites_of(x).size() > 1) to_mark.push_back(x);
+    if (cat_.replica_count(x) > 1) to_mark.push_back(x);
   }
   dm_.mark_items(to_mark);
 
@@ -148,7 +148,7 @@ void ControlUpCoordinator::bootstrap_cold_start() {
 void ControlUpCoordinator::after_view() {
   operational_.clear();
   for (SiteId s = 0; s < cfg_.n_sites; ++s) {
-    if (s != self_ && view_[static_cast<size_t>(s)] != 0) {
+    if (s != self_ && view_.session(s) != 0) {
       operational_.push_back(s);
     }
   }
@@ -209,7 +209,7 @@ void ControlUpCoordinator::collect_status(size_t pending) {
           // Stage the clears.
           bool others_down = false;
           for (SiteId s2 = 0; s2 < cfg_.n_sites; ++s2) {
-            if (s2 != self_ && view_[static_cast<size_t>(s2)] == 0) {
+            if (s2 != self_ && view_.session(s2) == 0) {
               others_down = true;
             }
           }
@@ -326,9 +326,9 @@ void ControlUpCoordinator::stage_and_write() {
     req.coordinator = self_;
     req.item = ns_item(m);
     req.bypass_session_check = true;
-    req.value = static_cast<Value>(view_[static_cast<size_t>(m)]);
+    req.value = static_cast<Value>(view_.session(m));
     req.is_copier_write = true; // refresh, not an authoritative claim
-    req.copier_version = view_versions_[static_cast<size_t>(m)];
+    req.copier_version = view_.version(m);
     writes.push_back({self_, std::move(req)});
   }
 
@@ -424,14 +424,12 @@ void ControlDownCoordinator::write_zeroes() {
   // recovering initiator's NS copy is rebuilt later by its type-1).
   std::vector<SiteId> targets;
   for (SiteId j = 0; j < cfg_.n_sites; ++j) {
-    const bool declared =
-        std::find(down_.begin(), down_.end(), j) != down_.end();
-    if (declared) continue;
+    if (std::binary_search(down_.begin(), down_.end(), j)) continue;
     if (j == self_) {
       if (state_.mode == SiteMode::kUp) targets.push_back(j);
       continue;
     }
-    if (view_[static_cast<size_t>(j)] != 0) targets.push_back(j);
+    if (view_.session(j) != 0) targets.push_back(j);
   }
   if (targets.empty()) {
     // Nothing to update anywhere; vacuously done.

@@ -1,5 +1,7 @@
 #include "recovery/copier.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "replication/interpreter.h"
 
@@ -16,8 +18,11 @@ void CopierCoordinator::start() {
   metrics_.inc(metrics_.id.copier_started);
   trace(TraceKind::kCopierStart, item_);
   // Copiers follow the same convention: read the local NS vector first,
-  // then locate a readable source among nominally-up resident sites.
-  read_ns_vector(self_, /*bypass=*/false, state_.session, [this](bool ok) {
+  // then locate a readable source among nominally-up resident sites. Under
+  // footprint_ns only the item's resident sites (plus self: the local
+  // write below stamps view_.session(self_)) are frozen -- sources and the
+  // local write target are all drawn from that set.
+  auto resume = [this](bool ok) {
     if (decided_) return;
     if (!ok) {
       abort_txn(Code::kAborted);
@@ -25,12 +30,24 @@ void CopierCoordinator::start() {
     }
     sources_.clear();
     for (SiteId s : cat_.sites_of(item_)) {
-      if (s != self_ && view_[static_cast<size_t>(s)] != 0) {
+      if (s != self_ && view_.session(s) != 0) {
         sources_.push_back(s);
       }
     }
     try_source(0);
-  });
+  };
+  if (cfg_.footprint_ns) {
+    const auto resident = cat_.sites_of(item_);
+    std::vector<SiteId> hosts(resident.begin(), resident.end());
+    hosts.push_back(self_);
+    std::sort(hosts.begin(), hosts.end());
+    hosts.erase(std::unique(hosts.begin(), hosts.end()), hosts.end());
+    read_ns_entries(self_, std::move(hosts), /*bypass=*/false,
+                    state_.session, std::move(resume));
+  } else {
+    read_ns_vector(self_, /*bypass=*/false, state_.session,
+                   std::move(resume));
+  }
 }
 
 void CopierCoordinator::try_source(size_t idx) {
@@ -43,7 +60,7 @@ void CopierCoordinator::try_source(size_t idx) {
     // max-version copy is the latest committed state -- resolve from it.
     bool all_resident_up = true;
     for (SiteId s : cat_.sites_of(item_)) {
-      if (view_[static_cast<size_t>(s)] == 0) all_resident_up = false;
+      if (view_.session(s) == 0) all_resident_up = false;
     }
     if (all_resident_up && unreadable_sources_ == sources_.size() &&
         !sources_.empty()) {
@@ -62,7 +79,7 @@ void CopierCoordinator::try_source(size_t idx) {
   req.kind = kind_;
   req.coordinator = self_;
   req.item = item_;
-  req.expected_session = view_[static_cast<size_t>(src)];
+  req.expected_session = view_.session(src);
   send_request(
       src, req, cfg_.lock_timeout + cfg_.rpc_timeout,
       [this, idx, src](Code code, const Payload* payload) {
@@ -118,7 +135,7 @@ void CopierCoordinator::resolve_all_marked(size_t idx) {
   req.kind = kind_;
   req.coordinator = self_;
   req.item = item_;
-  req.expected_session = view_[static_cast<size_t>(src)];
+  req.expected_session = view_.session(src);
   req.allow_unreadable = true;
   send_request(
       src, req, cfg_.lock_timeout + cfg_.rpc_timeout,
@@ -168,7 +185,7 @@ void CopierCoordinator::write_local(Value value, Version version) {
   req.kind = kind_;
   req.coordinator = self_;
   req.item = item_;
-  req.expected_session = view_[static_cast<size_t>(self_)];
+  req.expected_session = view_.session(self_);
   req.value = value;
   req.is_copier_write = true;
   req.copier_version = version;

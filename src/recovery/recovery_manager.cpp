@@ -83,7 +83,7 @@ void RecoveryManager::begin_recovery() {
       env_.cfg->outdated_strategy == OutdatedStrategy::kMarkAllVersionCmp) {
     std::vector<ItemId> to_mark;
     for (ItemId x : env_.cat->items_at(env_.self)) {
-      if (env_.cat->sites_of(x).size() > 1) to_mark.push_back(x);
+      if (env_.cat->replica_count(x) > 1) to_mark.push_back(x);
     }
     // PLANTED BUG (explorer self-validation only): leave the highest
     // hosted item unmarked, so a copy that missed updates while this site

@@ -4,22 +4,16 @@
 
 namespace ddbs {
 
-namespace {
-bool nominally_up(const SessionVector& view, SiteId k) {
-  return view[static_cast<size_t>(k)] != 0;
-}
-} // namespace
-
 std::vector<SiteId> read_candidates(const Catalog& cat,
                                     [[maybe_unused]] WriteScheme scheme,
-                                    const SessionVector& view, ItemId item,
+                                    const NsView& view, ItemId item,
                                     SiteId origin) {
   std::vector<SiteId> out;
   for (SiteId k : cat.sites_of(item)) {
     // Under both schemes a read needs an *operational* copy; strict ROWA
     // without recovery machinery never marks copies, so any nominally-up
     // copy is current there too.
-    if (nominally_up(view, k)) out.push_back(k);
+    if (view.nominally_up(k)) out.push_back(k);
   }
   auto it = std::find(out.begin(), out.end(), origin);
   if (it != out.end() && it != out.begin()) std::rotate(out.begin(), it, it + 1);
@@ -27,10 +21,10 @@ std::vector<SiteId> read_candidates(const Catalog& cat,
 }
 
 WritePlan write_plan(const Catalog& cat, WriteScheme scheme,
-                     const SessionVector& view, ItemId item) {
+                     const NsView& view, ItemId item) {
   WritePlan plan;
   for (SiteId k : cat.sites_of(item)) {
-    if (nominally_up(view, k)) {
+    if (view.nominally_up(k)) {
       plan.targets.push_back(k);
     } else {
       plan.missed.push_back(k);

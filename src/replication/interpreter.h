@@ -15,6 +15,7 @@
 #include "common/config.h"
 #include "common/types.h"
 #include "replication/catalog.h"
+#include "replication/ns_view.h"
 
 namespace ddbs {
 
@@ -26,11 +27,13 @@ struct WritePlan {
 
 // Read candidates in preference order: origin first if it holds a copy,
 // then the remaining eligible sites ascending. Empty => logical READ fails.
+// The view is the transaction's frozen (sparse) NS snapshot; a site with no
+// frozen entry counts as nominally down.
 std::vector<SiteId> read_candidates(const Catalog& cat, WriteScheme scheme,
-                                    const SessionVector& view, ItemId item,
+                                    const NsView& view, ItemId item,
                                     SiteId origin);
 
 WritePlan write_plan(const Catalog& cat, WriteScheme scheme,
-                     const SessionVector& view, ItemId item);
+                     const NsView& view, ItemId item);
 
 } // namespace ddbs

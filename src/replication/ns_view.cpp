@@ -1,0 +1,19 @@
+#include "replication/ns_view.h"
+
+namespace ddbs {
+
+std::string to_string(const NsView& v) {
+  std::string out = "{";
+  bool first = true;
+  for (const NsView::Entry& e : v) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(e.site);
+    out += ":";
+    out += std::to_string(e.session);
+  }
+  out += "}";
+  return out;
+}
+
+} // namespace ddbs

@@ -1,0 +1,93 @@
+// A transaction's frozen view of the nominal session vector (Section 3.2),
+// stored sparsely: one {site, session, version} entry per NS entry the
+// transaction actually read. User transactions and copiers only freeze the
+// entries of sites hosting their read/write set (their "host set"), so the
+// view is bounded by transaction footprint -- O(touched sites) -- instead of
+// cluster size. Control transactions still freeze the full vector; absent
+// entries read as session 0 ("nominally down"), which is exactly the value
+// the dense representation held for sites a type-2 skip-listed.
+#pragma once
+
+#include <string>
+
+#include "common/small_vec.h"
+#include "common/types.h"
+
+namespace ddbs {
+
+class NsView {
+ public:
+  struct Entry {
+    SiteId site = kInvalidSite;
+    SessionNum session = 0;
+    Version version{};
+  };
+
+  NsView() = default;
+
+  // Dense interop: one entry per site. Used by the type-2 path (the failure
+  // detector hands over a full vector) and by tests that build views by
+  // index.
+  NsView(const SessionVector& dense) {
+    for (size_t k = 0; k < dense.size(); ++k) {
+      entries_.push_back(
+          Entry{static_cast<SiteId>(k), dense[k], Version{}});
+    }
+  }
+
+  void clear() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+
+  // Frozen session of site k; 0 (nominally down / not frozen) when absent.
+  SessionNum session(SiteId k) const {
+    const Entry* e = find(k);
+    return e != nullptr ? e->session : 0;
+  }
+
+  Version version(SiteId k) const {
+    const Entry* e = find(k);
+    return e != nullptr ? e->version : Version{};
+  }
+
+  bool nominally_up(SiteId k) const { return session(k) != 0; }
+
+  // Insert or update; keeps entries sorted by site.
+  void set(SiteId k, SessionNum session, Version version) {
+    Entry* b = entries_.begin();
+    Entry* e = entries_.end();
+    Entry* it = b;
+    while (it != e && it->site < k) ++it;
+    if (it != e && it->site == k) {
+      it->session = session;
+      it->version = version;
+      return;
+    }
+    const size_t pos = static_cast<size_t>(it - b);
+    entries_.push_back(Entry{});
+    for (size_t i = entries_.size() - 1; i > pos; --i) {
+      entries_[i] = entries_[i - 1];
+    }
+    entries_[pos] = Entry{k, session, version};
+  }
+
+  const Entry* begin() const { return entries_.begin(); }
+  const Entry* end() const { return entries_.end(); }
+
+ private:
+  const Entry* find(SiteId k) const {
+    // Views are footprint-sized (typically <= a dozen entries, n_sites for
+    // control transactions); branchy binary search loses to a linear scan
+    // over a sorted SmallVec at these sizes, so scan with early exit.
+    for (const Entry& e : entries_) {
+      if (e.site == k) return &e;
+      if (e.site > k) break;
+    }
+    return nullptr;
+  }
+
+  SmallVec<Entry, 8> entries_; // sorted by site
+};
+
+std::string to_string(const NsView& v);
+
+} // namespace ddbs

@@ -24,8 +24,6 @@ CoordinatorBase::CoordinatorBase(TxnId txn, TxnKind kind,
       tracer_(env.tracer),
       spans_(env.spans),
       started_(env.sched->now()) {
-  view_.assign(static_cast<size_t>(cfg_.n_sites), 0);
-  view_versions_.assign(static_cast<size_t>(cfg_.n_sites), Version{});
   if (recorder_) recorder_->set_kind(txn_, kind_);
   // The ambient span at construction time becomes the parent: a copier
   // launched from a recovery episode nests under it, a user transaction
@@ -74,12 +72,33 @@ void CoordinatorBase::read_ns_vector(SiteId at, bool bypass,
                                      SessionNum expected_at,
                                      std::function<void(bool)> k,
                                      const std::vector<SiteId>& skip) {
+  // Full vector minus the skip set, by sorted set difference (the old
+  // per-index std::find scan was O(n_sites x |skip|)). Skipped entries
+  // simply stay absent from the sparse view_, which reads them as 0.
+  std::vector<SiteId> sorted_skip = skip;
+  std::sort(sorted_skip.begin(), sorted_skip.end());
+  std::vector<SiteId> sites;
+  sites.reserve(static_cast<size_t>(cfg_.n_sites));
+  auto it = sorted_skip.begin();
+  for (SiteId idx = 0; idx < cfg_.n_sites; ++idx) {
+    while (it != sorted_skip.end() && *it < idx) ++it;
+    if (it != sorted_skip.end() && *it == idx) continue;
+    sites.push_back(idx);
+  }
+  read_ns_entries(at, std::move(sites), bypass, expected_at, std::move(k));
+}
+
+void CoordinatorBase::read_ns_entries(SiteId at, std::vector<SiteId> sites,
+                                      bool bypass, SessionNum expected_at,
+                                      std::function<void(bool)> k) {
   touch(at);
+  metrics_.inc(metrics_.id.txn_ns_reads,
+               static_cast<int64_t>(sites.size()));
   auto st = std::make_shared<NsReadState>();
   st->at = at;
   st->bypass = bypass;
   st->expected = expected_at;
-  st->skip = skip;
+  st->sites = std::move(sites);
   st->k = std::move(k);
   if (cfg_.batch_physical_ops) {
     ns_read_batched(std::move(st));
@@ -88,7 +107,7 @@ void CoordinatorBase::read_ns_vector(SiteId at, bool bypass,
   ns_read_step(std::move(st), 0);
 }
 
-// Batched variant: the whole NS vector travels in one BatchReq. The DM
+// Batched variant: the requested NS entries travel in one BatchReq. The DM
 // serves the reads in index order under one lock chain, so lock order and
 // results match the sequential ladder; the first failing entry fails the
 // vector read exactly as the ladder's early-out does.
@@ -99,18 +118,12 @@ void CoordinatorBase::ns_read_batched(std::shared_ptr<NsReadState> st) {
   req.coordinator = self_;
   req.expected_session = st->expected;
   req.bypass_session_check = st->bypass;
-  std::vector<int> indices; // NS index per batch op
-  for (int idx = 0; idx < cfg_.n_sites; ++idx) {
-    if (std::find(st->skip.begin(), st->skip.end(),
-                  static_cast<SiteId>(idx)) != st->skip.end()) {
-      view_[static_cast<size_t>(idx)] = 0;
-      continue;
-    }
+  req.ops.reserve(st->sites.size());
+  for (SiteId idx : st->sites) {
     BatchOp op;
     op.op = BatchOpKind::kRead;
     op.item = ns_item(idx);
     req.ops.push_back(std::move(op));
-    indices.push_back(idx);
   }
   if (req.ops.empty()) {
     st->k(true);
@@ -119,8 +132,7 @@ void CoordinatorBase::ns_read_batched(std::shared_ptr<NsReadState> st) {
   const SiteId at = st->at;
   send_request(
       at, std::move(req), cfg_.lock_timeout + cfg_.rpc_timeout,
-      [this, at, indices = std::move(indices),
-       st = std::move(st)](Code code, const Payload* payload) {
+      [this, at, st = std::move(st)](Code code, const Payload* payload) {
         if (decided_) return;
         if (code != Code::kOk) {
           if (code == Code::kTimeout) suspect(at);
@@ -132,14 +144,12 @@ void CoordinatorBase::ns_read_batched(std::shared_ptr<NsReadState> st) {
           st->k(false);
           return;
         }
-        for (size_t j = 0; j < indices.size(); ++j) {
-          const int idx = indices[j];
+        for (size_t j = 0; j < st->sites.size(); ++j) {
+          const SiteId idx = st->sites[j];
           const ReadResp rr{txn_, ns_item(idx), Code::kOk,
                             resp.results[j].value, resp.results[j].version};
           record_read(at, ns_item(idx), rr);
-          view_[static_cast<size_t>(idx)] =
-              static_cast<SessionNum>(rr.value);
-          view_versions_[static_cast<size_t>(idx)] = rr.version;
+          view_.set(idx, static_cast<SessionNum>(rr.value), rr.version);
         }
         st->k(true);
       });
@@ -150,29 +160,24 @@ void CoordinatorBase::ns_read_batched(std::shared_ptr<NsReadState> st) {
 // the rest). The state is owned by the in-flight RPC callback, not by a
 // self-referential closure (which would leak).
 void CoordinatorBase::ns_read_step(std::shared_ptr<NsReadState> st,
-                                   int idx) {
-  while (idx < cfg_.n_sites &&
-         std::find(st->skip.begin(), st->skip.end(),
-                   static_cast<SiteId>(idx)) != st->skip.end()) {
-    view_[static_cast<size_t>(idx)] = 0;
-    ++idx;
-  }
-  if (idx >= cfg_.n_sites) {
+                                   size_t idx) {
+  if (idx >= st->sites.size()) {
     st->k(true);
     return;
   }
+  const SiteId site = st->sites[idx];
   ReadReq req;
   req.txn = txn_;
   req.kind = kind_;
   req.coordinator = self_;
-  req.item = ns_item(idx);
+  req.item = ns_item(site);
   req.expected_session = st->expected;
   req.bypass_session_check = st->bypass;
   const SiteId at = st->at;
   send_request(
       at, req, cfg_.lock_timeout + cfg_.rpc_timeout,
-      [this, idx, at, st = std::move(st)](Code code,
-                                          const Payload* payload) {
+      [this, idx, site, at, st = std::move(st)](Code code,
+                                                const Payload* payload) {
         if (decided_) return;
         if (code != Code::kOk) {
           if (code == Code::kTimeout) suspect(at);
@@ -184,9 +189,8 @@ void CoordinatorBase::ns_read_step(std::shared_ptr<NsReadState> st,
           st->k(false);
           return;
         }
-        record_read(at, ns_item(idx), resp);
-        view_[static_cast<size_t>(idx)] = static_cast<SessionNum>(resp.value);
-        view_versions_[static_cast<size_t>(idx)] = resp.version;
+        record_read(at, ns_item(site), resp);
+        view_.set(site, static_cast<SessionNum>(resp.value), resp.version);
         ns_read_step(st, idx + 1);
       });
 }
@@ -446,6 +450,17 @@ UserTxnCoordinator::UserTxnCoordinator(TxnId txn, const CoordinatorEnv& env,
                                        TxnSpec spec)
     : CoordinatorBase(txn, TxnKind::kUser, env), spec_(std::move(spec)) {}
 
+std::vector<SiteId> UserTxnCoordinator::host_set() const {
+  std::vector<SiteId> hosts;
+  for (const LogicalOp& op : spec_.ops) {
+    const auto sites = cat_.sites_of(op.item);
+    hosts.insert(hosts.end(), sites.begin(), sites.end());
+  }
+  std::sort(hosts.begin(), hosts.end());
+  hosts.erase(std::unique(hosts.begin(), hosts.end()), hosts.end());
+  return hosts;
+}
+
 void UserTxnCoordinator::start() {
   trace(TraceKind::kTxnBegin, 0, static_cast<int64_t>(kind_));
   // Overall deadline: a transaction stuck behind a parked read or a silent
@@ -456,19 +471,29 @@ void UserTxnCoordinator::start() {
   // "Each user transaction implicitly reads the local copy of the nominal
   // session vector prior to any other operations" (Section 3.2). The TM
   // knows its own site's actual session number (shared variable, S. 3.1).
-  read_ns_vector(self_, /*bypass=*/false, state_.session,
-                 [this](bool ok) {
-                   if (decided_) return;
-                   if (!ok) {
-                     abort_txn(Code::kAborted);
-                     return;
-                   }
-                   if (cfg_.batch_physical_ops) {
-                     run_batched_ops();
-                   } else {
-                     next_op();
-                   }
-                 });
+  // With footprint_ns, "the nominal session vector" shrinks to the entries
+  // this transaction can consult at all: the sites hosting its read/write
+  // set. Every read candidate, write target and missed-site record is
+  // drawn from those sites, so freezing anything more is dead weight.
+  auto resume = [this](bool ok) {
+    if (decided_) return;
+    if (!ok) {
+      abort_txn(Code::kAborted);
+      return;
+    }
+    if (cfg_.batch_physical_ops) {
+      run_batched_ops();
+    } else {
+      next_op();
+    }
+  };
+  if (cfg_.footprint_ns) {
+    read_ns_entries(self_, host_set(), /*bypass=*/false, state_.session,
+                    std::move(resume));
+  } else {
+    read_ns_vector(self_, /*bypass=*/false, state_.session,
+                   std::move(resume));
+  }
 }
 
 void UserTxnCoordinator::finish_ops() {
@@ -522,7 +547,7 @@ void UserTxnCoordinator::do_read(const LogicalOp& op, size_t candidate_idx) {
   req.kind = kind_;
   req.coordinator = self_;
   req.item = op.item;
-  req.expected_session = view_[static_cast<size_t>(target)];
+  req.expected_session = view_.session(target);
   send_request(
       target, req, cfg_.lock_timeout + cfg_.rpc_timeout,
       [this, op, candidate_idx, target](Code code, const Payload* payload) {
@@ -579,7 +604,7 @@ void UserTxnCoordinator::do_write(const LogicalOp& op) {
     req.kind = kind_;
     req.coordinator = self_;
     req.item = op.item;
-    req.expected_session = view_[static_cast<size_t>(target)];
+    req.expected_session = view_.session(target);
     req.value = op.value;
     req.missed_sites = plan.missed;
     req.written_sites = plan.targets;
@@ -628,7 +653,7 @@ void UserTxnCoordinator::run_batched_ops() {
     b.req.txn = txn_;
     b.req.kind = kind_;
     b.req.coordinator = self_;
-    b.req.expected_session = view_[static_cast<size_t>(to)];
+    b.req.expected_session = view_.session(to);
     st->batches.push_back(std::move(b));
     return st->batches.back();
   };
@@ -837,7 +862,7 @@ void UserTxnCoordinator::retry_read(std::shared_ptr<BatchRunState> st,
   req.kind = kind_;
   req.coordinator = self_;
   req.item = r.item;
-  req.expected_session = view_[static_cast<size_t>(target)];
+  req.expected_session = view_.session(target);
   send_request(
       target, req, cfg_.lock_timeout + cfg_.rpc_timeout,
       [this, st = std::move(st), candidate_idx,

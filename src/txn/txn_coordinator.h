@@ -18,6 +18,7 @@
 #include "common/types.h"
 #include "net/rpc.h"
 #include "replication/catalog.h"
+#include "replication/ns_view.h"
 #include "replication/session.h"
 #include "sim/scheduler.h"
 #include "sim/span.h"
@@ -85,15 +86,23 @@ class CoordinatorBase {
   uint64_t send_request(SiteId to, Payload payload, SimTime timeout,
                         RpcEndpoint::ResponseCb cb);
 
-  // Read NS[0..n-1] at `at` in index order under shared locks, filling
-  // view_ / view_versions_. k(false) on any failure (txn should abort).
-  // Entries in `skip` are not read (and left 0 in view_): a type-2 control
-  // transaction skips the entries it is about to zero, so concurrent
-  // declarations acquire their X-locks in one canonical global order
-  // instead of deadlocking through read-at-self locks.
+  // Read the full NS vector NS[0..n-1] at `at` in index order under shared
+  // locks, filling view_. k(false) on any failure (txn should abort).
+  // Entries in `skip` are not read (and stay absent from view_, i.e.
+  // session 0): a type-2 control transaction skips the entries it is about
+  // to zero, so concurrent declarations acquire their X-locks in one
+  // canonical global order instead of deadlocking through read-at-self
+  // locks.
   void read_ns_vector(SiteId at, bool bypass, SessionNum expected_at,
                       std::function<void(bool)> k,
                       const std::vector<SiteId>& skip = {});
+
+  // Footprint-proportional variant: read only the NS entries of `sites`
+  // (sorted ascending -- the same global lock order control transactions
+  // write in) at `at`. User transactions pass their host set, copiers
+  // their item's resident sites; cost is O(|sites|) instead of O(n_sites).
+  void read_ns_entries(SiteId at, std::vector<SiteId> sites, bool bypass,
+                       SessionNum expected_at, std::function<void(bool)> k);
 
   // Mark a site as touched; it becomes a 2PC participant.
   void touch(SiteId site) { participants_.insert(site); }
@@ -120,7 +129,7 @@ class CoordinatorBase {
     SiteId at = kInvalidSite;
     bool bypass = false;
     SessionNum expected = 0;
-    std::vector<SiteId> skip;
+    std::vector<SiteId> sites; // NS entries to read, ascending
     std::function<void(bool)> k;
   };
   // One sequential send: a single WriteReq, or a BatchReq carrying a run of
@@ -133,7 +142,7 @@ class CoordinatorBase {
     std::vector<WriteGroup> groups;
     std::function<void(bool, Code)> k;
   };
-  void ns_read_step(std::shared_ptr<NsReadState> st, int idx);
+  void ns_read_step(std::shared_ptr<NsReadState> st, size_t idx);
   void ns_read_batched(std::shared_ptr<NsReadState> st);
   void write_seq_step(std::shared_ptr<WriteSeqState> st, size_t i);
   void write_group_result(std::shared_ptr<WriteSeqState> st, size_t i,
@@ -200,8 +209,10 @@ class CoordinatorBase {
   const SimTime started_;
 
   std::set<SiteId> participants_;
-  SessionVector view_;
-  std::vector<Version> view_versions_;
+  // Frozen NS snapshot, sparse: only the entries this transaction read.
+  // An absent entry reads as session 0 (nominally down), which is what the
+  // dense representation held for unread/skipped sites.
+  NsView view_;
   bool decided_ = false; // 2PC decision made (or unilateral abort)
   // Participants whose prepare timed out in the last run_2pc (the caller
   // may need to declare them down and retry -- recovery step 4).
@@ -240,6 +251,10 @@ class UserTxnCoordinator : public CoordinatorBase {
   void start() override;
 
  private:
+  // Union of the resident sites of every item in spec_, ascending: the
+  // only NS entries whose values can ever matter to this transaction.
+  std::vector<SiteId> host_set() const;
+
   void next_op();
   void do_read(const LogicalOp& op, size_t candidate_idx);
   void do_write(const LogicalOp& op);

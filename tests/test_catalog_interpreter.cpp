@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "replication/catalog.h"
 #include "replication/interpreter.h"
 #include "txn/txn.h"
@@ -45,14 +47,17 @@ TEST(Catalog, DeterministicForSeed) {
   const Catalog a = Catalog::make(cfg_with(5, 50, 2, 7));
   const Catalog b = Catalog::make(cfg_with(5, 50, 2, 7));
   for (ItemId x = 0; x < 50; ++x) {
-    EXPECT_EQ(a.sites_of(x), b.sites_of(x));
+    const auto sa = a.sites_of(x);
+    const auto sb = b.sites_of(x);
+    EXPECT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()));
   }
 }
 
 TEST(Catalog, NsItemsEverywhereStatusItemsLocal) {
   const Catalog cat = Catalog::make(cfg_with(4, 10, 2));
   EXPECT_EQ(cat.sites_of(ns_item(2)).size(), 4u);
-  EXPECT_EQ(cat.sites_of(status_item(3)), (std::vector<SiteId>{3}));
+  ASSERT_EQ(cat.sites_of(status_item(3)).size(), 1u);
+  EXPECT_EQ(cat.sites_of(status_item(3)).front(), 3);
   EXPECT_TRUE(cat.has_copy(1, ns_item(0)));
   EXPECT_TRUE(cat.has_copy(3, status_item(3)));
   EXPECT_FALSE(cat.has_copy(2, status_item(3)));

@@ -104,7 +104,7 @@ TEST(ColdStart, DataOnlyAtStragglerWaitsForIt) {
   ItemId item = -1;
   for (ItemId x = 0; x < 20; ++x) {
     const auto sites = cluster.catalog().sites_of(x);
-    if (sites == std::vector<SiteId>{2, 3}) {
+    if (sites.size() == 2 && sites[0] == 2 && sites[1] == 3) {
       item = x;
       break;
     }

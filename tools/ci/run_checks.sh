@@ -76,6 +76,17 @@ rm -rf "$corpus"
   --sites=4 --items=40 --horizon-ms=1500 --corpus= >/dev/null
 rm -rf "$corpus"
 
+step "footprint-NS scale smoke (128 sites x 100k items, oracles on)"
+# The footprint-proportional session protocol at a size where the dense
+# protocol would read 128 NS entries per transaction: one crash/recover
+# cycle, invariant oracles + replica convergence judged at quiescence
+# (ddbs_sweep exits nonzero on any violation or missed convergence).
+"$repo/build/tools/ddbs_sweep" \
+  --sites=128 --items=100000 --degree=3 --footprint-ns=on \
+  --seeds=1 -j "$jobs" --clients=1 --duration-ms=500 \
+  --crash=5@150 --recover=5@300 \
+  --out="$repo/build/SWEEP_scale_smoke.json" >/dev/null
+
 step "watchdog self-test (planted NS-lock stall caught, clean run quiet)"
 # Self-validation of the no-progress watchdog. --planted-stall restores
 # the historical fixed type-1 retry backoff + permanent give-up; with the

@@ -70,6 +70,7 @@ struct Options {
       "  --no-skew             exclude latency-skew windows\n"
       "run shape:\n"
       "  --sites=N --items=N --degree=N --loss=F\n"
+      "  --footprint-ns=on|off host-set-only session reads (default on)\n"
       "  --storage-engine=in-memory|durable\n"
       "  --checkpoint-interval=N --disk-latency-us=N --disk-bw-mbps=N\n"
       "  --disk-queue-depth=N  durable-engine device knobs\n"
@@ -129,6 +130,14 @@ Options parse(int argc, char** argv) {
       o.run.cfg.n_items = std::stoll(v);
     } else if (parse_kv(argv[i], "--degree", &v)) {
       o.run.cfg.replication_degree = std::stoi(v);
+    } else if (parse_kv(argv[i], "--footprint-ns", &v)) {
+      if (v == "on") {
+        o.run.cfg.footprint_ns = true;
+      } else if (v == "off") {
+        o.run.cfg.footprint_ns = false;
+      } else {
+        usage(argv[0]);
+      }
     } else if (parse_kv(argv[i], "--loss", &v)) {
       o.run.cfg.msg_loss_prob = std::stod(v);
     } else if (parse_kv(argv[i], "--storage-engine", &v)) {

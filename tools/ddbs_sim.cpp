@@ -64,6 +64,8 @@ struct Options {
       "  --sites=N             number of sites (default 5)\n"
       "  --items=N             number of logical items (default 200)\n"
       "  --degree=N            copies per item (default 3)\n"
+      "  --footprint-ns=on|off user txns read only their host set's NS\n"
+      "                        entries (default on; off = full vector)\n"
       "  --seed=N              simulation seed (default 1)\n"
       "  --duration-ms=N       workload duration (default 5000)\n"
       "  --clients=N           closed-loop clients per site (default 2)\n"
@@ -144,6 +146,14 @@ Options parse(int argc, char** argv) {
       o.cfg.n_items = std::stoll(v);
     } else if (parse_kv(argv[i], "--degree", &v)) {
       o.cfg.replication_degree = std::stoi(v);
+    } else if (parse_kv(argv[i], "--footprint-ns", &v)) {
+      if (v == "on") {
+        o.cfg.footprint_ns = true;
+      } else if (v == "off") {
+        o.cfg.footprint_ns = false;
+      } else {
+        usage(argv[0]);
+      }
     } else if (parse_kv(argv[i], "--seed", &v)) {
       o.seed = std::stoull(v);
     } else if (parse_kv(argv[i], "--duration-ms", &v)) {

@@ -33,6 +33,9 @@ struct Options {
   std::vector<std::string> policies{"block"};
   std::vector<std::string> engines{"in-memory"};
   std::vector<std::string> checkpoint_intervals{""}; // "" = config default
+  std::vector<std::string> degrees{""};              // "" = config default
+  std::vector<std::string> item_counts{""};          // "" = config default
+  std::vector<std::string> footprints{""};           // on|off; "" = default
   uint64_t seed_base = 1;
   int seeds = 4;
   int threads = 1;
@@ -64,6 +67,9 @@ struct Options {
       "  --storage-engine=A,B  in-memory|durable\n"
       "  --checkpoint-interval=N,M  redo records between fuzzy checkpoints\n"
       "                        (durable engine; 0 = never)\n"
+      "  --degree=N,M          copies per item\n"
+      "  --items=N,M           number of logical items\n"
+      "  --footprint-ns=on,off host-set-only vs full-vector session reads\n"
       "sweep control:\n"
       "  --seeds=N             seeds per cell (default 4)\n"
       "  --seed-base=N         first seed (default 1)\n"
@@ -84,7 +90,7 @@ struct Options {
       "                        (live telemetry stream; see EXPERIMENTS.md)\n"
       "  --telemetry-interval-ms=N  telemetry tick period (default 250)\n"
       "scenario (same meaning as ddbs_sim):\n"
-      "  --sites=N --items=N --degree=N --loss=F\n"
+      "  --sites=N --loss=F\n"
       "  --duration-ms=N --clients=N --ops=N --reads=F --zipf=F\n"
       "  --crash=S@MS --recover=S@MS (repeatable)\n",
       argv0);
@@ -165,9 +171,11 @@ Options parse(int argc, char** argv) {
     } else if (parse_kv(argv[i], "--sites", &v)) {
       o.base.n_sites = std::stoi(v);
     } else if (parse_kv(argv[i], "--items", &v)) {
-      o.base.n_items = std::stoll(v);
+      o.item_counts = split_commas(v);
     } else if (parse_kv(argv[i], "--degree", &v)) {
-      o.base.replication_degree = std::stoi(v);
+      o.degrees = split_commas(v);
+    } else if (parse_kv(argv[i], "--footprint-ns", &v)) {
+      o.footprints = split_commas(v);
     } else if (parse_kv(argv[i], "--loss", &v)) {
       o.base.msg_loss_prob = std::stod(v);
     } else if (parse_kv(argv[i], "--duration-ms", &v)) {
@@ -215,9 +223,22 @@ Options parse(int argc, char** argv) {
 bool apply_axis(Config& cfg, const std::string& scheme,
                 const std::string& write_scheme, const std::string& strategy,
                 const std::string& copier, const std::string& policy,
-                const std::string& engine, const std::string& ckpt) {
+                const std::string& engine, const std::string& ckpt,
+                const std::string& degree, const std::string& items,
+                const std::string& footprint) {
   if (!parse_storage_engine(engine, &cfg.storage_engine)) return false;
   if (!ckpt.empty()) cfg.checkpoint_interval = std::stoll(ckpt);
+  if (!degree.empty()) cfg.replication_degree = std::stoi(degree);
+  if (!items.empty()) cfg.n_items = std::stoll(items);
+  if (!footprint.empty()) {
+    if (footprint == "on") {
+      cfg.footprint_ns = true;
+    } else if (footprint == "off") {
+      cfg.footprint_ns = false;
+    } else {
+      return false;
+    }
+  }
   if (scheme == "session-vector") {
     cfg.recovery_scheme = RecoveryScheme::kSessionVector;
   } else if (scheme == "spooler") {
@@ -265,7 +286,8 @@ std::string cell_label(const Options& o, const std::string& scheme,
                        const std::string& write_scheme,
                        const std::string& strategy, const std::string& copier,
                        const std::string& policy, const std::string& engine,
-                       const std::string& ckpt) {
+                       const std::string& ckpt, const std::string& degree,
+                       const std::string& items, const std::string& footprint) {
   std::string label;
   auto add = [&label](const std::vector<std::string>& axis,
                       const std::string& v) {
@@ -282,6 +304,18 @@ std::string cell_label(const Options& o, const std::string& scheme,
   if (o.checkpoint_intervals.size() > 1) {
     if (!label.empty()) label += '+';
     label += "ckpt" + ckpt;
+  }
+  if (o.degrees.size() > 1) {
+    if (!label.empty()) label += '+';
+    label += "deg" + degree;
+  }
+  if (o.item_counts.size() > 1) {
+    if (!label.empty()) label += '+';
+    label += "items" + items;
+  }
+  if (o.footprints.size() > 1) {
+    if (!label.empty()) label += '+';
+    label += (footprint == "off") ? "dense-ns" : "sparse-ns";
   }
   return label.empty() ? strategy : label;
 }
@@ -324,20 +358,28 @@ int main(int argc, char** argv) {
           for (const std::string& policy : o.policies) {
             for (const std::string& engine : o.engines) {
               for (const std::string& ckpt : o.checkpoint_intervals) {
-                SweepCell cell;
-                cell.cfg = o.base;
-                // Perf runs carry no checker feed unless the online
-                // verifier is requested (it needs the history event
-                // stream as input).
-                cell.cfg.record_history = o.online_verify;
-                cell.cfg.online_verify = o.online_verify;
-                if (!apply_axis(cell.cfg, scheme, ws, strategy, copier,
-                                policy, engine, ckpt)) {
-                  usage(argv[0]);
+                for (const std::string& degree : o.degrees) {
+                  for (const std::string& items : o.item_counts) {
+                    for (const std::string& fp : o.footprints) {
+                      SweepCell cell;
+                      cell.cfg = o.base;
+                      // Perf runs carry no checker feed unless the online
+                      // verifier is requested (it needs the history event
+                      // stream as input).
+                      cell.cfg.record_history = o.online_verify;
+                      cell.cfg.online_verify = o.online_verify;
+                      if (!apply_axis(cell.cfg, scheme, ws, strategy, copier,
+                                      policy, engine, ckpt, degree, items,
+                                      fp)) {
+                        usage(argv[0]);
+                      }
+                      cell.label = cell_label(o, scheme, ws, strategy, copier,
+                                              policy, engine, ckpt, degree,
+                                              items, fp);
+                      spec.cells.push_back(std::move(cell));
+                    }
+                  }
                 }
-                cell.label = cell_label(o, scheme, ws, strategy, copier,
-                                        policy, engine, ckpt);
-                spec.cells.push_back(std::move(cell));
               }
             }
           }
